@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Interval-length sensitivity (paper section 3 calls the minimum
+ * interval size that still supports code-based classification "an
+ * interesting open question" and cites that the technique works from
+ * 1M to 100M instructions). We sweep the repository-scale interval
+ * length over 50K / 100K / 200K instructions on four representative
+ * workloads (the others behave alike) and report CoV, phase counts
+ * and transition time.
+ *
+ * The 50K and 200K profiles are simulated on first run and cached
+ * like all others.
+ */
+
+#include <iostream>
+
+#include "analysis/experiment.hh"
+#include "bench_common.hh"
+#include "common/ascii_table.hh"
+
+using namespace tpcp;
+
+int
+main()
+{
+    bench::banner("Ablation", "Interval-length sensitivity");
+
+    const char *names[] = {"ammp", "gcc/s", "gzip/p", "mcf"};
+    const InstCount lengths[] = {50'000, 100'000, 200'000};
+
+    AsciiTable cov({"workload", "50K CoV", "100K CoV", "200K CoV"});
+    AsciiTable phases({"workload", "50K", "100K", "200K"});
+    AsciiTable trans({"workload", "50K trans", "100K trans",
+                      "200K trans"});
+
+    for (const char *name : names) {
+        cov.row().cell(name);
+        phases.row().cell(name);
+        trans.row().cell(name);
+        for (InstCount len : lengths) {
+            trace::ProfileOptions opts;
+            opts.intervalLen = len;
+            std::cerr << "[profile] " << name << " @" << len
+                      << " ...\n";
+            trace::IntervalProfile profile =
+                trace::getProfileByName(name, opts);
+            analysis::ClassificationResult res =
+                analysis::classifyProfile(
+                    profile,
+                    phase::ClassifierConfig::paperDefault());
+            cov.percentCell(res.covCpi);
+            phases.cell(static_cast<std::uint64_t>(res.numPhases));
+            trans.percentCell(res.transitionFraction);
+        }
+    }
+
+    std::cout << "CPI CoV by interval length:\n";
+    cov.print(std::cout);
+    std::cout << "\nStable phase IDs:\n";
+    phases.print(std::cout);
+    std::cout << "\nTransition time:\n";
+    trans.print(std::cout);
+    std::cout << "\nExpected behavior: code-based classification is "
+                 "granularity-robust\n(paper section 3 / [21]): CoV "
+                 "stays in the same band across a 4x interval\n"
+                 "range. The limits show at the edges - finer "
+                 "intervals resolve more\n(sub)phases, while "
+                 "intervals large relative to the phase dwells blur\n"
+                 "short phases into transitions (gcc at 200K).\n";
+    return 0;
+}

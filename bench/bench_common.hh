@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Shared plumbing for the figure-reproduction harnesses: loads (or
+ * builds and caches) the interval profiles of all 11 workloads and
+ * provides small aggregation helpers. Every fig*_ binary prints the
+ * rows/series of one paper figure.
+ */
+
+#ifndef TPCP_BENCH_BENCH_COMMON_HH
+#define TPCP_BENCH_BENCH_COMMON_HH
+
+#include <iostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "trace/profile_cache.hh"
+#include "workload/workload.hh"
+
+namespace tpcp::bench
+{
+
+/** (workload name, profile) for every benchmark, in paper order. */
+inline std::vector<std::pair<std::string, trace::IntervalProfile>>
+loadAllProfiles(const trace::ProfileOptions &opts = {})
+{
+    std::vector<std::pair<std::string, trace::IntervalProfile>> out;
+    for (const std::string &name : workload::workloadNames()) {
+        std::cerr << "[profile] " << name << " ... " << std::flush;
+        out.emplace_back(name, trace::getProfileByName(name, opts));
+        std::cerr << out.back().second.numIntervals()
+                  << " intervals\n";
+    }
+    return out;
+}
+
+/** Arithmetic mean of a vector (0 when empty). */
+inline double
+mean(const std::vector<double> &v)
+{
+    if (v.empty())
+        return 0.0;
+    double s = 0.0;
+    for (double x : v)
+        s += x;
+    return s / static_cast<double>(v.size());
+}
+
+/** Prints the standard harness banner. */
+inline void
+banner(const std::string &figure, const std::string &what)
+{
+    std::cout
+        << "=====================================================\n"
+        << figure << ": " << what << "\n"
+        << "(Lau, Schoenmackers, Calder - Transition Phase\n"
+        << " Classification and Prediction, HPCA 2005)\n"
+        << "=====================================================\n\n";
+}
+
+} // namespace tpcp::bench
+
+#endif // TPCP_BENCH_BENCH_COMMON_HH

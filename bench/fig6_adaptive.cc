@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Figure 6: adaptive per-phase similarity thresholds (performance
+ * feedback). CPI CoV, number of phases and transition time for
+ * static 25% and 12.5% thresholds vs the dynamic scheme (25% initial
+ * threshold, halved when an interval's CPI deviates from the phase
+ * average by more than 50%, 25% or 12.5%).
+ *
+ * Expected shape (paper): dynamic thresholds lower CPI CoV with only
+ * small increases in phase count and transition time; programs that
+ * do not benefit from a tighter threshold (gzip/g, galgel) are left
+ * essentially unchanged, while threshold-sensitive programs (mcf,
+ * perl/s) improve markedly.
+ */
+
+#include <iostream>
+
+#include "analysis/experiment.hh"
+#include "bench_common.hh"
+#include "common/ascii_table.hh"
+
+using namespace tpcp;
+
+namespace
+{
+
+struct Config
+{
+    const char *label;
+    double threshold;
+    bool dynamic;
+    double deviation;
+};
+
+constexpr Config configs[] = {
+    {"25% static", 0.25, false, 0.0},
+    {"12.5% static", 0.125, false, 0.0},
+    {"25% dyn+50%dev", 0.25, true, 0.50},
+    {"25% dyn+25%dev", 0.25, true, 0.25},
+    {"25% dyn+12.5%dev", 0.25, true, 0.125},
+};
+constexpr std::size_t numConfigs =
+    sizeof(configs) / sizeof(configs[0]);
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Figure 6",
+                  "Adaptive similarity thresholds (phase splitting)");
+    auto profiles = bench::loadAllProfiles();
+
+    std::vector<std::string> headers = {"workload"};
+    for (const Config &c : configs)
+        headers.push_back(c.label);
+    AsciiTable cov(headers);
+    AsciiTable phases(headers);
+    AsciiTable trans(headers);
+    std::vector<std::vector<double>> cov_cols(numConfigs),
+        phase_cols(numConfigs), trans_cols(numConfigs);
+
+    for (const auto &[name, profile] : profiles) {
+        cov.row().cell(name);
+        phases.row().cell(name);
+        trans.row().cell(name);
+        for (std::size_t c = 0; c < numConfigs; ++c) {
+            phase::ClassifierConfig cfg;
+            cfg.numCounters = 16;
+            cfg.tableEntries = 32;
+            cfg.similarityThreshold = configs[c].threshold;
+            cfg.minCountThreshold = 8;
+            cfg.adaptiveThreshold = configs[c].dynamic;
+            cfg.cpiDeviationThreshold = configs[c].deviation;
+            analysis::ClassificationResult res =
+                analysis::classifyProfile(profile, cfg);
+            cov.percentCell(res.covCpi);
+            phases.cell(static_cast<std::uint64_t>(res.numPhases));
+            trans.percentCell(res.transitionFraction);
+            cov_cols[c].push_back(res.covCpi);
+            phase_cols[c].push_back(
+                static_cast<double>(res.numPhases));
+            trans_cols[c].push_back(res.transitionFraction);
+        }
+    }
+    cov.row().cell("avg");
+    phases.row().cell("avg");
+    trans.row().cell("avg");
+    for (std::size_t c = 0; c < numConfigs; ++c) {
+        cov.percentCell(bench::mean(cov_cols[c]));
+        phases.cell(bench::mean(phase_cols[c]), 1);
+        trans.percentCell(bench::mean(trans_cols[c]));
+    }
+
+    std::cout << "CPI CoV:\n";
+    cov.print(std::cout);
+    std::cout << "\nNumber of stable phase IDs:\n";
+    phases.print(std::cout);
+    std::cout << "\nTransition time:\n";
+    trans.print(std::cout);
+    std::cout << "\nPaper shape check: dynamic thresholds approach "
+                 "12.5%-static CoV while\nkeeping phase count and "
+                 "transition time near the 25%-static level;\n"
+                 "threshold-insensitive programs are unaffected.\n";
+    return 0;
+}

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Figure 7: next-phase prediction. For each predictor, the breakdown
+ * of next-interval predictions into: correct/incorrect change-table
+ * predictions and correct/incorrect last-value fallbacks split by
+ * last-value confidence. Averaged over all workloads; classifier is
+ * the paper's preferred configuration (16 counters, 32 entries, 25%
+ * similarity, min count 8, 25% CPI deviation).
+ *
+ * Expected shape (paper): last-value prediction is ~75% accurate (25%
+ * of interval transitions change phase); Markov and RLE tables add
+ * only a few percent; confidence trades coverage for accuracy (the
+ * paper reports 80% accuracy at 70% coverage).
+ */
+
+#include <iostream>
+#include <optional>
+
+#include "analysis/experiment.hh"
+#include "bench_common.hh"
+#include "common/ascii_table.hh"
+#include "pred/eval.hh"
+
+using namespace tpcp;
+using pred::ChangePredictorConfig;
+using pred::PayloadView;
+
+int
+main()
+{
+    bench::banner("Figure 7", "Next Phase Prediction");
+    auto profiles = bench::loadAllProfiles();
+
+    phase::ClassifierConfig ccfg =
+        phase::ClassifierConfig::paperDefault();
+
+    // Classify every workload once; predictors replay the traces.
+    std::vector<std::vector<PhaseId>> traces;
+    for (const auto &[name, profile] : profiles)
+        traces.push_back(
+            analysis::classifyProfile(profile, ccfg).trace.phases);
+
+    struct Bar
+    {
+        std::string label;
+        std::optional<ChangePredictorConfig> cfg;
+    };
+    std::vector<Bar> bars;
+    bars.push_back({"Last Value", std::nullopt});
+    bars.push_back({"Markov-1",
+                    ChangePredictorConfig::markov(1)});
+    bars.push_back({"Markov-2",
+                    ChangePredictorConfig::markov(2)});
+    bars.push_back({"Last4 Markov-1",
+                    ChangePredictorConfig::markov(
+                        1, PayloadView::Last4)});
+    bars.push_back({"Last4 Markov-2",
+                    ChangePredictorConfig::markov(
+                        2, PayloadView::Last4)});
+    {
+        ChangePredictorConfig no_conf =
+            ChangePredictorConfig::markov(2);
+        no_conf.useConfidence = false;
+        no_conf.name = "Markov-2 NoTableConf";
+        bars.push_back({"Markov-2 NoTableConf", no_conf});
+    }
+    bars.push_back({"RLE-1", ChangePredictorConfig::rle(1)});
+    bars.push_back({"RLE-2", ChangePredictorConfig::rle(2)});
+    bars.push_back({"Last4 RLE-1",
+                    ChangePredictorConfig::rle(1,
+                                               PayloadView::Last4)});
+    bars.push_back({"Last4 RLE-2",
+                    ChangePredictorConfig::rle(2,
+                                               PayloadView::Last4)});
+    {
+        ChangePredictorConfig no_conf = ChangePredictorConfig::rle(2);
+        no_conf.useConfidence = false;
+        no_conf.name = "RLE-2 NoConf";
+        bars.push_back({"RLE-2 NoConf", no_conf});
+    }
+
+    AsciiTable table({"predictor", "corr table", "corr lv conf",
+                      "corr lv unconf", "inc lv unconf",
+                      "inc lv conf", "inc table", "accuracy",
+                      "conf acc", "conf cover"});
+    for (const Bar &bar : bars) {
+        pred::NextPhaseStats agg;
+        for (const auto &trace : traces)
+            agg.merge(pred::evalNextPhase(trace, bar.cfg));
+        double t = static_cast<double>(agg.total);
+        auto pct = [&](std::uint64_t v) {
+            return t ? static_cast<double>(v) / t : 0.0;
+        };
+        table.row()
+            .cell(bar.label)
+            .percentCell(pct(agg.correctTable))
+            .percentCell(pct(agg.correctLvConf))
+            .percentCell(pct(agg.correctLvUnconf))
+            .percentCell(pct(agg.incorrectLvUnconf))
+            .percentCell(pct(agg.incorrectLvConf))
+            .percentCell(pct(agg.incorrectTable))
+            .percentCell(agg.accuracy())
+            .percentCell(agg.confidentAccuracy())
+            .percentCell(agg.confidentCoverage());
+    }
+    table.print(std::cout);
+
+    // Context row: how often adjacent intervals change phase.
+    pred::NextPhaseStats lv;
+    for (const auto &trace : traces)
+        lv.merge(pred::evalNextPhase(trace, std::nullopt));
+    std::cout << "\nFraction of interval transitions that change "
+                 "phase: "
+              << 100.0 * static_cast<double>(lv.phaseChanges) /
+                     static_cast<double>(lv.total)
+              << "%\n";
+    std::cout << "Paper shape check: last value ~75% accurate; "
+                 "Markov/RLE add a few\npercent; confidence raises "
+                 "accuracy on covered intervals at the cost of\n"
+                 "coverage (paper: ~80% accuracy at ~70% coverage).\n";
+    return 0;
+}

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks for the phase-tracking hardware
+ * model: the per-branch accumulator update (which must run at commit
+ * speed), end-of-interval classification, signature comparison and
+ * predictor updates. These back the paper's feasibility claim that
+ * classification needs only "a counter, a hash, and an accumulator
+ * update".
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/rng.hh"
+#include "phase/accumulator_table.hh"
+#include "phase/classifier.hh"
+#include "phase/signature.hh"
+#include "pred/change_predictor.hh"
+#include "pred/eval.hh"
+
+using namespace tpcp;
+
+namespace
+{
+
+std::vector<Addr>
+branchPcs(std::size_t n)
+{
+    Rng rng(std::uint64_t{0x1234});
+    std::vector<Addr> pcs(n);
+    for (auto &pc : pcs)
+        pc = 0x400000 + (rng.nextBounded(4096) * 4);
+    return pcs;
+}
+
+void
+BM_AccumulatorUpdate(benchmark::State &state)
+{
+    phase::AccumulatorTable acc(
+        static_cast<unsigned>(state.range(0)));
+    auto pcs = branchPcs(1024);
+    std::size_t i = 0;
+    for (auto _ : state) {
+        acc.recordBranch(pcs[i++ & 1023], 12);
+        benchmark::DoNotOptimize(acc.counters().data());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AccumulatorUpdate)->Arg(16)->Arg(32)->Arg(64);
+
+void
+BM_SignatureCompression(benchmark::State &state)
+{
+    phase::AccumulatorTable acc(
+        static_cast<unsigned>(state.range(0)));
+    auto pcs = branchPcs(1024);
+    for (std::size_t i = 0; i < 8192; ++i)
+        acc.recordBranch(pcs[i & 1023], 12);
+    for (auto _ : state) {
+        phase::Signature sig = phase::Signature::fromAccumulators(
+            acc.counters(), acc.totalIncrement(), 6,
+            phase::BitSelection::Dynamic);
+        benchmark::DoNotOptimize(sig.weight());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SignatureCompression)->Arg(16)->Arg(32);
+
+void
+BM_SignatureDistance(benchmark::State &state)
+{
+    Rng rng(std::uint64_t{7});
+    std::vector<std::uint8_t> a(16), b(16);
+    for (std::size_t i = 0; i < 16; ++i) {
+        a[i] = static_cast<std::uint8_t>(rng.nextBounded(64));
+        b[i] = static_cast<std::uint8_t>(rng.nextBounded(64));
+    }
+    phase::Signature sa(a, 6), sb(b, 6);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(sa.difference(sb));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SignatureDistance);
+
+void
+BM_EndIntervalClassification(benchmark::State &state)
+{
+    phase::ClassifierConfig cfg =
+        phase::ClassifierConfig::paperDefault();
+    phase::PhaseClassifier classifier(cfg);
+    auto pcs = branchPcs(1024);
+    Rng rng(std::uint64_t{99});
+    std::size_t i = 0;
+    for (auto _ : state) {
+        // A few hundred branches per interval, then classify.
+        for (int b = 0; b < 256; ++b)
+            classifier.recordBranch(pcs[i++ & 1023], 12);
+        auto res = classifier.endInterval(1.0 + rng.nextDouble());
+        benchmark::DoNotOptimize(res.phase);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EndIntervalClassification);
+
+void
+BM_ChangePredictorObserve(benchmark::State &state)
+{
+    pred::ChangePredictor predictor(
+        pred::ChangePredictorConfig::rle(2));
+    Rng rng(std::uint64_t{5});
+    // A synthetic phase stream with runs of geometric length.
+    std::vector<PhaseId> stream;
+    PhaseId cur = 1;
+    for (int i = 0; i < 4096; ++i) {
+        stream.push_back(cur);
+        if (rng.nextBool(0.2))
+            cur = 1 + rng.nextBounded(8);
+    }
+    std::size_t i = 0;
+    for (auto _ : state) {
+        auto out = predictor.observe(stream[i++ & 4095]);
+        benchmark::DoNotOptimize(out.has_value());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ChangePredictorObserve);
+
+} // namespace
+
+BENCHMARK_MAIN();

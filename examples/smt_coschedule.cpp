@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Phase-aware symbiotic SMT co-scheduling sketch.
+ *
+ * The paper's introduction motivates 10M-instruction intervals with
+ * phase-based task scheduling, citing symbiotic job scheduling on
+ * SMT machines (Snavely & Tullsen). This example demonstrates the
+ * idea: classify two workloads into phases, characterize each phase
+ * as CPU-bound or memory-bound from its CPI, and compare the
+ * throughput of phase-aware pairing against phase-oblivious
+ * time-slicing under a simple SMT contention model.
+ *
+ * Contention model: co-running two threads multiplies each thread's
+ * CPI by (1 + c) where c depends on resource overlap - two
+ * memory-bound phases fight for the memory system and each run more
+ * than twice as slow (c = 1.5, so co-running them is a net loss),
+ * two CPU-bound phases fight for issue slots (c = 0.8), and a mixed
+ * pair coexists well (c = 0.15).
+ *
+ * Usage: smt_coschedule [workloadA] [workloadB]
+ *        (defaults: mcf gzip/p)
+ */
+
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "analysis/experiment.hh"
+#include "common/ascii_table.hh"
+#include "common/running_stats.hh"
+#include "phase/classifier_config.hh"
+#include "trace/profile_cache.hh"
+#include "workload/workload.hh"
+
+using namespace tpcp;
+
+namespace
+{
+
+struct ThreadPhases
+{
+    analysis::ClassificationResult res;
+    std::map<PhaseId, RunningStats> cpi;
+    /** Phases slower than this are considered memory-bound. */
+    double slowCutoff = 0.0;
+
+    bool
+    memoryBound(std::size_t i) const
+    {
+        auto it = cpi.find(res.trace.phases[i]);
+        return it != cpi.end() && it->second.mean() > slowCutoff;
+    }
+};
+
+ThreadPhases
+analyze(const std::string &name)
+{
+    ThreadPhases t;
+    trace::IntervalProfile prof = trace::getProfileByName(name);
+    t.res = analysis::classifyProfile(
+        prof, phase::ClassifierConfig::paperDefault());
+    for (std::size_t i = 0; i < t.res.trace.size(); ++i)
+        t.cpi[t.res.trace.phases[i]].push(t.res.trace.cpis[i]);
+    // Midpoint between the fastest and slowest phase adapts the
+    // classification to mostly-fast and mostly-slow workloads alike.
+    double lo = 1e30, hi = 0.0;
+    for (const auto &[id, stats] : t.cpi) {
+        lo = std::min(lo, stats.mean());
+        hi = std::max(hi, stats.mean());
+    }
+    t.slowCutoff = 0.5 * (lo + hi);
+    return t;
+}
+
+/** SMT contention factor for a pair of phase characters. */
+double
+contention(bool a_mem, bool b_mem)
+{
+    if (a_mem && b_mem)
+        return 1.5; // memory system conflict: worse than slicing
+    if (!a_mem && !b_mem)
+        return 0.8; // issue-bandwidth conflict: co-run still wins
+    return 0.15;    // symbiotic pair
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string name_a = argc > 1 ? argv[1] : "mcf";
+    std::string name_b = argc > 2 ? argv[2] : "gzip/p";
+    if (!workload::isWorkloadName(name_a) ||
+        !workload::isWorkloadName(name_b)) {
+        std::cerr << "unknown workload\n";
+        return 1;
+    }
+    std::cout << "== phase-aware SMT co-scheduling: " << name_a
+              << " + " << name_b << " ==\n";
+
+    ThreadPhases a = analyze(name_a);
+    ThreadPhases b = analyze(name_b);
+    std::size_t n =
+        std::min(a.res.trace.size(), b.res.trace.size());
+
+    // Policy 1: oblivious co-run - always run both threads together
+    // regardless of phase character.
+    double oblivious_ipc = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        double c = contention(a.memoryBound(i), b.memoryBound(i));
+        double cpi_a = a.res.trace.cpis[i] * (1.0 + c);
+        double cpi_b = b.res.trace.cpis[i] * (1.0 + c);
+        oblivious_ipc += 1.0 / cpi_a + 1.0 / cpi_b;
+    }
+
+    // Policy 2: phase-aware - when the classifier says both threads
+    // are in memory-bound phases (the destructive pairing), fall
+    // back to time-slicing them; otherwise co-run.
+    double aware_ipc = 0.0;
+    std::uint64_t sliced = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        bool am = a.memoryBound(i);
+        bool bm = b.memoryBound(i);
+        if (am && bm) {
+            // Time-slice: each thread runs alone half the time.
+            aware_ipc += 0.5 / a.res.trace.cpis[i] +
+                         0.5 / b.res.trace.cpis[i];
+            ++sliced;
+        } else {
+            double c = contention(am, bm);
+            aware_ipc += 1.0 / (a.res.trace.cpis[i] * (1.0 + c)) +
+                         1.0 / (b.res.trace.cpis[i] * (1.0 + c));
+        }
+    }
+
+    AsciiTable table({"policy", "throughput (IPC sum)", "vs oblivious"});
+    table.row()
+        .cell("phase-oblivious co-run")
+        .cell(oblivious_ipc / static_cast<double>(n), 3)
+        .cell(1.0, 3);
+    table.row()
+        .cell("phase-aware")
+        .cell(aware_ipc / static_cast<double>(n), 3)
+        .cell(aware_ipc / oblivious_ipc, 3);
+    table.print(std::cout);
+    std::cout << "\nIntervals where the phase-aware policy "
+                 "time-sliced instead of co-running: "
+              << sliced << " / " << n << "\n";
+    std::cout << "Phase IDs let the scheduler recognize destructive "
+                 "pairings *before*\nrunning them - the phase-based "
+                 "task scheduling the paper targets.\n";
+    return 0;
+}

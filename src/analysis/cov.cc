@@ -1,0 +1,47 @@
+#include "analysis/cov.hh"
+
+#include <unordered_map>
+
+#include "common/logging.hh"
+#include "common/running_stats.hh"
+
+namespace tpcp::analysis
+{
+
+double
+weightedPhaseCov(const std::vector<PhaseId> &phases,
+                 const std::vector<double> &cpis,
+                 bool exclude_transition)
+{
+    tpcp_assert(phases.size() == cpis.size(),
+                "phase/cpi vectors must align");
+    std::unordered_map<PhaseId, RunningStats> per_phase;
+    std::uint64_t included = 0;
+    for (std::size_t i = 0; i < phases.size(); ++i) {
+        if (exclude_transition && phases[i] == transitionPhaseId)
+            continue;
+        per_phase[phases[i]].push(cpis[i]);
+        ++included;
+    }
+    if (included == 0)
+        return 0.0;
+
+    double weighted = 0.0;
+    for (const auto &[id, stats] : per_phase) {
+        double share = static_cast<double>(stats.count()) /
+                       static_cast<double>(included);
+        weighted += share * stats.cov();
+    }
+    return weighted;
+}
+
+double
+wholeProgramCov(const std::vector<double> &cpis)
+{
+    RunningStats stats;
+    for (double c : cpis)
+        stats.push(c);
+    return stats.cov();
+}
+
+} // namespace tpcp::analysis

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * The paper's phase-classification quality metric (section 3.1):
+ * per-phase Coefficient of Variation of CPI, weighted by each phase's
+ * share of execution. Lower is better; 0 means every interval in each
+ * phase has identical CPI. The transition phase is excluded, as in
+ * the paper.
+ */
+
+#ifndef TPCP_ANALYSIS_COV_HH
+#define TPCP_ANALYSIS_COV_HH
+
+#include <vector>
+
+#include "common/types.hh"
+
+namespace tpcp::analysis
+{
+
+/**
+ * Weighted per-phase CoV of CPI.
+ *
+ * Groups intervals by phase ID, computes stddev/mean of CPI within
+ * each phase, weights each phase's CoV by the fraction of (included)
+ * intervals it accounts for, and sums.
+ *
+ * @param phases             per-interval phase IDs
+ * @param cpis               per-interval CPIs (same length)
+ * @param exclude_transition drop transition-phase intervals (paper
+ *                           behavior)
+ */
+double weightedPhaseCov(const std::vector<PhaseId> &phases,
+                        const std::vector<double> &cpis,
+                        bool exclude_transition = true);
+
+/** CoV of CPI over all intervals (the "Whole Program" bars). */
+double wholeProgramCov(const std::vector<double> &cpis);
+
+} // namespace tpcp::analysis
+
+#endif // TPCP_ANALYSIS_COV_HH

@@ -1,0 +1,33 @@
+#include "analysis/experiment.hh"
+
+#include "analysis/cov.hh"
+
+namespace tpcp::analysis
+{
+
+ClassificationResult
+classifyProfile(const trace::IntervalProfile &profile,
+                const phase::ClassifierConfig &cfg)
+{
+    ClassificationResult out;
+    out.workload = profile.workload();
+
+    phase::PhaseClassifier classifier(cfg);
+    std::size_t dim_idx = profile.dimIndex(cfg.numCounters);
+    for (const trace::IntervalRecord &rec : profile.intervals()) {
+        phase::ClassifyResult res = classifier.classifyRaw(
+            rec.accums[dim_idx], rec.accumTotal, rec.cpi);
+        out.trace.push(res.phase, rec.cpi);
+    }
+
+    out.numPhases = classifier.numStablePhases();
+    out.covCpi = weightedPhaseCov(out.trace.phases, out.trace.cpis);
+    out.wholeProgramCov = wholeProgramCov(out.trace.cpis);
+    out.transitionFraction =
+        classifier.stats().transitionFraction();
+    out.runLengths = summarizeRunLengths(out.trace.phases);
+    out.classifierStats = classifier.stats();
+    return out;
+}
+
+} // namespace tpcp::analysis

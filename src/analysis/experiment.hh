@@ -1,0 +1,54 @@
+/**
+ * @file
+ * The experiment pipeline shared by every benchmark harness: replay a
+ * stored interval profile through a phase classifier configuration
+ * and bundle the metrics the paper's figures report (per-phase CPI
+ * CoV, number of phases, transition time, run lengths, and the
+ * classified phase trace handed to the predictors).
+ */
+
+#ifndef TPCP_ANALYSIS_EXPERIMENT_HH
+#define TPCP_ANALYSIS_EXPERIMENT_HH
+
+#include <string>
+#include <vector>
+
+#include "analysis/run_lengths.hh"
+#include "phase/classifier.hh"
+#include "phase/phase_trace.hh"
+#include "trace/interval_profile.hh"
+
+namespace tpcp::analysis
+{
+
+/** Everything a figure needs about one (workload, classifier) pair. */
+struct ClassificationResult
+{
+    std::string workload;
+    /** Per-interval phase IDs and CPIs. */
+    phase::PhaseTrace trace;
+    /** Stable phase IDs allocated over the run. */
+    std::uint32_t numPhases = 0;
+    /** Weighted per-phase CPI CoV, transition excluded. */
+    double covCpi = 0.0;
+    /** CoV of CPI over all intervals. */
+    double wholeProgramCov = 0.0;
+    /** Fraction of intervals classified into the transition phase. */
+    double transitionFraction = 0.0;
+    /** Run-length statistics. */
+    RunLengthSummary runLengths;
+    /** Raw classifier counters. */
+    phase::ClassifierStats classifierStats;
+};
+
+/**
+ * Replays @p profile through a classifier configured by @p cfg. The
+ * profile must have been recorded at cfg.numCounters dimensions.
+ */
+ClassificationResult classifyProfile(
+    const trace::IntervalProfile &profile,
+    const phase::ClassifierConfig &cfg);
+
+} // namespace tpcp::analysis
+
+#endif // TPCP_ANALYSIS_EXPERIMENT_HH

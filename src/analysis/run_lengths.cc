@@ -1,0 +1,31 @@
+#include "analysis/run_lengths.hh"
+
+#include "common/running_stats.hh"
+#include "phase/phase_trace.hh"
+
+namespace tpcp::analysis
+{
+
+RunLengthSummary
+summarizeRunLengths(const std::vector<PhaseId> &phases)
+{
+    RunningStats stable;
+    RunningStats transition;
+    for (const phase::PhaseRun &run :
+         phase::runLengthEncode(phases)) {
+        if (run.phase == transitionPhaseId)
+            transition.push(static_cast<double>(run.length));
+        else
+            stable.push(static_cast<double>(run.length));
+    }
+    RunLengthSummary out;
+    out.stableRuns = stable.count();
+    out.stableAvg = stable.mean();
+    out.stableStddev = stable.stddev();
+    out.transitionRuns = transition.count();
+    out.transitionAvg = transition.mean();
+    out.transitionStddev = transition.stddev();
+    return out;
+}
+
+} // namespace tpcp::analysis

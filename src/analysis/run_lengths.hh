@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Stable- and transition-phase run-length statistics (paper section
+ * 4.5 and Figure 5): average and standard deviation of contiguous
+ * runs, split between stable phases and the transition phase.
+ */
+
+#ifndef TPCP_ANALYSIS_RUN_LENGTHS_HH
+#define TPCP_ANALYSIS_RUN_LENGTHS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace tpcp::analysis
+{
+
+/** Summary of stable and transition run lengths, in intervals. */
+struct RunLengthSummary
+{
+    std::uint64_t stableRuns = 0;
+    double stableAvg = 0.0;
+    double stableStddev = 0.0;
+    std::uint64_t transitionRuns = 0;
+    double transitionAvg = 0.0;
+    double transitionStddev = 0.0;
+};
+
+/** Computes run-length statistics of a classified interval stream. */
+RunLengthSummary summarizeRunLengths(
+    const std::vector<PhaseId> &phases);
+
+} // namespace tpcp::analysis
+
+#endif // TPCP_ANALYSIS_RUN_LENGTHS_HH

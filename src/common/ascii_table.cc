@@ -1,0 +1,95 @@
+#include "common/ascii_table.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace tpcp
+{
+
+AsciiTable::AsciiTable(std::vector<std::string> headers)
+    : headers(std::move(headers))
+{
+    tpcp_assert(!this->headers.empty());
+}
+
+AsciiTable &
+AsciiTable::row()
+{
+    rows.emplace_back();
+    return *this;
+}
+
+AsciiTable &
+AsciiTable::cell(const std::string &s)
+{
+    tpcp_assert(!rows.empty(), "call row() before cell()");
+    tpcp_assert(rows.back().size() < headers.size(),
+                "too many cells in row");
+    rows.back().push_back(s);
+    return *this;
+}
+
+AsciiTable &
+AsciiTable::cell(std::uint64_t v)
+{
+    return cell(std::to_string(v));
+}
+
+AsciiTable &
+AsciiTable::cell(std::int64_t v)
+{
+    return cell(std::to_string(v));
+}
+
+AsciiTable &
+AsciiTable::cell(double v, int precision)
+{
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(precision) << v;
+    return cell(oss.str());
+}
+
+AsciiTable &
+AsciiTable::percentCell(double fraction, int precision)
+{
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(precision)
+        << fraction * 100.0 << "%";
+    return cell(oss.str());
+}
+
+void
+AsciiTable::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(headers.size());
+    for (std::size_t c = 0; c < headers.size(); ++c)
+        widths[c] = headers[c].size();
+    for (const auto &r : rows) {
+        for (std::size_t c = 0; c < r.size(); ++c)
+            widths[c] = std::max(widths[c], r[c].size());
+    }
+
+    auto print_row = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < headers.size(); ++c) {
+            const std::string &s = c < cells.size() ? cells[c] : "";
+            os << (c == 0 ? "" : "  ");
+            os << std::left << std::setw(static_cast<int>(widths[c]))
+               << s;
+        }
+        os << '\n';
+    };
+
+    print_row(headers);
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < widths.size(); ++c)
+        total += widths[c] + (c == 0 ? 0 : 2);
+    os << std::string(total, '-') << '\n';
+    for (const auto &r : rows)
+        print_row(r);
+}
+
+} // namespace tpcp

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Aligned ASCII table formatting for the benchmark harnesses, which
+ * print the rows/series of each paper figure to stdout.
+ */
+
+#ifndef TPCP_COMMON_ASCII_TABLE_HH
+#define TPCP_COMMON_ASCII_TABLE_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace tpcp
+{
+
+/**
+ * Collects rows of string cells and prints them with padded columns.
+ *
+ * Numeric helpers format doubles with fixed precision so figure output
+ * is stable across runs (modulo the measured values themselves).
+ */
+class AsciiTable
+{
+  public:
+    /** Creates a table with the given column headers. */
+    explicit AsciiTable(std::vector<std::string> headers);
+
+    /** Starts a new row. */
+    AsciiTable &row();
+
+    /** Appends a string cell to the current row. */
+    AsciiTable &cell(const std::string &s);
+
+    /** Appends an integer cell. */
+    AsciiTable &cell(std::uint64_t v);
+
+    /** Appends a signed integer cell. */
+    AsciiTable &cell(std::int64_t v);
+
+    /** Appends a fixed-precision double cell. */
+    AsciiTable &cell(double v, int precision = 2);
+
+    /** Appends a percentage cell ("12.34%"). */
+    AsciiTable &percentCell(double fraction, int precision = 1);
+
+    /** Writes the formatted table to @p os. */
+    void print(std::ostream &os) const;
+
+    /** Number of data rows added so far. */
+    std::size_t numRows() const { return rows.size(); }
+
+  private:
+    std::vector<std::string> headers;
+    std::vector<std::vector<std::string>> rows;
+};
+
+} // namespace tpcp
+
+#endif // TPCP_COMMON_ASCII_TABLE_HH

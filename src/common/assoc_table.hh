@@ -1,0 +1,218 @@
+/**
+ * @file
+ * A generic set-associative table with LRU replacement.
+ *
+ * This models the storage common to the phase-tracking hardware: the
+ * Past Signature Table (1 set x 32 ways, i.e. fully associative) and
+ * the phase-change prediction tables (8 sets x 4 ways = 32 entries,
+ * paper section 5). Exact-tag lookup is provided for the predictors;
+ * set iteration is exposed so the signature table can implement
+ * nearest-signature matching within a similarity threshold.
+ */
+
+#ifndef TPCP_COMMON_ASSOC_TABLE_HH
+#define TPCP_COMMON_ASSOC_TABLE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace tpcp
+{
+
+/**
+ * Set-associative LRU table mapping Tag -> Value.
+ *
+ * Entries are stored in a flat vector of sets x ways slots. LRU is
+ * tracked with a monotonically increasing use tick per entry, which is
+ * a faithful (if idealized) model of hardware LRU for the small
+ * associativities used here.
+ */
+template <typename Tag, typename Value>
+class AssocTable
+{
+  public:
+    /** One table slot. */
+    struct Entry
+    {
+        Tag tag{};
+        Value value{};
+        bool valid = false;
+        std::uint64_t lastUse = 0;
+    };
+
+    /** Constructs a table of @p sets sets with @p ways ways each. */
+    AssocTable(unsigned sets, unsigned ways)
+        : numSets_(sets), numWays_(ways),
+          slots(static_cast<std::size_t>(sets) * ways)
+    {
+        tpcp_assert(sets > 0 && ways > 0);
+    }
+
+    /** Number of sets. */
+    unsigned numSets() const { return numSets_; }
+
+    /** Number of ways per set. */
+    unsigned numWays() const { return numWays_; }
+
+    /** Total capacity in entries. */
+    std::size_t capacity() const { return slots.size(); }
+
+    /** Number of valid entries currently stored. */
+    std::size_t
+    size() const
+    {
+        std::size_t n = 0;
+        for (const auto &e : slots)
+            n += e.valid ? 1 : 0;
+        return n;
+    }
+
+    /**
+     * Looks up an exact tag in @p set. Returns the entry (without
+     * updating LRU state) or nullptr on miss.
+     */
+    Entry *
+    find(unsigned set, const Tag &tag)
+    {
+        tpcp_assert(set < numSets_);
+        for (unsigned w = 0; w < numWays_; ++w) {
+            Entry &e = slot(set, w);
+            if (e.valid && e.tag == tag)
+                return &e;
+        }
+        return nullptr;
+    }
+
+    /** Const overload of find(). */
+    const Entry *
+    find(unsigned set, const Tag &tag) const
+    {
+        return const_cast<AssocTable *>(this)->find(set, tag);
+    }
+
+    /**
+     * Returns the first entry in @p set satisfying @p pred, or nullptr.
+     */
+    template <typename Pred>
+    Entry *
+    findIf(unsigned set, Pred pred)
+    {
+        tpcp_assert(set < numSets_);
+        for (unsigned w = 0; w < numWays_; ++w) {
+            Entry &e = slot(set, w);
+            if (e.valid && pred(e))
+                return &e;
+        }
+        return nullptr;
+    }
+
+    /** Marks @p e as most recently used. */
+    void touch(Entry &e) { e.lastUse = ++tick; }
+
+    /**
+     * Inserts (tag, value) into @p set, evicting the LRU entry if the
+     * set is full. Returns the entry written. The new entry becomes
+     * most recently used. If @p evicted is non-null and a valid entry
+     * was displaced, the victim is copied there and *evicted_valid is
+     * set.
+     */
+    Entry &
+    insert(unsigned set, const Tag &tag, const Value &value,
+           Entry *evicted = nullptr, bool *evicted_valid = nullptr)
+    {
+        tpcp_assert(set < numSets_);
+        if (evicted_valid)
+            *evicted_valid = false;
+        Entry *victim = nullptr;
+        for (unsigned w = 0; w < numWays_; ++w) {
+            Entry &e = slot(set, w);
+            if (!e.valid) {
+                victim = &e;
+                break;
+            }
+            if (!victim || e.lastUse < victim->lastUse)
+                victim = &e;
+        }
+        if (victim->valid && evicted) {
+            *evicted = *victim;
+            if (evicted_valid)
+                *evicted_valid = true;
+        }
+        victim->tag = tag;
+        victim->value = value;
+        victim->valid = true;
+        victim->lastUse = ++tick;
+        return *victim;
+    }
+
+    /** Invalidates entry @p e. */
+    void
+    erase(Entry &e)
+    {
+        e.valid = false;
+        e.value = Value{};
+        e.tag = Tag{};
+    }
+
+    /** Invalidates every entry. */
+    void
+    clear()
+    {
+        for (auto &e : slots)
+            e = Entry{};
+        tick = 0;
+    }
+
+    /** Applies @p fn to every valid entry in @p set. */
+    template <typename Fn>
+    void
+    forEachInSet(unsigned set, Fn fn)
+    {
+        tpcp_assert(set < numSets_);
+        for (unsigned w = 0; w < numWays_; ++w) {
+            Entry &e = slot(set, w);
+            if (e.valid)
+                fn(e);
+        }
+    }
+
+    /** Applies @p fn to every valid entry in the table. */
+    template <typename Fn>
+    void
+    forEach(Fn fn)
+    {
+        for (auto &e : slots) {
+            if (e.valid)
+                fn(e);
+        }
+    }
+
+    /** Const iteration over every valid entry. */
+    template <typename Fn>
+    void
+    forEach(Fn fn) const
+    {
+        for (const auto &e : slots) {
+            if (e.valid)
+                fn(e);
+        }
+    }
+
+  private:
+    Entry &
+    slot(unsigned set, unsigned way)
+    {
+        return slots[static_cast<std::size_t>(set) * numWays_ + way];
+    }
+
+    unsigned numSets_;
+    unsigned numWays_;
+    std::vector<Entry> slots;
+    std::uint64_t tick = 0;
+};
+
+} // namespace tpcp
+
+#endif // TPCP_COMMON_ASSOC_TABLE_HH

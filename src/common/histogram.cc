@@ -1,0 +1,66 @@
+#include "common/histogram.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace tpcp
+{
+
+Histogram::Histogram(std::vector<std::uint64_t> lower_bounds)
+    : bounds(std::move(lower_bounds)), counts(bounds.size(), 0)
+{
+    tpcp_assert(!bounds.empty(), "histogram needs at least one bucket");
+    tpcp_assert(std::is_sorted(bounds.begin(), bounds.end()) &&
+                std::adjacent_find(bounds.begin(), bounds.end()) ==
+                    bounds.end(),
+                "bucket bounds must be strictly increasing");
+}
+
+void
+Histogram::push(std::uint64_t x)
+{
+    ++total_;
+    int idx = bucketIndex(x);
+    if (idx < 0)
+        ++underflow;
+    else
+        ++counts[static_cast<std::size_t>(idx)];
+}
+
+double
+Histogram::bucketFraction(std::size_t i) const
+{
+    if (total_ == 0)
+        return 0.0;
+    return static_cast<double>(counts.at(i)) /
+           static_cast<double>(total_);
+}
+
+int
+Histogram::bucketIndex(std::uint64_t x) const
+{
+    if (x < bounds.front())
+        return -1;
+    auto it = std::upper_bound(bounds.begin(), bounds.end(), x);
+    return static_cast<int>(it - bounds.begin()) - 1;
+}
+
+std::string
+Histogram::bucketLabel(std::size_t i) const
+{
+    std::string lo = std::to_string(bounds.at(i));
+    if (i + 1 == bounds.size())
+        return lo + "-";
+    return lo + "-" + std::to_string(bounds[i + 1] - 1);
+}
+
+void
+Histogram::clear()
+{
+    std::fill(counts.begin(), counts.end(), 0);
+    underflow = 0;
+    total_ = 0;
+}
+
+} // namespace tpcp

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * A simple bucketed histogram with user-supplied boundaries, used for
+ * the run-length class distributions of Figure 9 (classes 1-15,
+ * 16-127, 128-1023, >=1024 intervals).
+ */
+
+#ifndef TPCP_COMMON_HISTOGRAM_HH
+#define TPCP_COMMON_HISTOGRAM_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tpcp
+{
+
+/**
+ * Histogram over [boundary_0, boundary_1), ..., [boundary_{n-1}, inf).
+ *
+ * Bucket i holds samples x with boundaries[i] <= x < boundaries[i+1];
+ * the last bucket is unbounded above. Samples below boundaries[0] are
+ * counted in an underflow bucket.
+ */
+class Histogram
+{
+  public:
+    /** Constructs from strictly increasing bucket lower bounds. */
+    explicit Histogram(std::vector<std::uint64_t> lower_bounds);
+
+    /** Adds one sample. */
+    void push(std::uint64_t x);
+
+    /** Number of buckets (excluding underflow). */
+    std::size_t numBuckets() const { return bounds.size(); }
+
+    /** Count in bucket @p i. */
+    std::uint64_t bucketCount(std::size_t i) const { return counts.at(i); }
+
+    /** Count of samples below the first boundary. */
+    std::uint64_t underflowCount() const { return underflow; }
+
+    /** Total samples pushed. */
+    std::uint64_t total() const { return total_; }
+
+    /** Fraction of samples falling in bucket @p i (0 when empty). */
+    double bucketFraction(std::size_t i) const;
+
+    /** Index of the bucket a value would land in; -1 for underflow. */
+    int bucketIndex(std::uint64_t x) const;
+
+    /** Human-readable label for bucket @p i, e.g. "16-127" or "1024-". */
+    std::string bucketLabel(std::size_t i) const;
+
+    /** Resets all counts. */
+    void clear();
+
+  private:
+    std::vector<std::uint64_t> bounds;
+    std::vector<std::uint64_t> counts;
+    std::uint64_t underflow = 0;
+    std::uint64_t total_ = 0;
+};
+
+} // namespace tpcp
+
+#endif // TPCP_COMMON_HISTOGRAM_HH

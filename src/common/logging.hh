@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Error and status reporting, following the gem5 panic/fatal split.
+ *
+ * panic()  - an internal invariant was violated; this is a library bug.
+ *            Calls std::abort() so a debugger or core dump can catch it.
+ * fatal()  - the simulation cannot continue because of a user error
+ *            (bad configuration, invalid arguments). Exits with code 1.
+ * warn()   - something is suspicious but the run can continue.
+ * inform() - plain status output.
+ */
+
+#ifndef TPCP_COMMON_LOGGING_HH
+#define TPCP_COMMON_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace tpcp
+{
+
+namespace detail
+{
+
+/** Formats and emits one log line, with source location for errors. */
+[[noreturn]] inline void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "panic: %s\n  at %s:%d\n", msg.c_str(),
+                 file, line);
+    std::abort();
+}
+
+[[noreturn]] inline void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "fatal: %s\n  at %s:%d\n", msg.c_str(),
+                 file, line);
+    std::exit(1);
+}
+
+inline void
+warnImpl(const std::string &msg)
+{
+    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+inline void
+informImpl(const std::string &msg)
+{
+    std::fprintf(stdout, "info: %s\n", msg.c_str());
+}
+
+/** Builds a message from stream-style arguments. */
+template <typename... Args>
+std::string
+buildMessage(Args &&...args)
+{
+    std::ostringstream oss;
+    if constexpr (sizeof...(args) > 0)
+        (oss << ... << args);
+    return oss.str();
+}
+
+} // namespace detail
+} // namespace tpcp
+
+#define tpcp_panic(...)                                                 \
+    ::tpcp::detail::panicImpl(__FILE__, __LINE__,                       \
+        ::tpcp::detail::buildMessage(__VA_ARGS__))
+
+#define tpcp_fatal(...)                                                 \
+    ::tpcp::detail::fatalImpl(__FILE__, __LINE__,                       \
+        ::tpcp::detail::buildMessage(__VA_ARGS__))
+
+#define tpcp_warn(...)                                                  \
+    ::tpcp::detail::warnImpl(::tpcp::detail::buildMessage(__VA_ARGS__))
+
+#define tpcp_inform(...)                                                \
+    ::tpcp::detail::informImpl(::tpcp::detail::buildMessage(__VA_ARGS__))
+
+/** Checks an internal invariant; panics (library bug) when violated. */
+#define tpcp_assert(cond, ...)                                          \
+    do {                                                                \
+        if (!(cond)) {                                                  \
+            ::tpcp::detail::panicImpl(__FILE__, __LINE__,               \
+                ::tpcp::detail::buildMessage(                           \
+                    "assertion '" #cond "' failed " __VA_ARGS__));      \
+        }                                                               \
+    } while (0)
+
+#endif // TPCP_COMMON_LOGGING_HH

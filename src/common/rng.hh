@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation (PCG32).
+ *
+ * All randomness in the workload generator and simulator flows through
+ * Rng instances seeded from workload names, so every experiment in the
+ * repository is reproducible bit-for-bit.
+ */
+
+#ifndef TPCP_COMMON_RNG_HH
+#define TPCP_COMMON_RNG_HH
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace tpcp
+{
+
+/**
+ * PCG32 generator (O'Neill, 2014): 64-bit state, 32-bit output,
+ * period 2^64 per stream. Small, fast and statistically strong enough
+ * for workload synthesis.
+ */
+class Rng
+{
+  public:
+    /** Constructs a generator from a seed and an optional stream id. */
+    explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL,
+                 std::uint64_t stream = 0xda3e39cb94b95bdbULL);
+
+    /** Constructs a generator whose seed is derived from a string. */
+    explicit Rng(std::string_view name);
+
+    /** Next raw 32-bit output. */
+    std::uint32_t next32();
+
+    /** Next raw 64-bit output (two 32-bit draws). */
+    std::uint64_t next64();
+
+    /** Uniform integer in [0, bound); bound must be non-zero. */
+    std::uint32_t nextBounded(std::uint32_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive; requires lo <= hi. */
+    std::int64_t nextRange(std::int64_t lo, std::int64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Bernoulli draw: true with probability @p p (clamped to [0,1]). */
+    bool nextBool(double p = 0.5);
+
+    /**
+     * Approximately normal draw (mean 0, stddev 1) via the sum of 12
+     * uniforms (Irwin-Hall); adequate for workload-parameter jitter.
+     */
+    double nextGaussian();
+
+    /** Geometric draw: number of failures before first success. */
+    std::uint32_t nextGeometric(double p);
+
+    /**
+     * Draws an index in [0, weights.size()) with probability
+     * proportional to weights[i]; total weight must be positive.
+     */
+    std::size_t nextWeighted(const std::vector<double> &weights);
+
+    /** Derives an independent child generator (for sub-components). */
+    Rng fork(std::uint64_t salt);
+
+  private:
+    std::uint64_t state;
+    std::uint64_t inc;
+};
+
+} // namespace tpcp
+
+#endif // TPCP_COMMON_RNG_HH

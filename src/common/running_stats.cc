@@ -1,0 +1,80 @@
+#include "common/running_stats.hh"
+
+#include <cmath>
+
+namespace tpcp
+{
+
+void
+RunningStats::push(double x)
+{
+    if (n == 0) {
+        min_ = max_ = x;
+    } else {
+        if (x < min_)
+            min_ = x;
+        if (x > max_)
+            max_ = x;
+    }
+    ++n;
+    double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n);
+    m2 += delta * (x - mean_);
+}
+
+void
+RunningStats::clear()
+{
+    n = 0;
+    mean_ = 0.0;
+    m2 = 0.0;
+    min_ = 0.0;
+    max_ = 0.0;
+}
+
+double
+RunningStats::variance() const
+{
+    if (n < 2)
+        return 0.0;
+    return m2 / static_cast<double>(n);
+}
+
+double
+RunningStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+RunningStats::cov() const
+{
+    if (n < 2 || mean_ == 0.0)
+        return 0.0;
+    return stddev() / mean_;
+}
+
+void
+RunningStats::merge(const RunningStats &other)
+{
+    if (other.n == 0)
+        return;
+    if (n == 0) {
+        *this = other;
+        return;
+    }
+    double total = static_cast<double>(n + other.n);
+    double delta = other.mean_ - mean_;
+    double new_mean =
+        mean_ + delta * static_cast<double>(other.n) / total;
+    m2 += other.m2 + delta * delta *
+          static_cast<double>(n) * static_cast<double>(other.n) / total;
+    mean_ = new_mean;
+    if (other.min_ < min_)
+        min_ = other.min_;
+    if (other.max_ > max_)
+        max_ = other.max_;
+    n += other.n;
+}
+
+} // namespace tpcp

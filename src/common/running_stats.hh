@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Streaming statistics (Welford's algorithm) used for per-phase CPI
+ * tracking and for the Coefficient-of-Variation metric the paper uses
+ * to evaluate phase-classification quality (section 3.1).
+ */
+
+#ifndef TPCP_COMMON_RUNNING_STATS_HH
+#define TPCP_COMMON_RUNNING_STATS_HH
+
+#include <cstdint>
+
+namespace tpcp
+{
+
+/**
+ * Accumulates count / mean / variance of a stream of doubles without
+ * storing the samples (numerically stable Welford update).
+ */
+class RunningStats
+{
+  public:
+    RunningStats() = default;
+
+    /** Adds one sample. */
+    void push(double x);
+
+    /** Discards all samples. */
+    void clear();
+
+    /** Number of samples seen. */
+    std::uint64_t count() const { return n; }
+
+    /** Sum of all samples. */
+    double sum() const { return mean_ * static_cast<double>(n); }
+
+    /** Arithmetic mean; 0 when empty. */
+    double mean() const { return n ? mean_ : 0.0; }
+
+    /** Population variance; 0 with fewer than 2 samples. */
+    double variance() const;
+
+    /** Population standard deviation. */
+    double stddev() const;
+
+    /**
+     * Coefficient of variation: stddev / mean (paper section 3.1).
+     * Returns 0 when the mean is 0 or fewer than 2 samples were seen.
+     */
+    double cov() const;
+
+    /** Smallest sample seen; 0 when empty. */
+    double min() const { return n ? min_ : 0.0; }
+
+    /** Largest sample seen; 0 when empty. */
+    double max() const { return n ? max_ : 0.0; }
+
+    /** Merges another accumulator into this one. */
+    void merge(const RunningStats &other);
+
+  private:
+    std::uint64_t n = 0;
+    double mean_ = 0.0;
+    double m2 = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+} // namespace tpcp
+
+#endif // TPCP_COMMON_RUNNING_STATS_HH

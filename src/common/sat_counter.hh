@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Saturating counters, the workhorse of the phase-tracking hardware:
+ * accumulator-table entries, min counters, confidence counters,
+ * hysteresis counters and branch-predictor 2-bit counters are all
+ * instances of this template.
+ */
+
+#ifndef TPCP_COMMON_SAT_COUNTER_HH
+#define TPCP_COMMON_SAT_COUNTER_HH
+
+#include <cstdint>
+
+#include "common/logging.hh"
+
+namespace tpcp
+{
+
+/**
+ * An N-bit saturating counter.
+ *
+ * The counter clamps at 0 and at 2^bits - 1. Width is a run-time
+ * parameter because the paper explores several widths (24-bit
+ * accumulators, 3-bit last-value confidence, 1-bit table confidence).
+ */
+class SatCounter
+{
+  public:
+    /** Constructs a counter of @p bits width (1..63), initially @p v. */
+    explicit SatCounter(unsigned bits = 2, std::uint64_t v = 0)
+        : maxVal((std::uint64_t(1) << bits) - 1), val(v)
+    {
+        tpcp_assert(bits >= 1 && bits <= 63);
+        if (val > maxVal)
+            val = maxVal;
+    }
+
+    /** Current value. */
+    std::uint64_t value() const { return val; }
+
+    /** Maximum representable value (all ones). */
+    std::uint64_t max() const { return maxVal; }
+
+    /** True when saturated at the maximum. */
+    bool saturatedHigh() const { return val == maxVal; }
+
+    /** True when saturated at zero. */
+    bool saturatedLow() const { return val == 0; }
+
+    /** Adds @p by, clamping at the maximum. Returns the new value. */
+    std::uint64_t
+    increment(std::uint64_t by = 1)
+    {
+        val = (maxVal - val < by) ? maxVal : val + by;
+        return val;
+    }
+
+    /** Subtracts @p by, clamping at zero. Returns the new value. */
+    std::uint64_t
+    decrement(std::uint64_t by = 1)
+    {
+        val = (val < by) ? 0 : val - by;
+        return val;
+    }
+
+    /** Resets to zero. */
+    void reset() { val = 0; }
+
+    /** Sets to an explicit value, clamped to the representable range. */
+    void set(std::uint64_t v) { val = v > maxVal ? maxVal : v; }
+
+  private:
+    std::uint64_t maxVal;
+    std::uint64_t val;
+};
+
+} // namespace tpcp
+
+#endif // TPCP_COMMON_SAT_COUNTER_HH

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Fundamental scalar types shared across the tpcp libraries.
+ *
+ * These aliases mirror the vocabulary of the HPCA 2005 paper and of
+ * SimpleScalar-style simulators: instruction addresses, instruction
+ * counts, cycle counts and phase identifiers.
+ */
+
+#ifndef TPCP_COMMON_TYPES_HH
+#define TPCP_COMMON_TYPES_HH
+
+#include <cstdint>
+
+namespace tpcp
+{
+
+/** A byte address in the simulated machine's virtual address space. */
+using Addr = std::uint64_t;
+
+/** A count of dynamic (committed) instructions. */
+using InstCount = std::uint64_t;
+
+/** A count of processor clock cycles. */
+using Cycles = std::uint64_t;
+
+/**
+ * A phase identifier produced by the phase classifier.
+ *
+ * Phase ID 0 is reserved for the Transition Phase (paper section 4.4);
+ * stable phases are numbered from 1 upward.
+ */
+using PhaseId = std::uint32_t;
+
+/** The reserved phase ID of the transition phase. */
+inline constexpr PhaseId transitionPhaseId = 0;
+
+/** First phase ID handed out to a stable phase. */
+inline constexpr PhaseId firstStablePhaseId = 1;
+
+/** Sentinel for "no phase" (e.g. before the first interval ends). */
+inline constexpr PhaseId invalidPhaseId = ~PhaseId(0);
+
+} // namespace tpcp
+
+#endif // TPCP_COMMON_TYPES_HH

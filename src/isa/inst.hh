@@ -1,0 +1,74 @@
+/**
+ * @file
+ * The static instruction word of the synthetic ISA.
+ *
+ * Instructions are semi-functional: integer/FP ops carry register
+ * operands (so the out-of-order core can model true dependences), while
+ * memory and control instructions reference *behavioral descriptors*
+ * owned by their enclosing region (memory-address streams and branch
+ * outcome generators). The dynamic generators live in the execution
+ * engine (src/uarch/exec_state.hh); the static program only names them.
+ */
+
+#ifndef TPCP_ISA_INST_HH
+#define TPCP_ISA_INST_HH
+
+#include <cstdint>
+#include <string>
+
+#include "isa/op_class.hh"
+
+namespace tpcp::isa
+{
+
+/** Architectural register index (32 integer + 32 FP = 64 names). */
+using RegIndex = std::uint8_t;
+
+/** Number of architectural registers. */
+inline constexpr unsigned numArchRegs = 64;
+
+/** Register index meaning "no operand". */
+inline constexpr RegIndex noReg = 0xff;
+
+/** Index of a memory-address stream within a region. */
+using StreamIndex = std::uint16_t;
+
+/** Index of a branch-behavior descriptor within a region. */
+using BehaviorIndex = std::uint16_t;
+
+/** Sentinel for "no descriptor". */
+inline constexpr std::uint16_t noIndex = 0xffff;
+
+/** Static instruction word. Fixed 4-byte encoding is assumed. */
+struct Inst
+{
+    OpClass op = OpClass::Nop;
+    RegIndex dest = noReg;
+    RegIndex src1 = noReg;
+    RegIndex src2 = noReg;
+    /** Memory ops: which address stream of the region to draw from. */
+    StreamIndex stream = noIndex;
+    /** Branches: which outcome generator of the region to consult. */
+    BehaviorIndex behavior = noIndex;
+    /** Branches/jumps: taken-target basic-block index. */
+    std::uint32_t targetBlock = 0;
+
+    /** Traits of this instruction's op class. */
+    OpTraits traits() const { return opTraits(op); }
+
+    /** True for loads and stores. */
+    bool isMem() const { return traits().isMem; }
+
+    /** True for branches and jumps. */
+    bool isControl() const { return traits().isControl; }
+
+    /** One-line disassembly, mainly for debugging and tests. */
+    std::string toString() const;
+};
+
+/** Size of one encoded instruction in bytes. */
+inline constexpr std::uint64_t instBytes = 4;
+
+} // namespace tpcp::isa
+
+#endif // TPCP_ISA_INST_HH

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Operation classes of the synthetic RISC ISA and their static traits
+ * (functional-unit class, execution latency, memory/branch flags).
+ *
+ * The ISA is deliberately tiny: it exists so that the timing cores in
+ * src/uarch can reproduce the microarchitectural interactions (cache
+ * misses, branch mispredictions, ILP limits) that give each code
+ * region its characteristic CPI -- the signal the phase classifier
+ * correlates with code signatures.
+ */
+
+#ifndef TPCP_ISA_OP_CLASS_HH
+#define TPCP_ISA_OP_CLASS_HH
+
+#include <cstdint>
+#include <string_view>
+
+namespace tpcp::isa
+{
+
+/** Operation class of an instruction. */
+enum class OpClass : std::uint8_t
+{
+    IntAlu,   ///< single-cycle integer op
+    IntMult,  ///< integer multiply
+    IntDiv,   ///< integer divide
+    FpAdd,    ///< floating-point add/sub/compare
+    FpMult,   ///< floating-point multiply
+    FpDiv,    ///< floating-point divide/sqrt
+    Load,     ///< memory read
+    Store,    ///< memory write
+    Branch,   ///< conditional branch
+    Jump,     ///< unconditional jump
+    Nop,      ///< no operation
+    NumOpClasses
+};
+
+/** Number of distinct op classes. */
+inline constexpr unsigned numOpClasses =
+    static_cast<unsigned>(OpClass::NumOpClasses);
+
+/** Functional-unit class, matching the Table-1 machine description. */
+enum class FuClass : std::uint8_t
+{
+    IntAlu,     ///< 2 units in the baseline machine
+    LoadStore,  ///< 2 units
+    FpAdd,      ///< 1 unit
+    IntMultDiv, ///< 1 unit
+    FpMultDiv,  ///< 1 unit
+    None,       ///< no functional unit needed (nop)
+    NumFuClasses
+};
+
+/** Number of distinct functional-unit classes. */
+inline constexpr unsigned numFuClasses =
+    static_cast<unsigned>(FuClass::NumFuClasses);
+
+/** Static per-op-class traits. */
+struct OpTraits
+{
+    FuClass fu;            ///< functional unit that executes the op
+    unsigned latency;      ///< execution latency in cycles
+    bool isMem;            ///< load or store
+    bool isLoad;           ///< load only
+    bool isControl;        ///< branch or jump
+    bool isConditional;    ///< conditional branch only
+    bool writesReg;        ///< produces a register result
+    std::string_view name; ///< mnemonic for disassembly
+};
+
+/** Returns the traits of @p op. Latencies follow SimpleScalar. */
+constexpr OpTraits
+opTraits(OpClass op)
+{
+    switch (op) {
+      case OpClass::IntAlu:
+        return {FuClass::IntAlu, 1, false, false, false, false, true,
+                "alu"};
+      case OpClass::IntMult:
+        return {FuClass::IntMultDiv, 3, false, false, false, false,
+                true, "mult"};
+      case OpClass::IntDiv:
+        return {FuClass::IntMultDiv, 20, false, false, false, false,
+                true, "div"};
+      case OpClass::FpAdd:
+        return {FuClass::FpAdd, 2, false, false, false, false, true,
+                "fadd"};
+      case OpClass::FpMult:
+        return {FuClass::FpMultDiv, 4, false, false, false, false,
+                true, "fmul"};
+      case OpClass::FpDiv:
+        return {FuClass::FpMultDiv, 12, false, false, false, false,
+                true, "fdiv"};
+      case OpClass::Load:
+        return {FuClass::LoadStore, 1, true, true, false, false, true,
+                "load"};
+      case OpClass::Store:
+        return {FuClass::LoadStore, 1, true, false, false, false,
+                false, "store"};
+      case OpClass::Branch:
+        return {FuClass::IntAlu, 1, false, false, true, true, false,
+                "br"};
+      case OpClass::Jump:
+        return {FuClass::IntAlu, 1, false, false, true, false, false,
+                "jmp"};
+      case OpClass::Nop:
+      default:
+        return {FuClass::None, 1, false, false, false, false, false,
+                "nop"};
+    }
+}
+
+} // namespace tpcp::isa
+
+#endif // TPCP_ISA_OP_CLASS_HH

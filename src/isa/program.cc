@@ -1,0 +1,108 @@
+#include "isa/program.hh"
+
+#include <sstream>
+
+namespace tpcp::isa
+{
+
+std::string
+Inst::toString() const
+{
+    std::ostringstream oss;
+    oss << traits().name;
+    if (traits().writesReg)
+        oss << " r" << static_cast<int>(dest);
+    if (src1 != noReg)
+        oss << ", r" << static_cast<int>(src1);
+    if (src2 != noReg)
+        oss << ", r" << static_cast<int>(src2);
+    if (isMem())
+        oss << " [stream " << stream << "]";
+    if (isControl())
+        oss << " -> bb" << targetBlock;
+    return oss.str();
+}
+
+std::string
+Program::validate() const
+{
+    std::ostringstream err;
+    if (blocks.empty())
+        return "program has no blocks";
+    if (regions.empty())
+        return "program has no regions";
+
+    for (std::size_t r = 0; r < regions.size(); ++r) {
+        const Region &reg = regions[r];
+        if (reg.numBlocks == 0)
+            return "region " + reg.name + " has no blocks";
+        if (reg.firstBlock + reg.numBlocks > blocks.size())
+            return "region " + reg.name + " block range out of bounds";
+        if (reg.entryBlock < reg.firstBlock ||
+            reg.entryBlock >= reg.firstBlock + reg.numBlocks) {
+            return "region " + reg.name + " entry outside its range";
+        }
+
+        auto in_region = [&](std::uint32_t b) {
+            return b >= reg.firstBlock &&
+                   b < reg.firstBlock + reg.numBlocks;
+        };
+        for (std::uint32_t bi = reg.firstBlock;
+             bi < reg.firstBlock + reg.numBlocks; ++bi) {
+            const BasicBlock &bb = blocks[bi];
+            if (bb.insts.empty())
+                return "empty basic block in region " + reg.name;
+            if (!in_region(bb.fallthrough)) {
+                err << "block " << bi << " falls through outside "
+                    << reg.name;
+                return err.str();
+            }
+            for (std::size_t i = 0; i < bb.insts.size(); ++i) {
+                const Inst &inst = bb.insts[i];
+                if (inst.isControl() && i + 1 != bb.insts.size()) {
+                    err << "control op mid-block in bb " << bi;
+                    return err.str();
+                }
+                if (inst.isMem()) {
+                    if (inst.stream == noIndex ||
+                        inst.stream >= reg.memStreams.size()) {
+                        err << "bad mem stream index in bb " << bi;
+                        return err.str();
+                    }
+                }
+                if (inst.op == OpClass::Branch) {
+                    if (inst.behavior == noIndex ||
+                        inst.behavior >= reg.branchBehaviors.size()) {
+                        err << "bad branch behavior index in bb " << bi;
+                        return err.str();
+                    }
+                }
+                if (inst.isControl() && !in_region(inst.targetBlock)) {
+                    err << "branch target outside region in bb " << bi;
+                    return err.str();
+                }
+            }
+        }
+    }
+
+    // Block addresses must be distinct and non-overlapping so branch
+    // PCs identify code uniquely (the classifier hashes branch PCs).
+    for (std::size_t a = 0; a < blocks.size(); ++a) {
+        for (std::size_t b = a + 1; b < blocks.size(); ++b) {
+            Addr a_end = blocks[a].baseAddr +
+                         instBytes * blocks[a].size();
+            Addr b_end = blocks[b].baseAddr +
+                         instBytes * blocks[b].size();
+            bool overlap = blocks[a].baseAddr < b_end &&
+                           blocks[b].baseAddr < a_end;
+            if (overlap) {
+                err << "blocks " << a << " and " << b
+                    << " overlap in the address space";
+                return err.str();
+            }
+        }
+    }
+    return "";
+}
+
+} // namespace tpcp::isa

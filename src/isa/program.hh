@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Static program representation: basic blocks, code regions and the
+ * behavioral descriptors that drive dynamic execution.
+ *
+ * A Program is a flat list of BasicBlocks grouped into Regions. Each
+ * region owns descriptors for its memory-address streams and branch
+ * behaviors; instructions reference descriptors by index. The phase
+ * script (src/workload/phase_script.hh) decides which region executes
+ * when, which is what creates phase behavior at the interval level.
+ */
+
+#ifndef TPCP_ISA_PROGRAM_HH
+#define TPCP_ISA_PROGRAM_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "isa/inst.hh"
+
+namespace tpcp::isa
+{
+
+/**
+ * Describes how a memory instruction generates addresses at run time.
+ */
+struct MemStreamDesc
+{
+    /** Address-generation pattern. */
+    enum class Kind : std::uint8_t
+    {
+        Stride,       ///< sequential walk with a fixed stride
+        RandomInSet,  ///< uniform random within the working set
+        PointerChase, ///< dependent random walk (mcf-style)
+    };
+
+    Kind kind = Kind::Stride;
+    /** Base virtual address of the stream's data area. */
+    Addr base = 0;
+    /** Working-set size in bytes (wraps the walk / bounds the draw). */
+    std::uint64_t workingSetBytes = 4096;
+    /** Stride in bytes (Stride kind only). */
+    std::int64_t strideBytes = 8;
+};
+
+/**
+ * Describes how a conditional branch resolves at run time.
+ */
+struct BranchBehaviorDesc
+{
+    enum class Kind : std::uint8_t
+    {
+        LoopBack,  ///< taken (trip-1) times, then not taken, repeat
+        Bernoulli, ///< taken with probability p, independently
+        Pattern,   ///< repeating fixed bit pattern (fully predictable)
+    };
+
+    Kind kind = Kind::LoopBack;
+    /** LoopBack: loop trip count (>= 1). */
+    std::uint32_t tripCount = 16;
+    /** Bernoulli: probability the branch is taken. */
+    double takenProb = 0.5;
+    /** Pattern: outcome bits, LSB first. */
+    std::uint64_t patternBits = 0xaaaaaaaaaaaaaaaaULL;
+    /** Pattern: number of valid bits in patternBits (1..64). */
+    std::uint8_t patternLen = 2;
+};
+
+/**
+ * A straight-line sequence of instructions ending (optionally) in a
+ * control instruction. Instruction PCs are baseAddr + 4 * index.
+ */
+struct BasicBlock
+{
+    Addr baseAddr = 0;
+    std::vector<Inst> insts;
+    /** Block executed when the terminator is not taken (or absent). */
+    std::uint32_t fallthrough = 0;
+
+    /** PC of instruction @p i within this block. */
+    Addr pc(std::size_t i) const { return baseAddr + instBytes * i; }
+
+    /** Number of instructions. */
+    std::size_t size() const { return insts.size(); }
+};
+
+/**
+ * A contiguous group of basic blocks representing one kind of
+ * computation (a loop nest). The workload generator gives each region
+ * a distinct microarchitectural character.
+ */
+struct Region
+{
+    std::string name;
+    /** Index of the region's first block in Program::blocks. */
+    std::uint32_t firstBlock = 0;
+    /** Number of blocks in the region. */
+    std::uint32_t numBlocks = 0;
+    /** Entry block (usually firstBlock). */
+    std::uint32_t entryBlock = 0;
+    /** Memory-address streams referenced by this region's mem ops. */
+    std::vector<MemStreamDesc> memStreams;
+    /** Branch behaviors referenced by this region's branches. */
+    std::vector<BranchBehaviorDesc> branchBehaviors;
+};
+
+/**
+ * A complete static program: blocks plus region metadata.
+ */
+struct Program
+{
+    std::string name;
+    std::vector<BasicBlock> blocks;
+    std::vector<Region> regions;
+
+    /** Total static instruction count. */
+    std::uint64_t
+    staticInstCount() const
+    {
+        std::uint64_t n = 0;
+        for (const auto &b : blocks)
+            n += b.size();
+        return n;
+    }
+
+    /** Validates internal consistency; returns an error or "". */
+    std::string validate() const;
+};
+
+} // namespace tpcp::isa
+
+#endif // TPCP_ISA_PROGRAM_HH

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * The accumulator table of the phase-tracking architecture (paper
+ * Figure 1, step 2): an array of N saturating counters holding the
+ * code signature of the current interval. Each committed branch PC is
+ * hashed into one counter, which is incremented by the number of
+ * instructions committed since the previous branch.
+ */
+
+#ifndef TPCP_PHASE_ACCUMULATOR_TABLE_HH
+#define TPCP_PHASE_ACCUMULATOR_TABLE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace tpcp::phase
+{
+
+/**
+ * N x counterBits saturating accumulators plus the running total used
+ * by dynamic bit selection (paper section 4.2).
+ */
+class AccumulatorTable
+{
+  public:
+    /**
+     * @param num_counters number of accumulators (paper: 32 in [25],
+     *                     16 for this paper's results)
+     * @param counter_bits counter width (24 bits never overflows with
+     *                     10M-instruction intervals)
+     */
+    explicit AccumulatorTable(unsigned num_counters,
+                              unsigned counter_bits = 24);
+
+    /**
+     * Records one committed branch: hashes @p pc into a counter and
+     * increments it (saturating) by @p insts, the instruction count
+     * since the previous branch.
+     */
+    void recordBranch(Addr pc, InstCount insts);
+
+    /** Raw counter values of the current interval. */
+    const std::vector<std::uint32_t> &counters() const { return ctrs; }
+
+    /**
+     * Total amount added across all counters this interval (tracked
+     * separately so the average counter value is exact even with
+     * saturation).
+     */
+    InstCount totalIncrement() const { return total; }
+
+    /** Number of counters (projection dimensions). */
+    unsigned numCounters() const { return numCtrs; }
+
+    /** Counter width in bits. */
+    unsigned counterBits() const { return bits; }
+
+    /** Clears all counters for the next interval. */
+    void reset();
+
+  private:
+    unsigned numCtrs;
+    unsigned bits;
+    std::uint32_t maxVal;
+    std::vector<std::uint32_t> ctrs;
+    InstCount total = 0;
+};
+
+} // namespace tpcp::phase
+
+#endif // TPCP_PHASE_ACCUMULATOR_TABLE_HH

@@ -1,0 +1,106 @@
+#include "phase/classifier.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace tpcp::phase
+{
+
+PhaseClassifier::PhaseClassifier(const ClassifierConfig &config)
+    : cfg(config), accum(config.numCounters, config.counterBits),
+      sigTable(config.tableEntries, config.minCounterBits)
+{
+    tpcp_assert(cfg.similarityThreshold > 0.0 &&
+                cfg.similarityThreshold <= 1.0,
+                "similarity threshold must be in (0, 1]");
+}
+
+void
+PhaseClassifier::recordBranch(Addr pc, InstCount insts)
+{
+    accum.recordBranch(pc, insts);
+}
+
+ClassifyResult
+PhaseClassifier::endInterval(double cpi)
+{
+    ClassifyResult res =
+        classifyRaw(accum.counters(), accum.totalIncrement(), cpi);
+    accum.reset();
+    return res;
+}
+
+ClassifyResult
+PhaseClassifier::classifyRaw(const std::vector<std::uint32_t> &raw,
+                             InstCount total, double cpi)
+{
+    tpcp_assert(raw.size() == cfg.numCounters,
+                "accumulator snapshot has wrong dimensionality");
+    ClassifyResult res;
+    ++stats_.intervals;
+
+    Signature sig = Signature::fromAccumulators(
+        raw, total, cfg.bitsPerDim, cfg.bitSelection, cfg.staticShift);
+
+    SigEntry *entry = sigTable.match(sig, cfg.matchPolicy);
+    if (entry) {
+        res.matched = true;
+        res.distance = sig.difference(entry->sig);
+        // The matching signature is replaced with the current one so
+        // the entry tracks the phase's most recent code profile.
+        entry->sig = sig;
+        sigTable.touch(*entry);
+        entry->minCounter.increment();
+
+        bool stable = cfg.minCountThreshold == 0 ||
+                      entry->minCounter.value() >=
+                          cfg.minCountThreshold;
+        if (stable && entry->phase == transitionPhaseId &&
+            cfg.minCountThreshold != 0) {
+            entry->phase = nextPhase++;
+        }
+        res.phase = stable ? entry->phase : transitionPhaseId;
+
+        // Performance feedback (section 4.6): if this interval's CPI
+        // deviates too far from the entry's running average, tighten
+        // the entry's similarity threshold and restart its stats.
+        if (cfg.adaptiveThreshold && entry->cpi.count() >= 1) {
+            double avg = entry->cpi.mean();
+            if (avg > 0.0 &&
+                std::abs(cpi - avg) / avg > cfg.cpiDeviationThreshold) {
+                entry->threshold = std::max(
+                    cfg.thresholdFloor, entry->threshold / 2.0);
+                entry->cpi.clear();
+                res.thresholdHalved = true;
+                ++stats_.thresholdHalvings;
+            }
+        }
+        entry->cpi.push(cpi);
+    } else {
+        SigEntry &fresh =
+            sigTable.insert(sig, cfg.similarityThreshold);
+        res.inserted = true;
+        ++stats_.insertions;
+        if (cfg.minCountThreshold == 0) {
+            // No transition phase: every new signature immediately
+            // represents a new phase (prior work [25]).
+            fresh.phase = nextPhase++;
+        }
+        res.phase = fresh.phase;
+        fresh.cpi.push(cpi);
+    }
+
+    if (res.phase == transitionPhaseId)
+        ++stats_.transitionIntervals;
+    return res;
+}
+
+void
+PhaseClassifier::flushPerformanceFeedback()
+{
+    sigTable.clearPerformanceStats();
+}
+
+} // namespace tpcp::phase

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * The dynamic phase classifier: ties together the accumulator table,
+ * signature compression and the past-signature table, implementing
+ * the paper's classification algorithm (section 4) including the
+ * transition phase (4.4), best-match selection (4.1) and adaptive
+ * per-phase similarity thresholds (4.6).
+ */
+
+#ifndef TPCP_PHASE_CLASSIFIER_HH
+#define TPCP_PHASE_CLASSIFIER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "phase/accumulator_table.hh"
+#include "phase/classifier_config.hh"
+#include "phase/signature_table.hh"
+
+namespace tpcp::phase
+{
+
+/** Outcome of classifying one interval. */
+struct ClassifyResult
+{
+    /** Assigned phase: transitionPhaseId or a stable ID (>= 1). */
+    PhaseId phase = transitionPhaseId;
+    /** A similar past signature was found. */
+    bool matched = false;
+    /** A new signature was inserted into the table. */
+    bool inserted = false;
+    /** The adaptive scheme halved the matched entry's threshold. */
+    bool thresholdHalved = false;
+    /** Normalized difference to the matched entry (0 when inserted). */
+    double distance = 0.0;
+};
+
+/** Aggregate classification statistics. */
+struct ClassifierStats
+{
+    std::uint64_t intervals = 0;
+    std::uint64_t transitionIntervals = 0;
+    std::uint64_t insertions = 0;
+    std::uint64_t thresholdHalvings = 0;
+
+    /** Fraction of intervals classified as phase transitions. */
+    double
+    transitionFraction() const
+    {
+        return intervals ? static_cast<double>(transitionIntervals) /
+                               static_cast<double>(intervals)
+                         : 0.0;
+    }
+};
+
+/**
+ * The phase classification architecture.
+ *
+ * Two usage styles:
+ *  - online: recordBranch() per committed branch, endInterval() at
+ *    each interval boundary (hardware-style operation);
+ *  - replay: classifyRaw() with a stored per-interval accumulator
+ *    snapshot (used by the experiment harnesses, which replay saved
+ *    interval profiles under many classifier configurations).
+ */
+class PhaseClassifier
+{
+  public:
+    explicit PhaseClassifier(const ClassifierConfig &config);
+
+    /** Online use: records one committed branch. */
+    void recordBranch(Addr pc, InstCount insts);
+
+    /** Online use: ends the interval, classifying its signature.
+     * @param cpi the interval's measured CPI (performance feedback
+     *            for the adaptive scheme; pass 0 when unused). */
+    ClassifyResult endInterval(double cpi);
+
+    /**
+     * Replay use: classifies an interval directly from its raw
+     * accumulator snapshot. @p raw must have numCounters entries.
+     */
+    ClassifyResult classifyRaw(const std::vector<std::uint32_t> &raw,
+                               InstCount total, double cpi);
+
+    /**
+     * Flushes all per-phase CPI feedback statistics. The paper notes
+     * that a reconfiguration-based optimization changing CPI must
+     * flush the feedback data; classification state (signatures,
+     * phase IDs) is retained because it depends only on code.
+     */
+    void flushPerformanceFeedback();
+
+    /** Number of stable phase IDs allocated so far. */
+    std::uint32_t numStablePhases() const { return nextPhase - 1; }
+
+    const ClassifierConfig &config() const { return cfg; }
+    const SignatureTable &table() const { return sigTable; }
+    const ClassifierStats &stats() const { return stats_; }
+
+  private:
+    ClassifierConfig cfg;
+    AccumulatorTable accum;
+    SignatureTable sigTable;
+    PhaseId nextPhase = firstStablePhaseId;
+    ClassifierStats stats_;
+};
+
+} // namespace tpcp::phase
+
+#endif // TPCP_PHASE_CLASSIFIER_HH

@@ -1,0 +1,49 @@
+#include "phase/phase_trace.hh"
+
+#include "common/logging.hh"
+
+namespace tpcp::phase
+{
+
+std::vector<PhaseRun>
+runLengthEncode(const std::vector<PhaseId> &ids)
+{
+    std::vector<PhaseRun> runs;
+    for (PhaseId id : ids) {
+        if (!runs.empty() && runs.back().phase == id)
+            ++runs.back().length;
+        else
+            runs.push_back({id, 1});
+    }
+    return runs;
+}
+
+unsigned
+runLengthClass(std::uint64_t length)
+{
+    tpcp_assert(length >= 1, "runs have length >= 1");
+    for (unsigned cls = numRunLengthClasses; cls-- > 1;) {
+        if (length >= runLengthClassBounds[cls])
+            return cls;
+    }
+    return 0;
+}
+
+const char *
+runLengthClassLabel(unsigned cls)
+{
+    switch (cls) {
+      case 0:
+        return "1-15";
+      case 1:
+        return "16-127";
+      case 2:
+        return "128-1023";
+      case 3:
+        return "1024-";
+      default:
+        return "?";
+    }
+}
+
+} // namespace tpcp::phase

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Phase traces and run-length utilities: the classified phase-ID
+ * sequence of a program's intervals, its run-length encoding, and the
+ * run-length classes used for phase length prediction (section 6.2:
+ * 1-15, 16-127, 128-1023 and >= 1024 intervals).
+ */
+
+#ifndef TPCP_PHASE_PHASE_TRACE_HH
+#define TPCP_PHASE_PHASE_TRACE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace tpcp::phase
+{
+
+/** One maximal run of identical phase IDs. */
+struct PhaseRun
+{
+    PhaseId phase = transitionPhaseId;
+    std::uint64_t length = 0; ///< in intervals
+
+    bool operator==(const PhaseRun &) const = default;
+};
+
+/** A classified execution: per-interval phase IDs plus their CPIs. */
+struct PhaseTrace
+{
+    std::vector<PhaseId> phases;
+    std::vector<double> cpis;
+
+    std::size_t size() const { return phases.size(); }
+
+    /** Appends one classified interval. */
+    void
+    push(PhaseId id, double cpi)
+    {
+        phases.push_back(id);
+        cpis.push_back(cpi);
+    }
+};
+
+/** Run-length encodes a phase-ID sequence. */
+std::vector<PhaseRun> runLengthEncode(const std::vector<PhaseId> &ids);
+
+/** Number of run-length classes (section 6.2.1). */
+inline constexpr unsigned numRunLengthClasses = 4;
+
+/** Lower bounds of the run-length classes, in intervals. */
+inline constexpr std::uint64_t runLengthClassBounds[
+    numRunLengthClasses] = {1, 16, 128, 1024};
+
+/** Class index (0..3) of a run of @p length intervals (>= 1). */
+unsigned runLengthClass(std::uint64_t length);
+
+/** Human-readable label of run-length class @p cls. */
+const char *runLengthClassLabel(unsigned cls);
+
+} // namespace tpcp::phase
+
+#endif // TPCP_PHASE_PHASE_TRACE_HH

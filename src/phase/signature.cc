@@ -1,0 +1,111 @@
+#include "phase/signature.hh"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+
+namespace tpcp::phase
+{
+
+Signature::Signature(std::vector<std::uint8_t> dims_in,
+                     unsigned bits_per_dim)
+    : dims(std::move(dims_in)), bits(bits_per_dim)
+{
+    tpcp_assert(bits_per_dim >= 1 && bits_per_dim <= 8);
+    std::uint8_t max_dim =
+        static_cast<std::uint8_t>(maskLow(bits_per_dim));
+    for (std::uint8_t d : dims) {
+        tpcp_assert(d <= max_dim, "dimension exceeds bit width");
+        weight_ += d;
+    }
+}
+
+Signature
+Signature::fromAccumulators(const std::vector<std::uint32_t> &raw,
+                            InstCount total, unsigned bits_per_dim,
+                            BitSelection mode, unsigned static_shift)
+{
+    tpcp_assert(!raw.empty());
+    tpcp_assert(bits_per_dim >= 1 && bits_per_dim <= 8);
+
+    unsigned shift = static_shift;
+    unsigned window_top; // one past the MSB of the selected window
+    if (mode == BitSelection::Dynamic) {
+        // Average counter value; the division is exact power-of-two
+        // shifting in hardware when the counter count is one.
+        std::uint64_t avg = total / raw.size();
+        // Keep two bits above the bits needed for the average, so the
+        // window represents values up to 4x the average.
+        window_top = bitsFor(avg) + 2;
+        shift = window_top > bits_per_dim ? window_top - bits_per_dim
+                                          : 0;
+    } else {
+        window_top = static_shift + bits_per_dim;
+    }
+
+    std::uint8_t max_dim =
+        static_cast<std::uint8_t>(maskLow(bits_per_dim));
+    std::vector<std::uint8_t> dims(raw.size());
+    for (std::size_t i = 0; i < raw.size(); ++i) {
+        std::uint64_t v = raw[i];
+        // If any bit above the selected window is set, the value is
+        // too large to represent: store the maximum (paper: "we set
+        // all of the selected bits to one").
+        if ((v >> window_top) != 0) {
+            dims[i] = max_dim;
+            continue;
+        }
+        std::uint64_t selected = (v >> shift) & maskLow(bits_per_dim);
+        dims[i] = static_cast<std::uint8_t>(selected);
+    }
+    return Signature(std::move(dims), bits_per_dim);
+}
+
+std::uint32_t
+Signature::manhattan(const Signature &other) const
+{
+    tpcp_assert(dims.size() == other.dims.size(),
+                "signature dimensionality mismatch");
+    std::uint32_t dist = 0;
+    for (std::size_t i = 0; i < dims.size(); ++i) {
+        int d = static_cast<int>(dims[i]) -
+                static_cast<int>(other.dims[i]);
+        dist += static_cast<std::uint32_t>(std::abs(d));
+    }
+    return dist;
+}
+
+double
+Signature::difference(const Signature &other) const
+{
+    std::uint32_t dist = manhattan(other);
+    std::uint64_t denom = static_cast<std::uint64_t>(weight_) +
+                          other.weight_;
+    if (denom == 0)
+        return dist == 0 ? 0.0 : 1.0;
+    return static_cast<double>(dist) / static_cast<double>(denom);
+}
+
+std::string
+Signature::toString() const
+{
+    std::ostringstream oss;
+    oss << "[";
+    for (std::size_t i = 0; i < dims.size(); ++i) {
+        if (i)
+            oss << " ";
+        oss << static_cast<int>(dims[i]);
+    }
+    oss << "]";
+    return oss.str();
+}
+
+bool
+Signature::operator==(const Signature &other) const
+{
+    return dims == other.dims && bits == other.bits;
+}
+
+} // namespace tpcp::phase

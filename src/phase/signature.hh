@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Compressed code signatures and their similarity metric.
+ *
+ * A signature is the per-interval accumulator vector compressed to a
+ * few bits per counter (6 in this paper). Which bits to keep is
+ * either a fixed window (Sherwood et al. [25] statically selected bits
+ * 14..21 of each 24-bit counter for 10M-instruction intervals) or
+ * chosen dynamically from the average counter value (this paper,
+ * section 4.2): keep two bits of headroom above the bits needed to
+ * represent the average, and saturate the stored value when any
+ * higher bit is set.
+ *
+ * Similarity is the Manhattan distance between signatures, normalized
+ * by the total signature weight so thresholds read as "percent
+ * different" (0 = identical, 1 = completely disjoint code).
+ */
+
+#ifndef TPCP_PHASE_SIGNATURE_HH
+#define TPCP_PHASE_SIGNATURE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace tpcp::phase
+{
+
+/** How the stored bits are chosen from each accumulator. */
+enum class BitSelection
+{
+    /** Fixed bit window [staticShift, staticShift + bitsPerDim). */
+    Static,
+    /** Window derived from the interval's average counter value
+     * (paper section 4.2). */
+    Dynamic,
+};
+
+/** A compressed per-interval code signature. */
+class Signature
+{
+  public:
+    Signature() = default;
+
+    /** Constructs directly from compressed dimension values. */
+    Signature(std::vector<std::uint8_t> dims, unsigned bits_per_dim);
+
+    /**
+     * Compresses a raw accumulator vector.
+     *
+     * @param raw          raw counter values
+     * @param total        total increment this interval (for the
+     *                     average in dynamic mode)
+     * @param bits_per_dim stored bits per counter (paper: 6)
+     * @param mode         static or dynamic bit selection
+     * @param static_shift low bit of the window in static mode
+     */
+    static Signature fromAccumulators(
+        const std::vector<std::uint32_t> &raw, InstCount total,
+        unsigned bits_per_dim, BitSelection mode,
+        unsigned static_shift = 14);
+
+    /** Number of dimensions. */
+    std::size_t size() const { return dims.size(); }
+
+    /** True when default-constructed (no data). */
+    bool empty() const { return dims.empty(); }
+
+    /** Compressed value of dimension @p i. */
+    std::uint8_t dim(std::size_t i) const { return dims[i]; }
+
+    /** Sum of all compressed dimension values. */
+    std::uint32_t weight() const { return weight_; }
+
+    /** Manhattan distance to @p other (same dimensionality). */
+    std::uint32_t manhattan(const Signature &other) const;
+
+    /**
+     * Normalized difference in [0, 1]: manhattan / (weight(a) +
+     * weight(b)). 0 = identical vectors, 1 = disjoint support. The
+     * paper's "12.5% / 25% similarity threshold" compares against
+     * this value.
+     */
+    double difference(const Signature &other) const;
+
+    /** Bits stored per dimension. */
+    unsigned bitsPerDim() const { return bits; }
+
+    /** Debug rendering, e.g. "[3 0 63 ...]". */
+    std::string toString() const;
+
+    bool operator==(const Signature &other) const;
+
+  private:
+    std::vector<std::uint8_t> dims;
+    unsigned bits = 0;
+    std::uint32_t weight_ = 0;
+};
+
+} // namespace tpcp::phase
+
+#endif // TPCP_PHASE_SIGNATURE_HH

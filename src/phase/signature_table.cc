@@ -1,0 +1,85 @@
+#include "phase/signature_table.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace tpcp::phase
+{
+
+SignatureTable::SignatureTable(unsigned capacity,
+                               unsigned min_ctr_bits)
+    : cap(capacity), minCtrBits(min_ctr_bits)
+{
+    if (cap)
+        entries.reserve(cap);
+}
+
+SigEntry *
+SignatureTable::match(const Signature &sig, MatchPolicy policy)
+{
+    SigEntry *best = nullptr;
+    double best_diff = 0.0;
+    for (SigEntry &e : entries) {
+        double diff = sig.difference(e.sig);
+        if (diff >= e.threshold)
+            continue;
+        if (policy == MatchPolicy::FirstMatch)
+            return &e;
+        if (!best || diff < best_diff) {
+            best = &e;
+            best_diff = diff;
+        }
+    }
+    return best;
+}
+
+SigEntry &
+SignatureTable::insert(const Signature &sig, double threshold)
+{
+    if (cap != 0 && entries.size() >= cap) {
+        // Evict the LRU entry and reuse its slot.
+        auto victim = std::min_element(
+            entries.begin(), entries.end(),
+            [](const SigEntry &a, const SigEntry &b) {
+                return a.lastUse < b.lastUse;
+            });
+        ++evictions_;
+        *victim = SigEntry{};
+        victim->sig = sig;
+        victim->minCounter = SatCounter(minCtrBits, 0);
+        victim->threshold = threshold;
+        victim->lastUse = ++tick;
+        return *victim;
+    }
+    entries.emplace_back();
+    SigEntry &e = entries.back();
+    e.sig = sig;
+    e.minCounter = SatCounter(minCtrBits, 0);
+    e.threshold = threshold;
+    e.lastUse = ++tick;
+    return e;
+}
+
+void
+SignatureTable::touch(SigEntry &entry)
+{
+    entry.lastUse = ++tick;
+}
+
+void
+SignatureTable::clearPerformanceStats()
+{
+    for (SigEntry &e : entries)
+        e.cpi.clear();
+}
+
+void
+SignatureTable::clear()
+{
+    entries.clear();
+    tick = 0;
+    evictions_ = 0;
+}
+
+} // namespace tpcp::phase

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * The Past Signature Table (paper Figure 1): a fully-associative LRU
+ * table of past code signatures, each with its phase ID, transition
+ * min counter, per-entry similarity threshold (for the adaptive
+ * scheme) and running CPI statistics.
+ */
+
+#ifndef TPCP_PHASE_SIGNATURE_TABLE_HH
+#define TPCP_PHASE_SIGNATURE_TABLE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/running_stats.hh"
+#include "common/sat_counter.hh"
+#include "common/types.hh"
+#include "phase/classifier_config.hh"
+#include "phase/signature.hh"
+
+namespace tpcp::phase
+{
+
+/** One signature-table entry. */
+struct SigEntry
+{
+    Signature sig;
+    /** Real phase ID once stable; transitionPhaseId before that. */
+    PhaseId phase = transitionPhaseId;
+    /** Counts intervals classified into this entry (section 4.4). */
+    SatCounter minCounter{6, 0};
+    /** Per-entry similarity threshold (section 4.6). */
+    double threshold = 0.25;
+    /** Running CPI average of intervals classified here. */
+    RunningStats cpi;
+    /** LRU tick. */
+    std::uint64_t lastUse = 0;
+};
+
+/**
+ * Fully-associative signature storage with LRU replacement and
+ * nearest-signature matching.
+ *
+ * With capacity 0 the table is unbounded (models the infinite table
+ * of [25] used as a reference point in Figure 2).
+ */
+class SignatureTable
+{
+  public:
+    /**
+     * @param capacity      maximum entries (0 = unbounded)
+     * @param min_ctr_bits  width of each entry's min counter
+     */
+    SignatureTable(unsigned capacity, unsigned min_ctr_bits);
+
+    /**
+     * Finds the entry matching @p sig: among entries whose
+     * (per-entry) threshold exceeds the normalized difference, picks
+     * the first or the most similar per @p policy. Returns nullptr
+     * when nothing matches. Does not update LRU state.
+     */
+    SigEntry *match(const Signature &sig, MatchPolicy policy);
+
+    /**
+     * Inserts a new entry for @p sig with threshold @p threshold,
+     * evicting the LRU entry when at capacity. Returns the new
+     * entry.
+     */
+    SigEntry &insert(const Signature &sig, double threshold);
+
+    /** Marks @p entry most recently used. */
+    void touch(SigEntry &entry);
+
+    /** Number of valid entries. */
+    std::size_t size() const { return entries.size(); }
+
+    /** Capacity (0 = unbounded). */
+    unsigned capacity() const { return cap; }
+
+    /** Cumulative count of entries evicted by LRU replacement. */
+    std::uint64_t evictions() const { return evictions_; }
+
+    /** Read-only view of the stored entries (analysis / tests). */
+    const std::vector<SigEntry> &view() const { return entries; }
+
+    /** Clears every entry's running CPI statistics (performance
+     * feedback flush; signatures and phase IDs are retained). */
+    void clearPerformanceStats();
+
+    /** Removes all entries. */
+    void clear();
+
+  private:
+    unsigned cap;
+    unsigned minCtrBits;
+    std::vector<SigEntry> entries;
+    std::uint64_t tick = 0;
+    std::uint64_t evictions_ = 0;
+};
+
+} // namespace tpcp::phase
+
+#endif // TPCP_PHASE_SIGNATURE_TABLE_HH

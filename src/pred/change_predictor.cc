@@ -1,0 +1,278 @@
+#include "pred/change_predictor.hh"
+
+#include <algorithm>
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+
+namespace tpcp::pred
+{
+
+namespace
+{
+
+std::string
+payloadName(PayloadView v)
+{
+    switch (v) {
+      case PayloadView::Last:
+        return "";
+      case PayloadView::Last4:
+        return "Last4 ";
+      case PayloadView::Top1:
+        return "Top1 ";
+      case PayloadView::Top4:
+        return "Top4 ";
+    }
+    return "";
+}
+
+} // namespace
+
+ChangePredictorConfig
+ChangePredictorConfig::markov(unsigned order, PayloadView payload,
+                              unsigned entries)
+{
+    ChangePredictorConfig c;
+    c.history = HistoryKind::MarkovUnique;
+    c.order = order;
+    c.payload = payload;
+    c.tableEntries = entries;
+    c.removeOnFalseChange = false;
+    c.name = payloadName(payload) + "Markov-" +
+             std::to_string(order);
+    if (entries != 32)
+        c.name += " (" + std::to_string(entries) + "e)";
+    return c;
+}
+
+ChangePredictorConfig
+ChangePredictorConfig::rle(unsigned order, PayloadView payload,
+                           unsigned entries)
+{
+    ChangePredictorConfig c;
+    c.history = HistoryKind::Rle;
+    c.order = order;
+    c.payload = payload;
+    c.tableEntries = entries;
+    // The paper's removal-on-false-change rule applies to the plain
+    // RLE predictor; richer payloads keep their learned summaries.
+    c.removeOnFalseChange = (payload == PayloadView::Last);
+    c.name = payloadName(payload) + "RLE-" + std::to_string(order);
+    if (entries != 32)
+        c.name += " (" + std::to_string(entries) + "e)";
+    return c;
+}
+
+ChangePredictor::ChangePredictor(const ChangePredictorConfig &config)
+    : cfg(config),
+      table(std::max(1u, config.tableEntries /
+                             std::max(1u, config.tableWays)),
+            std::max(1u, config.tableWays)),
+      numSets(std::max(1u, config.tableEntries /
+                               std::max(1u, config.tableWays)))
+{
+    tpcp_assert(cfg.order >= 1 && cfg.order <= 8);
+    tpcp_assert(cfg.tableEntries >= cfg.tableWays);
+}
+
+std::uint64_t
+ChangePredictor::historyHash() const
+{
+    std::uint64_t h = 0x9e3779b97f4a7c15ULL;
+    if (cfg.history == HistoryKind::MarkovUnique) {
+        for (PhaseId id : uniqueHist)
+            h = mix64(h ^ (static_cast<std::uint64_t>(id) + 1));
+    } else {
+        // Completed runs first, then the current (phase, run length)
+        // pair: the run length encodes *when* within the run.
+        for (const auto &[id, len] : rleHist) {
+            h = mix64(h ^ (static_cast<std::uint64_t>(id) + 1));
+            h = mix64(h ^ (len + 0x51ULL));
+        }
+        h = mix64(h ^ (static_cast<std::uint64_t>(lastPhase) + 1));
+        h = mix64(h ^ (runLen + 0x51ULL));
+    }
+    return h;
+}
+
+std::vector<PhaseId>
+ChangePredictor::topOutcomes(const Entry &e, unsigned n) const
+{
+    std::vector<std::pair<PhaseId, std::uint32_t>> items(
+        e.freq.begin(), e.freq.begin() + e.freqCount);
+    std::stable_sort(items.begin(), items.end(),
+                     [](const auto &a, const auto &b) {
+                         return a.second > b.second;
+                     });
+    std::vector<PhaseId> out;
+    for (std::size_t i = 0; i < items.size() && i < n; ++i)
+        out.push_back(items[i].first);
+    return out;
+}
+
+void
+ChangePredictor::fillPrediction(const Entry &e,
+                                ChangePrediction &out) const
+{
+    out.tableHit = true;
+    out.confident = !cfg.useConfidence || e.conf.saturatedHigh();
+    switch (cfg.payload) {
+      case PayloadView::Last:
+        out.primary = e.lastOutcome;
+        out.candidates = {e.lastOutcome};
+        break;
+      case PayloadView::Last4: {
+        out.primary = e.lastOutcome;
+        for (unsigned i = 0; i < e.ringCount; ++i)
+            out.candidates.push_back(e.ring[i]);
+        if (out.candidates.empty())
+            out.candidates = {e.lastOutcome};
+        break;
+      }
+      case PayloadView::Top1: {
+        auto top = topOutcomes(e, 1);
+        out.primary = top.empty() ? e.lastOutcome : top.front();
+        out.candidates = {out.primary};
+        break;
+      }
+      case PayloadView::Top4: {
+        auto top = topOutcomes(e, 4);
+        out.primary = top.empty() ? e.lastOutcome : top.front();
+        out.candidates = top.empty()
+                             ? std::vector<PhaseId>{e.lastOutcome}
+                             : top;
+        break;
+      }
+    }
+}
+
+ChangePrediction
+ChangePredictor::predict() const
+{
+    ChangePrediction out;
+    if (!primed)
+        return out;
+    std::uint64_t h = historyHash();
+    unsigned set = static_cast<unsigned>(h % numSets);
+    const auto *entry = table.find(set, h);
+    if (!entry)
+        return out;
+    fillPrediction(entry->value, out);
+    return out;
+}
+
+void
+ChangePredictor::train(Entry &e, PhaseId actual, bool was_correct)
+{
+    if (was_correct)
+        e.conf.increment();
+    else
+        e.conf.decrement();
+
+    e.lastOutcome = actual;
+
+    // Last-4 unique ring: only push when not already present.
+    bool in_ring = false;
+    for (unsigned i = 0; i < e.ringCount; ++i)
+        in_ring = in_ring || e.ring[i] == actual;
+    if (!in_ring) {
+        if (e.ringCount < e.ring.size()) {
+            e.ring[e.ringCount++] = actual;
+        } else {
+            e.ring[e.ringHead] = actual;
+            e.ringHead = static_cast<std::uint8_t>(
+                (e.ringHead + 1) % e.ring.size());
+        }
+    }
+
+    // Frequency summary for Top-N.
+    for (unsigned i = 0; i < e.freqCount; ++i) {
+        if (e.freq[i].first == actual) {
+            ++e.freq[i].second;
+            return;
+        }
+    }
+    if (e.freqCount < e.freq.size()) {
+        e.freq[e.freqCount++] = {actual, 1};
+        return;
+    }
+    // Evict the least frequent summary slot.
+    auto min_it = std::min_element(
+        e.freq.begin(), e.freq.end(),
+        [](const auto &a, const auto &b) {
+            return a.second < b.second;
+        });
+    *min_it = {actual, 1};
+}
+
+std::optional<ChangeOutcome>
+ChangePredictor::observe(PhaseId actual)
+{
+    if (!primed) {
+        primed = true;
+        lastPhase = actual;
+        runLen = 1;
+        uniqueHist.assign(1, actual);
+        return std::nullopt;
+    }
+
+    std::uint64_t h = historyHash();
+    unsigned set = static_cast<unsigned>(h % numSets);
+    auto *entry = table.find(set, h);
+    bool changed = actual != lastPhase;
+
+    if (!changed) {
+        ++runLen;
+        if (entry) {
+            // The table predicted a change that did not happen; the
+            // last-value fallback would have been right.
+            if (cfg.removeOnFalseChange)
+                table.erase(*entry);
+            else
+                entry->value.conf.decrement();
+        }
+        return std::nullopt;
+    }
+
+    ChangeOutcome outcome;
+    if (entry) {
+        ChangePrediction pred;
+        fillPrediction(entry->value, pred);
+        outcome.tableHit = true;
+        outcome.confident = pred.confident;
+        outcome.primaryCorrect = pred.primary == actual;
+        outcome.anyCorrect = pred.matches(actual);
+        bool correct = (cfg.payload == PayloadView::Last4 ||
+                        cfg.payload == PayloadView::Top4)
+                           ? outcome.anyCorrect
+                           : outcome.primaryCorrect;
+        train(entry->value, actual, correct);
+        table.touch(*entry);
+    } else {
+        Entry fresh;
+        fresh.lastOutcome = actual;
+        fresh.ring[0] = actual;
+        fresh.ringCount = 1;
+        fresh.freq[0] = {actual, 1};
+        fresh.freqCount = 1;
+        fresh.conf = SatCounter(cfg.confBits, 0);
+        table.insert(set, h, fresh);
+    }
+
+    // ---- History update ----
+    if (cfg.history == HistoryKind::MarkovUnique) {
+        uniqueHist.push_back(actual);
+        while (uniqueHist.size() > cfg.order)
+            uniqueHist.pop_front();
+    } else {
+        rleHist.emplace_back(lastPhase, runLen);
+        while (rleHist.size() + 1 > cfg.order)
+            rleHist.pop_front();
+    }
+    lastPhase = actual;
+    runLen = 1;
+    return outcome;
+}
+
+} // namespace tpcp::pred

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Phase-change predictors (paper sections 5.2.2-5.2.3 and 6.1): small
+ * set-associative tables that learn the outcomes of phase changes,
+ * indexed either by a hash of the last N *unique* phase IDs
+ * (Markov-N) or by the last N (phase ID, run length) pairs of the
+ * run-length-encoded phase history (RLE-N).
+ *
+ * Each table entry remembers the last outcome, a ring of the last 4
+ * unique outcomes, a small frequency summary of the most common
+ * outcomes (for Top-1/Top-4 prediction), and a 1-bit confidence
+ * counter. A predictor configuration chooses which payload view to
+ * predict from and whether confidence gates predictions.
+ *
+ * Update rules follow the paper: entries are inserted only when a
+ * phase change occurs; a plain RLE entry that fires while the run
+ * continues (a falsely predicted change) is removed, because the
+ * last-value fallback would have been correct.
+ */
+
+#ifndef TPCP_PRED_CHANGE_PREDICTOR_HH
+#define TPCP_PRED_CHANGE_PREDICTOR_HH
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/assoc_table.hh"
+#include "common/sat_counter.hh"
+#include "common/types.hh"
+
+namespace tpcp::pred
+{
+
+/** Which stored payload a predictor reads. */
+enum class PayloadView
+{
+    Last, ///< the single most recent outcome
+    Last4, ///< correct when the actual matches any of the last 4
+           ///< unique outcomes
+    Top1, ///< the most frequent outcome
+    Top4, ///< correct when the actual is among the 4 most frequent
+};
+
+/** History kind indexing the table. */
+enum class HistoryKind
+{
+    MarkovUnique, ///< hash of the last N unique phase IDs
+    Rle,          ///< hash of the last N (phase, run length) pairs,
+                  ///< including the current (still growing) run
+};
+
+/** Full configuration of one phase-change predictor. */
+struct ChangePredictorConfig
+{
+    std::string name = "RLE-2";
+    HistoryKind history = HistoryKind::Rle;
+    unsigned order = 2; ///< N
+    unsigned tableEntries = 32;
+    unsigned tableWays = 4;
+    PayloadView payload = PayloadView::Last;
+    /** Gate predictions on the entry's 1-bit confidence counter. */
+    bool useConfidence = true;
+    unsigned confBits = 1;
+    /**
+     * Remove an entry that predicts a change which does not happen
+     * (paper rule for the plain RLE predictor). When false the
+     * entry's confidence is decremented instead.
+     */
+    bool removeOnFalseChange = false;
+
+    // ---- Named configurations used in the figures ----
+    static ChangePredictorConfig markov(unsigned order,
+                                        PayloadView payload =
+                                            PayloadView::Last,
+                                        unsigned entries = 32);
+    static ChangePredictorConfig rle(unsigned order,
+                                     PayloadView payload =
+                                         PayloadView::Last,
+                                     unsigned entries = 32);
+};
+
+/** One prediction of the next phase-change outcome. */
+struct ChangePrediction
+{
+    bool tableHit = false;
+    bool confident = false; ///< always true when confidence disabled
+    /** Primary predicted outcome (per the payload view). */
+    PhaseId primary = invalidPhaseId;
+    /** All acceptable outcomes (Last4/Top4 views list up to 4). */
+    std::vector<PhaseId> candidates;
+
+    /** True when @p actual matches any acceptable outcome. */
+    bool
+    matches(PhaseId actual) const
+    {
+        for (PhaseId c : candidates) {
+            if (c == actual)
+                return true;
+        }
+        return false;
+    }
+};
+
+/** What happened at an observed phase change (for Figure 8 stats). */
+struct ChangeOutcome
+{
+    bool tableHit = false;
+    bool confident = false;
+    bool primaryCorrect = false;
+    bool anyCorrect = false; ///< actual was among the candidates
+};
+
+/**
+ * A Markov-N or RLE-N phase-change predictor.
+ */
+class ChangePredictor
+{
+  public:
+    explicit ChangePredictor(const ChangePredictorConfig &config);
+
+    /**
+     * Predicts the outcome of the next phase change from the current
+     * history state. With RLE history the run length in the index
+     * also encodes *when*: a hit means "a change happened from this
+     * exact state before", so a confident hit doubles as a
+     * change-is-imminent signal for next-interval prediction.
+     */
+    ChangePrediction predict() const;
+
+    /**
+     * Observes the phase of the next interval, updating history and
+     * the table. Returns the change-outcome record when this
+     * observation was a phase change (for change-prediction
+     * statistics), std::nullopt otherwise.
+     */
+    std::optional<ChangeOutcome> observe(PhaseId actual);
+
+    /** The predictor's configured display name. */
+    const std::string &name() const { return cfg.name; }
+
+    const ChangePredictorConfig &config() const { return cfg; }
+
+    /** Current phase (last observed); invalid before priming. */
+    PhaseId currentPhase() const { return lastPhase; }
+
+    /** Length of the current run so far, in intervals. */
+    std::uint64_t currentRunLength() const { return runLen; }
+
+  private:
+    /** Stored per-entry learning state. */
+    struct Entry
+    {
+        PhaseId lastOutcome = invalidPhaseId;
+        std::array<PhaseId, 4> ring{};
+        std::uint8_t ringCount = 0;
+        std::uint8_t ringHead = 0;
+        std::array<std::pair<PhaseId, std::uint32_t>, 8> freq{};
+        std::uint8_t freqCount = 0;
+        SatCounter conf{1, 0};
+    };
+
+    std::uint64_t historyHash() const;
+    void fillPrediction(const Entry &e, ChangePrediction &out) const;
+    void train(Entry &e, PhaseId actual, bool was_correct);
+    std::vector<PhaseId> topOutcomes(const Entry &e,
+                                     unsigned n) const;
+
+    ChangePredictorConfig cfg;
+    AssocTable<std::uint64_t, Entry> table;
+    unsigned numSets;
+
+    bool primed = false;
+    PhaseId lastPhase = invalidPhaseId;
+    std::uint64_t runLen = 0;
+    /** Markov: last N unique phase IDs (back = current). */
+    std::deque<PhaseId> uniqueHist;
+    /** RLE: last N-1 completed (phase, length) runs (back = most
+     * recent); the current run completes the index. */
+    std::deque<std::pair<PhaseId, std::uint64_t>> rleHist;
+};
+
+} // namespace tpcp::pred
+
+#endif // TPCP_PRED_CHANGE_PREDICTOR_HH

@@ -1,0 +1,53 @@
+#include "pred/last_value.hh"
+
+namespace tpcp::pred
+{
+
+LastValuePredictor::LastValuePredictor(const LastValueConfig &config)
+    : cfg(config)
+{
+}
+
+SatCounter &
+LastValuePredictor::counterFor(PhaseId phase)
+{
+    auto it = conf.find(phase);
+    if (it == conf.end()) {
+        it = conf.emplace(phase, SatCounter(cfg.confBits, 0)).first;
+    }
+    return it->second;
+}
+
+bool
+LastValuePredictor::confident() const
+{
+    if (!primed_)
+        return false;
+    auto it = conf.find(last);
+    if (it == conf.end())
+        return false;
+    return it->second.value() >= cfg.confThreshold;
+}
+
+void
+LastValuePredictor::observe(PhaseId actual)
+{
+    if (primed_) {
+        SatCounter &c = counterFor(last);
+        if (actual == last)
+            c.increment();
+        else
+            c.decrement();
+    }
+    last = actual;
+    primed_ = true;
+    counterFor(actual); // ensure the counter exists (reset-on-add)
+}
+
+void
+LastValuePredictor::resetConfidence(PhaseId phase)
+{
+    counterFor(phase).reset();
+}
+
+} // namespace tpcp::pred

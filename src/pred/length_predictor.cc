@@ -1,0 +1,117 @@
+#include "pred/length_predictor.hh"
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+#include "phase/phase_trace.hh"
+
+namespace tpcp::pred
+{
+
+RunLengthPredictor::RunLengthPredictor(
+    const LengthPredictorConfig &config)
+    : cfg(config),
+      table(std::max(1u, config.tableEntries /
+                             std::max(1u, config.tableWays)),
+            std::max(1u, config.tableWays)),
+      numSets(std::max(1u, config.tableEntries /
+                               std::max(1u, config.tableWays)))
+{
+    tpcp_assert(cfg.order >= 1 && cfg.order <= 8);
+}
+
+std::uint64_t
+RunLengthPredictor::historyHash() const
+{
+    // Hash over the last (order) completed runs; called right after a
+    // run completes, so rleHist's back entries are the RLE-2 context.
+    std::uint64_t h = 0xc2b2ae3d27d4eb4fULL;
+    std::size_t n = rleHist.size();
+    std::size_t start = n > cfg.order ? n - cfg.order : 0;
+    for (std::size_t i = start; i < n; ++i) {
+        h = mix64(h ^ (static_cast<std::uint64_t>(
+                           rleHist[i].first) + 1));
+        std::uint64_t len = rleHist[i].second;
+        if (cfg.quantizeKeyLengths)
+            len = phase::runLengthClass(len);
+        h = mix64(h ^ (len + 0x51ULL));
+    }
+    return h;
+}
+
+void
+RunLengthPredictor::train(std::uint64_t key, unsigned actual_class)
+{
+    unsigned set = static_cast<unsigned>(key % numSets);
+    auto *entry = table.find(set, key);
+    if (entry) {
+        // Hysteresis: adopt the new class only when seen twice in a
+        // row; otherwise just remember it.
+        if (entry->value.lastSeen == actual_class)
+            entry->value.cls =
+                static_cast<std::uint8_t>(actual_class);
+        entry->value.lastSeen =
+            static_cast<std::uint8_t>(actual_class);
+        table.touch(*entry);
+    } else {
+        Entry fresh;
+        fresh.cls = static_cast<std::uint8_t>(actual_class);
+        fresh.lastSeen = fresh.cls;
+        table.insert(set, key, fresh);
+    }
+}
+
+std::optional<LengthPredRecord>
+RunLengthPredictor::observe(PhaseId actual)
+{
+    if (!primed) {
+        primed = true;
+        lastPhase = actual;
+        runLen = 1;
+        return std::nullopt;
+    }
+    if (actual == lastPhase) {
+        ++runLen;
+        return std::nullopt;
+    }
+
+    // The current run just completed.
+    unsigned actual_class =
+        phase::runLengthClass(runLen);
+    std::optional<LengthPredRecord> rec;
+    if (havePending) {
+        rec = LengthPredRecord{pendingClass, actual_class,
+                               pendingHit};
+        train(pendingKey, actual_class);
+    }
+
+    rleHist.emplace_back(lastPhase, runLen);
+    while (rleHist.size() > 8)
+        rleHist.pop_front();
+
+    // Predict the class of the run that starts now.
+    std::uint64_t key = historyHash();
+    unsigned set = static_cast<unsigned>(key % numSets);
+    const auto *entry = table.find(set, key);
+    havePending = true;
+    pendingKey = key;
+    pendingHit = entry != nullptr;
+    pendingClass = entry ? entry->value.cls : cfg.defaultClass;
+
+    lastPhase = actual;
+    runLen = 1;
+    return rec;
+}
+
+std::optional<LengthPredRecord>
+RunLengthPredictor::finish()
+{
+    if (!primed || !havePending || runLen == 0)
+        return std::nullopt;
+    unsigned actual_class = phase::runLengthClass(runLen);
+    LengthPredRecord rec{pendingClass, actual_class, pendingHit};
+    train(pendingKey, actual_class);
+    havePending = false;
+    return rec;
+}
+
+} // namespace tpcp::pred

@@ -1,0 +1,40 @@
+#include "pred/next_phase_predictor.hh"
+
+namespace tpcp::pred
+{
+
+NextPhasePredictor::NextPhasePredictor(
+    std::unique_ptr<ChangePredictor> change_in,
+    const LastValueConfig &lv_cfg)
+    : change(std::move(change_in)), lastValue(lv_cfg)
+{
+}
+
+NextPhasePrediction
+NextPhasePredictor::predict() const
+{
+    NextPhasePrediction out;
+    if (change) {
+        ChangePrediction cp = change->predict();
+        if (cp.tableHit && cp.confident) {
+            out.phase = cp.primary;
+            out.source = PredictionSource::ChangeTable;
+            out.candidates = std::move(cp.candidates);
+            return out;
+        }
+    }
+    out.phase = lastValue.predict();
+    out.source = PredictionSource::LastValue;
+    out.lvConfident = lastValue.confident();
+    return out;
+}
+
+void
+NextPhasePredictor::observe(PhaseId actual)
+{
+    if (change)
+        change->observe(actual);
+    lastValue.observe(actual);
+}
+
+} // namespace tpcp::pred

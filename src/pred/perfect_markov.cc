@@ -1,0 +1,50 @@
+#include "pred/perfect_markov.hh"
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+
+namespace tpcp::pred
+{
+
+PerfectMarkov::PerfectMarkov(unsigned order)
+    : order(order)
+{
+    tpcp_assert(order >= 1 && order <= 8);
+}
+
+std::uint64_t
+PerfectMarkov::historyHash() const
+{
+    std::uint64_t h = 0x9e3779b97f4a7c15ULL;
+    for (PhaseId id : hist)
+        h = mix64(h ^ (static_cast<std::uint64_t>(id) + 1));
+    return h;
+}
+
+std::optional<PerfectOutcome>
+PerfectMarkov::observe(PhaseId actual)
+{
+    if (!primed) {
+        primed = true;
+        lastPhase = actual;
+        hist.assign(1, actual);
+        return std::nullopt;
+    }
+    if (actual == lastPhase)
+        return std::nullopt;
+
+    std::uint64_t h = historyHash();
+    PerfectOutcome out;
+    auto it = memory.find(h);
+    out.historySeen = it != memory.end();
+    out.seenBefore = out.historySeen && it->second.count(actual) > 0;
+    memory[h].insert(actual);
+
+    hist.push_back(actual);
+    while (hist.size() > order)
+        hist.pop_front();
+    lastPhase = actual;
+    return out;
+}
+
+} // namespace tpcp::pred

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Perfect Markov upper bound (paper section 6.1): a phase change is
+ * counted as correctly predictable if the same change (history ->
+ * outcome) was ever seen before. Unbounded memory; its miss rate is
+ * pure cold-start, an upper bound on any realizable predictor.
+ */
+
+#ifndef TPCP_PRED_PERFECT_MARKOV_HH
+#define TPCP_PRED_PERFECT_MARKOV_HH
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/types.hh"
+
+namespace tpcp::pred
+{
+
+/** Outcome of one phase change under the perfect model. */
+struct PerfectOutcome
+{
+    /** This (history -> outcome) pair was seen before. */
+    bool seenBefore = false;
+    /** The history itself was seen before (with any outcome). */
+    bool historySeen = false;
+};
+
+/** Perfect Markov-N model over the last N unique phase IDs. */
+class PerfectMarkov
+{
+  public:
+    explicit PerfectMarkov(unsigned order);
+
+    /**
+     * Observes the next interval's phase. Returns a record at phase
+     * changes (nullopt while the phase is stable).
+     */
+    std::optional<PerfectOutcome> observe(PhaseId actual);
+
+  private:
+    std::uint64_t historyHash() const;
+
+    unsigned order;
+    bool primed = false;
+    PhaseId lastPhase = invalidPhaseId;
+    std::deque<PhaseId> hist;
+    std::unordered_map<std::uint64_t, std::unordered_set<PhaseId>>
+        memory;
+};
+
+} // namespace tpcp::pred
+
+#endif // TPCP_PRED_PERFECT_MARKOV_HH

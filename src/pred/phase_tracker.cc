@@ -1,0 +1,47 @@
+#include "pred/phase_tracker.hh"
+
+namespace tpcp::pred
+{
+
+PhaseTracker::PhaseTracker(const PhaseTrackerConfig &config)
+    : classifier_(config.classifier),
+      nextPhase(std::make_unique<ChangePredictor>(
+                    config.changeTable),
+                config.lastValue),
+      lengthPred(config.length)
+{
+}
+
+void
+PhaseTracker::onBranch(Addr pc, InstCount insts_since_last_branch)
+{
+    classifier_.recordBranch(pc, insts_since_last_branch);
+}
+
+PhaseTrackerOutput
+PhaseTracker::onIntervalEnd(double cpi)
+{
+    PhaseTrackerOutput out;
+    out.classification = classifier_.endInterval(cpi);
+    PhaseId id = out.classification.phase;
+    out.phaseChanged = intervals_ > 0 && id != lastPhase;
+
+    // Train the predictors with the observed phase, then report the
+    // forward-looking predictions.
+    nextPhase.observe(id);
+    lengthPred.observe(id);
+    out.nextPhase = nextPhase.predict();
+    out.currentRunLengthClass = lengthPred.pendingPrediction();
+
+    lastPhase = id;
+    ++intervals_;
+    return out;
+}
+
+void
+PhaseTracker::onReconfiguration()
+{
+    classifier_.flushPerformanceFeedback();
+}
+
+} // namespace tpcp::pred

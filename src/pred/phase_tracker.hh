@@ -1,0 +1,102 @@
+/**
+ * @file
+ * The complete phase-tracking hardware unit the paper proposes:
+ * classifier + next-phase predictor (change table with confidence
+ * over a last-value base) + phase-length predictor, behind one
+ * online interface.
+ *
+ * This is the component an SoC/runtime integrator would instantiate:
+ * feed it every committed branch and close each profiling interval
+ * with the interval's CPI; it returns the interval's phase ID, the
+ * predicted phase of the next interval (with confidence), and the
+ * predicted run-length class of the current phase.
+ */
+
+#ifndef TPCP_PRED_PHASE_TRACKER_HH
+#define TPCP_PRED_PHASE_TRACKER_HH
+
+#include <memory>
+#include <optional>
+
+#include "phase/classifier.hh"
+#include "pred/change_predictor.hh"
+#include "pred/length_predictor.hh"
+#include "pred/next_phase_predictor.hh"
+
+namespace tpcp::pred
+{
+
+/** Configuration of the full unit. */
+struct PhaseTrackerConfig
+{
+    phase::ClassifierConfig classifier =
+        phase::ClassifierConfig::paperDefault();
+    /** Phase-change table (paper section 5: RLE-2, 32 entry 4-way,
+     * 1-bit confidence). */
+    ChangePredictorConfig changeTable =
+        ChangePredictorConfig::rle(2);
+    LastValueConfig lastValue;
+    LengthPredictorConfig length;
+};
+
+/** Everything the unit reports at an interval boundary. */
+struct PhaseTrackerOutput
+{
+    /** Classification of the interval that just ended. */
+    phase::ClassifyResult classification;
+    /** Predicted phase of the *next* interval. */
+    NextPhasePrediction nextPhase;
+    /** Predicted run-length class of the current phase's run, if a
+     * prediction is standing (see runLengthClassLabel()). */
+    std::optional<unsigned> currentRunLengthClass;
+    /** True when this interval started a new run (phase change). */
+    bool phaseChanged = false;
+};
+
+/**
+ * The phase tracking and prediction unit.
+ */
+class PhaseTracker
+{
+  public:
+    explicit PhaseTracker(const PhaseTrackerConfig &config = {});
+
+    /** Commit-path tap: one committed branch. */
+    void onBranch(Addr pc, InstCount insts_since_last_branch);
+
+    /**
+     * Interval boundary: classifies the interval, trains the
+     * predictors, and reports classification + predictions.
+     *
+     * @param cpi the interval's measured CPI (performance feedback)
+     */
+    PhaseTrackerOutput onIntervalEnd(double cpi);
+
+    /**
+     * Notifies the unit that a reconfiguration affecting CPI was
+     * applied: flushes the classifier's performance-feedback state
+     * (paper section 4.6). Phase IDs and predictor state survive
+     * because they depend only on executed code.
+     */
+    void onReconfiguration();
+
+    const phase::PhaseClassifier &classifier() const { return classifier_; }
+    const NextPhasePredictor &predictor() const
+    {
+        return nextPhase;
+    }
+
+    /** Intervals processed so far. */
+    std::uint64_t intervals() const { return intervals_; }
+
+  private:
+    phase::PhaseClassifier classifier_;
+    NextPhasePredictor nextPhase;
+    RunLengthPredictor lengthPred;
+    PhaseId lastPhase = invalidPhaseId;
+    std::uint64_t intervals_ = 0;
+};
+
+} // namespace tpcp::pred
+
+#endif // TPCP_PRED_PHASE_TRACKER_HH

@@ -1,0 +1,200 @@
+#include "trace/interval_profile.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+
+#include "common/logging.hh"
+
+namespace tpcp::trace
+{
+
+namespace
+{
+
+constexpr std::uint32_t profileMagic = 0x54504350; // "TPCP"
+constexpr std::uint32_t profileVersion = 1;
+
+struct FileCloser
+{
+    void
+    operator()(std::FILE *f) const
+    {
+        if (f)
+            std::fclose(f);
+    }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+template <typename T>
+bool
+writeScalar(std::FILE *f, T v)
+{
+    return std::fwrite(&v, sizeof(T), 1, f) == 1;
+}
+
+template <typename T>
+bool
+readScalar(std::FILE *f, T &v)
+{
+    return std::fread(&v, sizeof(T), 1, f) == 1;
+}
+
+bool
+writeString(std::FILE *f, const std::string &s)
+{
+    auto len = static_cast<std::uint32_t>(s.size());
+    if (!writeScalar(f, len))
+        return false;
+    return len == 0 || std::fwrite(s.data(), 1, len, f) == len;
+}
+
+bool
+readString(std::FILE *f, std::string &s)
+{
+    std::uint32_t len = 0;
+    if (!readScalar(f, len) || len > (1u << 20))
+        return false;
+    s.resize(len);
+    return len == 0 || std::fread(s.data(), 1, len, f) == len;
+}
+
+} // namespace
+
+IntervalProfile::IntervalProfile(std::string workload,
+                                 std::string core, InstCount interval,
+                                 std::vector<unsigned> dims)
+    : workload_(std::move(workload)), core_(std::move(core)),
+      intervalLen(interval), dims_(std::move(dims))
+{
+    tpcp_assert(intervalLen > 0);
+    tpcp_assert(!dims_.empty());
+}
+
+std::size_t
+IntervalProfile::dimIndex(unsigned dim) const
+{
+    auto it = std::find(dims_.begin(), dims_.end(), dim);
+    if (it == dims_.end())
+        tpcp_fatal("profile for ", workload_,
+                   " was not recorded at dimension ", dim);
+    return static_cast<std::size_t>(it - dims_.begin());
+}
+
+void
+IntervalProfile::push(IntervalRecord record)
+{
+    tpcp_assert(record.accums.size() == dims_.size(),
+                "record dimension-config count mismatch");
+    for (std::size_t d = 0; d < dims_.size(); ++d) {
+        tpcp_assert(record.accums[d].size() == dims_[d],
+                    "record accumulator width mismatch");
+    }
+    records.push_back(std::move(record));
+}
+
+const IntervalRecord &
+IntervalProfile::interval(std::size_t i) const
+{
+    tpcp_assert(i < records.size());
+    return records[i];
+}
+
+std::vector<double>
+IntervalProfile::cpis() const
+{
+    std::vector<double> out;
+    out.reserve(records.size());
+    for (const auto &r : records)
+        out.push_back(r.cpi);
+    return out;
+}
+
+bool
+IntervalProfile::save(const std::string &path) const
+{
+    FilePtr f(std::fopen(path.c_str(), "wb"));
+    if (!f)
+        return false;
+    std::FILE *fp = f.get();
+
+    bool ok = writeScalar(fp, profileMagic) &&
+              writeScalar(fp, profileVersion) &&
+              writeString(fp, workload_) && writeString(fp, core_) &&
+              writeScalar<std::uint64_t>(fp, intervalLen) &&
+              writeScalar<std::uint32_t>(
+                  fp, static_cast<std::uint32_t>(dims_.size()));
+    if (!ok)
+        return false;
+    for (unsigned d : dims_) {
+        if (!writeScalar<std::uint32_t>(fp, d))
+            return false;
+    }
+    if (!writeScalar<std::uint64_t>(fp, records.size()))
+        return false;
+    for (const auto &r : records) {
+        if (!writeScalar(fp, r.cpi) ||
+            !writeScalar<std::uint64_t>(fp, r.insts) ||
+            !writeScalar<std::uint64_t>(fp, r.accumTotal))
+            return false;
+        for (const auto &vec : r.accums) {
+            if (std::fwrite(vec.data(), sizeof(std::uint32_t),
+                            vec.size(), fp) != vec.size()) {
+                return false;
+            }
+        }
+    }
+    return true;
+}
+
+bool
+IntervalProfile::load(const std::string &path)
+{
+    *this = IntervalProfile{};
+    FilePtr f(std::fopen(path.c_str(), "rb"));
+    if (!f)
+        return false;
+    std::FILE *fp = f.get();
+
+    std::uint32_t magic = 0, version = 0;
+    if (!readScalar(fp, magic) || magic != profileMagic ||
+        !readScalar(fp, version) || version != profileVersion)
+        return false;
+    std::uint64_t interval = 0;
+    std::uint32_t ndims = 0;
+    if (!readString(fp, workload_) || !readString(fp, core_) ||
+        !readScalar(fp, interval) || !readScalar(fp, ndims) ||
+        ndims == 0 || ndims > 64)
+        return false;
+    intervalLen = interval;
+    dims_.resize(ndims);
+    for (auto &d : dims_) {
+        std::uint32_t v = 0;
+        if (!readScalar(fp, v) || v == 0 || v > 4096)
+            return false;
+        d = v;
+    }
+    std::uint64_t n = 0;
+    if (!readScalar(fp, n) || n > (1ull << 32))
+        return false;
+    records.resize(n);
+    for (auto &r : records) {
+        std::uint64_t insts = 0, total = 0;
+        if (!readScalar(fp, r.cpi) || !readScalar(fp, insts) ||
+            !readScalar(fp, total))
+            return false;
+        r.insts = insts;
+        r.accumTotal = total;
+        r.accums.resize(dims_.size());
+        for (std::size_t d = 0; d < dims_.size(); ++d) {
+            r.accums[d].resize(dims_[d]);
+            if (std::fread(r.accums[d].data(), sizeof(std::uint32_t),
+                           dims_[d], fp) != dims_[d]) {
+                return false;
+            }
+        }
+    }
+    return true;
+}
+
+} // namespace tpcp::trace

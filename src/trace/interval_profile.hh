@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Stored per-interval profiles: for each fixed-length interval of a
+ * workload's execution, the raw accumulator vectors at several
+ * dimension configurations plus the measured CPI.
+ *
+ * Profiles decouple simulation from classification: the timing
+ * simulation runs once per workload, and every classifier/predictor
+ * experiment replays the stored accumulator snapshots (exactly the
+ * state the hardware classifier would see) in microseconds.
+ */
+
+#ifndef TPCP_TRACE_INTERVAL_PROFILE_HH
+#define TPCP_TRACE_INTERVAL_PROFILE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace tpcp::trace
+{
+
+/** Profile data for one interval. */
+struct IntervalRecord
+{
+    /** Measured cycles-per-instruction of the interval. */
+    double cpi = 0.0;
+    /** Instructions in the interval (== interval length). */
+    InstCount insts = 0;
+    /** Total increment applied to each accumulator config. */
+    InstCount accumTotal = 0;
+    /** Raw accumulator snapshots, one vector per dimension config
+     * (indexed like IntervalProfile::dims). */
+    std::vector<std::vector<std::uint32_t>> accums;
+};
+
+/** A complete per-interval profile of one workload run. */
+class IntervalProfile
+{
+  public:
+    IntervalProfile() = default;
+
+    /**
+     * @param workload   workload name
+     * @param core       timing-core name used ("ooo", "simple")
+     * @param interval   instructions per interval
+     * @param dims       accumulator dimension configs recorded
+     */
+    IntervalProfile(std::string workload, std::string core,
+                    InstCount interval, std::vector<unsigned> dims);
+
+    const std::string &workload() const { return workload_; }
+    const std::string &coreName() const { return core_; }
+    InstCount intervalLength() const { return intervalLen; }
+    const std::vector<unsigned> &dims() const { return dims_; }
+
+    /** Index into per-interval accums for dimension config @p dim;
+     * fatal when the profile was not recorded at that config. */
+    std::size_t dimIndex(unsigned dim) const;
+
+    /** Appends one interval record. */
+    void push(IntervalRecord record);
+
+    std::size_t numIntervals() const { return records.size(); }
+    const IntervalRecord &interval(std::size_t i) const;
+    const std::vector<IntervalRecord> &intervals() const
+    {
+        return records;
+    }
+
+    /** CPI of every interval, in order. */
+    std::vector<double> cpis() const;
+
+    /** Serializes to a binary file. Returns false on I/O error. */
+    bool save(const std::string &path) const;
+
+    /** Loads from a binary file. Returns false on I/O or format
+     * error (the profile is left empty). */
+    bool load(const std::string &path);
+
+  private:
+    std::string workload_;
+    std::string core_;
+    InstCount intervalLen = 0;
+    std::vector<unsigned> dims_;
+    std::vector<IntervalRecord> records;
+};
+
+} // namespace tpcp::trace
+
+#endif // TPCP_TRACE_INTERVAL_PROFILE_HH

@@ -1,0 +1,71 @@
+#include "trace/interval_profiler.hh"
+
+#include "common/logging.hh"
+
+namespace tpcp::trace
+{
+
+IntervalProfiler::IntervalProfiler(const uarch::TimingCore &core,
+                                   std::string workload,
+                                   InstCount interval_len,
+                                   std::vector<unsigned> dims,
+                                   unsigned counter_bits)
+    : core(core), intervalLen(interval_len),
+      profile_(std::move(workload), core.name(), interval_len, dims)
+{
+    tpcp_assert(interval_len > 0);
+    for (unsigned d : dims)
+        accums.emplace_back(d, counter_bits);
+}
+
+void
+IntervalProfiler::onCommit(const uarch::DynInst &inst)
+{
+    tpcp_assert(!finished, "profiler already finished");
+    ++instsInInterval;
+    ++instsSinceBranch;
+
+    if (inst.isControl()) {
+        // Record (branch PC, instructions since the previous branch)
+        // into every accumulator configuration, as the hardware's
+        // branch-commit tap would.
+        for (auto &acc : accums)
+            acc.recordBranch(inst.pc, instsSinceBranch);
+        instsSinceBranch = 0;
+    }
+
+    if (instsInInterval >= intervalLen)
+        endInterval();
+}
+
+void
+IntervalProfiler::endInterval()
+{
+    IntervalRecord rec;
+    Cycles now = core.cycles();
+    rec.insts = instsInInterval;
+    rec.cpi = static_cast<double>(now - cyclesAtIntervalStart) /
+              static_cast<double>(instsInInterval);
+    rec.accumTotal = accums.front().totalIncrement();
+    for (auto &acc : accums) {
+        rec.accums.push_back(acc.counters());
+        acc.reset();
+    }
+    profile_.push(std::move(rec));
+
+    cyclesAtIntervalStart = now;
+    instsInInterval = 0;
+    // Instructions committed since the last branch carry into the
+    // next interval's first branch record, exactly as the hardware
+    // queue would deliver them.
+}
+
+void
+IntervalProfiler::onFinish()
+{
+    // The final partial interval (if any) is dropped: the paper
+    // profiles complete fixed-length intervals only.
+    finished = true;
+}
+
+} // namespace tpcp::trace

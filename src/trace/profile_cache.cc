@@ -1,0 +1,146 @@
+#include "trace/profile_cache.hh"
+
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "trace/interval_profiler.hh"
+#include "uarch/ooo_core.hh"
+#include "uarch/simple_core.hh"
+#include "uarch/simulator.hh"
+
+namespace tpcp::trace
+{
+
+namespace
+{
+
+std::string
+sanitize(const std::string &name)
+{
+    std::string out;
+    for (char c : name)
+        out.push_back((std::isalnum(static_cast<unsigned char>(c)))
+                          ? c
+                          : '_');
+    return out;
+}
+
+std::string
+cacheDirOf(const ProfileOptions &opts)
+{
+    if (!opts.cacheDir.empty())
+        return opts.cacheDir;
+    if (const char *env = std::getenv("TPCP_PROFILE_DIR"))
+        return env;
+    return "tpcp_profiles";
+}
+
+/** Folds the timing-relevant machine parameters into a hash. */
+std::uint64_t
+machineHash(const uarch::MachineConfig &m)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (std::uint64_t v :
+         {m.icache.sizeBytes,
+          static_cast<std::uint64_t>(m.icache.assoc),
+          m.dcache.sizeBytes,
+          static_cast<std::uint64_t>(m.dcache.assoc),
+          m.l2.sizeBytes,
+          static_cast<std::uint64_t>(m.l2.hitLatency),
+          static_cast<std::uint64_t>(m.memoryLatency),
+          static_cast<std::uint64_t>(m.core.robEntries),
+          static_cast<std::uint64_t>(m.core.issueWidth)}) {
+        h = (h ^ v) * 0x100000001b3ULL;
+    }
+    return h;
+}
+
+std::unique_ptr<uarch::TimingCore>
+makeCore(const std::string &name, const uarch::MachineConfig &config)
+{
+    if (name == "ooo")
+        return std::make_unique<uarch::OooCore>(config);
+    if (name == "simple")
+        return std::make_unique<uarch::SimpleCore>(config);
+    tpcp_fatal("unknown timing core '", name,
+               "' (expected 'ooo' or 'simple')");
+}
+
+bool
+profileMatches(const IntervalProfile &p,
+               const workload::Workload &workload,
+               const ProfileOptions &opts)
+{
+    return p.workload() == workload.name &&
+           p.coreName() == opts.coreName &&
+           p.intervalLength() == opts.intervalLen &&
+           p.dims() == opts.dims && p.numIntervals() > 0;
+}
+
+} // namespace
+
+IntervalProfile
+buildProfile(const workload::Workload &workload,
+             const ProfileOptions &opts)
+{
+    std::unique_ptr<uarch::TimingCore> core =
+        makeCore(opts.coreName, opts.machine);
+
+    auto schedule = workload.makeSchedule();
+    uarch::Simulator sim(workload.program, *schedule, *core,
+                         workload.seed ^ 0xabcdef12345ULL);
+    IntervalProfiler profiler(*core, workload.name, opts.intervalLen,
+                              opts.dims);
+    sim.addSink(&profiler);
+    sim.run();
+    return profiler.takeProfile();
+}
+
+std::string
+profileCachePath(const std::string &workload_name,
+                 const ProfileOptions &opts)
+{
+    std::ostringstream oss;
+    oss << sanitize(workload_name) << "_" << opts.coreName << "_i"
+        << opts.intervalLen << "_d";
+    for (std::size_t i = 0; i < opts.dims.size(); ++i)
+        oss << (i ? "-" : "") << opts.dims[i];
+    // Non-Table-1 machines get a distinguishing hash tag.
+    std::uint64_t h = machineHash(opts.machine);
+    if (h != machineHash(uarch::MachineConfig::table1()))
+        oss << "_m" << std::hex << (h & 0xffffffff) << std::dec;
+    oss << ".tpcpprof";
+    return (std::filesystem::path(cacheDirOf(opts)) / oss.str())
+        .string();
+}
+
+IntervalProfile
+getProfile(const workload::Workload &workload,
+           const ProfileOptions &opts)
+{
+    if (!opts.useCache)
+        return buildProfile(workload, opts);
+
+    std::string path = profileCachePath(workload.name, opts);
+    IntervalProfile cached;
+    if (cached.load(path) && profileMatches(cached, workload, opts))
+        return cached;
+
+    IntervalProfile fresh = buildProfile(workload, opts);
+    std::error_code ec;
+    std::filesystem::create_directories(cacheDirOf(opts), ec);
+    if (!fresh.save(path))
+        tpcp_warn("could not write profile cache file ", path);
+    return fresh;
+}
+
+IntervalProfile
+getProfileByName(const std::string &name, const ProfileOptions &opts)
+{
+    return getProfile(workload::makeWorkload(name), opts);
+}
+
+} // namespace tpcp::trace

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Builds interval profiles for workloads, with a transparent on-disk
+ * cache: the timing simulation for a given (workload, core, interval
+ * length, dimension set) runs once and is reused by every experiment
+ * binary afterwards.
+ */
+
+#ifndef TPCP_TRACE_PROFILE_CACHE_HH
+#define TPCP_TRACE_PROFILE_CACHE_HH
+
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "trace/interval_profile.hh"
+#include "uarch/machine_config.hh"
+#include "workload/workload.hh"
+
+namespace tpcp::trace
+{
+
+/** Profiling options. */
+struct ProfileOptions
+{
+    /** Instructions per interval (repository default; the paper used
+     * 10M - see DESIGN.md on scaling). */
+    InstCount intervalLen = 100'000;
+    /** Accumulator dimension configs to record. */
+    std::vector<unsigned> dims = {8, 16, 32, 64};
+    /** Timing core: "ooo" (Table 1) or "simple" (fast cost model). */
+    std::string coreName = "ooo";
+    /** Cache directory; empty uses $TPCP_PROFILE_DIR or
+     * "tpcp_profiles". */
+    std::string cacheDir;
+    /** Disable to force re-simulation. */
+    bool useCache = true;
+    /** Machine to simulate (defaults to the paper's Table 1). The
+     * cache file name carries a hash of non-default machines. */
+    uarch::MachineConfig machine = uarch::MachineConfig::table1();
+};
+
+/**
+ * Runs the full timing simulation of @p workload and returns its
+ * interval profile (no caching).
+ */
+IntervalProfile buildProfile(const workload::Workload &workload,
+                             const ProfileOptions &opts = {});
+
+/**
+ * Returns the interval profile for @p workload, loading it from the
+ * cache when a matching file exists and simulating (then caching)
+ * otherwise.
+ */
+IntervalProfile getProfile(const workload::Workload &workload,
+                           const ProfileOptions &opts = {});
+
+/** Convenience: getProfile(makeWorkload(name), opts). */
+IntervalProfile getProfileByName(const std::string &name,
+                                 const ProfileOptions &opts = {});
+
+/** The cache file path that would be used for these options. */
+std::string profileCachePath(const std::string &workload_name,
+                             const ProfileOptions &opts);
+
+} // namespace tpcp::trace
+
+#endif // TPCP_TRACE_PROFILE_CACHE_HH

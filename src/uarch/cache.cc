@@ -1,0 +1,93 @@
+#include "uarch/cache.hh"
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+
+namespace tpcp::uarch
+{
+
+Cache::Cache(const CacheConfig &config, std::string name)
+    : config_(config), name_(std::move(name))
+{
+    tpcp_assert(isPowerOf2(config_.blockBytes),
+                "block size must be a power of two");
+    tpcp_assert(config_.assoc >= 1);
+    std::uint64_t sets = config_.numSets();
+    tpcp_assert(sets >= 1 && isPowerOf2(sets),
+                "cache geometry must give a power-of-two set count");
+    blockShift = floorLog2(config_.blockBytes);
+    setMask = sets - 1;
+    lines.resize(sets * config_.assoc);
+}
+
+std::uint64_t
+Cache::setIndex(Addr addr) const
+{
+    return (addr >> blockShift) & setMask;
+}
+
+std::uint64_t
+Cache::tagOf(Addr addr) const
+{
+    return addr >> blockShift;
+}
+
+CacheAccessResult
+Cache::access(Addr addr, bool write)
+{
+    ++stats_.accesses;
+    std::uint64_t set = setIndex(addr);
+    std::uint64_t tag = tagOf(addr);
+    Line *base = &lines[set * config_.assoc];
+
+    Line *victim = nullptr;
+    for (unsigned w = 0; w < config_.assoc; ++w) {
+        Line &line = base[w];
+        if (line.valid && line.tag == tag) {
+            line.lastUse = ++tick;
+            line.dirty = line.dirty || write;
+            return {true, false};
+        }
+        if (!line.valid) {
+            if (!victim || victim->valid)
+                victim = &line;
+        } else if (!victim ||
+                   (victim->valid && line.lastUse < victim->lastUse)) {
+            victim = &line;
+        }
+    }
+
+    ++stats_.misses;
+    bool writeback = victim->valid && victim->dirty;
+    if (writeback)
+        ++stats_.writebacks;
+    victim->tag = tag;
+    victim->valid = true;
+    victim->dirty = write;
+    victim->lastUse = ++tick;
+    return {false, writeback};
+}
+
+bool
+Cache::probe(Addr addr) const
+{
+    std::uint64_t set = setIndex(addr);
+    std::uint64_t tag = tagOf(addr);
+    const Line *base = &lines[set * config_.assoc];
+    for (unsigned w = 0; w < config_.assoc; ++w) {
+        if (base[w].valid && base[w].tag == tag)
+            return true;
+    }
+    return false;
+}
+
+void
+Cache::reset()
+{
+    for (auto &line : lines)
+        line = Line{};
+    tick = 0;
+    stats_ = CacheStats{};
+}
+
+} // namespace tpcp::uarch

@@ -1,0 +1,54 @@
+#include "uarch/cache_hierarchy.hh"
+
+namespace tpcp::uarch
+{
+
+CacheHierarchy::CacheHierarchy(const MachineConfig &config)
+    : memoryLatency(config.memoryLatency),
+      icache_(config.icache, "icache"),
+      dcache_(config.dcache, "dcache"),
+      l2_(config.l2, "l2"),
+      itlb_(config.itlb),
+      dtlb_(config.dtlb)
+{
+}
+
+Cycles
+CacheHierarchy::accessInst(Addr pc)
+{
+    Cycles latency = icache_.config().hitLatency;
+    if (!itlb_.access(pc))
+        latency += itlb_.missLatency();
+    if (!icache_.access(pc, false).hit) {
+        latency += l2_.config().hitLatency;
+        if (!l2_.access(pc, false).hit)
+            latency += memoryLatency;
+    }
+    return latency;
+}
+
+Cycles
+CacheHierarchy::accessData(Addr addr, bool write)
+{
+    Cycles latency = dcache_.config().hitLatency;
+    if (!dtlb_.access(addr))
+        latency += dtlb_.missLatency();
+    if (!dcache_.access(addr, write).hit) {
+        latency += l2_.config().hitLatency;
+        if (!l2_.access(addr, write).hit)
+            latency += memoryLatency;
+    }
+    return latency;
+}
+
+void
+CacheHierarchy::reset()
+{
+    icache_.reset();
+    dcache_.reset();
+    l2_.reset();
+    itlb_.reset();
+    dtlb_.reset();
+}
+
+} // namespace tpcp::uarch

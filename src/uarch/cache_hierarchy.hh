@@ -1,0 +1,56 @@
+/**
+ * @file
+ * The two-level cache hierarchy plus TLBs of the Table-1 machine:
+ * split L1 I/D caches backed by a unified L2 and a fixed-latency main
+ * memory. Returns access latencies for the timing cores.
+ */
+
+#ifndef TPCP_UARCH_CACHE_HIERARCHY_HH
+#define TPCP_UARCH_CACHE_HIERARCHY_HH
+
+#include "common/types.hh"
+#include "uarch/cache.hh"
+#include "uarch/machine_config.hh"
+#include "uarch/tlb.hh"
+
+namespace tpcp::uarch
+{
+
+/**
+ * Models the memory system timing: L1 hit latency on hit, plus L2 hit
+ * latency on L1 miss, plus main-memory latency on L2 miss, plus the
+ * fixed TLB miss penalty when the page is not mapped.
+ */
+class CacheHierarchy
+{
+  public:
+    explicit CacheHierarchy(const MachineConfig &config);
+
+    /** Instruction fetch of the line containing @p pc; returns the
+     * total access latency in cycles. */
+    Cycles accessInst(Addr pc);
+
+    /** Data access at @p addr; returns total latency in cycles. */
+    Cycles accessData(Addr addr, bool write);
+
+    /** Invalidates all caches and TLBs and clears statistics. */
+    void reset();
+
+    const Cache &icache() const { return icache_; }
+    const Cache &dcache() const { return dcache_; }
+    const Cache &l2cache() const { return l2_; }
+    const Tlb &itlb() const { return itlb_; }
+    const Tlb &dtlb() const { return dtlb_; }
+
+  private:
+    Cycles memoryLatency;
+    Cache icache_;
+    Cache dcache_;
+    Cache l2_;
+    Tlb itlb_;
+    Tlb dtlb_;
+};
+
+} // namespace tpcp::uarch
+
+#endif // TPCP_UARCH_CACHE_HIERARCHY_HH

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Abstract timing-core interface. A core consumes the committed
+ * dynamic-instruction stream and accounts cycles; the interval
+ * profiler samples cycles() at interval boundaries to compute CPI.
+ */
+
+#ifndef TPCP_UARCH_CORE_HH
+#define TPCP_UARCH_CORE_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+#include "uarch/dyn_inst.hh"
+
+namespace tpcp::uarch
+{
+
+class CacheHierarchy;
+class BranchPredictor;
+
+/** Aggregate core statistics (beyond cycle count). */
+struct CoreStats
+{
+    InstCount insts = 0;
+    std::uint64_t branches = 0;
+    std::uint64_t branchMispredicts = 0;
+    std::uint64_t loads = 0;
+    std::uint64_t stores = 0;
+
+    double
+    cpi(Cycles cycles) const
+    {
+        return insts ? static_cast<double>(cycles) /
+                           static_cast<double>(insts)
+                     : 0.0;
+    }
+};
+
+/**
+ * A timing model of a processor core.
+ *
+ * Implementations are trace-driven: they see each committed DynInst in
+ * program order and account the cycles it costs, including cache and
+ * branch-predictor effects.
+ */
+class TimingCore
+{
+  public:
+    virtual ~TimingCore() = default;
+
+    /** Accounts one committed instruction. */
+    virtual void consume(const DynInst &inst) = 0;
+
+    /** Cycles elapsed up to the last consumed instruction. */
+    virtual Cycles cycles() const = 0;
+
+    /** Resets all timing and predictor/cache state. */
+    virtual void reset() = 0;
+
+    /** Model name for reporting ("simple", "ooo"). */
+    virtual std::string name() const = 0;
+
+    /** Aggregate statistics. */
+    const CoreStats &stats() const { return stats_; }
+
+    /** The core's memory hierarchy, when it models one (for
+     * reporting; may be null). */
+    virtual const CacheHierarchy *memoryHierarchy() const
+    {
+        return nullptr;
+    }
+
+    /** The core's branch predictor, when it models one (for
+     * reporting; may be null). */
+    virtual const BranchPredictor *directionPredictor() const
+    {
+        return nullptr;
+    }
+
+  protected:
+    CoreStats stats_;
+};
+
+} // namespace tpcp::uarch
+
+#endif // TPCP_UARCH_CORE_HH

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * A dynamic instruction: one executed instance of a static instruction
+ * with its resolved PC, memory address and branch outcome. This is
+ * the unit the timing cores consume and the interval profiler
+ * observes.
+ */
+
+#ifndef TPCP_UARCH_DYN_INST_HH
+#define TPCP_UARCH_DYN_INST_HH
+
+#include "common/types.hh"
+#include "isa/inst.hh"
+
+namespace tpcp::uarch
+{
+
+/** One committed dynamic instruction. */
+struct DynInst
+{
+    /** The static instruction executed (owned by the Program). */
+    const isa::Inst *staticInst = nullptr;
+    /** Program counter of this instance. */
+    Addr pc = 0;
+    /** Effective address (memory ops only). */
+    Addr memAddr = 0;
+    /** Resolved direction (control ops only; jumps are always taken). */
+    bool taken = false;
+    /** Region the instruction belongs to. */
+    std::uint32_t region = 0;
+
+    bool isMem() const { return staticInst->isMem(); }
+    bool isLoad() const { return staticInst->traits().isLoad; }
+    bool isControl() const { return staticInst->isControl(); }
+    bool isConditional() const { return staticInst->traits().isConditional; }
+};
+
+} // namespace tpcp::uarch
+
+#endif // TPCP_UARCH_DYN_INST_HH

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * The execution engine: walks a Program's basic blocks, resolving
+ * memory addresses and branch outcomes from the regions' behavioral
+ * descriptors, and yields a stream of committed DynInsts.
+ *
+ * Control flow stays inside the current region (loop branches jump
+ * within it; the last block wraps to the region entry); the phase
+ * script, via Simulator, switches the engine between regions to create
+ * phase behavior.
+ */
+
+#ifndef TPCP_UARCH_EXEC_ENGINE_HH
+#define TPCP_UARCH_EXEC_ENGINE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+#include "isa/program.hh"
+#include "uarch/dyn_inst.hh"
+
+namespace tpcp::uarch
+{
+
+/** Dynamic state of one memory-address stream. */
+struct MemStreamState
+{
+    std::uint64_t cursor = 0; ///< stride walk position / chase offset
+};
+
+/** Dynamic state of one branch-behavior generator. */
+struct BranchBehaviorState
+{
+    std::uint32_t loopCount = 0; ///< iterations completed (LoopBack)
+    std::uint8_t patternPos = 0; ///< bit cursor (Pattern)
+};
+
+/**
+ * Produces the committed dynamic-instruction stream of a Program.
+ */
+class ExecEngine
+{
+  public:
+    /**
+     * @param program static program to execute (must outlive engine)
+     * @param seed    seeds the Bernoulli branch outcomes and random
+     *                address draws; same seed => same stream
+     */
+    ExecEngine(const isa::Program &program, std::uint64_t seed);
+
+    /**
+     * Switches execution to @p region's entry block (models a call
+     * into that part of the program). The in-flight block position is
+     * abandoned.
+     */
+    void enterRegion(std::uint32_t region);
+
+    /** Region currently executing. */
+    std::uint32_t currentRegion() const { return curRegion; }
+
+    /**
+     * Executes and returns the next dynamic instruction. The returned
+     * reference is valid until the next call.
+     */
+    const DynInst &next();
+
+    /** Total dynamic instructions produced. */
+    InstCount instCount() const { return instsDone; }
+
+  private:
+    Addr resolveMemAddr(const isa::Region &reg, const isa::Inst &inst);
+    bool resolveBranch(const isa::Region &reg, const isa::Inst &inst);
+
+    const isa::Program &program;
+    Rng rng;
+
+    /** Per-region stream/behavior state, indexed like the program. */
+    struct RegionState
+    {
+        std::vector<MemStreamState> streams;
+        std::vector<BranchBehaviorState> behaviors;
+    };
+    std::vector<RegionState> regionState;
+
+    std::uint32_t curRegion = 0;
+    std::uint32_t curBlock = 0;
+    std::uint32_t curInst = 0;
+    InstCount instsDone = 0;
+    DynInst out;
+};
+
+} // namespace tpcp::uarch
+
+#endif // TPCP_UARCH_EXEC_ENGINE_HH

@@ -1,0 +1,55 @@
+#include "uarch/machine_config.hh"
+
+#include <sstream>
+
+namespace tpcp::uarch
+{
+
+MachineConfig
+MachineConfig::table1()
+{
+    MachineConfig m;
+    m.icache = {16 * 1024, 4, 32, 1};
+    m.dcache = {16 * 1024, 4, 32, 1};
+    m.l2 = {128 * 1024, 8, 64, 12};
+    m.memoryLatency = 120;
+    m.branchPred = BranchPredConfig{};
+    m.itlb = TlbConfig{};
+    m.dtlb = TlbConfig{};
+    m.core = CoreConfig{};
+    return m;
+}
+
+std::string
+MachineConfig::toString() const
+{
+    std::ostringstream oss;
+    auto cache_line = [&](const char *name, const CacheConfig &c) {
+        oss << name << ": " << c.sizeBytes / 1024 << "k " << c.assoc
+            << "-way set-associative, " << c.blockBytes
+            << " byte blocks, " << c.hitLatency << " cycle latency\n";
+    };
+    cache_line("I Cache", icache);
+    cache_line("D Cache", dcache);
+    cache_line("L2 Cache", l2);
+    oss << "Main Memory: " << memoryLatency << " cycle latency\n";
+    oss << "Branch Pred: hybrid - " << branchPred.gshareHistoryBits
+        << "-bit gshare w/ " << branchPred.gshareEntries / 1024
+        << "k 2-bit predictors + a " << branchPred.bimodalEntries / 1024
+        << "k bimodal predictor\n";
+    oss << "O-O-O Issue: out-of-order issue of up to "
+        << core.issueWidth << " operations per cycle, "
+        << core.robEntries << " entry re-order buffer\n";
+    oss << "Registers: 32 integer, 32 floating point\n";
+    oss << "Func Units: " << core.intAluUnits << "-integer ALU, "
+        << core.loadStoreUnits << "-load/store units, "
+        << core.fpAddUnits << "-FP adder, " << core.intMultDivUnits
+        << "-integer MULT/DIV, " << core.fpMultDivUnits
+        << "-FP MULT/DIV\n";
+    oss << "Virtual Mem: " << dtlb.pageBytes / 1024
+        << "K byte pages, " << dtlb.missLatency
+        << " cycle fixed TLB miss latency\n";
+    return oss.str();
+}
+
+} // namespace tpcp::uarch

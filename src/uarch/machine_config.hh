@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Machine configuration structures mirroring the paper's Table 1
+ * ("Baseline Simulation Model") for the SimpleScalar-style timing
+ * cores.
+ */
+
+#ifndef TPCP_UARCH_MACHINE_CONFIG_HH
+#define TPCP_UARCH_MACHINE_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+
+namespace tpcp::uarch
+{
+
+/** Geometry and latency of one cache level. */
+struct CacheConfig
+{
+    std::uint64_t sizeBytes = 16 * 1024;
+    unsigned assoc = 4;
+    unsigned blockBytes = 32;
+    Cycles hitLatency = 1;
+
+    /** Number of sets implied by the geometry. */
+    std::uint64_t
+    numSets() const
+    {
+        return sizeBytes / (static_cast<std::uint64_t>(assoc) *
+                            blockBytes);
+    }
+};
+
+/** Hybrid branch predictor configuration (gshare + bimodal). */
+struct BranchPredConfig
+{
+    unsigned gshareHistoryBits = 8;   ///< 8-bit global history
+    unsigned gshareEntries = 2048;    ///< 2k 2-bit counters
+    unsigned bimodalEntries = 8192;   ///< 8k bimodal predictor
+    unsigned chooserEntries = 8192;   ///< meta predictor
+    Cycles mispredictPenalty = 7;     ///< redirect penalty in cycles
+};
+
+/** TLB configuration. */
+struct TlbConfig
+{
+    std::uint64_t pageBytes = 8 * 1024; ///< 8K byte pages
+    unsigned entries = 128;
+    unsigned assoc = 4;
+    Cycles missLatency = 30; ///< fixed 30-cycle TLB miss latency
+};
+
+/** Out-of-order core configuration. */
+struct CoreConfig
+{
+    unsigned fetchWidth = 4;
+    unsigned issueWidth = 4;  ///< up to 4 operations per cycle
+    unsigned commitWidth = 4;
+    unsigned robEntries = 64; ///< 64-entry re-order buffer
+    unsigned lsqEntries = 32;
+    unsigned frontendDepth = 3; ///< fetch-to-dispatch stages
+    unsigned intAluUnits = 2;
+    unsigned loadStoreUnits = 2;
+    unsigned fpAddUnits = 1;
+    unsigned intMultDivUnits = 1;
+    unsigned fpMultDivUnits = 1;
+};
+
+/** Full machine description. */
+struct MachineConfig
+{
+    CacheConfig icache;
+    CacheConfig dcache;
+    CacheConfig l2;
+    Cycles memoryLatency = 120;
+    BranchPredConfig branchPred;
+    TlbConfig itlb;
+    TlbConfig dtlb;
+    CoreConfig core;
+
+    /**
+     * The paper's Table 1 baseline: 16k 4-way 32B-block L1 I and D
+     * caches (1 cycle), 128K 8-way 64B-block L2 (12 cycles), 120-cycle
+     * main memory, hybrid 8-bit gshare with 2k 2-bit counters plus an
+     * 8k bimodal predictor, 4-wide out-of-order issue with a 64-entry
+     * ROB, 8K pages with a fixed 30-cycle TLB miss latency.
+     */
+    static MachineConfig table1();
+
+    /** Multi-line human-readable description (Table 1 rendering). */
+    std::string toString() const;
+};
+
+} // namespace tpcp::uarch
+
+#endif // TPCP_UARCH_MACHINE_CONFIG_HH

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * The region-schedule interface between the workload layer and the
+ * simulator: a schedule yields (region, instruction budget) segments;
+ * the simulator executes each segment before asking for the next.
+ * Phase scripts in src/workload implement this interface.
+ */
+
+#ifndef TPCP_UARCH_SCHEDULE_HH
+#define TPCP_UARCH_SCHEDULE_HH
+
+#include <cstdint>
+#include <optional>
+
+#include "common/types.hh"
+
+namespace tpcp::uarch
+{
+
+/** One schedule step: run @p region for about @p insts instructions. */
+struct Segment
+{
+    std::uint32_t region = 0;
+    InstCount insts = 0;
+};
+
+/** A source of schedule segments. */
+class RegionSchedule
+{
+  public:
+    virtual ~RegionSchedule() = default;
+
+    /** Returns the next segment, or std::nullopt when the program's
+     * scripted execution is complete. */
+    virtual std::optional<Segment> next() = 0;
+
+    /** Restarts the schedule from the beginning. */
+    virtual void reset() = 0;
+};
+
+} // namespace tpcp::uarch
+
+#endif // TPCP_UARCH_SCHEDULE_HH

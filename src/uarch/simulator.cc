@@ -1,0 +1,58 @@
+#include "uarch/simulator.hh"
+
+#include "common/logging.hh"
+
+namespace tpcp::uarch
+{
+
+Simulator::Simulator(const isa::Program &program,
+                     RegionSchedule &schedule, TimingCore &core,
+                     std::uint64_t seed)
+    : program(program), schedule(schedule), core_(core),
+      engine_(program, seed)
+{
+}
+
+void
+Simulator::addSink(TraceSink *sink)
+{
+    tpcp_assert(sink != nullptr);
+    sinks.push_back(sink);
+}
+
+InstCount
+Simulator::run(InstCount max_insts)
+{
+    InstCount done = 0;
+    for (;;) {
+        std::optional<Segment> seg = schedule.next();
+        if (!seg)
+            break;
+        if (seg->insts == 0)
+            continue;
+        tpcp_assert(seg->region < program.regions.size(),
+                    "schedule references unknown region");
+        if (seg->region != engine_.currentRegion())
+            engine_.enterRegion(seg->region);
+
+        InstCount budget = seg->insts;
+        while (budget > 0) {
+            const DynInst &inst = engine_.next();
+            core_.consume(inst);
+            for (TraceSink *sink : sinks)
+                sink->onCommit(inst);
+            --budget;
+            ++done;
+            if (max_insts && done >= max_insts) {
+                for (TraceSink *sink : sinks)
+                    sink->onFinish();
+                return done;
+            }
+        }
+    }
+    for (TraceSink *sink : sinks)
+        sink->onFinish();
+    return done;
+}
+
+} // namespace tpcp::uarch

@@ -1,0 +1,59 @@
+#include "uarch/stats_report.hh"
+
+#include <sstream>
+
+#include "common/ascii_table.hh"
+#include "uarch/branch_pred.hh"
+#include "uarch/cache_hierarchy.hh"
+
+namespace tpcp::uarch
+{
+
+std::string
+formatCoreStats(const TimingCore &core)
+{
+    std::ostringstream oss;
+    const CoreStats &s = core.stats();
+    AsciiTable table({"stat", "value"});
+    table.row().cell("core").cell(core.name());
+    table.row().cell("instructions").cell(s.insts);
+    table.row().cell("cycles").cell(
+        static_cast<std::uint64_t>(core.cycles()));
+    table.row().cell("CPI").cell(s.cpi(core.cycles()), 3);
+    table.row().cell("loads").cell(s.loads);
+    table.row().cell("stores").cell(s.stores);
+    table.row().cell("cond. branches").cell(s.branches);
+    table.row().cell("branch mispredicts").cell(s.branchMispredicts);
+    if (s.branches) {
+        table.row().cell("mispredict rate").percentCell(
+            static_cast<double>(s.branchMispredicts) /
+            static_cast<double>(s.branches));
+    }
+
+    if (const CacheHierarchy *h = core.memoryHierarchy()) {
+        auto cache_rows = [&](const Cache &c) {
+            table.row()
+                .cell(c.name() + " accesses")
+                .cell(c.stats().accesses);
+            table.row()
+                .cell(c.name() + " miss rate")
+                .percentCell(c.stats().missRate());
+        };
+        cache_rows(h->icache());
+        cache_rows(h->dcache());
+        cache_rows(h->l2cache());
+        table.row()
+            .cell("dcache writebacks")
+            .cell(h->dcache().stats().writebacks);
+        table.row()
+            .cell("itlb miss rate")
+            .percentCell(h->itlb().stats().missRate());
+        table.row()
+            .cell("dtlb miss rate")
+            .percentCell(h->dtlb().stats().missRate());
+    }
+    table.print(oss);
+    return oss.str();
+}
+
+} // namespace tpcp::uarch

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Human-readable end-of-simulation statistics for a timing core:
+ * instruction/cycle totals, CPI, branch prediction and cache/TLB
+ * miss rates - the numbers a SimpleScalar/gem5 user expects at the
+ * end of a run.
+ */
+
+#ifndef TPCP_UARCH_STATS_REPORT_HH
+#define TPCP_UARCH_STATS_REPORT_HH
+
+#include <string>
+
+#include "uarch/core.hh"
+
+namespace tpcp::uarch
+{
+
+class CacheHierarchy;
+class BranchPredictor;
+
+/**
+ * Formats a full statistics report for @p core. Works for both
+ * SimpleCore and OooCore (anything exposing its hierarchy and branch
+ * predictor through the optional TimingCore accessors); cores
+ * without them report the architectural counters only.
+ */
+std::string formatCoreStats(const TimingCore &core);
+
+} // namespace tpcp::uarch
+
+#endif // TPCP_UARCH_STATS_REPORT_HH

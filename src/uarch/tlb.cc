@@ -1,0 +1,62 @@
+#include "uarch/tlb.hh"
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+
+namespace tpcp::uarch
+{
+
+Tlb::Tlb(const TlbConfig &config)
+    : config_(config)
+{
+    tpcp_assert(isPowerOf2(config_.pageBytes));
+    tpcp_assert(config_.assoc >= 1);
+    tpcp_assert(config_.entries % config_.assoc == 0);
+    pageShift = floorLog2(config_.pageBytes);
+    numSets = config_.entries / config_.assoc;
+    tpcp_assert(isPowerOf2(numSets));
+    setMask = numSets - 1;
+    entries.resize(config_.entries);
+}
+
+bool
+Tlb::access(Addr addr)
+{
+    ++stats_.accesses;
+    std::uint64_t vpn = addr >> pageShift;
+    std::uint64_t set = vpn & setMask;
+    Entry *base = &entries[set * config_.assoc];
+
+    Entry *victim = nullptr;
+    for (unsigned w = 0; w < config_.assoc; ++w) {
+        Entry &e = base[w];
+        if (e.valid && e.vpn == vpn) {
+            e.lastUse = ++tick;
+            return true;
+        }
+        if (!e.valid) {
+            if (!victim || victim->valid)
+                victim = &e;
+        } else if (!victim ||
+                   (victim->valid && e.lastUse < victim->lastUse)) {
+            victim = &e;
+        }
+    }
+
+    ++stats_.misses;
+    victim->vpn = vpn;
+    victim->valid = true;
+    victim->lastUse = ++tick;
+    return false;
+}
+
+void
+Tlb::reset()
+{
+    for (auto &e : entries)
+        e = Entry{};
+    tick = 0;
+    stats_ = TlbStats{};
+}
+
+} // namespace tpcp::uarch

@@ -1,0 +1,223 @@
+#include "workload/phase_script.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace tpcp::workload
+{
+
+namespace
+{
+
+std::shared_ptr<ScriptNode>
+makeNode(ScriptNode::Kind kind)
+{
+    auto node = std::make_shared<ScriptNode>();
+    node->kind = kind;
+    return node;
+}
+
+/** Applies gaussian length jitter, keeping the result >= 1. */
+InstCount
+jittered(InstCount insts, double jitter, Rng &rng)
+{
+    if (jitter <= 0.0 || insts == 0)
+        return std::max<InstCount>(1, insts);
+    double f = 1.0 + jitter * rng.nextGaussian();
+    f = std::max(0.1, f);
+    auto v = static_cast<InstCount>(
+        static_cast<double>(insts) * f + 0.5);
+    return std::max<InstCount>(1, v);
+}
+
+void
+expandInto(const ScriptNode &node, Rng &rng,
+           std::vector<uarch::Segment> &out)
+{
+    switch (node.kind) {
+      case ScriptNode::Kind::Run:
+        out.push_back({node.region, jittered(node.insts, node.jitter,
+                                             rng)});
+        break;
+
+      case ScriptNode::Kind::Seq:
+        for (const auto &child : node.children)
+            expandInto(*child, rng, out);
+        break;
+
+      case ScriptNode::Kind::Loop:
+        for (unsigned i = 0; i < node.count; ++i)
+            expandInto(*node.children.at(0), rng, out);
+        break;
+
+      case ScriptNode::Kind::Markov: {
+        tpcp_assert(!node.children.empty());
+        tpcp_assert(node.trans.size() == node.children.size(),
+                    "markov matrix shape mismatch");
+        unsigned cur = node.startState;
+        tpcp_assert(cur < node.children.size());
+        for (unsigned step = 0; step < node.count; ++step) {
+            expandInto(*node.children[cur], rng, out);
+            const auto &row = node.trans[cur];
+            tpcp_assert(row.size() == node.children.size(),
+                        "markov row shape mismatch");
+            cur = static_cast<unsigned>(rng.nextWeighted(row));
+        }
+        break;
+      }
+
+      case ScriptNode::Kind::Mix: {
+        tpcp_assert(!node.blend.empty());
+        tpcp_assert(node.chunk > 0);
+        std::vector<double> weights;
+        for (const auto &[region, w] : node.blend)
+            weights.push_back(w);
+        InstCount remaining = node.insts;
+        while (remaining > 0) {
+            InstCount len = std::min<InstCount>(
+                remaining, jittered(node.chunk, 0.2, rng));
+            std::size_t pick = rng.nextWeighted(weights);
+            out.push_back({node.blend[pick].first, len});
+            remaining -= len;
+        }
+        break;
+      }
+
+      case ScriptNode::Kind::Drift: {
+        tpcp_assert(node.blend.size() == 2);
+        tpcp_assert(node.chunk > 0);
+        InstCount total = node.insts;
+        InstCount done = 0;
+        while (done < total) {
+            InstCount len = std::min<InstCount>(
+                total - done, jittered(node.chunk, 0.2, rng));
+            double t = static_cast<double>(done) /
+                       static_cast<double>(total);
+            double b_weight = node.blendStart +
+                (node.blendEnd - node.blendStart) * t;
+            b_weight = std::clamp(b_weight, 0.0, 1.0);
+            std::uint32_t region = rng.nextBool(b_weight)
+                                       ? node.blend[1].first
+                                       : node.blend[0].first;
+            out.push_back({region, len});
+            done += len;
+        }
+        break;
+      }
+    }
+}
+
+} // namespace
+
+ScriptPtr
+scriptRun(std::uint32_t region, InstCount insts, double jitter)
+{
+    auto node = makeNode(ScriptNode::Kind::Run);
+    node->region = region;
+    node->insts = insts;
+    node->jitter = jitter;
+    return node;
+}
+
+ScriptPtr
+scriptSeq(std::vector<ScriptPtr> children)
+{
+    tpcp_assert(!children.empty(), "seq needs children");
+    auto node = makeNode(ScriptNode::Kind::Seq);
+    node->children = std::move(children);
+    return node;
+}
+
+ScriptPtr
+scriptLoop(ScriptPtr child, unsigned count)
+{
+    tpcp_assert(child != nullptr);
+    auto node = makeNode(ScriptNode::Kind::Loop);
+    node->children.push_back(std::move(child));
+    node->count = count;
+    return node;
+}
+
+ScriptPtr
+scriptMarkov(std::vector<ScriptPtr> states,
+             std::vector<std::vector<double>> trans, unsigned steps,
+             unsigned start)
+{
+    tpcp_assert(!states.empty(), "markov needs states");
+    tpcp_assert(trans.size() == states.size(),
+                "markov matrix must be square over states");
+    auto node = makeNode(ScriptNode::Kind::Markov);
+    node->children = std::move(states);
+    node->trans = std::move(trans);
+    node->count = steps;
+    node->startState = start;
+    return node;
+}
+
+ScriptPtr
+scriptMix(std::vector<std::pair<std::uint32_t, double>> parts,
+          InstCount total_insts, InstCount chunk)
+{
+    tpcp_assert(!parts.empty(), "mix needs regions");
+    tpcp_assert(chunk > 0, "mix needs a chunk size");
+    auto node = makeNode(ScriptNode::Kind::Mix);
+    node->blend = std::move(parts);
+    node->insts = total_insts;
+    node->chunk = chunk;
+    return node;
+}
+
+ScriptPtr
+scriptDrift(std::uint32_t a, std::uint32_t b, InstCount total_insts,
+            InstCount chunk, double blend_start, double blend_end)
+{
+    tpcp_assert(chunk > 0, "drift needs a chunk size");
+    auto node = makeNode(ScriptNode::Kind::Drift);
+    node->blend = {{a, 1.0}, {b, 1.0}};
+    node->insts = total_insts;
+    node->chunk = chunk;
+    node->blendStart = blend_start;
+    node->blendEnd = blend_end;
+    return node;
+}
+
+std::vector<uarch::Segment>
+expandScript(const ScriptPtr &script, Rng &rng)
+{
+    tpcp_assert(script != nullptr);
+    std::vector<uarch::Segment> out;
+    expandInto(*script, rng, out);
+    return out;
+}
+
+ExpandedSchedule::ExpandedSchedule(std::vector<uarch::Segment> segments)
+    : segments(std::move(segments))
+{
+}
+
+std::optional<uarch::Segment>
+ExpandedSchedule::next()
+{
+    if (pos >= segments.size())
+        return std::nullopt;
+    return segments[pos++];
+}
+
+void
+ExpandedSchedule::reset()
+{
+    pos = 0;
+}
+
+InstCount
+ExpandedSchedule::totalInsts() const
+{
+    InstCount total = 0;
+    for (const auto &seg : segments)
+        total += seg.insts;
+    return total;
+}
+
+} // namespace tpcp::workload

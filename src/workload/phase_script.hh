@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Phase scripts: composable descriptions of how a synthetic benchmark
+ * moves between its code regions over time. A script expands (with a
+ * deterministic RNG) into a flat list of (region, instruction-count)
+ * segments that the simulator executes.
+ *
+ * The script vocabulary covers the structures the paper reports:
+ * hierarchical loops (bzip/gzip), Markov wandering between many short
+ * phases (gcc/perl), fine-grained region mixtures (blended-signature
+ * phases, galgel) and slow behavior drift within a phase (mcf, which
+ * makes one similarity threshold fit poorly - section 4.6).
+ */
+
+#ifndef TPCP_WORKLOAD_PHASE_SCRIPT_HH
+#define TPCP_WORKLOAD_PHASE_SCRIPT_HH
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+#include "uarch/schedule.hh"
+
+namespace tpcp::workload
+{
+
+/** One node of a phase-script tree. */
+struct ScriptNode
+{
+    enum class Kind
+    {
+        Run,    ///< run one region for ~insts instructions
+        Seq,    ///< children in order
+        Loop,   ///< child repeated count times
+        Markov, ///< wander between child states per transition matrix
+        Mix,    ///< fine-grained interleaving of regions (blend)
+        Drift,  ///< mixture of two regions with shifting blend
+    };
+
+    Kind kind = Kind::Run;
+
+    // Run
+    std::uint32_t region = 0;
+    InstCount insts = 0;
+    double jitter = 0.05; ///< relative length jitter (gaussian)
+
+    // Seq / Loop / Markov
+    std::vector<std::shared_ptr<const ScriptNode>> children;
+    unsigned count = 1;      ///< Loop iterations / Markov steps
+    unsigned startState = 0; ///< Markov initial state
+    std::vector<std::vector<double>> trans; ///< Markov row-stochastic
+
+    // Mix / Drift
+    std::vector<std::pair<std::uint32_t, double>> blend; ///< region,w
+    InstCount chunk = 0;  ///< interleave granularity in instructions
+    double blendStart = 0.0; ///< Drift: initial weight of region B
+    double blendEnd = 1.0;   ///< Drift: final weight of region B
+};
+
+using ScriptPtr = std::shared_ptr<const ScriptNode>;
+
+/** Runs @p region for about @p insts instructions. */
+ScriptPtr scriptRun(std::uint32_t region, InstCount insts,
+                    double jitter = 0.05);
+
+/** Runs children in order. */
+ScriptPtr scriptSeq(std::vector<ScriptPtr> children);
+
+/** Repeats @p child @p count times. */
+ScriptPtr scriptLoop(ScriptPtr child, unsigned count);
+
+/**
+ * Markov wandering: starting in state @p start, expands the current
+ * child then samples the next state from row @p trans[cur]; @p steps
+ * state visits in total.
+ */
+ScriptPtr scriptMarkov(std::vector<ScriptPtr> states,
+                       std::vector<std::vector<double>> trans,
+                       unsigned steps, unsigned start = 0);
+
+/**
+ * Interleaves the given regions at @p chunk-instruction granularity
+ * (weighted random choice per chunk) for @p total_insts. At
+ * granularities well below the profiling interval this produces a
+ * stable *blended* code signature.
+ */
+ScriptPtr scriptMix(std::vector<std::pair<std::uint32_t, double>> parts,
+                    InstCount total_insts, InstCount chunk);
+
+/**
+ * Like scriptMix over two regions, but the probability of region
+ * @p b drifts linearly from @p blend_start to @p blend_end across the
+ * node: the code signature (and CPI) shift gradually, stressing a
+ * static similarity threshold.
+ */
+ScriptPtr scriptDrift(std::uint32_t a, std::uint32_t b,
+                      InstCount total_insts, InstCount chunk,
+                      double blend_start, double blend_end);
+
+/**
+ * Expands a script into flat segments with @p rng driving all random
+ * choices.
+ */
+std::vector<uarch::Segment> expandScript(const ScriptPtr &script,
+                                         Rng &rng);
+
+/** A RegionSchedule backed by a pre-expanded segment list. */
+class ExpandedSchedule : public uarch::RegionSchedule
+{
+  public:
+    explicit ExpandedSchedule(std::vector<uarch::Segment> segments);
+
+    std::optional<uarch::Segment> next() override;
+    void reset() override;
+
+    /** Total instructions across all segments. */
+    InstCount totalInsts() const;
+
+    /** Number of segments. */
+    std::size_t size() const { return segments.size(); }
+
+  private:
+    std::vector<uarch::Segment> segments;
+    std::size_t pos = 0;
+};
+
+} // namespace tpcp::workload
+
+#endif // TPCP_WORKLOAD_PHASE_SCRIPT_HH

@@ -1,0 +1,297 @@
+#include "workload/program_builder.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace tpcp::workload
+{
+
+namespace
+{
+
+/** Code segments start here; regions are laid out upward. */
+constexpr Addr codeSegmentBase = 0x0040'0000;
+/** Data segments start here. */
+constexpr Addr dataSegmentBase = 0x1000'0000;
+
+/** Rolling integer destination registers (r0..r23). */
+constexpr unsigned intDestRegs = 24;
+/** Pointer-chase registers (r24..r27), one per chase stream mod 4. */
+constexpr unsigned chaseRegBase = 24;
+/** Rolling FP destination registers (r32..r55). */
+constexpr unsigned fpDestBase = 32;
+constexpr unsigned fpDestRegs = 24;
+
+constexpr std::uint64_t alignUp(std::uint64_t v, std::uint64_t a)
+{
+    return (v + a - 1) / a * a;
+}
+
+} // namespace
+
+ProgramBuilder::ProgramBuilder(std::uint64_t seed)
+    : rng(seed), nextCodeBase(codeSegmentBase),
+      nextDataBase(dataSegmentBase)
+{
+}
+
+std::uint32_t
+ProgramBuilder::addRegion(const RegionParams &params)
+{
+    std::uint32_t index =
+        static_cast<std::uint32_t>(prog.regions.size());
+    buildRegion(params);
+    return index;
+}
+
+isa::Program
+ProgramBuilder::build(std::string name)
+{
+    prog.name = std::move(name);
+    std::string err = prog.validate();
+    tpcp_assert(err.empty(), "generated program invalid: ", err);
+    isa::Program out = std::move(prog);
+    prog = isa::Program{};
+    nextCodeBase = codeSegmentBase;
+    nextDataBase = dataSegmentBase;
+    return out;
+}
+
+void
+ProgramBuilder::buildRegion(const RegionParams &params)
+{
+    tpcp_assert(params.numBlocks >= 1, "region needs blocks");
+    tpcp_assert(params.avgBlockInsts >= 2, "blocks need >= 2 insts");
+
+    isa::Region region;
+    region.name = params.name;
+    region.firstBlock = static_cast<std::uint32_t>(prog.blocks.size());
+    region.numBlocks = params.numBlocks;
+    region.entryBlock = region.firstBlock;
+
+    // ---- Memory streams ----
+    unsigned n_streams = std::max(1u, params.numStreams);
+    unsigned n_chase = static_cast<unsigned>(
+        params.pointerChaseFrac * n_streams + 0.5);
+    unsigned n_random = static_cast<unsigned>(
+        params.randomAccessFrac * n_streams + 0.5);
+    n_chase = std::min(n_chase, n_streams);
+    n_random = std::min(n_random, n_streams - n_chase);
+    std::uint64_t ws_each =
+        std::max<std::uint64_t>(64, params.workingSetBytes / n_streams);
+
+    Addr data_base =
+        params.dataBase ? params.dataBase : nextDataBase;
+    for (unsigned s = 0; s < n_streams; ++s) {
+        isa::MemStreamDesc desc;
+        if (s < n_chase) {
+            desc.kind = isa::MemStreamDesc::Kind::PointerChase;
+        } else if (s < n_chase + n_random) {
+            desc.kind = isa::MemStreamDesc::Kind::RandomInSet;
+        } else {
+            desc.kind = isa::MemStreamDesc::Kind::Stride;
+            desc.strideBytes = params.strideBytes;
+        }
+        desc.base = data_base;
+        desc.workingSetBytes = ws_each;
+        data_base += alignUp(ws_each + 4096, 8192);
+        region.memStreams.push_back(desc);
+    }
+    if (!params.dataBase)
+        nextDataBase = alignUp(data_base + 64 * 1024, 8192);
+
+    // ---- Branch behaviors ----
+    // Behavior 0 is always the region's loop-back branch.
+    {
+        isa::BranchBehaviorDesc loop;
+        loop.kind = isa::BranchBehaviorDesc::Kind::LoopBack;
+        loop.tripCount = std::max(1u, params.loopTrip);
+        region.branchBehaviors.push_back(loop);
+    }
+    auto make_inner_loop = [&]() -> isa::BehaviorIndex {
+        isa::BranchBehaviorDesc desc;
+        desc.kind = isa::BranchBehaviorDesc::Kind::LoopBack;
+        std::uint32_t trip = std::max(2u, params.innerLoopTrip);
+        desc.tripCount = static_cast<std::uint32_t>(
+            rng.nextRange(std::max(2u, trip / 2), trip * 2));
+        region.branchBehaviors.push_back(desc);
+        return static_cast<isa::BehaviorIndex>(
+            region.branchBehaviors.size() - 1);
+    };
+    auto make_behavior = [&]() -> isa::BehaviorIndex {
+        isa::BranchBehaviorDesc desc;
+        if (rng.nextBool(params.bernoulliFrac)) {
+            desc.kind = isa::BranchBehaviorDesc::Kind::Bernoulli;
+            // Jitter taken probability per site so sites differ.
+            double p = params.takenProb + 0.1 * rng.nextGaussian();
+            desc.takenProb = std::clamp(p, 0.02, 0.98);
+        } else {
+            desc.kind = isa::BranchBehaviorDesc::Kind::Pattern;
+            desc.patternLen = static_cast<std::uint8_t>(
+                rng.nextRange(2, 8));
+            desc.patternBits = rng.next64();
+        }
+        region.branchBehaviors.push_back(desc);
+        return static_cast<isa::BehaviorIndex>(
+            region.branchBehaviors.size() - 1);
+    };
+
+    // ---- Basic blocks ----
+    Addr code_base =
+        params.codeBase ? params.codeBase : nextCodeBase;
+    Addr cur_addr = code_base;
+
+    // Rolling recent-destination windows for dependence shaping.
+    std::vector<isa::RegIndex> recent_int;
+    std::vector<isa::RegIndex> recent_fp;
+    unsigned int_dest_cursor = 0;
+    unsigned fp_dest_cursor = 0;
+    unsigned ilp = std::max(1u, params.ilp);
+
+    auto pick_recent = [&](const std::vector<isa::RegIndex> &recent)
+        -> isa::RegIndex {
+        if (recent.empty())
+            return isa::noReg;
+        unsigned back = 1 + rng.nextBounded(
+            std::min<std::uint32_t>(ilp,
+                static_cast<std::uint32_t>(recent.size())));
+        return recent[recent.size() - back];
+    };
+    auto push_recent = [](std::vector<isa::RegIndex> &recent,
+                          isa::RegIndex r) {
+        recent.push_back(r);
+        if (recent.size() > 16)
+            recent.erase(recent.begin());
+    };
+
+    const double fp_add_share = 0.6; // of fpFrac: adds vs mults
+
+    for (unsigned bi = 0; bi < params.numBlocks; ++bi) {
+        isa::BasicBlock bb;
+        bb.baseAddr = cur_addr;
+
+        unsigned lo = std::max(2u, params.avgBlockInsts / 2);
+        unsigned hi = params.avgBlockInsts + params.avgBlockInsts / 2;
+        unsigned size = static_cast<unsigned>(rng.nextRange(lo, hi));
+
+        bool last_block = (bi + 1 == params.numBlocks);
+        bool has_branch =
+            last_block || rng.nextBool(params.branchDensity);
+        unsigned body = has_branch ? size - 1 : size;
+
+        for (unsigned k = 0; k < body; ++k) {
+            isa::Inst inst;
+            double r = rng.nextDouble();
+            double acc = params.loadFrac;
+            if (r < acc) {
+                inst.op = isa::OpClass::Load;
+                inst.stream = static_cast<isa::StreamIndex>(
+                    rng.nextBounded(n_streams));
+                bool chase = inst.stream < n_chase;
+                if (chase) {
+                    // A pointer chase serializes: the load's address
+                    // depends on the previous load in the chain.
+                    isa::RegIndex reg = static_cast<isa::RegIndex>(
+                        chaseRegBase + inst.stream % 4);
+                    inst.dest = reg;
+                    inst.src1 = reg;
+                } else {
+                    inst.dest = static_cast<isa::RegIndex>(
+                        int_dest_cursor++ % intDestRegs);
+                    inst.src1 = pick_recent(recent_int);
+                    push_recent(recent_int, inst.dest);
+                }
+            } else if (r < (acc += params.storeFrac)) {
+                inst.op = isa::OpClass::Store;
+                inst.stream = static_cast<isa::StreamIndex>(
+                    n_chase + rng.nextBounded(
+                        std::max(1u, n_streams - n_chase)));
+                if (inst.stream >= n_streams)
+                    inst.stream = static_cast<isa::StreamIndex>(
+                        n_streams - 1);
+                inst.src1 = pick_recent(recent_int);
+                inst.src2 = pick_recent(recent_int);
+            } else if (r < (acc += params.fpFrac)) {
+                inst.op = rng.nextBool(fp_add_share)
+                              ? isa::OpClass::FpAdd
+                              : isa::OpClass::FpMult;
+                inst.dest = static_cast<isa::RegIndex>(
+                    fpDestBase + fp_dest_cursor++ % fpDestRegs);
+                inst.src1 = pick_recent(recent_fp);
+                inst.src2 = pick_recent(recent_fp);
+                push_recent(recent_fp, inst.dest);
+            } else if (r < (acc += params.intMulFrac)) {
+                inst.op = isa::OpClass::IntMult;
+                inst.dest = static_cast<isa::RegIndex>(
+                    int_dest_cursor++ % intDestRegs);
+                inst.src1 = pick_recent(recent_int);
+                inst.src2 = pick_recent(recent_int);
+                push_recent(recent_int, inst.dest);
+            } else if (r < (acc += params.divFrac)) {
+                inst.op = rng.nextBool(0.5) ? isa::OpClass::IntDiv
+                                            : isa::OpClass::FpDiv;
+                inst.dest = static_cast<isa::RegIndex>(
+                    int_dest_cursor++ % intDestRegs);
+                inst.src1 = pick_recent(recent_int);
+                push_recent(recent_int, inst.dest);
+            } else {
+                inst.op = isa::OpClass::IntAlu;
+                inst.dest = static_cast<isa::RegIndex>(
+                    int_dest_cursor++ % intDestRegs);
+                inst.src1 = pick_recent(recent_int);
+                inst.src2 = rng.nextBool(0.5)
+                                ? pick_recent(recent_int)
+                                : isa::noReg;
+                push_recent(recent_int, inst.dest);
+            }
+            bb.insts.push_back(inst);
+        }
+
+        std::uint32_t next_in_region =
+            region.firstBlock + ((bi + 1) % params.numBlocks);
+        if (has_branch) {
+            isa::Inst br;
+            br.op = isa::OpClass::Branch;
+            br.src1 = pick_recent(recent_int);
+            if (last_block) {
+                // Loop-back branch: taken re-iterates the region body;
+                // the (rare) fall-through models outer-loop re-entry
+                // and also lands on the region entry.
+                br.behavior = 0;
+                br.targetBlock = region.firstBlock;
+                bb.fallthrough = region.firstBlock;
+            } else if (bi > 0 &&
+                       rng.nextBool(params.innerLoopFrac)) {
+                // Nested inner loop: branch back a few blocks while
+                // the trip count lasts, then fall through. The
+                // re-executed blocks become the region's hot code.
+                br.behavior = make_inner_loop();
+                unsigned span = 1 + rng.nextBounded(3);
+                std::uint32_t back =
+                    bi > span ? bi - span : 0;
+                br.targetBlock = region.firstBlock + back;
+                bb.fallthrough = next_in_region;
+            } else {
+                br.behavior = make_behavior();
+                unsigned skip = 1 + rng.nextBounded(3);
+                br.targetBlock = region.firstBlock +
+                    ((bi + 1 + skip) % params.numBlocks);
+                bb.fallthrough = next_in_region;
+            }
+            bb.insts.push_back(br);
+        } else {
+            bb.fallthrough = next_in_region;
+        }
+
+        cur_addr += isa::instBytes * bb.insts.size();
+        prog.blocks.push_back(std::move(bb));
+    }
+
+    if (!params.codeBase)
+        nextCodeBase = alignUp(cur_addr + 256, 4096);
+
+    prog.regions.push_back(std::move(region));
+}
+
+} // namespace tpcp::workload

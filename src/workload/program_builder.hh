@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Builds a static Program from a list of RegionParams. Each region
+ * becomes a loop nest of basic blocks with the requested instruction
+ * mix, memory streams and branch behaviors; regions are laid out at
+ * disjoint code and data addresses so branch PCs identify code
+ * uniquely (the phase classifier's only input).
+ */
+
+#ifndef TPCP_WORKLOAD_PROGRAM_BUILDER_HH
+#define TPCP_WORKLOAD_PROGRAM_BUILDER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+#include "isa/program.hh"
+#include "workload/region_params.hh"
+
+namespace tpcp::workload
+{
+
+/**
+ * Deterministic program generator.
+ *
+ * The same (name, region list, seed) always produces the same static
+ * program, so every experiment in the repository is reproducible.
+ */
+class ProgramBuilder
+{
+  public:
+    /** @param seed drives all structural randomness in generation */
+    explicit ProgramBuilder(std::uint64_t seed);
+
+    /**
+     * Appends a region built from @p params. Returns the region index
+     * usable in phase scripts.
+     */
+    std::uint32_t addRegion(const RegionParams &params);
+
+    /**
+     * Finalizes and returns the program. The builder is left empty.
+     * Panics if the assembled program fails validation (generator
+     * bug).
+     */
+    isa::Program build(std::string name);
+
+  private:
+    void buildRegion(const RegionParams &params);
+
+    Rng rng;
+    isa::Program prog;
+    Addr nextCodeBase;
+    Addr nextDataBase;
+};
+
+} // namespace tpcp::workload
+
+#endif // TPCP_WORKLOAD_PROGRAM_BUILDER_HH

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Tunable parameters describing one synthetic code region (a loop
+ * nest). The program builder turns these knobs into basic blocks,
+ * memory streams and branch behaviors whose microarchitectural
+ * character (cache misses, branch mispredictions, ILP) yields the
+ * region's CPI on the timing cores.
+ */
+
+#ifndef TPCP_WORKLOAD_REGION_PARAMS_HH
+#define TPCP_WORKLOAD_REGION_PARAMS_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+
+namespace tpcp::workload
+{
+
+/** Generation knobs for one region. */
+struct RegionParams
+{
+    std::string name = "region";
+
+    // ---- Static code shape ----
+    /** Number of basic blocks in the region body. Large values stress
+     * the 16K I-cache (gcc-style). */
+    unsigned numBlocks = 8;
+    /** Mean instructions per block (jittered +/- 50%). */
+    unsigned avgBlockInsts = 12;
+
+    // ---- Instruction mix (fractions of non-terminator slots) ----
+    double loadFrac = 0.25;
+    double storeFrac = 0.10;
+    double fpFrac = 0.00;   ///< FP add/mult mix for FP codes
+    double intMulFrac = 0.02;
+    double divFrac = 0.00;  ///< unpipelined divides (serializing)
+
+    // ---- Data-side behavior ----
+    /** Total data working set touched by the region. */
+    std::uint64_t workingSetBytes = 16 * 1024;
+    /** Fraction of memory streams with no spatial locality. */
+    double randomAccessFrac = 0.0;
+    /** Fraction of memory streams that are dependent pointer chases
+     * (mcf-style: load feeds the next address). */
+    double pointerChaseFrac = 0.0;
+    /** Stride of the remaining sequential streams, in bytes. */
+    std::int64_t strideBytes = 8;
+    /** Number of distinct memory streams. */
+    unsigned numStreams = 4;
+
+    // ---- Control-side behavior ----
+    /** Probability a block ends in a conditional branch (vs falling
+     * through). */
+    double branchDensity = 0.7;
+    /** Fraction of conditional branches that are data-dependent
+     * Bernoulli branches (hard to predict); the rest follow fixed
+     * repeating patterns (easy). */
+    double bernoulliFrac = 0.3;
+    /** Taken probability of the Bernoulli branches. */
+    double takenProb = 0.5;
+    /** Trip count of the region's inner loop-back branch. */
+    std::uint32_t loopTrip = 32;
+    /** Fraction of conditional-branch blocks that instead end in a
+     * nested loop-back branch to a nearby earlier block. Nested
+     * loops skew per-block execution frequency (hot inner loops), so
+     * different regions project to visibly different signatures even
+     * when their block counts exceed the accumulator count. */
+    double innerLoopFrac = 0.0;
+    /** Mean trip count of those nested inner loops (jittered). */
+    std::uint32_t innerLoopTrip = 8;
+
+    // ---- ILP ----
+    /** Dependence distance window: sources reference one of the last
+     * `ilp` results. 1 = serial dependence chain, 8 = wide ILP. */
+    unsigned ilp = 4;
+
+    /** Base of the region's code in the address space; assigned by
+     * the builder when left 0. */
+    Addr codeBase = 0;
+    /** Base of the region's data area; assigned when left 0. */
+    Addr dataBase = 0;
+};
+
+} // namespace tpcp::workload
+
+#endif // TPCP_WORKLOAD_REGION_PARAMS_HH

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Unit tests for the analysis metrics: weighted per-phase CPI CoV
+ * (paper section 3.1), whole-program CoV and run-length summaries.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/cov.hh"
+#include "analysis/run_lengths.hh"
+
+using namespace tpcp;
+using namespace tpcp::analysis;
+
+TEST(Cov, PerfectClassificationZero)
+{
+    // Each phase internally homogeneous -> CoV 0 even though the
+    // program as a whole varies.
+    std::vector<PhaseId> phases = {1, 1, 2, 2, 1, 2};
+    std::vector<double> cpis = {1.0, 1.0, 3.0, 3.0, 1.0, 3.0};
+    EXPECT_NEAR(weightedPhaseCov(phases, cpis), 0.0, 1e-12);
+    EXPECT_GT(wholeProgramCov(cpis), 0.4);
+}
+
+TEST(Cov, SinglePhaseEqualsWholeProgram)
+{
+    std::vector<PhaseId> phases(6, 1);
+    std::vector<double> cpis = {1.0, 2.0, 3.0, 1.0, 2.0, 3.0};
+    EXPECT_NEAR(weightedPhaseCov(phases, cpis),
+                wholeProgramCov(cpis), 1e-12);
+}
+
+TEST(Cov, WeightsByPhaseShare)
+{
+    // Phase 1: 8 intervals with CoV c1; phase 2: 2 intervals CoV 0.
+    std::vector<PhaseId> phases = {1, 1, 1, 1, 1, 1, 1, 1, 2, 2};
+    std::vector<double> cpis = {1, 3, 1, 3, 1, 3, 1, 3, 5, 5};
+    double c1 = wholeProgramCov({1, 3, 1, 3, 1, 3, 1, 3});
+    EXPECT_NEAR(weightedPhaseCov(phases, cpis), 0.8 * c1, 1e-12);
+}
+
+TEST(Cov, TransitionExcludedByDefault)
+{
+    std::vector<PhaseId> phases = {transitionPhaseId, 1, 1,
+                                   transitionPhaseId};
+    std::vector<double> cpis = {100.0, 2.0, 2.0, 0.001};
+    EXPECT_NEAR(weightedPhaseCov(phases, cpis), 0.0, 1e-12)
+        << "wild transition CPIs must not pollute the metric";
+    EXPECT_GT(weightedPhaseCov(phases, cpis, false), 0.4);
+}
+
+TEST(Cov, AllTransitionGivesZero)
+{
+    std::vector<PhaseId> phases(4, transitionPhaseId);
+    std::vector<double> cpis = {1, 2, 3, 4};
+    EXPECT_EQ(weightedPhaseCov(phases, cpis), 0.0);
+}
+
+TEST(Cov, EmptyInput)
+{
+    EXPECT_EQ(weightedPhaseCov({}, {}), 0.0);
+    EXPECT_EQ(wholeProgramCov({}), 0.0);
+}
+
+TEST(RunLengths, SplitsStableAndTransition)
+{
+    // 0 = transition. Runs: [1 x3] [0 x2] [2 x5] [0 x1] [1 x1].
+    std::vector<PhaseId> phases = {1, 1, 1, 0, 0, 2, 2,
+                                   2, 2, 2, 0, 1};
+    RunLengthSummary s = summarizeRunLengths(phases);
+    EXPECT_EQ(s.stableRuns, 3u);
+    EXPECT_NEAR(s.stableAvg, 3.0, 1e-12);
+    EXPECT_EQ(s.transitionRuns, 2u);
+    EXPECT_NEAR(s.transitionAvg, 1.5, 1e-12);
+}
+
+TEST(RunLengths, StddevComputed)
+{
+    std::vector<PhaseId> phases = {1, 1, 2, 2, 2, 2, 2, 2};
+    RunLengthSummary s = summarizeRunLengths(phases);
+    EXPECT_EQ(s.stableRuns, 2u);
+    EXPECT_NEAR(s.stableAvg, 4.0, 1e-12);
+    EXPECT_NEAR(s.stableStddev, 2.0, 1e-12);
+}
+
+TEST(RunLengths, EmptyTrace)
+{
+    RunLengthSummary s = summarizeRunLengths({});
+    EXPECT_EQ(s.stableRuns, 0u);
+    EXPECT_EQ(s.transitionRuns, 0u);
+    EXPECT_EQ(s.stableAvg, 0.0);
+}

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Unit tests for the offline SimPoint-style k-means classifier.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "analysis/offline_kmeans.hh"
+#include "common/rng.hh"
+
+using namespace tpcp;
+using namespace tpcp::analysis;
+
+namespace
+{
+
+/** Three well-separated 2-D blobs of @p per points each. */
+std::vector<std::vector<double>>
+threeBlobs(std::size_t per, std::uint64_t seed = 1)
+{
+    Rng rng(seed);
+    std::vector<std::vector<double>> rows;
+    const double centers[3][2] = {{0, 0}, {10, 0}, {0, 10}};
+    for (int c = 0; c < 3; ++c) {
+        for (std::size_t i = 0; i < per; ++i) {
+            rows.push_back({centers[c][0] + 0.3 * rng.nextGaussian(),
+                            centers[c][1] +
+                                0.3 * rng.nextGaussian()});
+        }
+    }
+    return rows;
+}
+
+/** A profile with @p n intervals cycling through 3 accumulator
+ * shapes. */
+trace::IntervalProfile
+shapedProfile(std::size_t n)
+{
+    trace::IntervalProfile p("t", "ooo", 1000, {16});
+    Rng rng(std::uint64_t{5});
+    for (std::size_t i = 0; i < n; ++i) {
+        unsigned shape = (i / 10) % 3;
+        trace::IntervalRecord rec;
+        rec.insts = 1000;
+        rec.cpi = 1.0 + shape;
+        std::vector<std::uint32_t> raw(16, 0);
+        raw[shape * 5 + 1] = 600 + rng.nextBounded(40);
+        raw[shape * 5 + 3] = 300 + rng.nextBounded(30);
+        rec.accumTotal = raw[shape * 5 + 1] + raw[shape * 5 + 3];
+        rec.accums = {raw};
+        p.push(std::move(rec));
+    }
+    return p;
+}
+
+} // namespace
+
+TEST(KMeans, SingleClusterCentroidIsMean)
+{
+    std::vector<std::vector<double>> rows = {{0, 0}, {2, 0}, {4, 0}};
+    KMeansResult r = kMeans(rows, 1, 20, 1);
+    ASSERT_EQ(r.centroids.size(), 1u);
+    EXPECT_NEAR(r.centroids[0][0], 2.0, 1e-9);
+    EXPECT_NEAR(r.centroids[0][1], 0.0, 1e-9);
+    EXPECT_NEAR(r.inertia, 8.0, 1e-9);
+}
+
+TEST(KMeans, SeparatedBlobsRecovered)
+{
+    auto rows = threeBlobs(40);
+    KMeansResult r = kMeans(rows, 3, 50, 7);
+    // Each blob maps to exactly one cluster.
+    for (int blob = 0; blob < 3; ++blob) {
+        std::set<std::uint32_t> ids;
+        for (std::size_t i = 0; i < 40; ++i)
+            ids.insert(r.assignments[blob * 40 + i]);
+        EXPECT_EQ(ids.size(), 1u) << "blob " << blob << " split";
+    }
+    // And distinct blobs map to distinct clusters.
+    std::set<std::uint32_t> firsts = {r.assignments[0],
+                                      r.assignments[40],
+                                      r.assignments[80]};
+    EXPECT_EQ(firsts.size(), 3u);
+}
+
+TEST(KMeans, InertiaDecreasesWithK)
+{
+    auto rows = threeBlobs(30);
+    double prev = std::numeric_limits<double>::max();
+    for (unsigned k = 1; k <= 4; ++k) {
+        KMeansResult r = kMeans(rows, k, 50, 11);
+        EXPECT_LE(r.inertia, prev + 1e-9) << "k=" << k;
+        prev = r.inertia;
+    }
+}
+
+TEST(KMeans, AssignmentsInRange)
+{
+    auto rows = threeBlobs(20);
+    KMeansResult r = kMeans(rows, 5, 30, 3);
+    for (auto a : r.assignments)
+        EXPECT_LT(a, 5u);
+    EXPECT_EQ(r.assignments.size(), rows.size());
+}
+
+TEST(KMeans, DeterministicForSeed)
+{
+    auto rows = threeBlobs(25);
+    KMeansResult a = kMeans(rows, 3, 50, 42);
+    KMeansResult b = kMeans(rows, 3, 50, 42);
+    EXPECT_EQ(a.assignments, b.assignments);
+    EXPECT_DOUBLE_EQ(a.inertia, b.inertia);
+}
+
+TEST(OfflineClassify, FindsThePlantedPhaseCount)
+{
+    trace::IntervalProfile profile = shapedProfile(240);
+    OfflineConfig cfg;
+    cfg.maxK = 10;
+    OfflineResult r = classifyOffline(profile, cfg);
+    EXPECT_GE(r.k, 3u);
+    EXPECT_LE(r.k, 5u)
+        << "three planted shapes, modest over-split allowed";
+    EXPECT_EQ(r.assignments.size(), profile.numIntervals());
+}
+
+TEST(OfflineClassify, AssignmentsGroupLikeShapes)
+{
+    trace::IntervalProfile profile = shapedProfile(240);
+    OfflineResult r = classifyOffline(profile);
+    // Intervals 0..9 (shape 0) and 30..39 (shape 0 again) should be
+    // in the same cluster.
+    EXPECT_EQ(r.assignments[2], r.assignments[32]);
+    EXPECT_EQ(r.assignments[12], r.assignments[42]);
+    EXPECT_NE(r.assignments[2], r.assignments[12]);
+}
+
+TEST(OfflineClassify, SingleShapeGivesFewClusters)
+{
+    trace::IntervalProfile p("t", "ooo", 1000, {16});
+    for (int i = 0; i < 60; ++i) {
+        trace::IntervalRecord rec;
+        rec.insts = 1000;
+        rec.cpi = 1.0;
+        std::vector<std::uint32_t> raw(16, 0);
+        raw[3] = 1000;
+        rec.accumTotal = 1000;
+        rec.accums = {raw};
+        p.push(std::move(rec));
+    }
+    OfflineResult r = classifyOffline(p);
+    EXPECT_LE(r.k, 2u);
+}

@@ -1,0 +1,363 @@
+/**
+ * @file
+ * Paper-claims regression suite: asserts the HPCA 2005 paper's
+ * headline *shapes* on the actual workload profiles, so changes to
+ * the workload models or the classifier that would break the
+ * reproduction fail loudly.
+ *
+ * These tests load (or build and cache) the interval profiles of all
+ * 11 workloads; with a warm cache they run in seconds, on a cold
+ * cache the fixture simulates once (~2-3 minutes).
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/experiment.hh"
+#include "pred/eval.hh"
+#include "trace/profile_cache.hh"
+#include "workload/workload.hh"
+
+using namespace tpcp;
+
+namespace
+{
+
+/** Loads every workload profile once per test program. */
+class PaperClaims : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        profiles_ = new std::map<std::string,
+                                 trace::IntervalProfile>();
+        for (const auto &name : workload::workloadNames())
+            profiles_->emplace(name,
+                               trace::getProfileByName(name));
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete profiles_;
+        profiles_ = nullptr;
+    }
+
+    static const trace::IntervalProfile &
+    profile(const std::string &name)
+    {
+        return profiles_->at(name);
+    }
+
+    static analysis::ClassificationResult
+    classify(const std::string &name,
+             const phase::ClassifierConfig &cfg)
+    {
+        return analysis::classifyProfile(profile(name), cfg);
+    }
+
+    static phase::ClassifierConfig
+    config(double threshold, unsigned min_count,
+           bool adaptive = false, unsigned entries = 32)
+    {
+        phase::ClassifierConfig cfg;
+        cfg.numCounters = 16;
+        cfg.tableEntries = entries;
+        cfg.similarityThreshold = threshold;
+        cfg.minCountThreshold = min_count;
+        cfg.adaptiveThreshold = adaptive;
+        return cfg;
+    }
+
+    static double
+    avgOver(double (*metric)(const analysis::ClassificationResult &),
+            const phase::ClassifierConfig &cfg)
+    {
+        double sum = 0.0;
+        for (const auto &name : workload::workloadNames())
+            sum += metric(classify(name, cfg));
+        return sum / workload::workloadNames().size();
+    }
+
+  private:
+    static std::map<std::string, trace::IntervalProfile> *profiles_;
+};
+
+std::map<std::string, trace::IntervalProfile> *PaperClaims::profiles_ =
+    nullptr;
+
+double
+covOf(const analysis::ClassificationResult &r)
+{
+    return r.covCpi;
+}
+
+double
+phasesOf(const analysis::ClassificationResult &r)
+{
+    return static_cast<double>(r.numPhases);
+}
+
+double
+transitionOf(const analysis::ClassificationResult &r)
+{
+    return r.transitionFraction;
+}
+
+} // namespace
+
+// ---- Section 4.3 / Figure 3: classification slashes CoV ----
+
+TEST_F(PaperClaims, ClassificationCutsWholeProgramCovBy5x)
+{
+    phase::ClassifierConfig cfg = config(0.125, 0);
+    double classified = 0.0, whole = 0.0;
+    for (const auto &name : workload::workloadNames()) {
+        auto res = classify(name, cfg);
+        classified += res.covCpi;
+        whole += res.wholeProgramCov;
+    }
+    EXPECT_GT(whole, 5.0 * classified)
+        << "the core value proposition of phase classification";
+}
+
+TEST_F(PaperClaims, EightCountersWorseThanSixteen)
+{
+    phase::ClassifierConfig c8 = config(0.125, 0);
+    c8.numCounters = 8;
+    phase::ClassifierConfig c16 = config(0.125, 0);
+    EXPECT_GT(avgOver(covOf, c8), avgOver(covOf, c16))
+        << "Figure 3: 8 counters are insufficient";
+}
+
+// ---- Figure 2: table pressure regenerates phase IDs ----
+
+TEST_F(PaperClaims, SmallerTablesGenerateMorePhaseIds)
+{
+    phase::ClassifierConfig base = config(0.125, 0);
+    base.numCounters = 32;
+    phase::ClassifierConfig small = base;
+    small.tableEntries = 16;
+    phase::ClassifierConfig unbounded = base;
+    unbounded.tableEntries = 0;
+    double p16 = avgOver(phasesOf, small);
+    double p32 = avgOver(phasesOf, base);
+    double pinf = avgOver(phasesOf, unbounded);
+    EXPECT_GT(p16, p32);
+    EXPECT_GE(p32, pinf);
+}
+
+// ---- Section 4.4 / Figure 4: the transition phase ----
+
+TEST_F(PaperClaims, TransitionPhaseCutsPhaseCount)
+{
+    double without = avgOver(phasesOf, config(0.25, 0));
+    double with = avgOver(phasesOf, config(0.25, 8));
+    EXPECT_LT(with, without * 0.75)
+        << "min counters absorb one-off signatures";
+}
+
+TEST_F(PaperClaims, TransitionTimeModestAtPreferredConfig)
+{
+    double avg = avgOver(transitionOf, config(0.25, 8));
+    EXPECT_GT(avg, 0.02);
+    EXPECT_LT(avg, 0.20)
+        << "paper: ~6% average; ours lands near 10%";
+}
+
+TEST_F(PaperClaims, GccIsTheTransitionOutlier)
+{
+    phase::ClassifierConfig cfg = config(0.25, 8);
+    double gcc_s = classify("gcc/s", cfg).transitionFraction;
+    for (const auto &name : workload::workloadNames()) {
+        if (name.rfind("gcc", 0) == 0)
+            continue;
+        EXPECT_GT(gcc_s, classify(name, cfg).transitionFraction)
+            << "vs " << name;
+    }
+}
+
+TEST_F(PaperClaims, TransitionPhaseImprovesLastValuePrediction)
+{
+    double miss_without = 0.0, miss_with = 0.0;
+    for (const auto &name : workload::workloadNames()) {
+        auto r0 = classify(name, config(0.125, 0));
+        auto r8 = classify(name, config(0.125, 8));
+        miss_without +=
+            1.0 -
+            pred::evalNextPhase(r0.trace.phases, std::nullopt)
+                .accuracy();
+        miss_with +=
+            1.0 -
+            pred::evalNextPhase(r8.trace.phases, std::nullopt)
+                .accuracy();
+    }
+    EXPECT_LT(miss_with, miss_without)
+        << "Figure 4 bottom-right: fewer mispredictions";
+}
+
+// ---- Section 4.5 / Figure 5: run lengths ----
+
+TEST_F(PaperClaims, StableRunsLongerThanTransitionsExceptGcc)
+{
+    phase::ClassifierConfig cfg = config(0.25, 8);
+    for (const auto &name : workload::workloadNames()) {
+        auto rl = classify(name, cfg).runLengths;
+        if (name.rfind("gcc", 0) == 0)
+            continue;
+        EXPECT_GT(rl.stableAvg, rl.transitionAvg) << name;
+    }
+}
+
+TEST_F(PaperClaims, GzipGraphicAndPerlDiffmailAreLengthOutliers)
+{
+    phase::ClassifierConfig cfg = config(0.25, 8);
+    double gzip_g = classify("gzip/g", cfg).runLengths.stableAvg;
+    double perl_d = classify("perl/d", cfg).runLengths.stableAvg;
+    for (const auto &name : workload::workloadNames()) {
+        if (name == "gzip/g" || name == "perl/d")
+            continue;
+        double other = classify(name, cfg).runLengths.stableAvg;
+        EXPECT_GT(gzip_g, other) << "vs " << name;
+        EXPECT_GT(perl_d, other) << "vs " << name;
+    }
+}
+
+// ---- Section 4.6 / Figure 6: adaptive thresholds ----
+
+TEST_F(PaperClaims, AdaptiveThresholdApproachesTightStatic)
+{
+    double loose = avgOver(covOf, config(0.25, 8));
+    double tight = avgOver(covOf, config(0.125, 8));
+    phase::ClassifierConfig dyn = config(0.25, 8, true);
+    dyn.cpiDeviationThreshold = 0.25;
+    double adaptive = avgOver(covOf, dyn);
+    EXPECT_LT(adaptive, loose)
+        << "feedback must improve homogeneity";
+    EXPECT_LT(adaptive, tight * 1.25)
+        << "and land near the tight static threshold";
+}
+
+TEST_F(PaperClaims, AdaptiveLeavesGzipGraphicAlone)
+{
+    phase::ClassifierConfig stat = config(0.25, 8);
+    phase::ClassifierConfig dyn = config(0.25, 8, true);
+    dyn.cpiDeviationThreshold = 0.25;
+    double s = classify("gzip/g", stat).covCpi;
+    double d = classify("gzip/g", dyn).covCpi;
+    EXPECT_NEAR(d, s, 0.02)
+        << "threshold-insensitive programs are unaffected";
+}
+
+// ---- Section 5 / Figure 7: next-phase prediction ----
+
+TEST_F(PaperClaims, LastValueNearSeventyFivePercent)
+{
+    pred::NextPhaseStats agg;
+    for (const auto &name : workload::workloadNames()) {
+        auto res = classify(
+            name, phase::ClassifierConfig::paperDefault());
+        agg.merge(
+            pred::evalNextPhase(res.trace.phases, std::nullopt));
+    }
+    EXPECT_GT(agg.accuracy(), 0.65);
+    EXPECT_LT(agg.accuracy(), 0.85)
+        << "paper: ~75% last-value accuracy";
+    double change_rate = static_cast<double>(agg.phaseChanges) /
+                         static_cast<double>(agg.total);
+    EXPECT_GT(change_rate, 0.15);
+    EXPECT_LT(change_rate, 0.35) << "paper: ~25% change rate";
+}
+
+TEST_F(PaperClaims, ConfidenceTradesCoverageForAccuracy)
+{
+    pred::NextPhaseStats agg;
+    for (const auto &name : workload::workloadNames()) {
+        auto res = classify(
+            name, phase::ClassifierConfig::paperDefault());
+        agg.merge(
+            pred::evalNextPhase(res.trace.phases, std::nullopt));
+    }
+    EXPECT_GT(agg.confidentAccuracy(), agg.accuracy() + 0.05);
+    EXPECT_GT(agg.confidentCoverage(), 0.5);
+    EXPECT_LT(agg.confidentCoverage(), 0.9)
+        << "paper: ~80% accuracy at ~70% coverage";
+}
+
+// ---- Section 6.1 / Figure 8: phase-change prediction ----
+
+TEST_F(PaperClaims, PerfectMarkovCeilingNearEighty)
+{
+    pred::PerfectMarkovStats agg;
+    for (const auto &name : workload::workloadNames()) {
+        auto res = classify(
+            name, phase::ClassifierConfig::paperDefault());
+        agg.merge(pred::evalPerfectMarkov(res.trace.phases, 1));
+    }
+    EXPECT_GT(agg.coverage(), 0.65);
+    EXPECT_LT(agg.coverage(), 0.9)
+        << "paper: ~80% ceiling from cold starts";
+}
+
+TEST_F(PaperClaims, MultiOutcomePredictorsBeatPlainMarkov)
+{
+    pred::ChangeOutcomeStats plain, top4;
+    for (const auto &name : workload::workloadNames()) {
+        auto res = classify(
+            name, phase::ClassifierConfig::paperDefault());
+        plain.merge(pred::evalChangeOutcome(
+            res.trace.phases,
+            pred::ChangePredictorConfig::markov(2)));
+        top4.merge(pred::evalChangeOutcome(
+            res.trace.phases,
+            pred::ChangePredictorConfig::markov(
+                1, pred::PayloadView::Top4)));
+    }
+    EXPECT_GT(top4.correctRate(), plain.correctRate() + 0.15)
+        << "paper section 7: more aggressive techniques are needed";
+    EXPECT_GT(top4.correctRate(), 0.4);
+    EXPECT_LT(plain.correctRate(), 0.45)
+        << "plain predictors only catch a minority of changes";
+}
+
+// ---- Section 4.1: best-match beats first-match ----
+
+TEST_F(PaperClaims, BestMatchImprovesHomogeneity)
+{
+    phase::ClassifierConfig first = config(0.25, 8);
+    first.matchPolicy = phase::MatchPolicy::FirstMatch;
+    phase::ClassifierConfig best = config(0.25, 8);
+    EXPECT_LT(avgOver(covOf, best), avgOver(covOf, first));
+}
+
+// ---- Section 6.2 / Figure 9: run-length classes ----
+
+TEST_F(PaperClaims, ShortClassDominatesForMostPrograms)
+{
+    int dominated = 0;
+    for (const auto &name : workload::workloadNames()) {
+        auto res = classify(
+            name, phase::ClassifierConfig::paperDefault());
+        pred::RunLengthStats rl =
+            pred::evalRunLength(res.trace.phases);
+        if (rl.classFraction(0) >= 0.85)
+            ++dominated;
+    }
+    EXPECT_GE(dominated, 7)
+        << "paper: most programs are >= 90% in the 1-15 class";
+}
+
+TEST_F(PaperClaims, LengthPredictionAccurateForStablePrograms)
+{
+    for (const char *name : {"bzip2/g", "galgel", "gcc/1", "mcf"}) {
+        auto res = classify(
+            name, phase::ClassifierConfig::paperDefault());
+        pred::RunLengthStats rl =
+            pred::evalRunLength(res.trace.phases);
+        EXPECT_LT(rl.mispredictRate(), 0.1) << name;
+    }
+}

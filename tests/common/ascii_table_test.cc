@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Unit tests for the ASCII table formatter used by the benchmark
+ * harnesses.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/ascii_table.hh"
+
+using namespace tpcp;
+
+TEST(AsciiTable, HeaderOnly)
+{
+    AsciiTable t({"a", "bb"});
+    std::ostringstream oss;
+    t.print(oss);
+    std::string out = oss.str();
+    EXPECT_NE(out.find("a"), std::string::npos);
+    EXPECT_NE(out.find("bb"), std::string::npos);
+    EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(AsciiTable, CellsAligned)
+{
+    AsciiTable t({"name", "v"});
+    t.row().cell("x").cell(std::uint64_t{1});
+    t.row().cell("longer").cell(std::uint64_t{22});
+    std::ostringstream oss;
+    t.print(oss);
+    std::string out = oss.str();
+    // Both data lines should have the same length (padded columns).
+    std::istringstream lines(out);
+    std::string header, sep, r1, r2;
+    std::getline(lines, header);
+    std::getline(lines, sep);
+    std::getline(lines, r1);
+    std::getline(lines, r2);
+    EXPECT_NE(r1.find("x"), std::string::npos);
+    EXPECT_NE(r2.find("longer"), std::string::npos);
+}
+
+TEST(AsciiTable, NumericFormatting)
+{
+    AsciiTable t({"m", "v"});
+    t.row().cell("pi").cell(3.14159, 2);
+    std::ostringstream oss;
+    t.print(oss);
+    EXPECT_NE(oss.str().find("3.14"), std::string::npos);
+    EXPECT_EQ(oss.str().find("3.142"), std::string::npos);
+}
+
+TEST(AsciiTable, PercentFormatting)
+{
+    AsciiTable t({"m", "v"});
+    t.row().cell("cov").percentCell(0.1234, 1);
+    std::ostringstream oss;
+    t.print(oss);
+    EXPECT_NE(oss.str().find("12.3%"), std::string::npos);
+}
+
+TEST(AsciiTable, SignedCell)
+{
+    AsciiTable t({"m", "v"});
+    t.row().cell("neg").cell(std::int64_t{-5});
+    std::ostringstream oss;
+    t.print(oss);
+    EXPECT_NE(oss.str().find("-5"), std::string::npos);
+}
+
+TEST(AsciiTable, RowCountTracked)
+{
+    AsciiTable t({"a"});
+    EXPECT_EQ(t.numRows(), 0u);
+    t.row().cell("1");
+    t.row().cell("2");
+    EXPECT_EQ(t.numRows(), 2u);
+}
+
+TEST(AsciiTable, ShortRowPrintsBlanks)
+{
+    AsciiTable t({"a", "b", "c"});
+    t.row().cell("only");
+    std::ostringstream oss;
+    t.print(oss);
+    EXPECT_NE(oss.str().find("only"), std::string::npos);
+}

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Unit tests for the generic set-associative LRU table that backs the
+ * prediction tables (32-entry 4-way in the paper).
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/assoc_table.hh"
+
+using namespace tpcp;
+
+using Table = AssocTable<std::uint64_t, int>;
+
+TEST(AssocTable, Geometry)
+{
+    Table t(8, 4);
+    EXPECT_EQ(t.numSets(), 8u);
+    EXPECT_EQ(t.numWays(), 4u);
+    EXPECT_EQ(t.capacity(), 32u);
+    EXPECT_EQ(t.size(), 0u);
+}
+
+TEST(AssocTable, InsertAndFind)
+{
+    Table t(2, 2);
+    t.insert(0, 100, 7);
+    auto *e = t.find(0, 100);
+    ASSERT_NE(e, nullptr);
+    EXPECT_EQ(e->value, 7);
+    EXPECT_EQ(t.find(0, 101), nullptr);
+    EXPECT_EQ(t.find(1, 100), nullptr) << "sets are independent";
+}
+
+TEST(AssocTable, LruEvictionOrder)
+{
+    Table t(1, 2);
+    t.insert(0, 1, 10);
+    t.insert(0, 2, 20);
+    // Touch tag 1 so tag 2 becomes LRU.
+    t.touch(*t.find(0, 1));
+    Table::Entry evicted;
+    bool evicted_valid = false;
+    t.insert(0, 3, 30, &evicted, &evicted_valid);
+    EXPECT_TRUE(evicted_valid);
+    EXPECT_EQ(evicted.tag, 2u);
+    EXPECT_NE(t.find(0, 1), nullptr);
+    EXPECT_EQ(t.find(0, 2), nullptr);
+    EXPECT_NE(t.find(0, 3), nullptr);
+}
+
+TEST(AssocTable, InsertPrefersInvalidSlots)
+{
+    Table t(1, 3);
+    t.insert(0, 1, 1);
+    t.insert(0, 2, 2);
+    bool evicted_valid = true;
+    Table::Entry evicted;
+    t.insert(0, 3, 3, &evicted, &evicted_valid);
+    EXPECT_FALSE(evicted_valid) << "room left, nothing evicted";
+    EXPECT_EQ(t.size(), 3u);
+}
+
+TEST(AssocTable, EraseInvalidates)
+{
+    Table t(1, 2);
+    t.insert(0, 5, 50);
+    t.erase(*t.find(0, 5));
+    EXPECT_EQ(t.find(0, 5), nullptr);
+    EXPECT_EQ(t.size(), 0u);
+}
+
+TEST(AssocTable, ClearEmptiesEverything)
+{
+    Table t(2, 2);
+    t.insert(0, 1, 1);
+    t.insert(1, 2, 2);
+    t.clear();
+    EXPECT_EQ(t.size(), 0u);
+    EXPECT_EQ(t.find(0, 1), nullptr);
+    EXPECT_EQ(t.find(1, 2), nullptr);
+}
+
+TEST(AssocTable, FindIfPredicate)
+{
+    Table t(1, 4);
+    t.insert(0, 1, 10);
+    t.insert(0, 2, 25);
+    auto *e = t.findIf(0, [](const Table::Entry &entry) {
+        return entry.value > 20;
+    });
+    ASSERT_NE(e, nullptr);
+    EXPECT_EQ(e->tag, 2u);
+    EXPECT_EQ(t.findIf(0,
+                       [](const Table::Entry &entry) {
+                           return entry.value > 100;
+                       }),
+              nullptr);
+}
+
+TEST(AssocTable, ForEachVisitsOnlyValid)
+{
+    Table t(2, 2);
+    t.insert(0, 1, 1);
+    t.insert(1, 2, 2);
+    t.insert(1, 3, 3);
+    t.erase(*t.find(1, 2));
+    int sum = 0, count = 0;
+    t.forEach([&](Table::Entry &e) {
+        sum += e.value;
+        ++count;
+    });
+    EXPECT_EQ(count, 2);
+    EXPECT_EQ(sum, 4);
+}
+
+TEST(AssocTable, ForEachInSet)
+{
+    Table t(2, 2);
+    t.insert(0, 1, 1);
+    t.insert(1, 2, 2);
+    int count = 0;
+    t.forEachInSet(1, [&](Table::Entry &) { ++count; });
+    EXPECT_EQ(count, 1);
+}
+
+TEST(AssocTable, ReinsertSameTagOverwrites)
+{
+    // Inserting an existing tag writes a second entry only if the
+    // caller did not find-and-update; verify the table still
+    // resolves to some entry with that tag and stays within
+    // capacity.
+    Table t(1, 2);
+    t.insert(0, 7, 1);
+    t.insert(0, 7, 2);
+    EXPECT_LE(t.size(), 2u);
+    ASSERT_NE(t.find(0, 7), nullptr);
+}
+
+TEST(AssocTable, FullyAssociativeAsOneSet)
+{
+    // The signature table shape: 1 set x 32 ways.
+    Table t(1, 32);
+    for (std::uint64_t i = 0; i < 32; ++i)
+        t.insert(0, i, static_cast<int>(i));
+    EXPECT_EQ(t.size(), 32u);
+    t.insert(0, 99, 99);
+    EXPECT_EQ(t.size(), 32u) << "capacity stays fixed";
+    EXPECT_EQ(t.find(0, 0), nullptr) << "tag 0 was LRU";
+}

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Unit tests for the bit-manipulation helpers used by the signature
+ * hardware model (hashing, bit-window selection, table indexing).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "common/bitops.hh"
+
+using namespace tpcp;
+
+TEST(BitOps, IsPowerOf2)
+{
+    EXPECT_FALSE(isPowerOf2(0));
+    EXPECT_TRUE(isPowerOf2(1));
+    EXPECT_TRUE(isPowerOf2(2));
+    EXPECT_FALSE(isPowerOf2(3));
+    EXPECT_TRUE(isPowerOf2(1ull << 40));
+    EXPECT_FALSE(isPowerOf2((1ull << 40) + 1));
+}
+
+TEST(BitOps, FloorLog2)
+{
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(2), 1u);
+    EXPECT_EQ(floorLog2(3), 1u);
+    EXPECT_EQ(floorLog2(4), 2u);
+    EXPECT_EQ(floorLog2(1023), 9u);
+    EXPECT_EQ(floorLog2(1024), 10u);
+    EXPECT_EQ(floorLog2(~0ull), 63u);
+}
+
+TEST(BitOps, CeilLog2)
+{
+    EXPECT_EQ(ceilLog2(1), 0u);
+    EXPECT_EQ(ceilLog2(2), 1u);
+    EXPECT_EQ(ceilLog2(3), 2u);
+    EXPECT_EQ(ceilLog2(1024), 10u);
+    EXPECT_EQ(ceilLog2(1025), 11u);
+}
+
+TEST(BitOps, BitsFor)
+{
+    EXPECT_EQ(bitsFor(0), 1u);
+    EXPECT_EQ(bitsFor(1), 1u);
+    EXPECT_EQ(bitsFor(2), 2u);
+    EXPECT_EQ(bitsFor(3), 2u);
+    EXPECT_EQ(bitsFor(4), 3u);
+    EXPECT_EQ(bitsFor(255), 8u);
+    EXPECT_EQ(bitsFor(256), 9u);
+}
+
+TEST(BitOps, MaskLow)
+{
+    EXPECT_EQ(maskLow(0), 0ull);
+    EXPECT_EQ(maskLow(1), 1ull);
+    EXPECT_EQ(maskLow(8), 0xffull);
+    EXPECT_EQ(maskLow(64), ~0ull);
+    EXPECT_EQ(maskLow(100), ~0ull);
+}
+
+TEST(BitOps, BitField)
+{
+    EXPECT_EQ(bitField(0xabcd, 0, 4), 0xdull);
+    EXPECT_EQ(bitField(0xabcd, 4, 4), 0xcull);
+    EXPECT_EQ(bitField(0xabcd, 8, 8), 0xabull);
+    EXPECT_EQ(bitField(0xff, 4, 8), 0xfull);
+}
+
+TEST(BitOps, Mix64Avalanche)
+{
+    // Flipping one input bit should flip roughly half the output
+    // bits on average.
+    int total_flips = 0;
+    const int trials = 64;
+    for (int b = 0; b < trials; ++b) {
+        std::uint64_t x = 0x123456789abcdef0ull;
+        std::uint64_t d = mix64(x) ^ mix64(x ^ (1ull << b));
+        total_flips += std::popcount(d);
+    }
+    double avg = static_cast<double>(total_flips) / trials;
+    EXPECT_GT(avg, 24.0);
+    EXPECT_LT(avg, 40.0);
+}
+
+TEST(BitOps, Mix64Deterministic)
+{
+    EXPECT_EQ(mix64(42), mix64(42));
+    EXPECT_NE(mix64(42), mix64(43));
+}
+
+TEST(BitOps, HashToBucketRange)
+{
+    for (unsigned buckets : {1u, 7u, 16u, 32u}) {
+        for (std::uint64_t x = 0; x < 200; ++x)
+            EXPECT_LT(hashToBucket(x * 4, buckets), buckets);
+    }
+}
+
+TEST(BitOps, HashToBucketSpreads)
+{
+    // Sequential instruction addresses should spread across buckets.
+    std::set<unsigned> seen;
+    for (std::uint64_t pc = 0x400000; pc < 0x400000 + 64 * 4;
+         pc += 4)
+        seen.insert(hashToBucket(pc, 16));
+    EXPECT_EQ(seen.size(), 16u);
+}

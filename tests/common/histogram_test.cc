@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Unit tests for the bucketed histogram used by the run-length class
+ * distribution (Figure 9).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/histogram.hh"
+
+using namespace tpcp;
+
+namespace
+{
+
+Histogram
+runLengthHistogram()
+{
+    // The paper's four run-length classes (section 6.2.1).
+    return Histogram({1, 16, 128, 1024});
+}
+
+} // namespace
+
+TEST(Histogram, BucketIndexBoundaries)
+{
+    Histogram h = runLengthHistogram();
+    EXPECT_EQ(h.bucketIndex(0), -1) << "below first bound";
+    EXPECT_EQ(h.bucketIndex(1), 0);
+    EXPECT_EQ(h.bucketIndex(15), 0);
+    EXPECT_EQ(h.bucketIndex(16), 1);
+    EXPECT_EQ(h.bucketIndex(127), 1);
+    EXPECT_EQ(h.bucketIndex(128), 2);
+    EXPECT_EQ(h.bucketIndex(1023), 2);
+    EXPECT_EQ(h.bucketIndex(1024), 3);
+    EXPECT_EQ(h.bucketIndex(1u << 30), 3);
+}
+
+TEST(Histogram, PushCounts)
+{
+    Histogram h = runLengthHistogram();
+    for (std::uint64_t v : {1ull, 2ull, 20ull, 200ull, 2000ull,
+                            5ull})
+        h.push(v);
+    EXPECT_EQ(h.total(), 6u);
+    EXPECT_EQ(h.bucketCount(0), 3u);
+    EXPECT_EQ(h.bucketCount(1), 1u);
+    EXPECT_EQ(h.bucketCount(2), 1u);
+    EXPECT_EQ(h.bucketCount(3), 1u);
+    EXPECT_EQ(h.underflowCount(), 0u);
+}
+
+TEST(Histogram, UnderflowCounted)
+{
+    Histogram h({10, 20});
+    h.push(5);
+    EXPECT_EQ(h.underflowCount(), 1u);
+    EXPECT_EQ(h.total(), 1u);
+}
+
+TEST(Histogram, Fractions)
+{
+    Histogram h = runLengthHistogram();
+    for (int i = 0; i < 9; ++i)
+        h.push(1);
+    h.push(20);
+    EXPECT_DOUBLE_EQ(h.bucketFraction(0), 0.9);
+    EXPECT_DOUBLE_EQ(h.bucketFraction(1), 0.1);
+    EXPECT_DOUBLE_EQ(h.bucketFraction(2), 0.0);
+}
+
+TEST(Histogram, EmptyFractionsZero)
+{
+    Histogram h = runLengthHistogram();
+    EXPECT_EQ(h.bucketFraction(0), 0.0);
+}
+
+TEST(Histogram, Labels)
+{
+    Histogram h = runLengthHistogram();
+    EXPECT_EQ(h.bucketLabel(0), "1-15");
+    EXPECT_EQ(h.bucketLabel(1), "16-127");
+    EXPECT_EQ(h.bucketLabel(2), "128-1023");
+    EXPECT_EQ(h.bucketLabel(3), "1024-");
+}
+
+TEST(Histogram, Clear)
+{
+    Histogram h = runLengthHistogram();
+    h.push(5);
+    h.push(50);
+    h.clear();
+    EXPECT_EQ(h.total(), 0u);
+    EXPECT_EQ(h.bucketCount(1), 0u);
+}

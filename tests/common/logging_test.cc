@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Tests for the error-reporting macros (gem5-style panic/fatal
+ * split) and the assertion helper.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+
+using namespace tpcp;
+
+TEST(Logging, BuildMessageConcatenates)
+{
+    EXPECT_EQ(detail::buildMessage("a", 1, "b", 2.5), "a1b2.5");
+    EXPECT_EQ(detail::buildMessage(), "");
+}
+
+TEST(LoggingDeath, PanicAborts)
+{
+    EXPECT_DEATH(tpcp_panic("broken invariant ", 42),
+                 "panic: broken invariant 42");
+}
+
+TEST(LoggingDeath, FatalExitsWithOne)
+{
+    EXPECT_EXIT(tpcp_fatal("bad user input"),
+                ::testing::ExitedWithCode(1), "fatal: bad user input");
+}
+
+TEST(LoggingDeath, AssertPassesSilently)
+{
+    tpcp_assert(1 + 1 == 2);
+    tpcp_assert(true, "with message");
+    SUCCEED();
+}
+
+TEST(LoggingDeath, AssertFailureNamesCondition)
+{
+    EXPECT_DEATH(tpcp_assert(1 == 2, "math broke"),
+                 "assertion '1 == 2' failed");
+}
+
+TEST(Logging, WarnAndInformDoNotTerminate)
+{
+    tpcp_warn("just a warning ", 7);
+    tpcp_inform("status message");
+    SUCCEED();
+}

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Unit tests for the Welford running-statistics accumulator backing
+ * the CoV metric (paper section 3.1) and per-phase CPI tracking.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/running_stats.hh"
+
+using namespace tpcp;
+
+TEST(RunningStats, EmptyIsZero)
+{
+    RunningStats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.variance(), 0.0);
+    EXPECT_EQ(s.stddev(), 0.0);
+    EXPECT_EQ(s.cov(), 0.0);
+}
+
+TEST(RunningStats, SingleSample)
+{
+    RunningStats s;
+    s.push(3.5);
+    EXPECT_EQ(s.count(), 1u);
+    EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+    EXPECT_EQ(s.variance(), 0.0);
+    EXPECT_EQ(s.min(), 3.5);
+    EXPECT_EQ(s.max(), 3.5);
+}
+
+TEST(RunningStats, KnownValues)
+{
+    RunningStats s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.push(x);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 4.0); // population variance
+    EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+    EXPECT_DOUBLE_EQ(s.cov(), 0.4);
+    EXPECT_EQ(s.min(), 2.0);
+    EXPECT_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, CovIsStddevOverMean)
+{
+    // CoV definition from the paper: stddev / mean.
+    RunningStats s;
+    s.push(1.0);
+    s.push(3.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 1.0);
+    EXPECT_DOUBLE_EQ(s.cov(), 0.5);
+}
+
+TEST(RunningStats, IdenticalSamplesZeroCov)
+{
+    RunningStats s;
+    for (int i = 0; i < 100; ++i)
+        s.push(1.25);
+    EXPECT_NEAR(s.cov(), 0.0, 1e-12)
+        << "identical CPIs in a phase mean CoV 0 (paper 3.1)";
+}
+
+TEST(RunningStats, ZeroMeanCovIsZero)
+{
+    RunningStats s;
+    s.push(-1.0);
+    s.push(1.0);
+    EXPECT_EQ(s.cov(), 0.0) << "guard against division by zero";
+}
+
+TEST(RunningStats, ClearResets)
+{
+    RunningStats s;
+    s.push(1.0);
+    s.push(2.0);
+    s.clear();
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+}
+
+TEST(RunningStats, MergeMatchesCombined)
+{
+    Rng rng(std::uint64_t{5});
+    RunningStats a, b, all;
+    for (int i = 0; i < 1000; ++i) {
+        double x = rng.nextDouble() * 10.0;
+        if (i < 400)
+            a.push(x);
+        else
+            b.push(x);
+        all.push(x);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+    EXPECT_EQ(a.min(), all.min());
+    EXPECT_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty)
+{
+    RunningStats a, b;
+    a.push(1.0);
+    a.push(2.0);
+    RunningStats a_copy = a;
+    a.merge(b); // no-op
+    EXPECT_EQ(a.count(), 2u);
+    EXPECT_DOUBLE_EQ(a.mean(), a_copy.mean());
+    b.merge(a); // copy
+    EXPECT_EQ(b.count(), 2u);
+    EXPECT_DOUBLE_EQ(b.mean(), 1.5);
+}
+
+TEST(RunningStats, NumericalStabilityLargeOffset)
+{
+    // Welford should handle samples with a huge common offset.
+    RunningStats s;
+    for (double x : {1e9 + 1.0, 1e9 + 2.0, 1e9 + 3.0})
+        s.push(x);
+    EXPECT_NEAR(s.mean(), 1e9 + 2.0, 1e-3);
+    EXPECT_NEAR(s.variance(), 2.0 / 3.0, 1e-3);
+}
+
+TEST(RunningStats, SumMatches)
+{
+    RunningStats s;
+    s.push(1.5);
+    s.push(2.5);
+    s.push(3.0);
+    EXPECT_NEAR(s.sum(), 7.0, 1e-12);
+}

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Unit tests for the saturating counter used throughout the phase
+ * architecture (accumulators, min counters, confidence counters).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/sat_counter.hh"
+
+using namespace tpcp;
+
+TEST(SatCounter, StartsAtInitialValue)
+{
+    SatCounter c(3, 5);
+    EXPECT_EQ(c.value(), 5u);
+    EXPECT_EQ(c.max(), 7u);
+}
+
+TEST(SatCounter, InitialValueClamped)
+{
+    SatCounter c(2, 100);
+    EXPECT_EQ(c.value(), 3u);
+}
+
+TEST(SatCounter, IncrementSaturates)
+{
+    SatCounter c(2, 0);
+    EXPECT_EQ(c.increment(), 1u);
+    EXPECT_EQ(c.increment(), 2u);
+    EXPECT_EQ(c.increment(), 3u);
+    EXPECT_EQ(c.increment(), 3u) << "must clamp at max";
+    EXPECT_TRUE(c.saturatedHigh());
+}
+
+TEST(SatCounter, DecrementSaturates)
+{
+    SatCounter c(2, 1);
+    EXPECT_EQ(c.decrement(), 0u);
+    EXPECT_EQ(c.decrement(), 0u) << "must clamp at zero";
+    EXPECT_TRUE(c.saturatedLow());
+}
+
+TEST(SatCounter, IncrementByAmount)
+{
+    SatCounter c(4, 0);
+    EXPECT_EQ(c.increment(10), 10u);
+    EXPECT_EQ(c.increment(10), 15u) << "clamps at 15";
+}
+
+TEST(SatCounter, DecrementByAmount)
+{
+    SatCounter c(4, 12);
+    EXPECT_EQ(c.decrement(5), 7u);
+    EXPECT_EQ(c.decrement(100), 0u);
+}
+
+TEST(SatCounter, OneBitCounter)
+{
+    // The paper's change-table confidence counters are 1 bit.
+    SatCounter c(1, 0);
+    EXPECT_EQ(c.max(), 1u);
+    c.increment();
+    EXPECT_TRUE(c.saturatedHigh());
+    c.decrement();
+    EXPECT_TRUE(c.saturatedLow());
+}
+
+TEST(SatCounter, ThreeBitConfidencePattern)
+{
+    // The paper's last-value confidence: 3 bits, threshold 6.
+    SatCounter c(3, 0);
+    for (int i = 0; i < 6; ++i)
+        c.increment();
+    EXPECT_GE(c.value(), 6u);
+    c.increment();
+    c.increment();
+    EXPECT_EQ(c.value(), 7u);
+}
+
+TEST(SatCounter, ResetAndSet)
+{
+    SatCounter c(5, 20);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+    c.set(31);
+    EXPECT_EQ(c.value(), 31u);
+    c.set(32);
+    EXPECT_EQ(c.value(), 31u) << "set clamps";
+}
+
+TEST(SatCounter, LargeIncrementNearMax)
+{
+    SatCounter c(24, (1u << 24) - 2);
+    c.increment(1000000);
+    EXPECT_EQ(c.value(), (1u << 24) - 1)
+        << "24-bit accumulator saturates, never wraps";
+}

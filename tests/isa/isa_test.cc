@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Unit tests for the synthetic ISA: op-class traits, instruction
+ * predicates, PC arithmetic and program validation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/inst.hh"
+#include "isa/op_class.hh"
+#include "isa/program.hh"
+
+using namespace tpcp;
+using namespace tpcp::isa;
+
+TEST(OpClass, TraitsPredicates)
+{
+    EXPECT_TRUE(opTraits(OpClass::Load).isMem);
+    EXPECT_TRUE(opTraits(OpClass::Load).isLoad);
+    EXPECT_TRUE(opTraits(OpClass::Store).isMem);
+    EXPECT_FALSE(opTraits(OpClass::Store).isLoad);
+    EXPECT_TRUE(opTraits(OpClass::Branch).isControl);
+    EXPECT_TRUE(opTraits(OpClass::Branch).isConditional);
+    EXPECT_TRUE(opTraits(OpClass::Jump).isControl);
+    EXPECT_FALSE(opTraits(OpClass::Jump).isConditional);
+    EXPECT_FALSE(opTraits(OpClass::IntAlu).isMem);
+    EXPECT_FALSE(opTraits(OpClass::IntAlu).isControl);
+}
+
+TEST(OpClass, LatenciesSensible)
+{
+    EXPECT_EQ(opTraits(OpClass::IntAlu).latency, 1u);
+    EXPECT_GT(opTraits(OpClass::IntDiv).latency,
+              opTraits(OpClass::IntMult).latency);
+    EXPECT_GT(opTraits(OpClass::FpDiv).latency,
+              opTraits(OpClass::FpMult).latency);
+}
+
+TEST(OpClass, FunctionalUnits)
+{
+    EXPECT_EQ(opTraits(OpClass::Load).fu, FuClass::LoadStore);
+    EXPECT_EQ(opTraits(OpClass::Store).fu, FuClass::LoadStore);
+    EXPECT_EQ(opTraits(OpClass::FpAdd).fu, FuClass::FpAdd);
+    EXPECT_EQ(opTraits(OpClass::IntDiv).fu, FuClass::IntMultDiv);
+    EXPECT_EQ(opTraits(OpClass::FpDiv).fu, FuClass::FpMultDiv);
+    EXPECT_EQ(opTraits(OpClass::Nop).fu, FuClass::None);
+}
+
+TEST(OpClass, RegisterWriters)
+{
+    EXPECT_TRUE(opTraits(OpClass::Load).writesReg);
+    EXPECT_FALSE(opTraits(OpClass::Store).writesReg);
+    EXPECT_FALSE(opTraits(OpClass::Branch).writesReg);
+    EXPECT_TRUE(opTraits(OpClass::IntAlu).writesReg);
+}
+
+TEST(BasicBlock, PcArithmetic)
+{
+    BasicBlock bb;
+    bb.baseAddr = 0x1000;
+    bb.insts.resize(3);
+    EXPECT_EQ(bb.pc(0), 0x1000u);
+    EXPECT_EQ(bb.pc(1), 0x1004u);
+    EXPECT_EQ(bb.pc(2), 0x1008u);
+    EXPECT_EQ(bb.size(), 3u);
+}
+
+TEST(Inst, ToStringMentionsOperands)
+{
+    Inst inst;
+    inst.op = OpClass::Load;
+    inst.dest = 3;
+    inst.src1 = 5;
+    inst.stream = 1;
+    std::string s = inst.toString();
+    EXPECT_NE(s.find("load"), std::string::npos);
+    EXPECT_NE(s.find("r3"), std::string::npos);
+    EXPECT_NE(s.find("stream 1"), std::string::npos);
+}
+
+namespace
+{
+
+/** Builds a minimal valid one-region two-block program. */
+Program
+tinyProgram()
+{
+    Program p;
+    p.name = "tiny";
+
+    Region r;
+    r.name = "r0";
+    r.firstBlock = 0;
+    r.numBlocks = 2;
+    r.entryBlock = 0;
+    r.memStreams.push_back({});
+    BranchBehaviorDesc loop;
+    loop.kind = BranchBehaviorDesc::Kind::LoopBack;
+    loop.tripCount = 4;
+    r.branchBehaviors.push_back(loop);
+    p.regions.push_back(r);
+
+    BasicBlock b0;
+    b0.baseAddr = 0x1000;
+    Inst alu;
+    alu.op = OpClass::IntAlu;
+    alu.dest = 1;
+    b0.insts.push_back(alu);
+    Inst load;
+    load.op = OpClass::Load;
+    load.dest = 2;
+    load.stream = 0;
+    b0.insts.push_back(load);
+    b0.fallthrough = 1;
+    p.blocks.push_back(b0);
+
+    BasicBlock b1;
+    b1.baseAddr = 0x2000;
+    Inst br;
+    br.op = OpClass::Branch;
+    br.behavior = 0;
+    br.targetBlock = 0;
+    b1.insts.push_back(br);
+    b1.fallthrough = 0;
+    p.blocks.push_back(b1);
+    return p;
+}
+
+} // namespace
+
+TEST(Program, ValidProgramPasses)
+{
+    EXPECT_EQ(tinyProgram().validate(), "");
+}
+
+TEST(Program, StaticInstCount)
+{
+    EXPECT_EQ(tinyProgram().staticInstCount(), 3u);
+}
+
+TEST(Program, EmptyProgramInvalid)
+{
+    Program p;
+    EXPECT_NE(p.validate(), "");
+}
+
+TEST(Program, BadMemStreamRejected)
+{
+    Program p = tinyProgram();
+    p.blocks[0].insts[1].stream = 7; // out of range
+    EXPECT_NE(p.validate(), "");
+}
+
+TEST(Program, BadBranchBehaviorRejected)
+{
+    Program p = tinyProgram();
+    p.blocks[1].insts[0].behavior = 9;
+    EXPECT_NE(p.validate(), "");
+}
+
+TEST(Program, BranchTargetOutsideRegionRejected)
+{
+    Program p = tinyProgram();
+    p.blocks[1].insts[0].targetBlock = 5;
+    EXPECT_NE(p.validate(), "");
+}
+
+TEST(Program, ControlMidBlockRejected)
+{
+    Program p = tinyProgram();
+    Inst br;
+    br.op = OpClass::Branch;
+    br.behavior = 0;
+    br.targetBlock = 0;
+    p.blocks[0].insts.insert(p.blocks[0].insts.begin(), br);
+    EXPECT_NE(p.validate(), "");
+}
+
+TEST(Program, OverlappingBlocksRejected)
+{
+    Program p = tinyProgram();
+    p.blocks[1].baseAddr = p.blocks[0].baseAddr + 4; // overlaps b0
+    EXPECT_NE(p.validate(), "");
+}
+
+TEST(Program, EmptyBlockRejected)
+{
+    Program p = tinyProgram();
+    p.blocks[0].insts.clear();
+    EXPECT_NE(p.validate(), "");
+}
+
+TEST(Program, EntryOutsideRegionRejected)
+{
+    Program p = tinyProgram();
+    p.regions[0].entryBlock = 5;
+    EXPECT_NE(p.validate(), "");
+}

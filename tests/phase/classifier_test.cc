@@ -1,0 +1,308 @@
+/**
+ * @file
+ * Unit tests for the phase classifier: the paper's classification
+ * algorithm including the transition phase (section 4.4), best-match
+ * selection, phase-ID allocation, LRU-driven ID growth (Figure 2
+ * effect) and adaptive threshold halving (section 4.6).
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hh"
+#include "phase/classifier.hh"
+
+using namespace tpcp;
+using namespace tpcp::phase;
+
+namespace
+{
+
+constexpr unsigned kDims = 16;
+constexpr InstCount kTotal = 100'000;
+
+/** A raw accumulator vector with mass concentrated by @p shape. */
+std::vector<std::uint32_t>
+rawFor(unsigned shape, double noise = 0.0, std::uint64_t salt = 0)
+{
+    Rng rng(salt * 977 + shape);
+    std::vector<std::uint32_t> raw(kDims, 0);
+    // Three heavy buckets per shape, distinct across shapes.
+    unsigned h0 = (shape * 5 + 1) % kDims;
+    unsigned h1 = (shape * 5 + 7) % kDims;
+    unsigned h2 = (shape * 5 + 11) % kDims;
+    raw[h0] = 50'000;
+    raw[h1] = 30'000;
+    raw[h2] = 20'000;
+    if (noise > 0.0) {
+        for (auto &c : raw) {
+            double f = 1.0 + noise * (rng.nextDouble() - 0.5);
+            c = static_cast<std::uint32_t>(c * f);
+        }
+    }
+    return raw;
+}
+
+ClassifierConfig
+baseConfig()
+{
+    ClassifierConfig cfg;
+    cfg.numCounters = kDims;
+    cfg.tableEntries = 32;
+    cfg.similarityThreshold = 0.25;
+    cfg.minCountThreshold = 0;
+    cfg.adaptiveThreshold = false;
+    return cfg;
+}
+
+} // namespace
+
+TEST(Classifier, FirstIntervalAllocatesPhaseWithoutMinCount)
+{
+    PhaseClassifier c(baseConfig());
+    ClassifyResult r = c.classifyRaw(rawFor(0), kTotal, 1.0);
+    EXPECT_TRUE(r.inserted);
+    EXPECT_EQ(r.phase, firstStablePhaseId);
+    EXPECT_EQ(c.numStablePhases(), 1u);
+}
+
+TEST(Classifier, SameCodeSamePhase)
+{
+    PhaseClassifier c(baseConfig());
+    PhaseId first =
+        c.classifyRaw(rawFor(0), kTotal, 1.0).phase;
+    for (int i = 1; i < 10; ++i) {
+        ClassifyResult r = c.classifyRaw(rawFor(0, 0.05, i), kTotal,
+                                         1.0);
+        EXPECT_TRUE(r.matched);
+        EXPECT_EQ(r.phase, first);
+    }
+    EXPECT_EQ(c.numStablePhases(), 1u);
+}
+
+TEST(Classifier, DifferentCodeDifferentPhases)
+{
+    PhaseClassifier c(baseConfig());
+    PhaseId a = c.classifyRaw(rawFor(0), kTotal, 1.0).phase;
+    PhaseId b = c.classifyRaw(rawFor(1), kTotal, 2.0).phase;
+    PhaseId d = c.classifyRaw(rawFor(2), kTotal, 3.0).phase;
+    EXPECT_NE(a, b);
+    EXPECT_NE(b, d);
+    EXPECT_EQ(c.numStablePhases(), 3u);
+}
+
+TEST(Classifier, PhasesReappearWithSameId)
+{
+    PhaseClassifier c(baseConfig());
+    PhaseId a1 = c.classifyRaw(rawFor(0), kTotal, 1.0).phase;
+    c.classifyRaw(rawFor(1), kTotal, 2.0);
+    PhaseId a2 = c.classifyRaw(rawFor(0, 0.05, 3), kTotal, 1.0).phase;
+    EXPECT_EQ(a1, a2) << "a phase may reappear many times (paper 1)";
+}
+
+TEST(Classifier, TransitionPhaseUntilMinCount)
+{
+    ClassifierConfig cfg = baseConfig();
+    cfg.minCountThreshold = 4;
+    PhaseClassifier c(cfg);
+    // Insert (interval 1) + 3 matches: still transition.
+    EXPECT_EQ(c.classifyRaw(rawFor(0), kTotal, 1.0).phase,
+              transitionPhaseId);
+    for (int i = 0; i < 3; ++i) {
+        EXPECT_EQ(c.classifyRaw(rawFor(0, 0.03, i), kTotal, 1.0)
+                      .phase,
+                  transitionPhaseId)
+            << "match " << i;
+    }
+    // 4th match crosses the threshold: real phase ID.
+    ClassifyResult r = c.classifyRaw(rawFor(0, 0.03, 9), kTotal, 1.0);
+    EXPECT_EQ(r.phase, firstStablePhaseId);
+    EXPECT_EQ(c.numStablePhases(), 1u);
+    EXPECT_EQ(c.stats().transitionIntervals, 4u);
+}
+
+TEST(Classifier, InfrequentBehaviorStaysInTransition)
+{
+    ClassifierConfig cfg = baseConfig();
+    cfg.minCountThreshold = 8;
+    PhaseClassifier c(cfg);
+    // Many distinct one-off signatures: all transition, no stable
+    // phase IDs allocated (the paper's table-pressure win).
+    for (unsigned shape = 0; shape < 12; ++shape) {
+        ClassifyResult r =
+            c.classifyRaw(rawFor(shape), kTotal, 1.0);
+        EXPECT_EQ(r.phase, transitionPhaseId);
+    }
+    EXPECT_EQ(c.numStablePhases(), 0u);
+    EXPECT_DOUBLE_EQ(c.stats().transitionFraction(), 1.0);
+}
+
+TEST(Classifier, MinCountZeroDisablesTransitionPhase)
+{
+    PhaseClassifier c(baseConfig());
+    for (unsigned shape = 0; shape < 5; ++shape)
+        c.classifyRaw(rawFor(shape), kTotal, 1.0);
+    EXPECT_EQ(c.stats().transitionIntervals, 0u);
+    EXPECT_EQ(c.numStablePhases(), 5u);
+}
+
+TEST(Classifier, EvictionRegeneratesPhaseIds)
+{
+    // The Figure-2 effect: a small table loses signatures and hands
+    // out fresh IDs when behaviors recur.
+    ClassifierConfig cfg = baseConfig();
+    cfg.tableEntries = 2;
+    PhaseClassifier small(cfg);
+    cfg.tableEntries = 0;
+    PhaseClassifier unbounded(cfg);
+
+    for (int round = 0; round < 4; ++round) {
+        for (unsigned shape = 0; shape < 4; ++shape) {
+            small.classifyRaw(rawFor(shape), kTotal, 1.0);
+            unbounded.classifyRaw(rawFor(shape), kTotal, 1.0);
+        }
+    }
+    EXPECT_EQ(unbounded.numStablePhases(), 4u);
+    EXPECT_GT(small.numStablePhases(), 8u)
+        << "evictions force re-allocation of phase IDs";
+}
+
+TEST(Classifier, BestMatchChoosesMostSimilar)
+{
+    ClassifierConfig cfg = baseConfig();
+    cfg.similarityThreshold = 0.9; // everything matches everything
+    PhaseClassifier c(cfg);
+    PhaseId a = c.classifyRaw(rawFor(0), kTotal, 1.0).phase;
+    // rawFor(1) matches the permissive threshold but is farther; a
+    // new interval near shape 0 must classify back into phase a.
+    c.classifyRaw(rawFor(1), kTotal, 1.0);
+    ClassifyResult r = c.classifyRaw(rawFor(0, 0.02, 5), kTotal, 1.0);
+    EXPECT_EQ(r.phase, a);
+}
+
+TEST(Classifier, MatchReplacesStoredSignature)
+{
+    // Signature creep: after matching, the entry holds the *current*
+    // signature, letting a phase track slow drift (section 4.6
+    // discussion / mcf behavior).
+    PhaseClassifier c(baseConfig());
+    c.classifyRaw(rawFor(0), kTotal, 1.0);
+    // Drift in small steps; each step within threshold of the last.
+    std::vector<std::uint32_t> raw = rawFor(0);
+    PhaseId last = firstStablePhaseId;
+    for (int step = 0; step < 6; ++step) {
+        raw[0] += 4000;
+        raw[15] += 3000;
+        ClassifyResult r = c.classifyRaw(raw, kTotal, 1.0);
+        EXPECT_EQ(r.phase, last) << "drift step " << step;
+    }
+}
+
+TEST(Classifier, AdaptiveHalvesThresholdOnCpiDeviation)
+{
+    ClassifierConfig cfg = baseConfig();
+    cfg.adaptiveThreshold = true;
+    cfg.cpiDeviationThreshold = 0.25;
+    PhaseClassifier c(cfg);
+    c.classifyRaw(rawFor(0), kTotal, 2.0);
+    c.classifyRaw(rawFor(0, 0.02, 1), kTotal, 2.1); // fine
+    EXPECT_EQ(c.stats().thresholdHalvings, 0u);
+    // CPI deviates 50% from the running average: halve.
+    ClassifyResult r = c.classifyRaw(rawFor(0, 0.02, 2), kTotal, 3.1);
+    EXPECT_TRUE(r.thresholdHalved);
+    EXPECT_EQ(c.stats().thresholdHalvings, 1u);
+    const SigEntry &e = c.table().view().front();
+    EXPECT_NEAR(e.threshold, 0.125, 1e-9);
+    EXPECT_EQ(e.cpi.count(), 1u)
+        << "stats cleared then re-seeded with the current interval";
+}
+
+TEST(Classifier, AdaptiveRespectsFloor)
+{
+    ClassifierConfig cfg = baseConfig();
+    cfg.adaptiveThreshold = true;
+    cfg.cpiDeviationThreshold = 0.1;
+    cfg.thresholdFloor = 0.1;
+    PhaseClassifier c(cfg);
+    double cpi = 1.0;
+    c.classifyRaw(rawFor(0), kTotal, cpi);
+    for (int i = 0; i < 10; ++i) {
+        cpi *= 1.5; // always deviating
+        c.classifyRaw(rawFor(0, 0.01, i), kTotal, cpi);
+        if (c.table().view().empty())
+            break;
+    }
+    for (const SigEntry &e : c.table().view())
+        EXPECT_GE(e.threshold, 0.1);
+}
+
+TEST(Classifier, StaticConfigNeverHalves)
+{
+    PhaseClassifier c(baseConfig());
+    c.classifyRaw(rawFor(0), kTotal, 1.0);
+    c.classifyRaw(rawFor(0, 0.02, 1), kTotal, 100.0);
+    EXPECT_EQ(c.stats().thresholdHalvings, 0u);
+}
+
+TEST(Classifier, FlushPerformanceFeedbackKeepsPhases)
+{
+    ClassifierConfig cfg = baseConfig();
+    cfg.adaptiveThreshold = true;
+    PhaseClassifier c(cfg);
+    PhaseId a = c.classifyRaw(rawFor(0), kTotal, 1.0).phase;
+    c.flushPerformanceFeedback();
+    // A wildly different CPI right after the flush must not halve
+    // (no average to deviate from), and the phase ID is stable.
+    ClassifyResult r =
+        c.classifyRaw(rawFor(0, 0.02, 1), kTotal, 50.0);
+    EXPECT_EQ(r.phase, a);
+    EXPECT_FALSE(r.thresholdHalved);
+}
+
+TEST(Classifier, OnlineApiMatchesReplayApi)
+{
+    // recordBranch+endInterval must equal classifyRaw given the same
+    // accumulator contents.
+    ClassifierConfig cfg = baseConfig();
+    PhaseClassifier online(cfg);
+    PhaseClassifier replay(cfg);
+
+    Rng rng(std::uint64_t{12});
+    for (int interval = 0; interval < 20; ++interval) {
+        AccumulatorTable acc(cfg.numCounters, cfg.counterBits);
+        unsigned shape = interval % 3;
+        for (int b = 0; b < 200; ++b) {
+            Addr pc = 0x1000 * (shape + 1) +
+                      4 * rng.nextBounded(8);
+            online.recordBranch(pc, 13);
+            acc.recordBranch(pc, 13);
+        }
+        ClassifyResult a = online.endInterval(1.0 + shape);
+        ClassifyResult b = replay.classifyRaw(
+            acc.counters(), acc.totalIncrement(), 1.0 + shape);
+        EXPECT_EQ(a.phase, b.phase) << "interval " << interval;
+    }
+}
+
+TEST(Classifier, StatsConsistency)
+{
+    ClassifierConfig cfg = baseConfig();
+    cfg.minCountThreshold = 8;
+    PhaseClassifier c(cfg);
+    for (int i = 0; i < 30; ++i)
+        c.classifyRaw(rawFor(static_cast<unsigned>(i % 2), 0.02,
+                             static_cast<std::uint64_t>(i)),
+                      kTotal, 1.0);
+    EXPECT_EQ(c.stats().intervals, 30u);
+    EXPECT_LE(c.stats().transitionIntervals, 30u);
+    EXPECT_GE(c.stats().insertions, 2u);
+}
+
+TEST(Classifier, RejectsWrongDimensionality)
+{
+    PhaseClassifier c(baseConfig());
+    std::vector<std::uint32_t> wrong(8, 100);
+    EXPECT_DEATH(c.classifyRaw(wrong, kTotal, 1.0),
+                 "dimensionality");
+}

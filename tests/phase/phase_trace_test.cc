@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Unit tests for run-length encoding and the run-length classes of
+ * section 6.2.1.
+ */
+
+#include <gtest/gtest.h>
+
+#include "phase/phase_trace.hh"
+
+using namespace tpcp;
+using namespace tpcp::phase;
+
+TEST(RunLengthEncode, EmptyTrace)
+{
+    EXPECT_TRUE(runLengthEncode({}).empty());
+}
+
+TEST(RunLengthEncode, SingleRun)
+{
+    auto runs = runLengthEncode({3, 3, 3});
+    ASSERT_EQ(runs.size(), 1u);
+    EXPECT_EQ(runs[0].phase, 3u);
+    EXPECT_EQ(runs[0].length, 3u);
+}
+
+TEST(RunLengthEncode, AlternatingRuns)
+{
+    auto runs = runLengthEncode({1, 1, 2, 1, 1, 1, 0, 0});
+    ASSERT_EQ(runs.size(), 4u);
+    EXPECT_EQ(runs[0], (PhaseRun{1, 2}));
+    EXPECT_EQ(runs[1], (PhaseRun{2, 1}));
+    EXPECT_EQ(runs[2], (PhaseRun{1, 3}));
+    EXPECT_EQ(runs[3], (PhaseRun{0, 2}));
+}
+
+TEST(RunLengthEncode, LengthsSumToTraceSize)
+{
+    std::vector<PhaseId> trace = {5, 5, 1, 2, 2, 2, 5, 0, 0, 1};
+    auto runs = runLengthEncode(trace);
+    std::uint64_t sum = 0;
+    for (const auto &r : runs)
+        sum += r.length;
+    EXPECT_EQ(sum, trace.size());
+}
+
+TEST(RunLengthClass, PaperBoundaries)
+{
+    // 1-15, 16-127, 128-1023, >= 1024 (paper section 6.2.1).
+    EXPECT_EQ(runLengthClass(1), 0u);
+    EXPECT_EQ(runLengthClass(15), 0u);
+    EXPECT_EQ(runLengthClass(16), 1u);
+    EXPECT_EQ(runLengthClass(127), 1u);
+    EXPECT_EQ(runLengthClass(128), 2u);
+    EXPECT_EQ(runLengthClass(1023), 2u);
+    EXPECT_EQ(runLengthClass(1024), 3u);
+    EXPECT_EQ(runLengthClass(1u << 20), 3u);
+}
+
+TEST(RunLengthClass, Labels)
+{
+    EXPECT_STREQ(runLengthClassLabel(0), "1-15");
+    EXPECT_STREQ(runLengthClassLabel(1), "16-127");
+    EXPECT_STREQ(runLengthClassLabel(2), "128-1023");
+    EXPECT_STREQ(runLengthClassLabel(3), "1024-");
+}
+
+TEST(PhaseTrace, PushAccumulates)
+{
+    PhaseTrace t;
+    t.push(1, 1.5);
+    t.push(2, 2.5);
+    EXPECT_EQ(t.size(), 2u);
+    EXPECT_EQ(t.phases[1], 2u);
+    EXPECT_DOUBLE_EQ(t.cpis[0], 1.5);
+}

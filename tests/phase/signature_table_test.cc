@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Unit tests for the Past Signature Table: threshold matching,
+ * best-vs-first match policies, LRU replacement and per-entry state.
+ */
+
+#include <gtest/gtest.h>
+
+#include "phase/signature_table.hh"
+
+using namespace tpcp;
+using namespace tpcp::phase;
+
+namespace
+{
+
+Signature
+sig(std::vector<std::uint8_t> dims)
+{
+    return Signature(std::move(dims), 6);
+}
+
+} // namespace
+
+TEST(SignatureTable, EmptyNoMatch)
+{
+    SignatureTable t(32, 6);
+    EXPECT_EQ(t.match(sig({1, 2, 3}), MatchPolicy::BestMatch),
+              nullptr);
+    EXPECT_EQ(t.size(), 0u);
+}
+
+TEST(SignatureTable, InsertThenExactMatch)
+{
+    SignatureTable t(32, 6);
+    t.insert(sig({10, 20, 30}), 0.25);
+    SigEntry *e = t.match(sig({10, 20, 30}), MatchPolicy::BestMatch);
+    ASSERT_NE(e, nullptr);
+    EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(SignatureTable, ThresholdIsExclusive)
+{
+    SignatureTable t(32, 6);
+    // weight 40 + 40; a distance of 20 -> difference 0.25 exactly.
+    t.insert(sig({40, 0}), 0.25);
+    EXPECT_EQ(t.match(sig({20, 20}), MatchPolicy::BestMatch),
+              nullptr)
+        << "difference must be strictly below the threshold";
+    // distance 10 -> difference 10/75 ~ 0.133 < 0.25: matches.
+    EXPECT_NE(t.match(sig({35, 0}), MatchPolicy::BestMatch),
+              nullptr);
+}
+
+TEST(SignatureTable, BestMatchPicksClosest)
+{
+    SignatureTable t(32, 6);
+    SigEntry &far = t.insert(sig({30, 10}), 1.0);
+    far.phase = 1;
+    SigEntry &near = t.insert(sig({22, 18}), 1.0);
+    near.phase = 2;
+    SigEntry *best = t.match(sig({20, 20}), MatchPolicy::BestMatch);
+    ASSERT_NE(best, nullptr);
+    EXPECT_EQ(best->phase, 2u);
+}
+
+TEST(SignatureTable, FirstMatchPicksFirstInTableOrder)
+{
+    SignatureTable t(32, 6);
+    SigEntry &first = t.insert(sig({30, 10}), 1.0);
+    first.phase = 1;
+    SigEntry &closer = t.insert(sig({22, 18}), 1.0);
+    closer.phase = 2;
+    SigEntry *got = t.match(sig({20, 20}), MatchPolicy::FirstMatch);
+    ASSERT_NE(got, nullptr);
+    EXPECT_EQ(got->phase, 1u)
+        << "prior work [25] takes the first satisfying entry";
+}
+
+TEST(SignatureTable, PerEntryThresholdRespected)
+{
+    SignatureTable t(32, 6);
+    SigEntry &tight = t.insert(sig({40, 0}), 0.05);
+    tight.phase = 1;
+    // Difference ~0.07 fails the tightened 5% threshold.
+    EXPECT_EQ(t.match(sig({37, 3}), MatchPolicy::BestMatch),
+              nullptr);
+    tight.threshold = 0.25;
+    EXPECT_NE(t.match(sig({37, 3}), MatchPolicy::BestMatch),
+              nullptr);
+}
+
+TEST(SignatureTable, LruEvictionAtCapacity)
+{
+    SignatureTable t(2, 6);
+    SigEntry &a = t.insert(sig({63, 0}), 0.25);
+    a.phase = 1;
+    SigEntry &b = t.insert(sig({0, 63}), 0.25);
+    b.phase = 2;
+    // Touch A so B is LRU; inserting C evicts B.
+    t.touch(*t.match(sig({63, 0}), MatchPolicy::BestMatch));
+    t.insert(sig({32, 32}), 0.25);
+    EXPECT_EQ(t.size(), 2u);
+    EXPECT_EQ(t.evictions(), 1u);
+    EXPECT_NE(t.match(sig({63, 0}), MatchPolicy::BestMatch),
+              nullptr);
+    EXPECT_EQ(t.match(sig({0, 63}), MatchPolicy::BestMatch),
+              nullptr)
+        << "B was evicted";
+}
+
+TEST(SignatureTable, UnboundedNeverEvicts)
+{
+    SignatureTable t(0, 6);
+    for (int i = 0; i < 100; ++i) {
+        std::vector<std::uint8_t> d(16, 0);
+        d[i % 16] = static_cast<std::uint8_t>(1 + i / 16);
+        t.insert(sig(d), 0.25);
+    }
+    EXPECT_EQ(t.size(), 100u);
+    EXPECT_EQ(t.evictions(), 0u);
+}
+
+TEST(SignatureTable, MinCounterWidthFromConstruction)
+{
+    SignatureTable t(4, 3);
+    SigEntry &e = t.insert(sig({1}), 0.25);
+    EXPECT_EQ(e.minCounter.max(), 7u);
+}
+
+TEST(SignatureTable, ClearPerformanceStatsKeepsEntries)
+{
+    SignatureTable t(4, 6);
+    SigEntry &e = t.insert(sig({1, 2}), 0.25);
+    e.phase = 3;
+    e.cpi.push(1.5);
+    t.clearPerformanceStats();
+    EXPECT_EQ(t.size(), 1u);
+    SigEntry *m = t.match(sig({1, 2}), MatchPolicy::BestMatch);
+    ASSERT_NE(m, nullptr);
+    EXPECT_EQ(m->phase, 3u) << "phase IDs survive the flush";
+    EXPECT_EQ(m->cpi.count(), 0u) << "CPI stats flushed";
+}
+
+TEST(SignatureTable, ClearRemovesEverything)
+{
+    SignatureTable t(4, 6);
+    t.insert(sig({1}), 0.25);
+    t.clear();
+    EXPECT_EQ(t.size(), 0u);
+    EXPECT_EQ(t.evictions(), 0u);
+}

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Unit tests for signature compression (static and dynamic bit
+ * selection, paper section 4.2) and the normalized Manhattan
+ * similarity metric.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "phase/signature.hh"
+
+using namespace tpcp;
+using namespace tpcp::phase;
+
+TEST(Signature, DirectConstruction)
+{
+    Signature s({1, 2, 3}, 6);
+    EXPECT_EQ(s.size(), 3u);
+    EXPECT_EQ(s.dim(0), 1);
+    EXPECT_EQ(s.weight(), 6u);
+    EXPECT_EQ(s.bitsPerDim(), 6u);
+}
+
+TEST(Signature, ManhattanDistance)
+{
+    Signature a({1, 2, 3}, 6);
+    Signature b({3, 2, 0}, 6);
+    EXPECT_EQ(a.manhattan(b), 5u);
+    EXPECT_EQ(b.manhattan(a), 5u);
+    EXPECT_EQ(a.manhattan(a), 0u);
+}
+
+TEST(Signature, DifferenceNormalization)
+{
+    Signature a({4, 0}, 6);
+    Signature b({0, 4}, 6);
+    // Disjoint support: difference = 8 / (4+4) = 1.
+    EXPECT_DOUBLE_EQ(a.difference(b), 1.0);
+    EXPECT_DOUBLE_EQ(a.difference(a), 0.0);
+}
+
+TEST(Signature, DifferencePartialOverlap)
+{
+    Signature a({4, 4}, 6);
+    Signature b({4, 0}, 6);
+    // Distance 4, total weight 12 -> 1/3.
+    EXPECT_NEAR(a.difference(b), 1.0 / 3.0, 1e-12);
+}
+
+TEST(Signature, EmptySignaturesIdentical)
+{
+    Signature a({0, 0}, 6);
+    Signature b({0, 0}, 6);
+    EXPECT_DOUBLE_EQ(a.difference(b), 0.0);
+}
+
+TEST(Signature, StaticBitSelectionWindow)
+{
+    // Static window [4, 10): value 0b1111110000 -> stored 0b111111.
+    std::vector<std::uint32_t> raw = {0b1111110000u, 0b10000u};
+    Signature s = Signature::fromAccumulators(raw, 0, 6,
+                                              BitSelection::Static,
+                                              4);
+    EXPECT_EQ(s.dim(0), 63);
+    EXPECT_EQ(s.dim(1), 1);
+}
+
+TEST(Signature, StaticOverflowSaturates)
+{
+    // A bit above the window forces all-ones (paper rule).
+    std::vector<std::uint32_t> raw = {1u << 12};
+    Signature s = Signature::fromAccumulators(raw, 0, 6,
+                                              BitSelection::Static,
+                                              4);
+    EXPECT_EQ(s.dim(0), 63);
+}
+
+TEST(Signature, DynamicSelectionCoversAverage)
+{
+    // 16 counters, total 1600 -> average 100 (7 bits), window top =
+    // 9 bits, shift = 3. A counter at the average stores 100 >> 3 =
+    // 12.
+    std::vector<std::uint32_t> raw(16, 100);
+    Signature s = Signature::fromAccumulators(
+        raw, 1600, 6, BitSelection::Dynamic);
+    for (std::size_t i = 0; i < 16; ++i)
+        EXPECT_EQ(s.dim(i), 12);
+}
+
+TEST(Signature, DynamicRepresentsUpTo4xAverage)
+{
+    // Values just under 4x the average stay representable...
+    std::vector<std::uint32_t> raw(16, 100);
+    raw[0] = 399;
+    Signature s = Signature::fromAccumulators(
+        raw, 1600, 6, BitSelection::Dynamic);
+    EXPECT_EQ(s.dim(0), 399 >> 3);
+    EXPECT_LT(s.dim(0), 63);
+    // ...while values at 4x or above saturate to all ones.
+    raw[0] = 512;
+    Signature t = Signature::fromAccumulators(
+        raw, 1600, 6, BitSelection::Dynamic);
+    EXPECT_EQ(t.dim(0), 63);
+}
+
+TEST(Signature, DynamicAdaptsToScale)
+{
+    // The same *shape* at two very different interval scales should
+    // produce identical signatures - the point of dynamic selection.
+    std::vector<std::uint32_t> small = {100, 200, 400, 100};
+    std::vector<std::uint32_t> big = {100 << 8, 200 << 8, 400 << 8,
+                                      100 << 8};
+    InstCount small_total = 800, big_total = 800 << 8;
+    Signature s = Signature::fromAccumulators(
+        small, small_total, 6, BitSelection::Dynamic);
+    Signature b = Signature::fromAccumulators(
+        big, big_total, 6, BitSelection::Dynamic);
+    EXPECT_EQ(s, b);
+}
+
+TEST(Signature, DynamicSmallAverageUsesLowBits)
+{
+    // Tiny totals: window top = bitsFor(avg)+2 may be smaller than 6
+    // bits; shift clamps to 0 and raw low bits are kept.
+    std::vector<std::uint32_t> raw = {3, 1, 0, 2};
+    Signature s = Signature::fromAccumulators(
+        raw, 6, 6, BitSelection::Dynamic);
+    EXPECT_EQ(s.dim(0), 3);
+    EXPECT_EQ(s.dim(1), 1);
+    EXPECT_EQ(s.dim(3), 2);
+}
+
+TEST(Signature, SimilarCodeSimilarSignature)
+{
+    // Two intervals of the same loop with small noise should be well
+    // within a 12.5% threshold; a different code region far outside.
+    std::vector<std::uint32_t> interval1 = {1000, 2000, 500, 1500};
+    std::vector<std::uint32_t> interval2 = {1050, 1950, 520, 1480};
+    std::vector<std::uint32_t> other = {10, 50, 3900, 1040};
+    InstCount t1 = 5000, t2 = 5000, t3 = 5000;
+    Signature s1 = Signature::fromAccumulators(
+        interval1, t1, 6, BitSelection::Dynamic);
+    Signature s2 = Signature::fromAccumulators(
+        interval2, t2, 6, BitSelection::Dynamic);
+    Signature s3 = Signature::fromAccumulators(other, t3, 6,
+                                               BitSelection::Dynamic);
+    EXPECT_LT(s1.difference(s2), 0.125);
+    EXPECT_GT(s1.difference(s3), 0.25);
+}
+
+TEST(Signature, ToStringRenders)
+{
+    Signature s({1, 0, 63}, 6);
+    EXPECT_EQ(s.toString(), "[1 0 63]");
+}
+
+TEST(Signature, SixBitsDefaultMatchesPaper)
+{
+    // The paper uses 6 bits per counter: 2 bits above the average
+    // plus 4 less-significant bits.
+    std::vector<std::uint32_t> raw(16, 1 << 10);
+    Signature s = Signature::fromAccumulators(
+        raw, 16ull << 10, 6, BitSelection::Dynamic);
+    EXPECT_EQ(s.bitsPerDim(), 6u);
+    // avg = 1024 (11 bits), window top 13, shift 7: 1024>>7 = 8.
+    EXPECT_EQ(s.dim(0), 8);
+}

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Unit tests for the perfect Markov upper bound (paper section 6.1).
+ */
+
+#include <gtest/gtest.h>
+
+#include "pred/perfect_markov.hh"
+
+using namespace tpcp;
+using namespace tpcp::pred;
+
+TEST(PerfectMarkov, NoRecordWhileStable)
+{
+    PerfectMarkov m(1);
+    EXPECT_FALSE(m.observe(1).has_value());
+    EXPECT_FALSE(m.observe(1).has_value());
+}
+
+TEST(PerfectMarkov, FirstChangeIsColdStart)
+{
+    PerfectMarkov m(1);
+    m.observe(1);
+    auto out = m.observe(2);
+    ASSERT_TRUE(out.has_value());
+    EXPECT_FALSE(out->seenBefore);
+    EXPECT_FALSE(out->historySeen);
+}
+
+TEST(PerfectMarkov, RepeatedChangeIsCovered)
+{
+    PerfectMarkov m(1);
+    m.observe(1);
+    m.observe(2); // 1->2 cold
+    m.observe(1); // 2->1 cold
+    auto out = m.observe(2); // 1->2 again: seen
+    ASSERT_TRUE(out.has_value());
+    EXPECT_TRUE(out->seenBefore);
+}
+
+TEST(PerfectMarkov, DifferentOutcomeSameHistory)
+{
+    PerfectMarkov m(1);
+    m.observe(1);
+    m.observe(2);
+    m.observe(1);
+    m.observe(2);
+    m.observe(1);
+    auto out = m.observe(3); // 1->3 never seen; history {1} seen
+    ASSERT_TRUE(out.has_value());
+    EXPECT_FALSE(out->seenBefore);
+    EXPECT_TRUE(out->historySeen);
+}
+
+TEST(PerfectMarkov, OrderTwoDisambiguates)
+{
+    // With order 2: (1,2)->3 differs from (4,2)->? contexts.
+    PerfectMarkov m(2);
+    m.observe(1);
+    m.observe(2);
+    m.observe(3); // history {1,2} -> 3
+    m.observe(4);
+    m.observe(2);
+    auto out = m.observe(3); // history {4,2} -> 3: cold for order 2
+    ASSERT_TRUE(out.has_value());
+    EXPECT_FALSE(out->seenBefore);
+
+    // Replay the first context: now covered.
+    m.observe(1);
+    m.observe(2);
+    auto out2 = m.observe(3);
+    ASSERT_TRUE(out2.has_value());
+    EXPECT_TRUE(out2->seenBefore);
+}
+
+TEST(PerfectMarkov, PeriodicTraceFullyCoveredAfterFirstPeriod)
+{
+    PerfectMarkov m(1);
+    int cold = 0, covered = 0;
+    for (int rep = 0; rep < 5; ++rep) {
+        for (PhaseId id : {1, 2, 3}) {
+            for (int i = 0; i < 3; ++i) {
+                auto out = m.observe(id);
+                if (out) {
+                    if (out->seenBefore)
+                        ++covered;
+                    else
+                        ++cold;
+                }
+            }
+        }
+    }
+    EXPECT_EQ(cold, 3) << "one cold start per distinct transition";
+    EXPECT_EQ(covered, 11);
+}

@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Property-based sweeps over the microarchitecture models: cache
+ * geometry invariants and monotonicity, and timing-core sanity
+ * across machine configurations.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "../test_helpers.hh"
+#include "common/rng.hh"
+#include "uarch/cache.hh"
+#include "uarch/exec_engine.hh"
+#include "uarch/ooo_core.hh"
+#include "uarch/simple_core.hh"
+
+using namespace tpcp;
+using namespace tpcp::uarch;
+
+// ---------------------------------------------------------------------
+// Cache properties over geometry.
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+/** (sizeKB, assoc, blockBytes). */
+using CacheParams = std::tuple<unsigned, unsigned, unsigned>;
+
+std::vector<Addr>
+randomAddresses(std::uint64_t seed, std::size_t n,
+                std::uint64_t footprint)
+{
+    Rng rng(seed);
+    std::vector<Addr> out(n);
+    for (auto &a : out)
+        a = rng.next64() % footprint;
+    return out;
+}
+
+class CacheProperties : public ::testing::TestWithParam<CacheParams>
+{
+  protected:
+    CacheConfig
+    config() const
+    {
+        auto [kb, assoc, block] = GetParam();
+        CacheConfig c;
+        c.sizeBytes = std::uint64_t(kb) * 1024;
+        c.assoc = assoc;
+        c.blockBytes = block;
+        return c;
+    }
+};
+
+} // namespace
+
+TEST_P(CacheProperties, HitAfterAccess)
+{
+    Cache cache(config(), "p");
+    auto addrs = randomAddresses(1, 500, 1 << 22);
+    for (Addr a : addrs) {
+        cache.access(a, false);
+        EXPECT_TRUE(cache.probe(a))
+            << "a just-accessed block must be resident";
+    }
+}
+
+TEST_P(CacheProperties, MissesBoundedByAccesses)
+{
+    Cache cache(config(), "p");
+    auto addrs = randomAddresses(2, 2000, 1 << 22);
+    for (Addr a : addrs)
+        cache.access(a, false);
+    EXPECT_LE(cache.stats().misses, cache.stats().accesses);
+    EXPECT_EQ(cache.stats().accesses, 2000u);
+}
+
+TEST_P(CacheProperties, SmallWorkingSetEventuallyAllHits)
+{
+    CacheConfig cfg = config();
+    Cache cache(cfg, "p");
+    // Touch half the cache's worth of distinct blocks, twice.
+    std::uint64_t blocks = cfg.sizeBytes / cfg.blockBytes / 2;
+    for (int pass = 0; pass < 2; ++pass) {
+        for (std::uint64_t b = 0; b < blocks; ++b)
+            cache.access(b * cfg.blockBytes, false);
+    }
+    EXPECT_EQ(cache.stats().misses, blocks)
+        << "second pass over a fitting working set is all hits";
+}
+
+TEST_P(CacheProperties, DoubledSizeNeverMoreMisses)
+{
+    CacheConfig small = config();
+    CacheConfig big = small;
+    big.sizeBytes *= 2;
+    Cache s(small, "s"), b(big, "b");
+    // LRU with doubled sets: not a strict inclusion property in
+    // general, but on random traces more capacity must not hurt
+    // noticeably. Allow 2% slack.
+    auto addrs = randomAddresses(3, 5000,
+                                 small.sizeBytes * 4);
+    for (Addr a : addrs) {
+        s.access(a, false);
+        b.access(a, false);
+    }
+    EXPECT_LE(b.stats().misses,
+              s.stats().misses + s.stats().accesses / 50);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CacheProperties,
+    ::testing::Combine(::testing::Values(4u, 16u, 128u), // size KB
+                       ::testing::Values(1u, 4u, 8u),    // assoc
+                       ::testing::Values(32u, 64u)),     // block
+    [](const ::testing::TestParamInfo<CacheParams> &info) {
+        return std::to_string(std::get<0>(info.param)) + "k_a" +
+               std::to_string(std::get<1>(info.param)) + "_b" +
+               std::to_string(std::get<2>(info.param));
+    });
+
+// ---------------------------------------------------------------------
+// Timing-core properties over machine configurations.
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+/** (issueWidth, robEntries, useOoo). */
+using CoreParams = std::tuple<unsigned, unsigned, bool>;
+
+class CoreProperties : public ::testing::TestWithParam<CoreParams>
+{
+  protected:
+    MachineConfig
+    machine() const
+    {
+        auto [width, rob, ooo] = GetParam();
+        MachineConfig m = MachineConfig::table1();
+        m.core.issueWidth = width;
+        m.core.fetchWidth = width;
+        m.core.commitWidth = width;
+        m.core.robEntries = rob;
+        return m;
+    }
+
+    std::unique_ptr<TimingCore>
+    core() const
+    {
+        auto [width, rob, ooo] = GetParam();
+        if (ooo)
+            return std::make_unique<OooCore>(machine());
+        return std::make_unique<SimpleCore>(machine());
+    }
+};
+
+} // namespace
+
+TEST_P(CoreProperties, CpiBoundedBelowByIssueWidth)
+{
+    auto [width, rob, ooo] = GetParam();
+    isa::Program p = test::loopProgram(15, 64);
+    ExecEngine eng(p, 1);
+    auto c = core();
+    const InstCount n = 20'000;
+    for (InstCount i = 0; i < n; ++i)
+        c->consume(eng.next());
+    double cpi = static_cast<double>(c->cycles()) /
+                 static_cast<double>(n);
+    EXPECT_GE(cpi, 1.0 / width - 1e-9)
+        << "cannot beat the issue width";
+    EXPECT_GT(c->cycles(), 0u);
+}
+
+TEST_P(CoreProperties, CyclesMonotoneNondecreasing)
+{
+    isa::Program p = test::loopProgram();
+    ExecEngine eng(p, 2);
+    auto c = core();
+    Cycles prev = 0;
+    for (int i = 0; i < 5000; ++i) {
+        c->consume(eng.next());
+        ASSERT_GE(c->cycles(), prev);
+        prev = c->cycles();
+    }
+}
+
+TEST_P(CoreProperties, ResetIsComplete)
+{
+    isa::Program p = test::loopProgram();
+    auto c = core();
+    {
+        ExecEngine eng(p, 3);
+        for (int i = 0; i < 5000; ++i)
+            c->consume(eng.next());
+    }
+    Cycles first = c->cycles();
+    c->reset();
+    {
+        ExecEngine eng(p, 3);
+        for (int i = 0; i < 5000; ++i)
+            c->consume(eng.next());
+    }
+    EXPECT_EQ(c->cycles(), first)
+        << "identical stream after reset gives identical timing";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Machines, CoreProperties,
+    ::testing::Combine(::testing::Values(1u, 2u, 4u, 8u), // width
+                       ::testing::Values(16u, 64u, 256u), // rob
+                       ::testing::Bool()),                // ooo
+    [](const ::testing::TestParamInfo<CoreParams> &info) {
+        return std::string(std::get<2>(info.param) ? "ooo"
+                                                   : "simple") +
+               "_w" + std::to_string(std::get<0>(info.param)) +
+               "_rob" + std::to_string(std::get<1>(info.param));
+    });

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Shared helpers for the test suite: tiny hand-built programs with
+ * known control flow and behavior, used to exercise the execution
+ * engine, timing cores and profiler deterministically.
+ */
+
+#ifndef TPCP_TESTS_TEST_HELPERS_HH
+#define TPCP_TESTS_TEST_HELPERS_HH
+
+#include <vector>
+
+#include "isa/program.hh"
+#include "uarch/schedule.hh"
+#include "workload/phase_script.hh"
+
+namespace tpcp::test
+{
+
+/**
+ * A one-region program: a single block of @p alu_insts IntAlu ops
+ * followed by a loop-back branch with trip count @p trip. Block PCs
+ * start at @p code_base.
+ */
+inline isa::Program
+loopProgram(unsigned alu_insts = 7, std::uint32_t trip = 4,
+            Addr code_base = 0x1000)
+{
+    isa::Program p;
+    p.name = "loop";
+
+    isa::Region r;
+    r.name = "loop";
+    r.firstBlock = 0;
+    r.numBlocks = 1;
+    r.entryBlock = 0;
+    isa::BranchBehaviorDesc loop;
+    loop.kind = isa::BranchBehaviorDesc::Kind::LoopBack;
+    loop.tripCount = trip;
+    r.branchBehaviors.push_back(loop);
+    p.regions.push_back(r);
+
+    isa::BasicBlock bb;
+    bb.baseAddr = code_base;
+    for (unsigned i = 0; i < alu_insts; ++i) {
+        isa::Inst alu;
+        alu.op = isa::OpClass::IntAlu;
+        alu.dest = static_cast<isa::RegIndex>(i % 8);
+        bb.insts.push_back(alu);
+    }
+    isa::Inst br;
+    br.op = isa::OpClass::Branch;
+    br.behavior = 0;
+    br.targetBlock = 0;
+    bb.insts.push_back(br);
+    bb.fallthrough = 0;
+    p.blocks.push_back(bb);
+    return p;
+}
+
+/**
+ * A two-region program where each region is a distinct single-block
+ * ALU loop at a distinct code address (distinct branch PCs give the
+ * regions distinct signatures).
+ */
+inline isa::Program
+twoRegionProgram()
+{
+    isa::Program a = loopProgram(7, 4, 0x1000);
+    isa::Program b = loopProgram(11, 8, 0x8000);
+    isa::Program p;
+    p.name = "two";
+    p.blocks = a.blocks;
+    p.blocks.push_back(b.blocks[0]);
+    p.regions = a.regions;
+    isa::Region r1 = b.regions[0];
+    r1.name = "loop2";
+    r1.firstBlock = 1;
+    r1.entryBlock = 1;
+    p.regions.push_back(r1);
+    // Fix block 1's control flow to stay within region 1.
+    p.blocks[1].fallthrough = 1;
+    p.blocks[1].insts.back().targetBlock = 1;
+    return p;
+}
+
+/** A fixed schedule over explicit (region, insts) segments. */
+inline workload::ExpandedSchedule
+fixedSchedule(std::vector<uarch::Segment> segments)
+{
+    return workload::ExpandedSchedule(std::move(segments));
+}
+
+} // namespace tpcp::test
+
+#endif // TPCP_TESTS_TEST_HELPERS_HH

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Unit tests for interval-profile storage: construction constraints
+ * and binary save/load round trips.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
+
+#include "trace/interval_profile.hh"
+
+using namespace tpcp;
+using namespace tpcp::trace;
+
+namespace
+{
+
+IntervalProfile
+sampleProfile()
+{
+    IntervalProfile p("test/wl", "ooo", 1000, {4, 8});
+    for (int i = 0; i < 5; ++i) {
+        IntervalRecord rec;
+        rec.cpi = 1.0 + 0.1 * i;
+        rec.insts = 1000;
+        rec.accumTotal = 900 + i;
+        rec.accums = {std::vector<std::uint32_t>(4, 10u + i),
+                      std::vector<std::uint32_t>(8, 20u + i)};
+        p.push(std::move(rec));
+    }
+    return p;
+}
+
+std::string
+tmpPath(const char *name)
+{
+    return std::string(::testing::TempDir()) + name;
+}
+
+} // namespace
+
+TEST(IntervalProfile, Metadata)
+{
+    IntervalProfile p = sampleProfile();
+    EXPECT_EQ(p.workload(), "test/wl");
+    EXPECT_EQ(p.coreName(), "ooo");
+    EXPECT_EQ(p.intervalLength(), 1000u);
+    EXPECT_EQ(p.numIntervals(), 5u);
+}
+
+TEST(IntervalProfile, DimIndexLookup)
+{
+    IntervalProfile p = sampleProfile();
+    EXPECT_EQ(p.dimIndex(4), 0u);
+    EXPECT_EQ(p.dimIndex(8), 1u);
+}
+
+TEST(IntervalProfile, CpisInOrder)
+{
+    IntervalProfile p = sampleProfile();
+    auto cpis = p.cpis();
+    ASSERT_EQ(cpis.size(), 5u);
+    EXPECT_DOUBLE_EQ(cpis[0], 1.0);
+    EXPECT_DOUBLE_EQ(cpis[4], 1.4);
+}
+
+TEST(IntervalProfile, SaveLoadRoundTrip)
+{
+    IntervalProfile p = sampleProfile();
+    std::string path = tmpPath("roundtrip.tpcpprof");
+    ASSERT_TRUE(p.save(path));
+
+    IntervalProfile q;
+    ASSERT_TRUE(q.load(path));
+    EXPECT_EQ(q.workload(), p.workload());
+    EXPECT_EQ(q.coreName(), p.coreName());
+    EXPECT_EQ(q.intervalLength(), p.intervalLength());
+    EXPECT_EQ(q.dims(), p.dims());
+    ASSERT_EQ(q.numIntervals(), p.numIntervals());
+    for (std::size_t i = 0; i < p.numIntervals(); ++i) {
+        EXPECT_DOUBLE_EQ(q.interval(i).cpi, p.interval(i).cpi);
+        EXPECT_EQ(q.interval(i).insts, p.interval(i).insts);
+        EXPECT_EQ(q.interval(i).accumTotal,
+                  p.interval(i).accumTotal);
+        EXPECT_EQ(q.interval(i).accums, p.interval(i).accums);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(IntervalProfile, LoadMissingFileFails)
+{
+    IntervalProfile p;
+    EXPECT_FALSE(p.load(tmpPath("does_not_exist.tpcpprof")));
+    EXPECT_EQ(p.numIntervals(), 0u);
+}
+
+TEST(IntervalProfile, LoadGarbageFails)
+{
+    std::string path = tmpPath("garbage.tpcpprof");
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("not a profile", f);
+    std::fclose(f);
+    IntervalProfile p;
+    EXPECT_FALSE(p.load(path));
+    std::remove(path.c_str());
+}
+
+TEST(IntervalProfile, LoadTruncatedFails)
+{
+    IntervalProfile p = sampleProfile();
+    std::string path = tmpPath("trunc.tpcpprof");
+    ASSERT_TRUE(p.save(path));
+    // Truncate the file to half size.
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    std::fseek(f, 0, SEEK_END);
+    long size = std::ftell(f);
+    std::fclose(f);
+    ASSERT_EQ(truncate(path.c_str(), size / 2), 0);
+    IntervalProfile q;
+    EXPECT_FALSE(q.load(path));
+    std::remove(path.c_str());
+}
+
+TEST(IntervalProfile, PushRejectsWrongShape)
+{
+    IntervalProfile p("w", "ooo", 100, {4});
+    IntervalRecord bad;
+    bad.accums = {std::vector<std::uint32_t>(8, 1)};
+    EXPECT_DEATH(p.push(std::move(bad)), "width|mismatch");
+}

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Tests for the interval profiler: interval splitting, CPI
+ * computation, branch accounting into the accumulators and tail
+ * handling.
+ */
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "../test_helpers.hh"
+#include "trace/interval_profiler.hh"
+#include "uarch/ooo_core.hh"
+#include "uarch/simulator.hh"
+
+using namespace tpcp;
+using namespace tpcp::trace;
+using namespace tpcp::uarch;
+
+namespace
+{
+
+IntervalProfile
+profileLoop(InstCount run_insts, InstCount interval,
+            std::vector<unsigned> dims = {8, 16})
+{
+    isa::Program p = test::loopProgram(7, 4);
+    auto sched = test::fixedSchedule({{0, run_insts}});
+    OooCore core(MachineConfig::table1());
+    Simulator sim(p, sched, core, 1);
+    IntervalProfiler profiler(core, "loop", interval, dims);
+    sim.addSink(&profiler);
+    sim.run();
+    return profiler.takeProfile();
+}
+
+} // namespace
+
+TEST(IntervalProfiler, SplitsIntoFixedIntervals)
+{
+    IntervalProfile prof = profileLoop(10'000, 1'000);
+    EXPECT_EQ(prof.numIntervals(), 10u);
+    for (const auto &rec : prof.intervals())
+        EXPECT_EQ(rec.insts, 1'000u);
+}
+
+TEST(IntervalProfiler, DropsPartialTail)
+{
+    IntervalProfile prof = profileLoop(10'500, 1'000);
+    EXPECT_EQ(prof.numIntervals(), 10u)
+        << "the trailing 500 instructions are dropped";
+}
+
+TEST(IntervalProfiler, CpiPositiveAndStable)
+{
+    IntervalProfile prof = profileLoop(50'000, 5'000);
+    ASSERT_EQ(prof.numIntervals(), 10u);
+    for (const auto &rec : prof.intervals()) {
+        EXPECT_GT(rec.cpi, 0.0);
+        EXPECT_LT(rec.cpi, 10.0);
+    }
+    // A steady loop: intervals after warmup have near-equal CPI.
+    double c1 = prof.interval(5).cpi;
+    double c2 = prof.interval(9).cpi;
+    EXPECT_NEAR(c1, c2, 0.1 * c1);
+}
+
+TEST(IntervalProfiler, AccumulatorsSumToBranchedInsts)
+{
+    // Every instruction is attributed to some branch record except
+    // those after the interval's last branch (they roll into the
+    // next interval). Totals must be close to the interval length.
+    IntervalProfile prof = profileLoop(8'000, 1'000);
+    for (std::size_t i = 0; i < prof.numIntervals(); ++i) {
+        const auto &rec = prof.interval(i);
+        std::uint64_t sum = std::accumulate(
+            rec.accums[0].begin(), rec.accums[0].end(), 0ull);
+        EXPECT_EQ(sum, rec.accumTotal);
+        EXPECT_NEAR(static_cast<double>(rec.accumTotal),
+                    static_cast<double>(rec.insts),
+                    8.0 + 1.0)
+            << "at most one block of slack at the boundary";
+    }
+}
+
+TEST(IntervalProfiler, MultipleDimConfigsConsistent)
+{
+    IntervalProfile prof = profileLoop(5'000, 1'000, {8, 16, 32});
+    ASSERT_EQ(prof.dims().size(), 3u);
+    for (const auto &rec : prof.intervals()) {
+        std::uint64_t s8 = std::accumulate(rec.accums[0].begin(),
+                                           rec.accums[0].end(),
+                                           0ull);
+        std::uint64_t s16 = std::accumulate(rec.accums[1].begin(),
+                                            rec.accums[1].end(),
+                                            0ull);
+        std::uint64_t s32 = std::accumulate(rec.accums[2].begin(),
+                                            rec.accums[2].end(),
+                                            0ull);
+        EXPECT_EQ(s8, s16);
+        EXPECT_EQ(s16, s32)
+            << "all dimension configs see the same increments";
+    }
+}
+
+TEST(IntervalProfiler, SingleBranchPcConcentratesMass)
+{
+    // The loop program has exactly one branch PC, so each interval's
+    // accumulator vector must have exactly one non-zero counter.
+    IntervalProfile prof = profileLoop(4'000, 1'000);
+    for (const auto &rec : prof.intervals()) {
+        int nonzero = 0;
+        for (auto c : rec.accums[0])
+            nonzero += c ? 1 : 0;
+        EXPECT_EQ(nonzero, 1);
+    }
+}

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Tests for the profile cache: build-and-cache semantics and cache
+ * path construction. Uses a tiny interval count to stay fast.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "trace/profile_cache.hh"
+
+using namespace tpcp;
+using namespace tpcp::trace;
+
+namespace
+{
+
+ProfileOptions
+tinyOptions(const std::string &dir)
+{
+    ProfileOptions opts;
+    opts.intervalLen = 50'000;
+    opts.dims = {16};
+    opts.coreName = "simple"; // fast core for tests
+    opts.cacheDir = dir;
+    return opts;
+}
+
+} // namespace
+
+TEST(ProfileCache, PathEncodesOptions)
+{
+    ProfileOptions opts;
+    opts.intervalLen = 12345;
+    opts.dims = {8, 16};
+    opts.coreName = "ooo";
+    opts.cacheDir = "/tmp/cachex";
+    std::string path = profileCachePath("gcc/1", opts);
+    EXPECT_NE(path.find("gcc_1"), std::string::npos);
+    EXPECT_NE(path.find("ooo"), std::string::npos);
+    EXPECT_NE(path.find("i12345"), std::string::npos);
+    EXPECT_NE(path.find("d8-16"), std::string::npos);
+    EXPECT_NE(path.find("/tmp/cachex"), std::string::npos);
+}
+
+TEST(ProfileCache, BuildThenLoadIdentical)
+{
+    std::string dir =
+        std::string(::testing::TempDir()) + "tpcp_cache_test";
+    std::filesystem::remove_all(dir);
+    ProfileOptions opts = tinyOptions(dir);
+
+    workload::Workload w = workload::makeWorkload("perl/d");
+    IntervalProfile first = getProfile(w, opts);
+    ASSERT_GT(first.numIntervals(), 0u);
+    EXPECT_TRUE(std::filesystem::exists(
+        profileCachePath(w.name, opts)));
+
+    // Second call loads from disk; contents must be identical.
+    IntervalProfile second = getProfile(w, opts);
+    ASSERT_EQ(second.numIntervals(), first.numIntervals());
+    for (std::size_t i = 0; i < first.numIntervals(); ++i) {
+        EXPECT_DOUBLE_EQ(second.interval(i).cpi,
+                         first.interval(i).cpi);
+        EXPECT_EQ(second.interval(i).accums,
+                  first.interval(i).accums);
+    }
+    std::filesystem::remove_all(dir);
+}
+
+TEST(ProfileCache, UseCacheFalseSkipsDisk)
+{
+    std::string dir =
+        std::string(::testing::TempDir()) + "tpcp_cache_test2";
+    std::filesystem::remove_all(dir);
+    ProfileOptions opts = tinyOptions(dir);
+    opts.useCache = false;
+    workload::Workload w = workload::makeWorkload("perl/d");
+    IntervalProfile p = buildProfile(w, opts);
+    EXPECT_GT(p.numIntervals(), 0u);
+    EXPECT_FALSE(std::filesystem::exists(dir));
+}
+
+TEST(ProfileCache, DeterministicRebuild)
+{
+    ProfileOptions opts = tinyOptions("");
+    opts.useCache = false;
+    workload::Workload w = workload::makeWorkload("perl/d");
+    IntervalProfile a = buildProfile(w, opts);
+    IntervalProfile b = buildProfile(w, opts);
+    ASSERT_EQ(a.numIntervals(), b.numIntervals());
+    for (std::size_t i = 0; i < a.numIntervals(); ++i) {
+        EXPECT_DOUBLE_EQ(a.interval(i).cpi, b.interval(i).cpi);
+        EXPECT_EQ(a.interval(i).accums, b.interval(i).accums);
+    }
+}
+
+TEST(ProfileCache, MachineHashTagsNonDefaultConfigs)
+{
+    ProfileOptions table1;
+    ProfileOptions custom;
+    custom.machine.dcache.sizeBytes = 8 * 1024;
+    std::string p1 = profileCachePath("mcf", table1);
+    std::string p2 = profileCachePath("mcf", custom);
+    EXPECT_NE(p1, p2) << "different machines must not share caches";
+    EXPECT_EQ(p1.find("_m"), std::string::npos)
+        << "Table-1 profiles keep the short name";
+    EXPECT_NE(p2.find("_m"), std::string::npos);
+}
+
+TEST(ProfileCache, EnvironmentVariableOverridesDirectory)
+{
+    ProfileOptions opts; // no explicit cacheDir
+    setenv("TPCP_PROFILE_DIR", "/tmp/tpcp_env_dir", 1);
+    std::string path = profileCachePath("mcf", opts);
+    unsetenv("TPCP_PROFILE_DIR");
+    EXPECT_EQ(path.find("/tmp/tpcp_env_dir"), 0u);
+}
+
+TEST(ProfileCache, CustomMachineChangesTiming)
+{
+    // A machine with a much slower memory must yield higher CPI on a
+    // memory-bound workload.
+    ProfileOptions fast = {};
+    fast.intervalLen = 50'000;
+    fast.dims = {16};
+    fast.coreName = "simple";
+    fast.useCache = false;
+    ProfileOptions slow = fast;
+    slow.machine.memoryLatency = 480;
+
+    workload::Workload w = workload::makeWorkload("perl/d");
+    IntervalProfile pf = buildProfile(w, fast);
+    IntervalProfile ps = buildProfile(w, slow);
+    double cf = 0, cs = 0;
+    for (std::size_t i = 0; i < pf.numIntervals(); ++i) {
+        cf += pf.interval(i).cpi;
+        cs += ps.interval(i).cpi;
+    }
+    EXPECT_GT(cs, cf * 1.5);
+}

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Unit tests for the set-associative cache model (geometry, hit/miss
+ * behavior, LRU replacement, write-back state).
+ */
+
+#include <gtest/gtest.h>
+
+#include "uarch/cache.hh"
+
+using namespace tpcp;
+using namespace tpcp::uarch;
+
+namespace
+{
+
+/** 2-way, 2-set, 16B-block toy cache: 64 bytes total. */
+CacheConfig
+toyConfig()
+{
+    CacheConfig c;
+    c.sizeBytes = 64;
+    c.assoc = 2;
+    c.blockBytes = 16;
+    c.hitLatency = 1;
+    return c;
+}
+
+} // namespace
+
+TEST(Cache, GeometryDerivation)
+{
+    Cache c(toyConfig(), "toy");
+    EXPECT_EQ(c.config().numSets(), 2u);
+}
+
+TEST(Cache, Table1Geometries)
+{
+    CacheConfig l1{16 * 1024, 4, 32, 1};
+    EXPECT_EQ(l1.numSets(), 128u);
+    CacheConfig l2{128 * 1024, 8, 64, 12};
+    EXPECT_EQ(l2.numSets(), 256u);
+}
+
+TEST(Cache, ColdMissThenHit)
+{
+    Cache c(toyConfig(), "toy");
+    EXPECT_FALSE(c.access(0x100, false).hit);
+    EXPECT_TRUE(c.access(0x100, false).hit);
+    EXPECT_TRUE(c.access(0x10f, false).hit) << "same 16B block";
+    EXPECT_FALSE(c.access(0x110, false).hit) << "next block";
+}
+
+TEST(Cache, LruReplacementWithinSet)
+{
+    Cache c(toyConfig(), "toy");
+    // Set 0 holds blocks whose (addr/16) is even.
+    c.access(0x000, false); // A
+    c.access(0x040, false); // B (same set, 2 ways full)
+    c.access(0x000, false); // touch A; B is now LRU
+    c.access(0x080, false); // C evicts B
+    EXPECT_TRUE(c.probe(0x000));
+    EXPECT_FALSE(c.probe(0x040));
+    EXPECT_TRUE(c.probe(0x080));
+}
+
+TEST(Cache, SetsAreIndependent)
+{
+    Cache c(toyConfig(), "toy");
+    c.access(0x000, false); // set 0
+    c.access(0x010, false); // set 1
+    EXPECT_TRUE(c.probe(0x000));
+    EXPECT_TRUE(c.probe(0x010));
+}
+
+TEST(Cache, DirtyEvictionReportsWriteback)
+{
+    Cache c(toyConfig(), "toy");
+    c.access(0x000, true); // dirty A in set 0
+    c.access(0x040, false);
+    c.access(0x040, false); // A is LRU
+    CacheAccessResult r = c.access(0x080, false); // evicts dirty A
+    EXPECT_FALSE(r.hit);
+    EXPECT_TRUE(r.writeback);
+    EXPECT_EQ(c.stats().writebacks, 1u);
+}
+
+TEST(Cache, CleanEvictionNoWriteback)
+{
+    Cache c(toyConfig(), "toy");
+    c.access(0x000, false);
+    c.access(0x040, false);
+    CacheAccessResult r = c.access(0x080, false);
+    EXPECT_FALSE(r.writeback);
+}
+
+TEST(Cache, WriteHitMarksDirty)
+{
+    Cache c(toyConfig(), "toy");
+    c.access(0x000, false); // clean
+    c.access(0x000, true);  // now dirty
+    c.access(0x040, false);
+    c.access(0x040, false);
+    EXPECT_TRUE(c.access(0x080, false).writeback);
+}
+
+TEST(Cache, StatsAccumulate)
+{
+    Cache c(toyConfig(), "toy");
+    c.access(0x000, false);
+    c.access(0x000, false);
+    c.access(0x100, false);
+    EXPECT_EQ(c.stats().accesses, 3u);
+    EXPECT_EQ(c.stats().misses, 2u);
+    EXPECT_NEAR(c.stats().missRate(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(Cache, ResetClears)
+{
+    Cache c(toyConfig(), "toy");
+    c.access(0x000, true);
+    c.reset();
+    EXPECT_FALSE(c.probe(0x000));
+    EXPECT_EQ(c.stats().accesses, 0u);
+}
+
+TEST(Cache, WorkingSetLargerThanCacheThrashes)
+{
+    Cache c(toyConfig(), "toy");
+    // Stream over 4x the cache size twice; second pass still misses
+    // (LRU with a working set > capacity).
+    for (int pass = 0; pass < 2; ++pass) {
+        for (Addr a = 0; a < 256; a += 16)
+            c.access(a, false);
+    }
+    EXPECT_EQ(c.stats().misses, c.stats().accesses);
+}
+
+TEST(Cache, WorkingSetSmallerThanCacheHitsAfterWarmup)
+{
+    Cache c(toyConfig(), "toy");
+    for (int pass = 0; pass < 4; ++pass) {
+        for (Addr a = 0; a < 64; a += 16)
+            c.access(a, false);
+    }
+    // 4 cold misses, then hits.
+    EXPECT_EQ(c.stats().misses, 4u);
+    EXPECT_EQ(c.stats().accesses, 16u);
+}

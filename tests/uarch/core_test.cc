@@ -1,0 +1,297 @@
+/**
+ * @file
+ * Tests for the timing cores: IPC limits, dependence serialization,
+ * memory and branch penalties, and OoO-vs-simple relationships.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "../test_helpers.hh"
+#include "uarch/exec_engine.hh"
+#include "uarch/ooo_core.hh"
+#include "uarch/simple_core.hh"
+#include "uarch/stats_report.hh"
+
+using namespace tpcp;
+using namespace tpcp::uarch;
+
+namespace
+{
+
+/** Runs @p n instructions of @p prog on @p core; returns CPI. */
+double
+runCpi(TimingCore &core, const isa::Program &prog, InstCount n,
+       std::uint64_t seed = 1)
+{
+    ExecEngine eng(prog, seed);
+    for (InstCount i = 0; i < n; ++i)
+        core.consume(eng.next());
+    return static_cast<double>(core.cycles()) /
+           static_cast<double>(n);
+}
+
+/** An independent-ALU program (wide ILP, tiny loop). */
+isa::Program
+independentAluProgram()
+{
+    isa::Program p = test::loopProgram(15, 64);
+    // Make all ALU ops independent (distinct dests, no sources).
+    for (std::size_t i = 0; i + 1 < p.blocks[0].insts.size(); ++i) {
+        auto &inst = p.blocks[0].insts[i];
+        inst.dest = static_cast<isa::RegIndex>(i % 24);
+        inst.src1 = isa::noReg;
+        inst.src2 = isa::noReg;
+    }
+    return p;
+}
+
+/** A serial dependence chain: each op reads the previous result. */
+isa::Program
+serialChainProgram()
+{
+    isa::Program p = test::loopProgram(15, 64);
+    for (std::size_t i = 0; i + 1 < p.blocks[0].insts.size(); ++i) {
+        auto &inst = p.blocks[0].insts[i];
+        inst.dest = 1;
+        inst.src1 = 1;
+        inst.src2 = isa::noReg;
+    }
+    return p;
+}
+
+} // namespace
+
+TEST(OooCore, IndependentAluApproachesIssueWidth)
+{
+    OooCore core(MachineConfig::table1());
+    double cpi = runCpi(core, independentAluProgram(), 50000);
+    // 4-wide machine: CPI should approach 0.25 but branch/loop
+    // overhead keeps it above.
+    EXPECT_LT(cpi, 0.6);
+    EXPECT_GE(cpi, 0.25);
+}
+
+TEST(OooCore, SerialChainNearOnePerCycle)
+{
+    OooCore core(MachineConfig::table1());
+    double cpi = runCpi(core, serialChainProgram(), 50000);
+    // A 1-cycle-latency serial chain commits ~1 inst/cycle.
+    EXPECT_GT(cpi, 0.85);
+    EXPECT_LT(cpi, 1.3);
+}
+
+TEST(OooCore, SerialSlowerThanIndependent)
+{
+    OooCore a(MachineConfig::table1());
+    OooCore b(MachineConfig::table1());
+    double ind = runCpi(a, independentAluProgram(), 50000);
+    double ser = runCpi(b, serialChainProgram(), 50000);
+    EXPECT_GT(ser, ind * 1.5);
+}
+
+TEST(OooCore, RandomMissesRaiseCpi)
+{
+    // Loads randomly touching 4MB dwarf the 128K L2.
+    isa::Program p = test::loopProgram(7, 16);
+    isa::MemStreamDesc desc;
+    desc.kind = isa::MemStreamDesc::Kind::RandomInSet;
+    desc.base = 0x1000000;
+    desc.workingSetBytes = 4 * 1024 * 1024;
+    p.regions[0].memStreams.push_back(desc);
+    for (std::size_t i = 0; i < 3; ++i) {
+        auto &inst = p.blocks[0].insts[i];
+        inst.op = isa::OpClass::Load;
+        inst.stream = 0;
+        inst.dest = static_cast<isa::RegIndex>(i);
+        inst.src1 = isa::noReg;
+    }
+
+    OooCore miss_core(MachineConfig::table1());
+    double miss_cpi = runCpi(miss_core, p, 30000);
+    OooCore alu_core(MachineConfig::table1());
+    double alu_cpi = runCpi(alu_core, independentAluProgram(), 30000);
+    EXPECT_GT(miss_cpi, 3.0 * alu_cpi)
+        << "memory-bound code must be much slower";
+}
+
+TEST(OooCore, PointerChaseSlowerThanIndependentLoads)
+{
+    auto make = [](isa::MemStreamDesc::Kind kind) {
+        isa::Program p = test::loopProgram(7, 16);
+        isa::MemStreamDesc desc;
+        desc.kind = kind;
+        desc.base = 0x1000000;
+        desc.workingSetBytes = 4 * 1024 * 1024;
+        p.regions[0].memStreams.push_back(desc);
+        for (std::size_t i = 0; i < 3; ++i) {
+            auto &inst = p.blocks[0].insts[i];
+            inst.op = isa::OpClass::Load;
+            inst.stream = 0;
+            if (kind == isa::MemStreamDesc::Kind::PointerChase) {
+                inst.dest = 24;
+                inst.src1 = 24; // serialized chain
+            } else {
+                inst.dest = static_cast<isa::RegIndex>(i);
+                inst.src1 = isa::noReg;
+            }
+        }
+        return p;
+    };
+    OooCore chase_core(MachineConfig::table1());
+    OooCore rand_core(MachineConfig::table1());
+    double chase =
+        runCpi(chase_core,
+               make(isa::MemStreamDesc::Kind::PointerChase), 20000);
+    double rnd = runCpi(
+        rand_core, make(isa::MemStreamDesc::Kind::RandomInSet),
+        20000);
+    EXPECT_GT(chase, rnd * 1.3)
+        << "dependent misses cannot overlap (no MLP)";
+}
+
+TEST(OooCore, MispredictsRaiseCpi)
+{
+    auto make = [](double taken_prob,
+                   isa::BranchBehaviorDesc::Kind kind) {
+        isa::Program p = test::loopProgram(5, 2);
+        isa::BranchBehaviorDesc desc;
+        desc.kind = kind;
+        desc.takenProb = taken_prob;
+        desc.patternBits = 0b10;
+        desc.patternLen = 2;
+        p.regions[0].branchBehaviors[0] = desc;
+        return p;
+    };
+    OooCore rnd_core(MachineConfig::table1());
+    OooCore pat_core(MachineConfig::table1());
+    double rnd = runCpi(
+        rnd_core,
+        make(0.5, isa::BranchBehaviorDesc::Kind::Bernoulli), 40000);
+    double pat = runCpi(
+        pat_core, make(0.5, isa::BranchBehaviorDesc::Kind::Pattern),
+        40000);
+    EXPECT_GT(rnd, pat * 1.3)
+        << "random branches must cost more than a learnable pattern";
+    EXPECT_GT(rnd_core.stats().branchMispredicts * 3,
+              rnd_core.stats().branches)
+        << "~50% mispredicts on a coin-flip branch";
+    EXPECT_LT(pat_core.stats().branchMispredicts * 10,
+              pat_core.stats().branches)
+        << "pattern branch largely predicted";
+}
+
+TEST(OooCore, StatsCountInstructionClasses)
+{
+    isa::Program p = test::loopProgram(3, 4);
+    OooCore core(MachineConfig::table1());
+    runCpi(core, p, 4000);
+    EXPECT_EQ(core.stats().insts, 4000u);
+    EXPECT_GT(core.stats().branches, 900u);
+}
+
+TEST(OooCore, ResetRestartsClean)
+{
+    isa::Program p = test::loopProgram();
+    OooCore core(MachineConfig::table1());
+    double cpi1 = runCpi(core, p, 10000);
+    core.reset();
+    EXPECT_EQ(core.cycles(), 0u);
+    EXPECT_EQ(core.stats().insts, 0u);
+    double cpi2 = runCpi(core, p, 10000);
+    EXPECT_NEAR(cpi1, cpi2, 0.02) << "reset is complete";
+}
+
+TEST(OooCore, CyclesMonotonic)
+{
+    isa::Program p = test::loopProgram();
+    OooCore core(MachineConfig::table1());
+    ExecEngine eng(p, 1);
+    Cycles prev = 0;
+    for (int i = 0; i < 2000; ++i) {
+        core.consume(eng.next());
+        EXPECT_GE(core.cycles(), prev);
+        prev = core.cycles();
+    }
+}
+
+TEST(SimpleCore, IssueWidthBound)
+{
+    SimpleCore core(MachineConfig::table1());
+    double cpi = runCpi(core, independentAluProgram(), 40000);
+    EXPECT_GE(cpi, 0.25 - 1e-9);
+    EXPECT_LT(cpi, 0.6);
+}
+
+TEST(SimpleCore, MemoryPenaltiesApplied)
+{
+    isa::Program p = test::loopProgram(7, 16);
+    isa::MemStreamDesc desc;
+    desc.kind = isa::MemStreamDesc::Kind::RandomInSet;
+    desc.base = 0x1000000;
+    desc.workingSetBytes = 4 * 1024 * 1024;
+    p.regions[0].memStreams.push_back(desc);
+    auto &inst = p.blocks[0].insts[0];
+    inst.op = isa::OpClass::Load;
+    inst.stream = 0;
+
+    SimpleCore core(MachineConfig::table1());
+    double cpi = runCpi(core, p, 20000);
+    EXPECT_GT(cpi, 5.0) << "blocking in-order core pays full misses";
+}
+
+TEST(SimpleCore, PreservesRegionOrdering)
+{
+    // The simple model must preserve the *relative* CPI of regions,
+    // which is what the phase classifier consumes.
+    isa::Program mem = test::loopProgram(7, 16);
+    isa::MemStreamDesc desc;
+    desc.kind = isa::MemStreamDesc::Kind::RandomInSet;
+    desc.base = 0x1000000;
+    desc.workingSetBytes = 4 * 1024 * 1024;
+    mem.regions[0].memStreams.push_back(desc);
+    mem.blocks[0].insts[0].op = isa::OpClass::Load;
+    mem.blocks[0].insts[0].stream = 0;
+
+    SimpleCore s1(MachineConfig::table1());
+    SimpleCore s2(MachineConfig::table1());
+    OooCore o1(MachineConfig::table1());
+    OooCore o2(MachineConfig::table1());
+    double s_alu = runCpi(s1, independentAluProgram(), 20000);
+    double s_mem = runCpi(s2, mem, 20000);
+    double o_alu = runCpi(o1, independentAluProgram(), 20000);
+    double o_mem = runCpi(o2, mem, 20000);
+    EXPECT_GT(s_mem, s_alu);
+    EXPECT_GT(o_mem, o_alu);
+}
+
+TEST(Cores, Names)
+{
+    EXPECT_EQ(OooCore(MachineConfig::table1()).name(), "ooo");
+    EXPECT_EQ(SimpleCore(MachineConfig::table1()).name(), "simple");
+}
+
+TEST(StatsReport, ContainsKeyStatistics)
+{
+    isa::Program p = test::loopProgram(7, 4);
+    OooCore core(MachineConfig::table1());
+    runCpi(core, p, 5000);
+    std::string report = uarch::formatCoreStats(core);
+    EXPECT_NE(report.find("instructions"), std::string::npos);
+    EXPECT_NE(report.find("5000"), std::string::npos);
+    EXPECT_NE(report.find("CPI"), std::string::npos);
+    EXPECT_NE(report.find("icache"), std::string::npos);
+    EXPECT_NE(report.find("dtlb miss rate"), std::string::npos);
+    EXPECT_NE(report.find("mispredict rate"), std::string::npos);
+}
+
+TEST(StatsReport, WorksForBothCores)
+{
+    isa::Program p = test::loopProgram();
+    SimpleCore simple(MachineConfig::table1());
+    runCpi(simple, p, 2000);
+    std::string report = uarch::formatCoreStats(simple);
+    EXPECT_NE(report.find("simple"), std::string::npos);
+    EXPECT_NE(report.find("l2 miss rate"), std::string::npos);
+}

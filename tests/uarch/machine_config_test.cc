@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Tests that the Table-1 machine description matches the paper.
+ */
+
+#include <gtest/gtest.h>
+
+#include "uarch/machine_config.hh"
+
+using namespace tpcp::uarch;
+
+TEST(MachineConfig, Table1Caches)
+{
+    MachineConfig m = MachineConfig::table1();
+    EXPECT_EQ(m.icache.sizeBytes, 16u * 1024);
+    EXPECT_EQ(m.icache.assoc, 4u);
+    EXPECT_EQ(m.icache.blockBytes, 32u);
+    EXPECT_EQ(m.icache.hitLatency, 1u);
+    EXPECT_EQ(m.dcache.sizeBytes, 16u * 1024);
+    EXPECT_EQ(m.l2.sizeBytes, 128u * 1024);
+    EXPECT_EQ(m.l2.assoc, 8u);
+    EXPECT_EQ(m.l2.blockBytes, 64u);
+    EXPECT_EQ(m.l2.hitLatency, 12u);
+    EXPECT_EQ(m.memoryLatency, 120u);
+}
+
+TEST(MachineConfig, Table1BranchPredictor)
+{
+    MachineConfig m = MachineConfig::table1();
+    EXPECT_EQ(m.branchPred.gshareHistoryBits, 8u);
+    EXPECT_EQ(m.branchPred.gshareEntries, 2048u);
+    EXPECT_EQ(m.branchPred.bimodalEntries, 8192u);
+}
+
+TEST(MachineConfig, Table1Core)
+{
+    MachineConfig m = MachineConfig::table1();
+    EXPECT_EQ(m.core.issueWidth, 4u);
+    EXPECT_EQ(m.core.robEntries, 64u);
+    EXPECT_EQ(m.core.intAluUnits, 2u);
+    EXPECT_EQ(m.core.loadStoreUnits, 2u);
+    EXPECT_EQ(m.core.fpAddUnits, 1u);
+    EXPECT_EQ(m.core.intMultDivUnits, 1u);
+    EXPECT_EQ(m.core.fpMultDivUnits, 1u);
+}
+
+TEST(MachineConfig, Table1VirtualMemory)
+{
+    MachineConfig m = MachineConfig::table1();
+    EXPECT_EQ(m.dtlb.pageBytes, 8u * 1024);
+    EXPECT_EQ(m.dtlb.missLatency, 30u);
+    EXPECT_EQ(m.itlb.missLatency, 30u);
+}
+
+TEST(MachineConfig, ToStringMentionsKeyParameters)
+{
+    std::string s = MachineConfig::table1().toString();
+    EXPECT_NE(s.find("16k 4-way"), std::string::npos);
+    EXPECT_NE(s.find("120 cycle"), std::string::npos);
+    EXPECT_NE(s.find("64 entry re-order buffer"), std::string::npos);
+    EXPECT_NE(s.find("30 cycle fixed TLB"), std::string::npos);
+}

@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Unit tests for phase scripts: expansion semantics of run / seq /
+ * loop / markov / mix / drift nodes and the expanded schedule.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/rng.hh"
+#include "workload/phase_script.hh"
+
+using namespace tpcp;
+using namespace tpcp::workload;
+
+namespace
+{
+
+std::vector<uarch::Segment>
+expand(const ScriptPtr &s, std::uint64_t seed = 1)
+{
+    Rng rng(seed);
+    return expandScript(s, rng);
+}
+
+InstCount
+totalInsts(const std::vector<uarch::Segment> &segs)
+{
+    InstCount t = 0;
+    for (const auto &s : segs)
+        t += s.insts;
+    return t;
+}
+
+} // namespace
+
+TEST(PhaseScript, RunProducesOneSegment)
+{
+    auto segs = expand(scriptRun(3, 1000, 0.0));
+    ASSERT_EQ(segs.size(), 1u);
+    EXPECT_EQ(segs[0].region, 3u);
+    EXPECT_EQ(segs[0].insts, 1000u);
+}
+
+TEST(PhaseScript, RunJitterVariesLength)
+{
+    auto a = expand(scriptRun(0, 10000, 0.2), 1);
+    auto b = expand(scriptRun(0, 10000, 0.2), 2);
+    EXPECT_NE(a[0].insts, b[0].insts);
+    // Jitter is bounded in expectation; lengths stay positive.
+    EXPECT_GT(a[0].insts, 0u);
+}
+
+TEST(PhaseScript, SeqConcatenates)
+{
+    auto segs = expand(scriptSeq({scriptRun(0, 10, 0.0),
+                                  scriptRun(1, 20, 0.0),
+                                  scriptRun(2, 30, 0.0)}));
+    ASSERT_EQ(segs.size(), 3u);
+    EXPECT_EQ(segs[0].region, 0u);
+    EXPECT_EQ(segs[1].region, 1u);
+    EXPECT_EQ(segs[2].region, 2u);
+}
+
+TEST(PhaseScript, LoopRepeats)
+{
+    auto segs = expand(scriptLoop(scriptRun(1, 10, 0.0), 5));
+    EXPECT_EQ(segs.size(), 5u);
+    EXPECT_EQ(totalInsts(segs), 50u);
+}
+
+TEST(PhaseScript, NestedLoops)
+{
+    auto inner = scriptSeq({scriptRun(0, 10, 0.0),
+                            scriptRun(1, 10, 0.0)});
+    auto segs = expand(scriptLoop(scriptLoop(inner, 3), 2));
+    EXPECT_EQ(segs.size(), 12u);
+}
+
+TEST(PhaseScript, MarkovVisitsStatesPerMatrix)
+{
+    // Two states with strong self-transition: expect long runs of
+    // the same state.
+    std::vector<ScriptPtr> states = {scriptRun(0, 10, 0.0),
+                                     scriptRun(1, 10, 0.0)};
+    auto segs = expand(scriptMarkov(states,
+                                    {{0.9, 0.1}, {0.1, 0.9}}, 200));
+    EXPECT_EQ(segs.size(), 200u);
+    int changes = 0;
+    for (std::size_t i = 1; i < segs.size(); ++i)
+        changes += segs[i].region != segs[i - 1].region ? 1 : 0;
+    EXPECT_LT(changes, 60) << "self-prob 0.9 means few changes";
+    EXPECT_GT(changes, 2);
+}
+
+TEST(PhaseScript, MarkovDeterministicPerSeed)
+{
+    std::vector<ScriptPtr> states = {scriptRun(0, 10, 0.0),
+                                     scriptRun(1, 10, 0.0)};
+    auto m = scriptMarkov(states, {{0.5, 0.5}, {0.5, 0.5}}, 50);
+    auto a = expand(m, 7);
+    auto b = expand(m, 7);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(a[i].region, b[i].region);
+}
+
+TEST(PhaseScript, MixCoversTotalAndWeights)
+{
+    auto segs = expand(
+        scriptMix({{0, 1.0}, {1, 3.0}}, 1'000'000, 10'000), 3);
+    EXPECT_EQ(totalInsts(segs), 1'000'000u);
+    std::map<std::uint32_t, InstCount> per_region;
+    for (const auto &s : segs)
+        per_region[s.region] += s.insts;
+    double frac1 = static_cast<double>(per_region[1]) / 1'000'000.0;
+    EXPECT_NEAR(frac1, 0.75, 0.06);
+}
+
+TEST(PhaseScript, DriftShiftsBlend)
+{
+    auto segs = expand(
+        scriptDrift(0, 1, 2'000'000, 10'000, 0.0, 1.0), 5);
+    EXPECT_EQ(totalInsts(segs), 2'000'000u);
+    // Early chunks mostly region 0; late chunks mostly region 1.
+    InstCount early1 = 0, early_total = 0, late1 = 0,
+              late_total = 0;
+    InstCount seen = 0;
+    for (const auto &s : segs) {
+        if (seen < 400'000) {
+            early_total += s.insts;
+            if (s.region == 1)
+                early1 += s.insts;
+        } else if (seen > 1'600'000) {
+            late_total += s.insts;
+            if (s.region == 1)
+                late1 += s.insts;
+        }
+        seen += s.insts;
+    }
+    EXPECT_LT(static_cast<double>(early1) / early_total, 0.35);
+    EXPECT_GT(static_cast<double>(late1) / late_total, 0.65);
+}
+
+TEST(ExpandedSchedule, IteratesAndResets)
+{
+    ExpandedSchedule sched({{0, 10}, {1, 20}});
+    auto s1 = sched.next();
+    ASSERT_TRUE(s1.has_value());
+    EXPECT_EQ(s1->region, 0u);
+    auto s2 = sched.next();
+    ASSERT_TRUE(s2.has_value());
+    EXPECT_EQ(s2->insts, 20u);
+    EXPECT_FALSE(sched.next().has_value());
+    sched.reset();
+    EXPECT_TRUE(sched.next().has_value());
+}
+
+TEST(ExpandedSchedule, Totals)
+{
+    ExpandedSchedule sched({{0, 10}, {1, 20}, {0, 5}});
+    EXPECT_EQ(sched.totalInsts(), 35u);
+    EXPECT_EQ(sched.size(), 3u);
+}
+
+TEST(PhaseScript, MixChunkJitterKeepsChunksBounded)
+{
+    auto segs = expand(scriptMix({{0, 1.0}}, 500'000, 10'000), 9);
+    for (const auto &s : segs) {
+        EXPECT_GT(s.insts, 0u);
+        EXPECT_LT(s.insts, 40'000u)
+            << "chunks jitter around the nominal size";
+    }
+}
+
+TEST(PhaseScript, DriftEndpointsRespectBlendRange)
+{
+    // Drift restricted to [0.4, 0.6] keeps both regions present at
+    // both ends.
+    auto segs = expand(
+        scriptDrift(0, 1, 1'000'000, 5'000, 0.4, 0.6), 21);
+    InstCount r1_first = 0, first_total = 0;
+    InstCount seen = 0;
+    for (const auto &s : segs) {
+        if (seen < 200'000) {
+            first_total += s.insts;
+            if (s.region == 1)
+                r1_first += s.insts;
+        }
+        seen += s.insts;
+    }
+    double frac = static_cast<double>(r1_first) / first_total;
+    EXPECT_GT(frac, 0.2);
+    EXPECT_LT(frac, 0.6);
+}

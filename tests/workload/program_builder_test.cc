@@ -1,0 +1,230 @@
+/**
+ * @file
+ * Tests for the synthetic program generator: validity of generated
+ * programs, instruction-mix fidelity, determinism, and the effect of
+ * structural knobs (inner loops, pointer chases).
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "uarch/exec_engine.hh"
+#include "workload/program_builder.hh"
+
+using namespace tpcp;
+using namespace tpcp::workload;
+
+namespace
+{
+
+RegionParams
+defaultRegion(const char *name = "r")
+{
+    RegionParams rp;
+    rp.name = name;
+    rp.numBlocks = 12;
+    rp.avgBlockInsts = 10;
+    return rp;
+}
+
+} // namespace
+
+TEST(ProgramBuilder, GeneratedProgramValidates)
+{
+    ProgramBuilder pb(1);
+    pb.addRegion(defaultRegion("a"));
+    pb.addRegion(defaultRegion("b"));
+    isa::Program p = pb.build("test");
+    EXPECT_EQ(p.validate(), "");
+    EXPECT_EQ(p.regions.size(), 2u);
+    EXPECT_EQ(p.blocks.size(), 24u);
+}
+
+TEST(ProgramBuilder, DeterministicForSeed)
+{
+    auto make = [](std::uint64_t seed) {
+        ProgramBuilder pb(seed);
+        pb.addRegion(defaultRegion());
+        return pb.build("p");
+    };
+    isa::Program a = make(7), b = make(7), c = make(8);
+    ASSERT_EQ(a.blocks.size(), b.blocks.size());
+    for (std::size_t i = 0; i < a.blocks.size(); ++i) {
+        ASSERT_EQ(a.blocks[i].size(), b.blocks[i].size());
+        for (std::size_t j = 0; j < a.blocks[i].size(); ++j)
+            EXPECT_EQ(a.blocks[i].insts[j].op,
+                      b.blocks[i].insts[j].op);
+    }
+    EXPECT_NE(a.staticInstCount(), c.staticInstCount());
+}
+
+TEST(ProgramBuilder, RegionsAtDisjointAddresses)
+{
+    ProgramBuilder pb(1);
+    pb.addRegion(defaultRegion("a"));
+    pb.addRegion(defaultRegion("b"));
+    isa::Program p = pb.build("test");
+    // validate() already checks overlap; additionally regions must
+    // not interleave.
+    Addr a_end = 0;
+    for (std::uint32_t bi = 0; bi < p.regions[0].numBlocks; ++bi) {
+        const auto &bb = p.blocks[bi];
+        a_end = std::max(a_end,
+                         bb.baseAddr + 4 * bb.insts.size());
+    }
+    for (std::uint32_t bi = p.regions[1].firstBlock;
+         bi < p.regions[1].firstBlock + p.regions[1].numBlocks;
+         ++bi) {
+        EXPECT_GE(p.blocks[bi].baseAddr, a_end);
+    }
+}
+
+TEST(ProgramBuilder, InstructionMixRoughlyMatchesParams)
+{
+    RegionParams rp = defaultRegion();
+    rp.numBlocks = 40;
+    rp.avgBlockInsts = 20;
+    rp.loadFrac = 0.3;
+    rp.storeFrac = 0.1;
+    rp.fpFrac = 0.2;
+    ProgramBuilder pb(3);
+    pb.addRegion(rp);
+    isa::Program p = pb.build("mix");
+
+    std::map<isa::OpClass, int> counts;
+    int total = 0;
+    for (const auto &bb : p.blocks) {
+        for (const auto &inst : bb.insts) {
+            if (!inst.isControl()) {
+                ++counts[inst.op];
+                ++total;
+            }
+        }
+    }
+    ASSERT_GT(total, 400);
+    double loads =
+        static_cast<double>(counts[isa::OpClass::Load]) / total;
+    double stores =
+        static_cast<double>(counts[isa::OpClass::Store]) / total;
+    double fp = static_cast<double>(counts[isa::OpClass::FpAdd] +
+                                    counts[isa::OpClass::FpMult]) /
+                total;
+    EXPECT_NEAR(loads, 0.3, 0.06);
+    EXPECT_NEAR(stores, 0.1, 0.05);
+    EXPECT_NEAR(fp, 0.2, 0.06);
+}
+
+TEST(ProgramBuilder, PointerChaseLoadsAreSelfDependent)
+{
+    RegionParams rp = defaultRegion();
+    rp.pointerChaseFrac = 1.0;
+    rp.loadFrac = 0.5;
+    ProgramBuilder pb(3);
+    pb.addRegion(rp);
+    isa::Program p = pb.build("chase");
+    int chase_loads = 0;
+    for (const auto &bb : p.blocks) {
+        for (const auto &inst : bb.insts) {
+            if (inst.op == isa::OpClass::Load) {
+                const auto &desc =
+                    p.regions[0].memStreams[inst.stream];
+                if (desc.kind ==
+                    isa::MemStreamDesc::Kind::PointerChase) {
+                    ++chase_loads;
+                    EXPECT_EQ(inst.dest, inst.src1)
+                        << "chase loads serialize on themselves";
+                }
+            }
+        }
+    }
+    EXPECT_GT(chase_loads, 10);
+}
+
+TEST(ProgramBuilder, InnerLoopsSkewBlockFrequencies)
+{
+    // With inner loops, dynamic block execution counts should be
+    // heavily skewed; without, roughly uniform.
+    auto skew_of = [](double inner_frac) {
+        RegionParams rp;
+        rp.name = "r";
+        rp.numBlocks = 30;
+        rp.avgBlockInsts = 8;
+        rp.branchDensity = 0.8;
+        rp.bernoulliFrac = 0.0; // deterministic patterns only
+        rp.innerLoopFrac = inner_frac;
+        rp.innerLoopTrip = 12;
+        ProgramBuilder pb(11);
+        pb.addRegion(rp);
+        isa::Program p = pb.build("skew");
+
+        uarch::ExecEngine eng(p, 5);
+        std::map<Addr, std::uint64_t> pc_counts;
+        for (int i = 0; i < 60000; ++i)
+            ++pc_counts[eng.next().pc];
+        // Skew metric: max / mean.
+        std::uint64_t max = 0, sum = 0;
+        for (const auto &[pc, n] : pc_counts) {
+            max = std::max(max, n);
+            sum += n;
+        }
+        return static_cast<double>(max) * pc_counts.size() /
+               static_cast<double>(sum);
+    };
+    EXPECT_GT(skew_of(0.5), skew_of(0.0) * 1.5);
+}
+
+TEST(ProgramBuilder, WorkingSetSplitAcrossStreams)
+{
+    RegionParams rp = defaultRegion();
+    rp.workingSetBytes = 64 * 1024;
+    rp.numStreams = 4;
+    ProgramBuilder pb(1);
+    pb.addRegion(rp);
+    isa::Program p = pb.build("ws");
+    ASSERT_EQ(p.regions[0].memStreams.size(), 4u);
+    for (const auto &s : p.regions[0].memStreams)
+        EXPECT_EQ(s.workingSetBytes, 16u * 1024);
+}
+
+TEST(ProgramBuilder, BuildResetsForReuse)
+{
+    ProgramBuilder pb(1);
+    pb.addRegion(defaultRegion());
+    isa::Program first = pb.build("one");
+    pb.addRegion(defaultRegion());
+    isa::Program second = pb.build("two");
+    EXPECT_EQ(second.regions.size(), 1u);
+    EXPECT_EQ(second.validate(), "");
+}
+
+TEST(ProgramBuilder, SingleBlockRegionIsValid)
+{
+    RegionParams rp;
+    rp.name = "tiny";
+    rp.numBlocks = 1;
+    rp.avgBlockInsts = 6;
+    ProgramBuilder pb(2);
+    pb.addRegion(rp);
+    isa::Program p = pb.build("tiny");
+    EXPECT_EQ(p.validate(), "");
+    // The single block must loop back to itself.
+    uarch::ExecEngine eng(p, 1);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(eng.next().region, 0u);
+}
+
+TEST(ProgramBuilder, ExplicitBasesRespected)
+{
+    RegionParams rp;
+    rp.name = "pinned";
+    rp.numBlocks = 4;
+    rp.avgBlockInsts = 6;
+    rp.codeBase = 0x7000000;
+    rp.dataBase = 0x9000000;
+    ProgramBuilder pb(3);
+    pb.addRegion(rp);
+    isa::Program p = pb.build("pinned");
+    EXPECT_EQ(p.blocks[0].baseAddr, 0x7000000u);
+    EXPECT_EQ(p.regions[0].memStreams[0].base, 0x9000000u);
+}

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Tests for the named workload models: the registry, program
+ * validity, schedule determinism and the documented structural
+ * properties of each benchmark family.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workload/workload.hh"
+
+using namespace tpcp;
+using namespace tpcp::workload;
+
+TEST(Workload, ElevenPaperNames)
+{
+    const auto &names = workloadNames();
+    ASSERT_EQ(names.size(), 11u);
+    std::set<std::string> expected = {
+        "ammp",   "bzip2/g", "bzip2/p", "galgel", "gcc/1", "gcc/s",
+        "gzip/g", "gzip/p",  "mcf",     "perl/d", "perl/s"};
+    EXPECT_EQ(std::set<std::string>(names.begin(), names.end()),
+              expected);
+}
+
+TEST(Workload, IsWorkloadName)
+{
+    EXPECT_TRUE(isWorkloadName("mcf"));
+    EXPECT_TRUE(isWorkloadName("gcc/1"));
+    EXPECT_FALSE(isWorkloadName("specjbb"));
+    EXPECT_FALSE(isWorkloadName(""));
+}
+
+TEST(Workload, UnknownNameIsFatal)
+{
+    EXPECT_EXIT(makeWorkload("nope"),
+                ::testing::ExitedWithCode(1), "unknown workload");
+}
+
+TEST(Workload, AllProgramsValidate)
+{
+    for (const auto &name : workloadNames()) {
+        Workload w = makeWorkload(name);
+        EXPECT_EQ(w.program.validate(), "") << name;
+        EXPECT_EQ(w.name, name);
+        EXPECT_NE(w.script, nullptr);
+        EXPECT_FALSE(w.description.empty());
+    }
+}
+
+TEST(Workload, ScheduleDeterministic)
+{
+    Workload w = makeWorkload("bzip2/g");
+    auto s1 = w.makeSchedule();
+    auto s2 = w.makeSchedule();
+    ASSERT_EQ(s1->size(), s2->size());
+    for (;;) {
+        auto a = s1->next();
+        auto b = s2->next();
+        ASSERT_EQ(a.has_value(), b.has_value());
+        if (!a)
+            break;
+        EXPECT_EQ(a->region, b->region);
+        EXPECT_EQ(a->insts, b->insts);
+    }
+}
+
+TEST(Workload, ScheduleReferencesValidRegions)
+{
+    for (const auto &name : workloadNames()) {
+        Workload w = makeWorkload(name);
+        auto sched = w.makeSchedule();
+        while (auto seg = sched->next()) {
+            ASSERT_LT(seg->region, w.program.regions.size())
+                << name;
+        }
+    }
+}
+
+TEST(Workload, TotalInstructionsInExpectedRange)
+{
+    // Each workload schedules on the order of 40M-300M instructions
+    // (hundreds to a couple thousand 100K-instruction intervals).
+    for (const auto &name : workloadNames()) {
+        Workload w = makeWorkload(name);
+        InstCount total = w.totalInsts();
+        EXPECT_GT(total, 40'000'000u) << name;
+        EXPECT_LT(total, 300'000'000u) << name;
+    }
+}
+
+TEST(Workload, DifferentWorkloadsDifferentPrograms)
+{
+    Workload a = makeWorkload("gcc/1");
+    Workload b = makeWorkload("gcc/s");
+    EXPECT_NE(a.seed, b.seed);
+    // Same builder family but different seeds: block counts differ.
+    EXPECT_NE(a.program.staticInstCount(),
+              b.program.staticInstCount());
+}
+
+TEST(Workload, GccHasManyRegionsAndBigCode)
+{
+    Workload gcc = makeWorkload("gcc/1");
+    Workload gzip = makeWorkload("gzip/p");
+    EXPECT_GT(gcc.program.regions.size(),
+              gzip.program.regions.size());
+    EXPECT_GT(gcc.program.staticInstCount(),
+              4 * gzip.program.staticInstCount())
+        << "gcc stresses the I-cache with a large code footprint";
+}
+
+TEST(Workload, McfUsesPointerChasing)
+{
+    Workload mcf = makeWorkload("mcf");
+    bool has_chase = false;
+    for (const auto &r : mcf.program.regions) {
+        for (const auto &s : r.memStreams) {
+            has_chase |=
+                s.kind == isa::MemStreamDesc::Kind::PointerChase;
+        }
+    }
+    EXPECT_TRUE(has_chase);
+}
+
+TEST(Workload, GzipGraphicHasVeryLongSegments)
+{
+    Workload w = makeWorkload("gzip/g");
+    auto sched = w.makeSchedule();
+    InstCount longest = 0;
+    while (auto seg = sched->next())
+        longest = std::max(longest, seg->insts);
+    EXPECT_GT(longest, 50'000'000u)
+        << "gzip/g has exceptionally long stable phases (paper 4.5)";
+}
+
+TEST(Workload, AmmpIsFpHeavy)
+{
+    Workload w = makeWorkload("ammp");
+    int fp = 0, total = 0;
+    for (const auto &bb : w.program.blocks) {
+        for (const auto &inst : bb.insts) {
+            fp += (inst.op == isa::OpClass::FpAdd ||
+                   inst.op == isa::OpClass::FpMult)
+                      ? 1
+                      : 0;
+            ++total;
+        }
+    }
+    EXPECT_GT(static_cast<double>(fp) / total, 0.1);
+}

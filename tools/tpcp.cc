@@ -1,0 +1,440 @@
+/**
+ * @file
+ * tpcp - command-line front end to the library.
+ *
+ * Subcommands:
+ *   workloads                       list the built-in workloads
+ *   machine                         print the Table-1 machine model
+ *   profile  <workload> [opts]     simulate/load a profile, summarize
+ *   classify <workload> [opts]     classify and print phase metrics
+ *   predict  <workload> [opts]     next-phase / change prediction
+ *   export   <workload> [opts]     per-interval CSV for plotting
+ *   simstats <workload> [opts]     run the simulator, dump uarch stats
+ *
+ * Common options:
+ *   --interval N     instructions per interval   (default 100000)
+ *   --core NAME      'ooo' or 'simple'           (default ooo)
+ * Classify options:
+ *   --threshold X    similarity threshold        (default 0.25)
+ *   --min N          transition min count        (default 8)
+ *   --entries N      signature table entries     (default 32)
+ *   --dims N         accumulator counters        (default 16)
+ *   --static-thresh  disable adaptive thresholds
+ *   --timeline       print the phase timeline
+ * Predict options:
+ *   --predictor P    lastvalue | markov1 | markov2 | rle1 | rle2 |
+ *                    top4markov1 | last4markov1   (default rle2)
+ * Export options:
+ *   --out PATH       output CSV file             (default stdout)
+ * Simstats options:
+ *   --max-insts N    stop after N instructions   (default: full run)
+ */
+
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/experiment.hh"
+#include "common/ascii_table.hh"
+#include "common/logging.hh"
+#include "common/running_stats.hh"
+#include "pred/eval.hh"
+#include "trace/profile_cache.hh"
+#include "uarch/machine_config.hh"
+#include "uarch/ooo_core.hh"
+#include "uarch/simple_core.hh"
+#include "uarch/simulator.hh"
+#include "uarch/stats_report.hh"
+#include "workload/workload.hh"
+
+using namespace tpcp;
+
+namespace
+{
+
+/** Minimal flag parser: --key value and --key style flags. */
+class Args
+{
+  public:
+    Args(int argc, char **argv, int first)
+    {
+        for (int i = first; i < argc; ++i) {
+            std::string arg = argv[i];
+            if (arg.rfind("--", 0) == 0) {
+                std::string key = arg.substr(2);
+                if (i + 1 < argc &&
+                    std::string(argv[i + 1]).rfind("--", 0) != 0) {
+                    kv[key] = argv[++i];
+                } else {
+                    kv[key] = "";
+                }
+            } else {
+                positional.push_back(arg);
+            }
+        }
+    }
+
+    bool has(const std::string &key) const { return kv.count(key); }
+
+    std::string
+    get(const std::string &key, const std::string &dflt) const
+    {
+        auto it = kv.find(key);
+        return it == kv.end() ? dflt : it->second;
+    }
+
+    std::uint64_t
+    getU64(const std::string &key, std::uint64_t dflt) const
+    {
+        auto it = kv.find(key);
+        return it == kv.end()
+                   ? dflt
+                   : std::strtoull(it->second.c_str(), nullptr, 10);
+    }
+
+    double
+    getDouble(const std::string &key, double dflt) const
+    {
+        auto it = kv.find(key);
+        return it == kv.end()
+                   ? dflt
+                   : std::strtod(it->second.c_str(), nullptr);
+    }
+
+    std::vector<std::string> positional;
+
+  private:
+    std::map<std::string, std::string> kv;
+};
+
+int
+usage()
+{
+    std::cerr
+        << "usage: tpcp <command> [args]\n"
+           "  workloads | machine | profile <wl> | classify <wl> |\n"
+           "  predict <wl> | export <wl>\n"
+           "see the header of tools/tpcp.cc for all options\n";
+    return 2;
+}
+
+std::optional<std::string>
+requireWorkload(const Args &args)
+{
+    if (args.positional.empty()) {
+        std::cerr << "error: a workload name is required\n";
+        return std::nullopt;
+    }
+    const std::string &name = args.positional.front();
+    if (!workload::isWorkloadName(name)) {
+        std::cerr << "error: unknown workload '" << name
+                  << "'; run 'tpcp workloads'\n";
+        return std::nullopt;
+    }
+    return name;
+}
+
+trace::ProfileOptions
+profileOptions(const Args &args)
+{
+    trace::ProfileOptions opts;
+    opts.intervalLen = args.getU64("interval", 100'000);
+    opts.coreName = args.get("core", "ooo");
+    return opts;
+}
+
+phase::ClassifierConfig
+classifierConfig(const Args &args)
+{
+    phase::ClassifierConfig cfg =
+        phase::ClassifierConfig::paperDefault();
+    cfg.similarityThreshold = args.getDouble("threshold", 0.25);
+    cfg.minCountThreshold =
+        static_cast<unsigned>(args.getU64("min", 8));
+    cfg.tableEntries =
+        static_cast<unsigned>(args.getU64("entries", 32));
+    cfg.numCounters =
+        static_cast<unsigned>(args.getU64("dims", 16));
+    if (args.has("static-thresh"))
+        cfg.adaptiveThreshold = false;
+    return cfg;
+}
+
+int
+cmdWorkloads()
+{
+    AsciiTable table({"name", "regions", "insts(M)", "description"});
+    for (const auto &name : workload::workloadNames()) {
+        workload::Workload w = workload::makeWorkload(name);
+        table.row()
+            .cell(name)
+            .cell(static_cast<std::uint64_t>(
+                w.program.regions.size()))
+            .cell(static_cast<std::uint64_t>(w.totalInsts() /
+                                             1'000'000))
+            .cell(w.description);
+    }
+    table.print(std::cout);
+    return 0;
+}
+
+int
+cmdMachine()
+{
+    std::cout << uarch::MachineConfig::table1().toString();
+    return 0;
+}
+
+int
+cmdProfile(const Args &args)
+{
+    auto name = requireWorkload(args);
+    if (!name)
+        return 2;
+    trace::IntervalProfile profile =
+        trace::getProfileByName(*name, profileOptions(args));
+    RunningStats cpi;
+    for (const auto &rec : profile.intervals())
+        cpi.push(rec.cpi);
+    AsciiTable table({"metric", "value"});
+    table.row().cell("workload").cell(profile.workload());
+    table.row().cell("core").cell(profile.coreName());
+    table.row()
+        .cell("interval length")
+        .cell(static_cast<std::uint64_t>(profile.intervalLength()));
+    table.row()
+        .cell("intervals")
+        .cell(static_cast<std::uint64_t>(profile.numIntervals()));
+    table.row().cell("avg CPI").cell(cpi.mean(), 3);
+    table.row().cell("min / max CPI").cell(
+        std::to_string(cpi.min()).substr(0, 5) + " / " +
+        std::to_string(cpi.max()).substr(0, 5));
+    table.row().cell("whole-program CoV").percentCell(cpi.cov());
+    table.print(std::cout);
+    return 0;
+}
+
+char
+phaseChar(PhaseId id)
+{
+    if (id == transitionPhaseId)
+        return '.';
+    static const char glyphs[] =
+        "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz";
+    return glyphs[(id - 1) % (sizeof(glyphs) - 1)];
+}
+
+int
+cmdClassify(const Args &args)
+{
+    auto name = requireWorkload(args);
+    if (!name)
+        return 2;
+    trace::IntervalProfile profile =
+        trace::getProfileByName(*name, profileOptions(args));
+    analysis::ClassificationResult res =
+        analysis::classifyProfile(profile, classifierConfig(args));
+
+    if (args.has("timeline")) {
+        for (std::size_t i = 0; i < res.trace.size(); ++i) {
+            std::cout << phaseChar(res.trace.phases[i]);
+            if ((i + 1) % 80 == 0)
+                std::cout << '\n';
+        }
+        std::cout << "\n\n";
+    }
+
+    AsciiTable table({"metric", "value"});
+    table.row().cell("stable phases").cell(
+        static_cast<std::uint64_t>(res.numPhases));
+    table.row().cell("per-phase CPI CoV").percentCell(res.covCpi);
+    table.row()
+        .cell("whole-program CoV")
+        .percentCell(res.wholeProgramCov);
+    table.row()
+        .cell("transition time")
+        .percentCell(res.transitionFraction);
+    table.row()
+        .cell("avg stable run")
+        .cell(res.runLengths.stableAvg, 1);
+    table.row()
+        .cell("avg transition run")
+        .cell(res.runLengths.transitionAvg, 1);
+    table.row()
+        .cell("threshold halvings")
+        .cell(res.classifierStats.thresholdHalvings);
+    table.print(std::cout);
+    return 0;
+}
+
+std::optional<pred::ChangePredictorConfig>
+predictorByName(const std::string &name)
+{
+    using pred::ChangePredictorConfig;
+    using pred::PayloadView;
+    if (name == "lastvalue")
+        return std::nullopt;
+    if (name == "markov1")
+        return ChangePredictorConfig::markov(1);
+    if (name == "markov2")
+        return ChangePredictorConfig::markov(2);
+    if (name == "rle1")
+        return ChangePredictorConfig::rle(1);
+    if (name == "rle2")
+        return ChangePredictorConfig::rle(2);
+    if (name == "top4markov1")
+        return ChangePredictorConfig::markov(1, PayloadView::Top4);
+    if (name == "last4markov1")
+        return ChangePredictorConfig::markov(1, PayloadView::Last4);
+    tpcp_fatal("unknown predictor '", name, "'");
+}
+
+int
+cmdPredict(const Args &args)
+{
+    auto name = requireWorkload(args);
+    if (!name)
+        return 2;
+    trace::IntervalProfile profile =
+        trace::getProfileByName(*name, profileOptions(args));
+    analysis::ClassificationResult res =
+        analysis::classifyProfile(profile, classifierConfig(args));
+
+    std::string pname = args.get("predictor", "rle2");
+    std::optional<pred::ChangePredictorConfig> cfg =
+        predictorByName(pname);
+    pred::NextPhaseStats next =
+        pred::evalNextPhase(res.trace.phases, cfg);
+
+    AsciiTable table({"metric", "value"});
+    table.row().cell("predictor").cell(
+        cfg ? cfg->name : "Last Value");
+    table.row().cell("next-phase accuracy").percentCell(
+        next.accuracy());
+    table.row()
+        .cell("confident accuracy")
+        .percentCell(next.confidentAccuracy());
+    table.row()
+        .cell("confident coverage")
+        .percentCell(next.confidentCoverage());
+    table.row().cell("interval change rate").percentCell(
+        next.total ? static_cast<double>(next.phaseChanges) /
+                         static_cast<double>(next.total)
+                   : 0.0);
+    if (cfg) {
+        pred::ChangeOutcomeStats ch =
+            pred::evalChangeOutcome(res.trace.phases, *cfg);
+        table.row()
+            .cell("phase changes predicted")
+            .percentCell(ch.correctRate());
+        table.row()
+            .cell("change tag-miss rate")
+            .percentCell(ch.changes
+                             ? static_cast<double>(ch.tagMiss) /
+                                   static_cast<double>(ch.changes)
+                             : 0.0);
+    }
+    pred::RunLengthStats rl = pred::evalRunLength(res.trace.phases);
+    table.row()
+        .cell("length-class mispredict")
+        .percentCell(rl.mispredictRate());
+    table.print(std::cout);
+    return 0;
+}
+
+int
+cmdExport(const Args &args)
+{
+    auto name = requireWorkload(args);
+    if (!name)
+        return 2;
+    trace::IntervalProfile profile =
+        trace::getProfileByName(*name, profileOptions(args));
+    analysis::ClassificationResult res =
+        analysis::classifyProfile(profile, classifierConfig(args));
+
+    std::ofstream file;
+    std::ostream *out = &std::cout;
+    std::string path = args.get("out", "");
+    if (!path.empty()) {
+        file.open(path);
+        if (!file) {
+            std::cerr << "error: cannot open " << path << "\n";
+            return 1;
+        }
+        out = &file;
+    }
+    *out << "interval,cpi,phase,is_transition\n";
+    for (std::size_t i = 0; i < res.trace.size(); ++i) {
+        *out << i << ',' << res.trace.cpis[i] << ','
+             << res.trace.phases[i] << ','
+             << (res.trace.phases[i] == transitionPhaseId ? 1 : 0)
+             << '\n';
+    }
+    if (!path.empty())
+        std::cout << "wrote " << res.trace.size()
+                  << " intervals to " << path << "\n";
+    return 0;
+}
+
+int
+cmdSimStats(const Args &args)
+{
+    auto name = requireWorkload(args);
+    if (!name)
+        return 2;
+    workload::Workload w = workload::makeWorkload(*name);
+    auto schedule = w.makeSchedule();
+
+    std::string core_name = args.get("core", "ooo");
+    std::unique_ptr<uarch::TimingCore> core;
+    uarch::MachineConfig machine = uarch::MachineConfig::table1();
+    if (core_name == "ooo") {
+        core = std::make_unique<uarch::OooCore>(machine);
+    } else if (core_name == "simple") {
+        core = std::make_unique<uarch::SimpleCore>(machine);
+    } else {
+        std::cerr << "error: unknown core '" << core_name << "'\n";
+        return 2;
+    }
+
+    uarch::Simulator sim(w.program, *schedule, *core,
+                         w.seed ^ 0xabcdef12345ULL);
+    InstCount max_insts = args.getU64("max-insts", 0);
+    std::cerr << "simulating " << *name << " on the '" << core_name
+              << "' core...\n";
+    sim.run(max_insts);
+    std::cout << uarch::formatCoreStats(*core);
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+    std::string cmd = argv[1];
+    Args args(argc, argv, 2);
+
+    if (cmd == "workloads")
+        return cmdWorkloads();
+    if (cmd == "machine")
+        return cmdMachine();
+    if (cmd == "profile")
+        return cmdProfile(args);
+    if (cmd == "classify")
+        return cmdClassify(args);
+    if (cmd == "predict")
+        return cmdPredict(args);
+    if (cmd == "export")
+        return cmdExport(args);
+    if (cmd == "simstats")
+        return cmdSimStats(args);
+    return usage();
+}
