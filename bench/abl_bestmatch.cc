@@ -16,30 +16,34 @@
 using namespace tpcp;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::BenchArgs args = bench::parseArgs(argc, argv);
     bench::banner("Ablation", "First-match vs best-match selection");
-    auto profiles = bench::loadAllProfiles();
+    auto profiles = bench::loadAllProfiles({}, args.jobs);
+
+    phase::ClassifierConfig cfg;
+    cfg.numCounters = 16;
+    cfg.tableEntries = 32;
+    cfg.similarityThreshold = 0.25;
+    cfg.minCountThreshold = 8;
+    cfg.matchPolicy = phase::MatchPolicy::FirstMatch;
+    phase::ClassifierConfig best_cfg = cfg;
+    best_cfg.matchPolicy = phase::MatchPolicy::BestMatch;
+    auto results =
+        analysis::runGrid(profiles, {cfg, best_cfg}, args.jobs);
 
     AsciiTable table({"workload", "first CoV", "best CoV",
                       "first phases", "best phases"});
     std::vector<double> first_cov, best_cov;
-    for (const auto &[name, profile] : profiles) {
-        phase::ClassifierConfig cfg;
-        cfg.numCounters = 16;
-        cfg.tableEntries = 32;
-        cfg.similarityThreshold = 0.25;
-        cfg.minCountThreshold = 8;
-
-        cfg.matchPolicy = phase::MatchPolicy::FirstMatch;
-        analysis::ClassificationResult first =
-            analysis::classifyProfile(profile, cfg);
-        cfg.matchPolicy = phase::MatchPolicy::BestMatch;
-        analysis::ClassificationResult best =
-            analysis::classifyProfile(profile, cfg);
+    for (std::size_t w = 0; w < profiles.size(); ++w) {
+        const analysis::ClassificationResult &first =
+            results[w * 2];
+        const analysis::ClassificationResult &best =
+            results[w * 2 + 1];
 
         table.row()
-            .cell(name)
+            .cell(profiles[w].first)
             .percentCell(first.covCpi)
             .percentCell(best.covCpi)
             .cell(static_cast<std::uint64_t>(first.numPhases))

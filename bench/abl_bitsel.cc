@@ -22,14 +22,43 @@
 using namespace tpcp;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::BenchArgs args = bench::parseArgs(argc, argv);
     bench::banner("Ablation", "Dynamic vs static bit selection");
-    auto profiles = bench::loadAllProfiles();
+    auto profiles = bench::loadAllProfiles({}, args.jobs);
 
     // The ideal static shift for this interval length: average
     // counter value is about interval / numCounters.
     const unsigned shifts[] = {0, 4, 8, 14};
+
+    phase::ClassifierConfig base;
+    base.numCounters = 16;
+    base.tableEntries = 32;
+    base.similarityThreshold = 0.25;
+    base.minCountThreshold = 8;
+
+    // One grid covers both sweeps: [0] dynamic selection,
+    // [1..4] static windows, [5..8] bits-per-counter widths.
+    std::vector<phase::ClassifierConfig> grid_cfgs;
+    {
+        phase::ClassifierConfig cfg = base;
+        cfg.bitSelection = phase::BitSelection::Dynamic;
+        grid_cfgs.push_back(cfg);
+        cfg.bitSelection = phase::BitSelection::Static;
+        for (unsigned s : shifts) {
+            cfg.staticShift = s;
+            grid_cfgs.push_back(cfg);
+        }
+    }
+    const unsigned bit_widths[] = {2, 4, 6, 8};
+    for (unsigned b : bit_widths) {
+        phase::ClassifierConfig cfg = base;
+        cfg.bitsPerDim = b;
+        grid_cfgs.push_back(cfg);
+    }
+    auto results = analysis::runGrid(profiles, grid_cfgs, args.jobs);
+    const std::size_t cols = grid_cfgs.size();
 
     std::vector<std::string> headers = {"workload", "dynamic"};
     for (unsigned s : shifts)
@@ -38,25 +67,16 @@ main()
     std::vector<double> dyn_col;
     std::vector<std::vector<double>> static_cols(4);
 
-    for (const auto &[name, profile] : profiles) {
-        cov.row().cell(name);
-        phase::ClassifierConfig cfg;
-        cfg.numCounters = 16;
-        cfg.tableEntries = 32;
-        cfg.similarityThreshold = 0.25;
-        cfg.minCountThreshold = 8;
-
-        cfg.bitSelection = phase::BitSelection::Dynamic;
-        analysis::ClassificationResult dyn =
-            analysis::classifyProfile(profile, cfg);
+    for (std::size_t w = 0; w < profiles.size(); ++w) {
+        cov.row().cell(profiles[w].first);
+        const analysis::ClassificationResult &dyn =
+            results[w * cols];
         cov.percentCell(dyn.covCpi);
         dyn_col.push_back(dyn.covCpi);
 
-        cfg.bitSelection = phase::BitSelection::Static;
         for (std::size_t s = 0; s < 4; ++s) {
-            cfg.staticShift = shifts[s];
-            analysis::ClassificationResult res =
-                analysis::classifyProfile(profile, cfg);
+            const analysis::ClassificationResult &res =
+                results[w * cols + 1 + s];
             cov.percentCell(res.covCpi);
             static_cols[s].push_back(res.covCpi);
         }
@@ -73,23 +93,16 @@ main()
     // Second sweep: bits kept per counter (paper 4.2: "fewer than 6
     // bits per counter produced poor classifications, and using more
     // than 8 bits did not significantly improve results").
-    const unsigned bit_widths[] = {2, 4, 6, 8};
     AsciiTable bits({"workload", "2b CoV", "4b CoV", "6b CoV",
                      "8b CoV", "2b mispred", "4b mispred",
                      "6b mispred", "8b mispred"});
     std::vector<std::vector<double>> bit_cols(4), mis_cols(4);
-    for (const auto &[name, profile] : profiles) {
-        bits.row().cell(name);
+    for (std::size_t w = 0; w < profiles.size(); ++w) {
+        bits.row().cell(profiles[w].first);
         std::vector<double> cov_vals, mis_vals;
         for (std::size_t b = 0; b < 4; ++b) {
-            phase::ClassifierConfig cfg;
-            cfg.numCounters = 16;
-            cfg.tableEntries = 32;
-            cfg.similarityThreshold = 0.25;
-            cfg.minCountThreshold = 8;
-            cfg.bitsPerDim = bit_widths[b];
-            analysis::ClassificationResult res =
-                analysis::classifyProfile(profile, cfg);
+            const analysis::ClassificationResult &res =
+                results[w * cols + 5 + b];
             pred::NextPhaseStats lv = pred::evalNextPhase(
                 res.trace.phases, std::nullopt);
             cov_vals.push_back(res.covCpi);

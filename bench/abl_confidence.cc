@@ -18,18 +18,20 @@
 using namespace tpcp;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::BenchArgs args = bench::parseArgs(argc, argv);
     bench::banner("Ablation",
                   "Last-value confidence-counter configurations");
-    auto profiles = bench::loadAllProfiles();
+    auto profiles = bench::loadAllProfiles({}, args.jobs);
 
     phase::ClassifierConfig ccfg =
         phase::ClassifierConfig::paperDefault();
+    auto classified =
+        analysis::runGrid(profiles, {ccfg}, args.jobs);
     std::vector<std::vector<PhaseId>> traces;
-    for (const auto &[name, profile] : profiles)
-        traces.push_back(
-            analysis::classifyProfile(profile, ccfg).trace.phases);
+    for (analysis::ClassificationResult &res : classified)
+        traces.push_back(std::move(res.trace.phases));
 
     struct Config
     {

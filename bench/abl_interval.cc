@@ -21,33 +21,43 @@
 using namespace tpcp;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::BenchArgs args = bench::parseArgs(argc, argv);
     bench::banner("Ablation", "Interval-length sensitivity");
 
     const char *names[] = {"ammp", "gcc/s", "gzip/p", "mcf"};
     const InstCount lengths[] = {50'000, 100'000, 200'000};
+    constexpr std::size_t num_lengths = 3;
+
+    // Each cell varies the *profile* (interval length), not just the
+    // classifier config, so fan the whole (workload x length) space
+    // out with runIndexed; the profile cache serializes duplicate
+    // builds per path and profiles of different lengths build in
+    // parallel.
+    auto results = analysis::runIndexed(
+        4 * num_lengths, args.jobs, [&](std::size_t i) {
+            trace::ProfileOptions opts;
+            opts.intervalLen = lengths[i % num_lengths];
+            trace::IntervalProfile profile =
+                trace::getProfileByName(names[i / num_lengths],
+                                        opts);
+            return analysis::classifyProfile(
+                profile, phase::ClassifierConfig::paperDefault());
+        });
 
     AsciiTable cov({"workload", "50K CoV", "100K CoV", "200K CoV"});
     AsciiTable phases({"workload", "50K", "100K", "200K"});
     AsciiTable trans({"workload", "50K trans", "100K trans",
                       "200K trans"});
 
-    for (const char *name : names) {
-        cov.row().cell(name);
-        phases.row().cell(name);
-        trans.row().cell(name);
-        for (InstCount len : lengths) {
-            trace::ProfileOptions opts;
-            opts.intervalLen = len;
-            std::cerr << "[profile] " << name << " @" << len
-                      << " ...\n";
-            trace::IntervalProfile profile =
-                trace::getProfileByName(name, opts);
-            analysis::ClassificationResult res =
-                analysis::classifyProfile(
-                    profile,
-                    phase::ClassifierConfig::paperDefault());
+    for (std::size_t w = 0; w < 4; ++w) {
+        cov.row().cell(names[w]);
+        phases.row().cell(names[w]);
+        trans.row().cell(names[w]);
+        for (std::size_t l = 0; l < num_lengths; ++l) {
+            const analysis::ClassificationResult &res =
+                results[w * num_lengths + l];
             cov.percentCell(res.covCpi);
             phases.cell(static_cast<std::uint64_t>(res.numPhases));
             trans.percentCell(res.transitionFraction);

@@ -22,52 +22,81 @@
 
 using namespace tpcp;
 
-int
-main()
+namespace
 {
+
+/** Everything one table row needs; computed per workload cell. */
+struct OfflineRow
+{
+    analysis::ClassificationResult onlineStatic;
+    analysis::ClassificationResult online;
+    double offCov = 0.0;
+    unsigned offK = 0;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::BenchArgs args = bench::parseArgs(argc, argv);
     bench::banner("Online vs offline (SimPoint-style) classification",
                   "CPI CoV and phase counts");
-    auto profiles = bench::loadAllProfiles();
+    auto profiles = bench::loadAllProfiles({}, args.jobs);
+
+    auto rows = analysis::runIndexed(
+        profiles.size(), args.jobs, [&](std::size_t w) {
+            const trace::IntervalProfile &profile =
+                profiles[w].second;
+            OfflineRow row;
+            // The configuration the paper compares against SimPoint
+            // (section 4.4): static 25% threshold, min count 8.
+            phase::ClassifierConfig static_cfg;
+            static_cfg.numCounters = 16;
+            static_cfg.tableEntries = 32;
+            static_cfg.similarityThreshold = 0.25;
+            static_cfg.minCountThreshold = 8;
+            row.onlineStatic =
+                analysis::classifyProfile(profile, static_cfg);
+            row.online = analysis::classifyProfile(
+                profile, phase::ClassifierConfig::paperDefault());
+
+            analysis::OfflineConfig ocfg;
+            ocfg.maxK = 40;
+            ocfg.explainedVariance = 0.98;
+            analysis::OfflineResult offline =
+                analysis::classifyOffline(profile, ocfg);
+            // Offline cluster IDs start at 0; shift by 1 so no
+            // cluster collides with the transition-phase ID in the
+            // CoV metric.
+            std::vector<PhaseId> ids;
+            ids.reserve(offline.assignments.size());
+            for (auto a : offline.assignments)
+                ids.push_back(a + 1);
+            row.offCov =
+                analysis::weightedPhaseCov(ids, profile.cpis());
+            row.offK = offline.k;
+            return row;
+        });
 
     AsciiTable table({"workload", "online 25% CoV",
                       "online adaptive CoV", "offline CoV",
                       "online phases", "offline k"});
     std::vector<double> on_static_cov, on_cov, off_cov;
-    for (const auto &[name, profile] : profiles) {
-        // The configuration the paper compares against SimPoint
-        // (section 4.4): static 25% threshold, min count 8.
-        phase::ClassifierConfig static_cfg;
-        static_cfg.numCounters = 16;
-        static_cfg.tableEntries = 32;
-        static_cfg.similarityThreshold = 0.25;
-        static_cfg.minCountThreshold = 8;
-        analysis::ClassificationResult online_static =
-            analysis::classifyProfile(profile, static_cfg);
-        analysis::ClassificationResult online =
-            analysis::classifyProfile(
-                profile, phase::ClassifierConfig::paperDefault());
-
-        analysis::OfflineConfig ocfg;
-        ocfg.maxK = 40;
-        ocfg.explainedVariance = 0.98;
-        analysis::OfflineResult offline =
-            analysis::classifyOffline(profile, ocfg);
-        // Offline cluster IDs start at 0; shift by 1 so no cluster
-        // collides with the transition-phase ID in the CoV metric.
-        std::vector<PhaseId> ids;
-        ids.reserve(offline.assignments.size());
-        for (auto a : offline.assignments)
-            ids.push_back(a + 1);
-        double off =
-            analysis::weightedPhaseCov(ids, profile.cpis());
+    for (std::size_t w = 0; w < profiles.size(); ++w) {
+        const analysis::ClassificationResult &online_static =
+            rows[w].onlineStatic;
+        const analysis::ClassificationResult &online =
+            rows[w].online;
+        double off = rows[w].offCov;
 
         table.row()
-            .cell(name)
+            .cell(profiles[w].first)
             .percentCell(online_static.covCpi)
             .percentCell(online.covCpi)
             .percentCell(off)
             .cell(static_cast<std::uint64_t>(online.numPhases))
-            .cell(static_cast<std::uint64_t>(offline.k));
+            .cell(static_cast<std::uint64_t>(rows[w].offK));
         on_static_cov.push_back(online_static.covCpi);
         on_cov.push_back(online.covCpi);
         off_cov.push_back(off);

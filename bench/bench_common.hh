@@ -4,32 +4,101 @@
  * builds and caches) the interval profiles of all 11 workloads and
  * provides small aggregation helpers. Every fig*_ binary prints the
  * rows/series of one paper figure.
+ *
+ * All harnesses accept `--jobs=N` (or `--jobs N`): profile loading
+ * and the experiment grid fan out over N threads (0 or omitted = one
+ * per hardware thread, 1 = the plain serial loop). Output is
+ * bit-identical for every job count — results come back in grid
+ * order and each cell is a pure function of its inputs.
  */
 
 #ifndef TPCP_BENCH_BENCH_COMMON_HH
 #define TPCP_BENCH_BENCH_COMMON_HH
 
+#include <cstdlib>
 #include <iostream>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "analysis/parallel_runner.hh"
 #include "trace/profile_cache.hh"
 #include "workload/workload.hh"
 
 namespace tpcp::bench
 {
 
-/** (workload name, profile) for every benchmark, in paper order. */
-inline std::vector<std::pair<std::string, trace::IntervalProfile>>
-loadAllProfiles(const trace::ProfileOptions &opts = {})
+/** Command-line options shared by every harness. */
+struct BenchArgs
 {
+    /** Worker threads: 0 = one per hardware thread, 1 = serial. */
+    unsigned jobs = 0;
+};
+
+/** Parses a non-negative --jobs value; exits on malformed input. */
+inline unsigned
+parseJobs(const std::string &value)
+{
+    char *end = nullptr;
+    unsigned long n = std::strtoul(value.c_str(), &end, 10);
+    if (value.empty() || *end != '\0') {
+        std::cerr << "error: --jobs expects a non-negative integer, "
+                     "got '" << value << "'\n";
+        std::exit(2);
+    }
+    return static_cast<unsigned>(n);
+}
+
+/** Parses harness arguments (--jobs=N | --jobs N | --help). */
+inline BenchArgs
+parseArgs(int argc, char **argv)
+{
+    BenchArgs args;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--jobs=", 0) == 0) {
+            args.jobs = parseJobs(arg.substr(7));
+        } else if (arg == "--jobs" && i + 1 < argc) {
+            args.jobs = parseJobs(argv[++i]);
+        } else if (arg == "--help" || arg == "-h") {
+            std::cout << "usage: " << argv[0] << " [--jobs=N]\n"
+                      << "  --jobs=N  worker threads (0 = one per "
+                         "hardware thread, 1 = serial)\n";
+            std::exit(0);
+        } else {
+            std::cerr << "error: unknown argument '" << arg
+                      << "' (try --help)\n";
+            std::exit(2);
+        }
+    }
+    return args;
+}
+
+/**
+ * (workload name, profile) for every benchmark, in paper order.
+ * Profiles are loaded (or simulated and cached) on @p jobs threads;
+ * the result order never depends on the job count.
+ */
+inline std::vector<std::pair<std::string, trace::IntervalProfile>>
+loadAllProfiles(const trace::ProfileOptions &opts = {},
+                unsigned jobs = 1)
+{
+    const std::vector<std::string> &names =
+        workload::workloadNames();
+    std::cerr << "[profile] loading " << names.size()
+              << " workload profiles ("
+              << analysis::effectiveJobs(jobs, names.size())
+              << " jobs) ...\n";
+    auto loaded = analysis::runIndexed(
+        names.size(), jobs, [&](std::size_t i) {
+            return trace::getProfileByName(names[i], opts);
+        });
     std::vector<std::pair<std::string, trace::IntervalProfile>> out;
-    for (const std::string &name : workload::workloadNames()) {
-        std::cerr << "[profile] " << name << " ... " << std::flush;
-        out.emplace_back(name, trace::getProfileByName(name, opts));
-        std::cerr << out.back().second.numIntervals()
-                  << " intervals\n";
+    out.reserve(names.size());
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        std::cerr << "[profile] " << names[i] << " ... "
+                  << loaded[i].numIntervals() << " intervals\n";
+        out.emplace_back(names[i], std::move(loaded[i]));
     }
     return out;
 }

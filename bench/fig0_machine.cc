@@ -16,12 +16,13 @@
 using namespace tpcp;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::BenchArgs args = bench::parseArgs(argc, argv);
     bench::banner("Table 1", "Baseline Simulation Model");
     std::cout << uarch::MachineConfig::table1().toString() << "\n";
 
-    auto profiles = bench::loadAllProfiles();
+    auto profiles = bench::loadAllProfiles({}, args.jobs);
     AsciiTable table({"workload", "intervals", "insts(M)", "avg CPI",
                       "min CPI", "max CPI", "whole-prog CoV"});
     for (const auto &[name, profile] : profiles) {

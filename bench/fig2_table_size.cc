@@ -20,17 +20,29 @@
 using namespace tpcp;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::BenchArgs args = bench::parseArgs(argc, argv);
     bench::banner("Figure 2",
                   "CPI CoV and phase count vs signature-table size");
-    auto profiles = bench::loadAllProfiles();
+    auto profiles = bench::loadAllProfiles({}, args.jobs);
 
     const unsigned entry_configs[] = {16, 32, 64, 0}; // 0 = unbounded
     auto label = [](unsigned e) {
         return e == 0 ? std::string("inf")
                       : std::to_string(e) + " entry";
     };
+
+    std::vector<phase::ClassifierConfig> configs;
+    for (unsigned entries : entry_configs) {
+        phase::ClassifierConfig cfg;
+        cfg.numCounters = 32;
+        cfg.similarityThreshold = 0.125;
+        cfg.minCountThreshold = 0;
+        cfg.tableEntries = entries;
+        configs.push_back(cfg);
+    }
+    auto results = analysis::runGrid(profiles, configs, args.jobs);
 
     AsciiTable cov({"workload", "16 entry CoV", "32 entry CoV",
                     "64 entry CoV", "inf CoV"});
@@ -39,17 +51,12 @@ main()
     std::vector<std::vector<double>> cov_cols(4);
     std::vector<std::vector<double>> phase_cols(4);
 
-    for (const auto &[name, profile] : profiles) {
-        cov.row().cell(name);
-        phases.row().cell(name);
+    for (std::size_t w = 0; w < profiles.size(); ++w) {
+        cov.row().cell(profiles[w].first);
+        phases.row().cell(profiles[w].first);
         for (std::size_t c = 0; c < 4; ++c) {
-            phase::ClassifierConfig cfg;
-            cfg.numCounters = 32;
-            cfg.similarityThreshold = 0.125;
-            cfg.minCountThreshold = 0;
-            cfg.tableEntries = entry_configs[c];
-            analysis::ClassificationResult res =
-                analysis::classifyProfile(profile, cfg);
+            const analysis::ClassificationResult &res =
+                results[w * configs.size() + c];
             cov.percentCell(res.covCpi);
             phases.cell(static_cast<std::uint64_t>(res.numPhases));
             cov_cols[c].push_back(res.covCpi);

@@ -19,13 +19,25 @@
 using namespace tpcp;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::BenchArgs args = bench::parseArgs(argc, argv);
     bench::banner("Figure 3",
                   "CPI CoV and phase count vs signature counters");
-    auto profiles = bench::loadAllProfiles();
+    auto profiles = bench::loadAllProfiles({}, args.jobs);
 
     const unsigned dim_configs[] = {8, 16, 32, 64};
+
+    std::vector<phase::ClassifierConfig> configs;
+    for (unsigned dims : dim_configs) {
+        phase::ClassifierConfig cfg;
+        cfg.numCounters = dims;
+        cfg.similarityThreshold = 0.125;
+        cfg.minCountThreshold = 0;
+        cfg.tableEntries = 32;
+        configs.push_back(cfg);
+    }
+    auto results = analysis::runGrid(profiles, configs, args.jobs);
 
     AsciiTable cov({"workload", "8 dim", "16 dim", "32 dim", "64 dim",
                     "Whole Program"});
@@ -34,18 +46,13 @@ main()
     std::vector<std::vector<double>> cov_cols(5);
     std::vector<std::vector<double>> phase_cols(4);
 
-    for (const auto &[name, profile] : profiles) {
-        cov.row().cell(name);
-        phases.row().cell(name);
+    for (std::size_t w = 0; w < profiles.size(); ++w) {
+        cov.row().cell(profiles[w].first);
+        phases.row().cell(profiles[w].first);
         double whole = 0.0;
         for (std::size_t c = 0; c < 4; ++c) {
-            phase::ClassifierConfig cfg;
-            cfg.numCounters = dim_configs[c];
-            cfg.similarityThreshold = 0.125;
-            cfg.minCountThreshold = 0;
-            cfg.tableEntries = 32;
-            analysis::ClassificationResult res =
-                analysis::classifyProfile(profile, cfg);
+            const analysis::ClassificationResult &res =
+                results[w * configs.size() + c];
             cov.percentCell(res.covCpi);
             phases.cell(static_cast<std::uint64_t>(res.numPhases));
             cov_cols[c].push_back(res.covCpi);

@@ -44,16 +44,28 @@ constexpr std::size_t numConfigs =
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::BenchArgs args = bench::parseArgs(argc, argv);
     bench::banner("Figure 4",
                   "Transition-phase classification (similarity x "
                   "min-count)");
-    auto profiles = bench::loadAllProfiles();
+    auto profiles = bench::loadAllProfiles({}, args.jobs);
 
     std::vector<std::string> headers = {"workload"};
     for (const Config &c : configs)
         headers.push_back(c.label);
+
+    std::vector<phase::ClassifierConfig> grid_cfgs;
+    for (const Config &c : configs) {
+        phase::ClassifierConfig cfg;
+        cfg.numCounters = 16;
+        cfg.tableEntries = 32;
+        cfg.similarityThreshold = c.threshold;
+        cfg.minCountThreshold = c.minCount;
+        grid_cfgs.push_back(cfg);
+    }
+    auto results = analysis::runGrid(profiles, grid_cfgs, args.jobs);
 
     AsciiTable cov(headers);
     AsciiTable phases(headers);
@@ -63,19 +75,15 @@ main()
         phase_cols(numConfigs), trans_cols(numConfigs),
         mis_cols(numConfigs);
 
-    for (const auto &[name, profile] : profiles) {
+    for (std::size_t w = 0; w < profiles.size(); ++w) {
+        const std::string &name = profiles[w].first;
         cov.row().cell(name);
         phases.row().cell(name);
         trans.row().cell(name);
         mispred.row().cell(name);
         for (std::size_t c = 0; c < numConfigs; ++c) {
-            phase::ClassifierConfig cfg;
-            cfg.numCounters = 16;
-            cfg.tableEntries = 32;
-            cfg.similarityThreshold = configs[c].threshold;
-            cfg.minCountThreshold = configs[c].minCount;
-            analysis::ClassificationResult res =
-                analysis::classifyProfile(profile, cfg);
+            const analysis::ClassificationResult &res =
+                results[w * numConfigs + c];
 
             // Last-value misprediction rate over the classified
             // phase-ID stream (no confidence, no change table).

@@ -18,27 +18,29 @@
 using namespace tpcp;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::BenchArgs args = bench::parseArgs(argc, argv);
     bench::banner("Figure 5",
                   "Average stable and transition phase lengths");
-    auto profiles = bench::loadAllProfiles();
+    auto profiles = bench::loadAllProfiles({}, args.jobs);
+
+    phase::ClassifierConfig cfg;
+    cfg.numCounters = 16;
+    cfg.tableEntries = 32;
+    cfg.similarityThreshold = 0.25;
+    cfg.minCountThreshold = 8;
+    auto results = analysis::runGrid(profiles, {cfg}, args.jobs);
 
     AsciiTable table({"workload", "stable avg", "stable stddev",
                       "stable runs", "trans avg", "trans stddev",
                       "trans runs"});
     std::vector<double> stable_avgs, trans_avgs;
-    for (const auto &[name, profile] : profiles) {
-        phase::ClassifierConfig cfg;
-        cfg.numCounters = 16;
-        cfg.tableEntries = 32;
-        cfg.similarityThreshold = 0.25;
-        cfg.minCountThreshold = 8;
-        analysis::ClassificationResult res =
-            analysis::classifyProfile(profile, cfg);
+    for (std::size_t w = 0; w < profiles.size(); ++w) {
+        const analysis::ClassificationResult &res = results[w];
         const analysis::RunLengthSummary &rl = res.runLengths;
         table.row()
-            .cell(name)
+            .cell(profiles[w].first)
             .cell(rl.stableAvg, 1)
             .cell(rl.stableStddev, 1)
             .cell(rl.stableRuns)

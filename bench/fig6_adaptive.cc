@@ -45,35 +45,44 @@ constexpr std::size_t numConfigs =
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::BenchArgs args = bench::parseArgs(argc, argv);
     bench::banner("Figure 6",
                   "Adaptive similarity thresholds (phase splitting)");
-    auto profiles = bench::loadAllProfiles();
+    auto profiles = bench::loadAllProfiles({}, args.jobs);
 
     std::vector<std::string> headers = {"workload"};
     for (const Config &c : configs)
         headers.push_back(c.label);
+
+    std::vector<phase::ClassifierConfig> grid_cfgs;
+    for (const Config &c : configs) {
+        phase::ClassifierConfig cfg;
+        cfg.numCounters = 16;
+        cfg.tableEntries = 32;
+        cfg.similarityThreshold = c.threshold;
+        cfg.minCountThreshold = 8;
+        cfg.adaptiveThreshold = c.dynamic;
+        cfg.cpiDeviationThreshold = c.deviation;
+        grid_cfgs.push_back(cfg);
+    }
+    auto results = analysis::runGrid(profiles, grid_cfgs, args.jobs);
+
     AsciiTable cov(headers);
     AsciiTable phases(headers);
     AsciiTable trans(headers);
     std::vector<std::vector<double>> cov_cols(numConfigs),
         phase_cols(numConfigs), trans_cols(numConfigs);
 
-    for (const auto &[name, profile] : profiles) {
+    for (std::size_t w = 0; w < profiles.size(); ++w) {
+        const std::string &name = profiles[w].first;
         cov.row().cell(name);
         phases.row().cell(name);
         trans.row().cell(name);
         for (std::size_t c = 0; c < numConfigs; ++c) {
-            phase::ClassifierConfig cfg;
-            cfg.numCounters = 16;
-            cfg.tableEntries = 32;
-            cfg.similarityThreshold = configs[c].threshold;
-            cfg.minCountThreshold = 8;
-            cfg.adaptiveThreshold = configs[c].dynamic;
-            cfg.cpiDeviationThreshold = configs[c].deviation;
-            analysis::ClassificationResult res =
-                analysis::classifyProfile(profile, cfg);
+            const analysis::ClassificationResult &res =
+                results[w * numConfigs + c];
             cov.percentCell(res.covCpi);
             phases.cell(static_cast<std::uint64_t>(res.numPhases));
             trans.percentCell(res.transitionFraction);

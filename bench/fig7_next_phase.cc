@@ -26,19 +26,21 @@ using pred::ChangePredictorConfig;
 using pred::PayloadView;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::BenchArgs args = bench::parseArgs(argc, argv);
     bench::banner("Figure 7", "Next Phase Prediction");
-    auto profiles = bench::loadAllProfiles();
+    auto profiles = bench::loadAllProfiles({}, args.jobs);
 
     phase::ClassifierConfig ccfg =
         phase::ClassifierConfig::paperDefault();
 
     // Classify every workload once; predictors replay the traces.
+    auto classified =
+        analysis::runGrid(profiles, {ccfg}, args.jobs);
     std::vector<std::vector<PhaseId>> traces;
-    for (const auto &[name, profile] : profiles)
-        traces.push_back(
-            analysis::classifyProfile(profile, ccfg).trace.phases);
+    for (analysis::ClassificationResult &res : classified)
+        traces.push_back(std::move(res.trace.phases));
 
     struct Bar
     {
@@ -83,10 +85,16 @@ main()
                       "corr lv unconf", "inc lv unconf",
                       "inc lv conf", "inc table", "accuracy",
                       "conf acc", "conf cover"});
-    for (const Bar &bar : bars) {
-        pred::NextPhaseStats agg;
-        for (const auto &trace : traces)
-            agg.merge(pred::evalNextPhase(trace, bar.cfg));
+    auto aggs = analysis::runIndexed(
+        bars.size(), args.jobs, [&](std::size_t b) {
+            pred::NextPhaseStats agg;
+            for (const auto &trace : traces)
+                agg.merge(pred::evalNextPhase(trace, bars[b].cfg));
+            return agg;
+        });
+    for (std::size_t b = 0; b < bars.size(); ++b) {
+        const Bar &bar = bars[b];
+        const pred::NextPhaseStats &agg = aggs[b];
         double t = static_cast<double>(agg.total);
         auto pct = [&](std::uint64_t v) {
             return t ? static_cast<double>(v) / t : 0.0;

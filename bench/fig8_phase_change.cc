@@ -23,17 +23,19 @@ using pred::ChangePredictorConfig;
 using pred::PayloadView;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::BenchArgs args = bench::parseArgs(argc, argv);
     bench::banner("Figure 8", "Phase Change Prediction");
-    auto profiles = bench::loadAllProfiles();
+    auto profiles = bench::loadAllProfiles({}, args.jobs);
 
     phase::ClassifierConfig ccfg =
         phase::ClassifierConfig::paperDefault();
+    auto classified =
+        analysis::runGrid(profiles, {ccfg}, args.jobs);
     std::vector<std::vector<PhaseId>> traces;
-    for (const auto &[name, profile] : profiles)
-        traces.push_back(
-            analysis::classifyProfile(profile, ccfg).trace.phases);
+    for (analysis::ClassificationResult &res : classified)
+        traces.push_back(std::move(res.trace.phases));
 
     std::vector<ChangePredictorConfig> bars = {
         ChangePredictorConfig::markov(2, PayloadView::Last, 128),
@@ -56,10 +58,16 @@ main()
     AsciiTable table({"predictor", "conf corr", "unconf corr",
                       "tag miss", "unconf inc", "conf inc",
                       "correct", "conf mispred"});
-    for (const ChangePredictorConfig &cfg : bars) {
-        pred::ChangeOutcomeStats agg;
-        for (const auto &trace : traces)
-            agg.merge(pred::evalChangeOutcome(trace, cfg));
+    auto aggs = analysis::runIndexed(
+        bars.size(), args.jobs, [&](std::size_t b) {
+            pred::ChangeOutcomeStats agg;
+            for (const auto &trace : traces)
+                agg.merge(pred::evalChangeOutcome(trace, bars[b]));
+            return agg;
+        });
+    for (std::size_t b = 0; b < bars.size(); ++b) {
+        const ChangePredictorConfig &cfg = bars[b];
+        const pred::ChangeOutcomeStats &agg = aggs[b];
         double t = static_cast<double>(agg.changes);
         auto pct = [&](std::uint64_t v) {
             return t ? static_cast<double>(v) / t : 0.0;

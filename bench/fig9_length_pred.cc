@@ -21,23 +21,25 @@
 using namespace tpcp;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::BenchArgs args = bench::parseArgs(argc, argv);
     bench::banner("Figure 9",
                   "Run-length classes and phase length prediction");
-    auto profiles = bench::loadAllProfiles();
+    auto profiles = bench::loadAllProfiles({}, args.jobs);
 
     phase::ClassifierConfig ccfg =
         phase::ClassifierConfig::paperDefault();
+    auto results = analysis::runGrid(profiles, {ccfg}, args.jobs);
 
     AsciiTable dist({"workload", "1-15", "16-127", "128-1023",
                      "1024-", "runs"});
     AsciiTable mispred({"workload", "mispredict rate", "predictions"});
     std::vector<double> miss_rates;
 
-    for (const auto &[name, profile] : profiles) {
-        analysis::ClassificationResult res =
-            analysis::classifyProfile(profile, ccfg);
+    for (std::size_t w = 0; w < profiles.size(); ++w) {
+        const std::string &name = profiles[w].first;
+        const analysis::ClassificationResult &res = results[w];
         pred::RunLengthStats stats =
             pred::evalRunLength(res.trace.phases);
 

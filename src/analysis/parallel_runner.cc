@@ -1,0 +1,31 @@
+#include "analysis/parallel_runner.hh"
+
+#include "common/logging.hh"
+
+namespace tpcp::analysis
+{
+
+unsigned
+effectiveJobs(unsigned jobs, std::size_t tasks)
+{
+    unsigned n = jobs ? jobs : ThreadPool::defaultThreads();
+    if (tasks < n)
+        n = static_cast<unsigned>(tasks ? tasks : 1);
+    return n;
+}
+
+std::vector<ClassificationResult>
+runGrid(const std::vector<NamedProfile> &profiles,
+        const std::vector<phase::ClassifierConfig> &configs,
+        unsigned jobs)
+{
+    tpcp_assert(!configs.empty(), "runGrid needs at least 1 config");
+    const std::size_t cols = configs.size();
+    return runIndexed(
+        profiles.size() * cols, jobs, [&](std::size_t i) {
+            return classifyProfile(profiles[i / cols].second,
+                                   configs[i % cols]);
+        });
+}
+
+} // namespace tpcp::analysis

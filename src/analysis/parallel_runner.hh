@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Parallel experiment execution: fans an index space or a
+ * (workload x classifier-config) grid out across a work-stealing
+ * thread pool and returns results in deterministic grid order
+ * regardless of completion order.
+ *
+ * Every experiment cell is a pure function of its inputs (profiles
+ * are replayed read-only; each cell owns its classifier state), so a
+ * parallel run is bit-identical to the serial loop — the DESIGN.md
+ * determinism invariant holds for any job count. jobs <= 1 runs the
+ * plain serial loop on the calling thread.
+ */
+
+#ifndef TPCP_ANALYSIS_PARALLEL_RUNNER_HH
+#define TPCP_ANALYSIS_PARALLEL_RUNNER_HH
+
+#include <cstddef>
+#include <exception>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "analysis/experiment.hh"
+#include "common/thread_pool.hh"
+#include "phase/classifier_config.hh"
+#include "trace/interval_profile.hh"
+
+namespace tpcp::analysis
+{
+
+/** (workload name, profile), as produced by the bench loaders. */
+using NamedProfile =
+    std::pair<std::string, trace::IntervalProfile>;
+
+/**
+ * Resolves a --jobs value: 0 means one job per hardware thread,
+ * and the job count never exceeds the number of tasks.
+ */
+unsigned effectiveJobs(unsigned jobs, std::size_t tasks);
+
+/**
+ * Runs fn(0) .. fn(n-1) across @p jobs threads and returns the
+ * results in index order. The result type must be
+ * default-constructible and movable. Exceptions thrown by @p fn are
+ * rethrown (the first one in index order) after all tasks finish.
+ */
+template <typename Fn>
+auto
+runIndexed(std::size_t n, unsigned jobs, Fn &&fn)
+    -> std::vector<std::invoke_result_t<Fn &, std::size_t>>
+{
+    using Result = std::invoke_result_t<Fn &, std::size_t>;
+    std::vector<Result> out(n);
+    if (effectiveJobs(jobs, n) <= 1) {
+        for (std::size_t i = 0; i < n; ++i)
+            out[i] = fn(i);
+        return out;
+    }
+
+    std::vector<std::exception_ptr> errors(n);
+    {
+        ThreadPool pool(effectiveJobs(jobs, n));
+        for (std::size_t i = 0; i < n; ++i) {
+            pool.submit([&, i] {
+                try {
+                    out[i] = fn(i);
+                } catch (...) {
+                    errors[i] = std::current_exception();
+                }
+            });
+        }
+        pool.wait();
+    }
+    for (const std::exception_ptr &e : errors) {
+        if (e)
+            std::rethrow_exception(e);
+    }
+    return out;
+}
+
+/**
+ * Classifies every profile under every config: the result for
+ * (profile p, config c) is at index p * configs.size() + c
+ * (workload-major), exactly as the serial nested loop would produce
+ * it.
+ */
+std::vector<ClassificationResult>
+runGrid(const std::vector<NamedProfile> &profiles,
+        const std::vector<phase::ClassifierConfig> &configs,
+        unsigned jobs = 0);
+
+} // namespace tpcp::analysis
+
+#endif // TPCP_ANALYSIS_PARALLEL_RUNNER_HH

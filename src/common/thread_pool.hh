@@ -1,0 +1,198 @@
+/**
+ * @file
+ * A small work-stealing thread pool for fanning experiment grids out
+ * across hardware threads.
+ *
+ * Each worker owns a deque of tasks. submit() distributes tasks
+ * round-robin; a worker services its own deque LIFO (back) and, when
+ * empty, steals FIFO (front) from the other workers, so long tasks
+ * queued on one worker do not strand work behind them. The pool is
+ * deliberately simple: no task priorities, no nested-task
+ * continuations — experiment cells are coarse (milliseconds to
+ * minutes) and independent.
+ *
+ * Tasks must not throw; wrap the body and capture the exception when
+ * the task can fail (analysis::runIndexed does this).
+ */
+
+#ifndef TPCP_COMMON_THREAD_POOL_HH
+#define TPCP_COMMON_THREAD_POOL_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace tpcp
+{
+
+/** A fixed-size work-stealing thread pool. */
+class ThreadPool
+{
+  public:
+    /**
+     * Starts @p num_threads workers; 0 means one per hardware
+     * thread (defaultThreads()).
+     */
+    explicit ThreadPool(unsigned num_threads = 0)
+    {
+        unsigned n = num_threads ? num_threads : defaultThreads();
+        workers.reserve(n);
+        for (unsigned i = 0; i < n; ++i)
+            workers.push_back(std::make_unique<Worker>());
+        threads.reserve(n);
+        for (unsigned i = 0; i < n; ++i)
+            threads.emplace_back([this, i] { workerLoop(i); });
+    }
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Waits for all submitted tasks, then stops the workers. */
+    ~ThreadPool()
+    {
+        wait();
+        {
+            std::lock_guard<std::mutex> lock(wakeMutex);
+            stopping = true;
+        }
+        wakeCv.notify_all();
+        for (std::thread &t : threads)
+            t.join();
+    }
+
+    /** Number of worker threads. */
+    unsigned
+    numThreads() const
+    {
+        return static_cast<unsigned>(threads.size());
+    }
+
+    /** One worker per hardware thread (at least 1). */
+    static unsigned
+    defaultThreads()
+    {
+        unsigned hw = std::thread::hardware_concurrency();
+        return hw ? hw : 1;
+    }
+
+    /** Queues @p task for execution on some worker. */
+    void
+    submit(std::function<void()> task)
+    {
+        tpcp_assert(task, "cannot submit an empty task");
+        std::size_t w = nextWorker.fetch_add(
+                            1, std::memory_order_relaxed) %
+                        workers.size();
+        {
+            std::lock_guard<std::mutex> lock(workers[w]->mutex);
+            workers[w]->tasks.push_back(std::move(task));
+        }
+        inflight.fetch_add(1, std::memory_order_relaxed);
+        queued.fetch_add(1, std::memory_order_release);
+        {
+            // Pair the notify with the wake mutex so a worker that
+            // just found every deque empty cannot miss the wakeup.
+            std::lock_guard<std::mutex> lock(wakeMutex);
+        }
+        wakeCv.notify_one();
+    }
+
+    /**
+     * Blocks until every task submitted so far has finished. The
+     * pool remains usable afterwards.
+     */
+    void
+    wait()
+    {
+        std::unique_lock<std::mutex> lock(doneMutex);
+        doneCv.wait(lock, [this] {
+            return inflight.load(std::memory_order_acquire) == 0;
+        });
+    }
+
+  private:
+    /** One worker's deque; stealing locks the victim's mutex. */
+    struct Worker
+    {
+        std::mutex mutex;
+        std::deque<std::function<void()>> tasks;
+    };
+
+    /** Pops from our own deque's back, else steals a front. */
+    bool
+    claimTask(std::size_t self, std::function<void()> &out)
+    {
+        {
+            Worker &own = *workers[self];
+            std::lock_guard<std::mutex> lock(own.mutex);
+            if (!own.tasks.empty()) {
+                out = std::move(own.tasks.back());
+                own.tasks.pop_back();
+                return true;
+            }
+        }
+        for (std::size_t k = 1; k < workers.size(); ++k) {
+            Worker &victim =
+                *workers[(self + k) % workers.size()];
+            std::lock_guard<std::mutex> lock(victim.mutex);
+            if (!victim.tasks.empty()) {
+                out = std::move(victim.tasks.front());
+                victim.tasks.pop_front();
+                return true;
+            }
+        }
+        return false;
+    }
+
+    void
+    workerLoop(std::size_t self)
+    {
+        std::function<void()> task;
+        while (true) {
+            if (claimTask(self, task)) {
+                queued.fetch_sub(1, std::memory_order_relaxed);
+                task();
+                task = nullptr;
+                if (inflight.fetch_sub(
+                        1, std::memory_order_acq_rel) == 1) {
+                    std::lock_guard<std::mutex> lock(doneMutex);
+                    doneCv.notify_all();
+                }
+                continue;
+            }
+            std::unique_lock<std::mutex> lock(wakeMutex);
+            wakeCv.wait(lock, [this] {
+                return stopping ||
+                       queued.load(std::memory_order_acquire) > 0;
+            });
+            if (stopping &&
+                queued.load(std::memory_order_acquire) == 0)
+                return;
+        }
+    }
+
+    std::vector<std::unique_ptr<Worker>> workers;
+    std::vector<std::thread> threads;
+    std::atomic<std::size_t> nextWorker{0};
+    /** Tasks submitted but not yet claimed by a worker. */
+    std::atomic<std::size_t> queued{0};
+    /** Tasks submitted but not yet finished. */
+    std::atomic<std::size_t> inflight{0};
+    std::mutex wakeMutex;
+    std::condition_variable wakeCv;
+    std::mutex doneMutex;
+    std::condition_variable doneCv;
+    bool stopping = false;
+};
+
+} // namespace tpcp
+
+#endif // TPCP_COMMON_THREAD_POOL_HH

@@ -83,8 +83,15 @@ Signature::difference(const Signature &other) const
     std::uint32_t dist = manhattan(other);
     std::uint64_t denom = static_cast<std::uint64_t>(weight_) +
                           other.weight_;
+    // An interval with no committed branches yields an all-zero
+    // signature with weight 0; define the degenerate cases instead
+    // of letting 0/0 produce a NaN that would poison every
+    // threshold comparison downstream. Two empty signatures are
+    // identical; empty vs non-empty has fully disjoint support.
     if (denom == 0)
-        return dist == 0 ? 0.0 : 1.0;
+        return 0.0;
+    if (weight_ == 0 || other.weight_ == 0)
+        return 1.0;
     return static_cast<double>(dist) / static_cast<double>(denom);
 }
 

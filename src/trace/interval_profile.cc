@@ -1,7 +1,9 @@
 #include "trace/interval_profile.hh"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
+#include <filesystem>
 #include <memory>
 
 #include "common/logging.hh"
@@ -13,7 +15,10 @@ namespace
 {
 
 constexpr std::uint32_t profileMagic = 0x54504350; // "TPCP"
-constexpr std::uint32_t profileVersion = 1;
+// Version 2 added the machine-configuration hash to the header;
+// version-1 files are rejected (and transparently re-simulated by
+// the profile cache).
+constexpr std::uint32_t profileVersion = 2;
 
 struct FileCloser
 {
@@ -111,7 +116,7 @@ IntervalProfile::cpis() const
 }
 
 bool
-IntervalProfile::save(const std::string &path) const
+IntervalProfile::saveTo(const std::string &path) const
 {
     FilePtr f(std::fopen(path.c_str(), "wb"));
     if (!f)
@@ -122,6 +127,7 @@ IntervalProfile::save(const std::string &path) const
               writeScalar(fp, profileVersion) &&
               writeString(fp, workload_) && writeString(fp, core_) &&
               writeScalar<std::uint64_t>(fp, intervalLen) &&
+              writeScalar<std::uint64_t>(fp, machineHash_) &&
               writeScalar<std::uint32_t>(
                   fp, static_cast<std::uint32_t>(dims_.size()));
     if (!ok)
@@ -144,29 +150,47 @@ IntervalProfile::save(const std::string &path) const
             }
         }
     }
+    return std::fflush(fp) == 0;
+}
+
+bool
+IntervalProfile::save(const std::string &path) const
+{
+    // Write-to-temp + atomic rename: a reader either sees the old
+    // file or the complete new one, never a partial write. The
+    // counter keeps temp names distinct when several threads save
+    // different profiles into one directory.
+    static std::atomic<std::uint64_t> tempCounter{0};
+    std::string tmp =
+        path + ".tmp" +
+        std::to_string(
+            tempCounter.fetch_add(1, std::memory_order_relaxed));
+    if (!saveTo(tmp))
+        return false;
+    std::error_code ec;
+    std::filesystem::rename(tmp, path, ec);
+    if (ec) {
+        std::filesystem::remove(tmp, ec);
+        return false;
+    }
     return true;
 }
 
 bool
-IntervalProfile::load(const std::string &path)
+IntervalProfile::readFrom(std::FILE *fp)
 {
-    *this = IntervalProfile{};
-    FilePtr f(std::fopen(path.c_str(), "rb"));
-    if (!f)
-        return false;
-    std::FILE *fp = f.get();
-
     std::uint32_t magic = 0, version = 0;
     if (!readScalar(fp, magic) || magic != profileMagic ||
         !readScalar(fp, version) || version != profileVersion)
         return false;
-    std::uint64_t interval = 0;
+    std::uint64_t interval = 0, machine = 0;
     std::uint32_t ndims = 0;
     if (!readString(fp, workload_) || !readString(fp, core_) ||
-        !readScalar(fp, interval) || !readScalar(fp, ndims) ||
-        ndims == 0 || ndims > 64)
+        !readScalar(fp, interval) || !readScalar(fp, machine) ||
+        !readScalar(fp, ndims) || ndims == 0 || ndims > 64)
         return false;
     intervalLen = interval;
+    machineHash_ = machine;
     dims_.resize(ndims);
     for (auto &d : dims_) {
         std::uint32_t v = 0;
@@ -193,6 +217,23 @@ IntervalProfile::load(const std::string &path)
                 return false;
             }
         }
+    }
+    // A well-formed file ends exactly here; trailing bytes mean the
+    // file was corrupted (e.g. two writers appending in place).
+    return std::fgetc(fp) == EOF;
+}
+
+bool
+IntervalProfile::load(const std::string &path)
+{
+    *this = IntervalProfile{};
+    FilePtr f(std::fopen(path.c_str(), "rb"));
+    if (!f)
+        return false;
+    if (!readFrom(f.get())) {
+        // Never leave a half-parsed profile behind.
+        *this = IntervalProfile{};
+        return false;
     }
     return true;
 }

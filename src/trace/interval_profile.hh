@@ -14,6 +14,7 @@
 #define TPCP_TRACE_INTERVAL_PROFILE_HH
 
 #include <cstdint>
+#include <cstdio>
 #include <string>
 #include <vector>
 
@@ -56,6 +57,12 @@ class IntervalProfile
     InstCount intervalLength() const { return intervalLen; }
     const std::vector<unsigned> &dims() const { return dims_; }
 
+    /** Hash of the simulated machine (uarch::configHash); stored in
+     * the file header so a profile recorded on one machine
+     * configuration is never reused for another. */
+    std::uint64_t machineHash() const { return machineHash_; }
+    void setMachineHash(std::uint64_t h) { machineHash_ = h; }
+
     /** Index into per-interval accums for dimension config @p dim;
      * fatal when the profile was not recorded at that config. */
     std::size_t dimIndex(unsigned dim) const;
@@ -73,17 +80,30 @@ class IntervalProfile
     /** CPI of every interval, in order. */
     std::vector<double> cpis() const;
 
-    /** Serializes to a binary file. Returns false on I/O error. */
+    /**
+     * Serializes to a binary file, atomically: the data is written
+     * to a temporary file in the same directory and renamed over
+     * @p path, so readers never observe a torn file and a crashed
+     * writer leaves the previous contents intact. Returns false on
+     * I/O error.
+     */
     bool save(const std::string &path) const;
 
     /** Loads from a binary file. Returns false on I/O or format
-     * error (the profile is left empty). */
+     * error — including truncation and trailing garbage — and
+     * leaves the profile empty in that case. */
     bool load(const std::string &path);
 
   private:
+    /** Writes the serialized form to @p path directly. */
+    bool saveTo(const std::string &path) const;
+    /** Reads the serialized form from an open file. */
+    bool readFrom(std::FILE *fp);
+
     std::string workload_;
     std::string core_;
     InstCount intervalLen = 0;
+    std::uint64_t machineHash_ = 0;
     std::vector<unsigned> dims_;
     std::vector<IntervalRecord> records;
 };

@@ -1,9 +1,13 @@
 #include "trace/profile_cache.hh"
 
+#include <atomic>
+#include <cctype>
 #include <cstdlib>
 #include <filesystem>
 #include <memory>
+#include <mutex>
 #include <sstream>
+#include <unordered_map>
 
 #include "common/logging.hh"
 #include "trace/interval_profiler.hh"
@@ -38,26 +42,6 @@ cacheDirOf(const ProfileOptions &opts)
     return "tpcp_profiles";
 }
 
-/** Folds the timing-relevant machine parameters into a hash. */
-std::uint64_t
-machineHash(const uarch::MachineConfig &m)
-{
-    std::uint64_t h = 0xcbf29ce484222325ULL;
-    for (std::uint64_t v :
-         {m.icache.sizeBytes,
-          static_cast<std::uint64_t>(m.icache.assoc),
-          m.dcache.sizeBytes,
-          static_cast<std::uint64_t>(m.dcache.assoc),
-          m.l2.sizeBytes,
-          static_cast<std::uint64_t>(m.l2.hitLatency),
-          static_cast<std::uint64_t>(m.memoryLatency),
-          static_cast<std::uint64_t>(m.core.robEntries),
-          static_cast<std::uint64_t>(m.core.issueWidth)}) {
-        h = (h ^ v) * 0x100000001b3ULL;
-    }
-    return h;
-}
-
 std::unique_ptr<uarch::TimingCore>
 makeCore(const std::string &name, const uarch::MachineConfig &config)
 {
@@ -77,8 +61,28 @@ profileMatches(const IntervalProfile &p,
     return p.workload() == workload.name &&
            p.coreName() == opts.coreName &&
            p.intervalLength() == opts.intervalLen &&
+           p.machineHash() == uarch::configHash(opts.machine) &&
            p.dims() == opts.dims && p.numIntervals() > 0;
 }
+
+/**
+ * One mutex per cache-file path, so concurrent getProfile() calls
+ * for the same profile simulate it once while distinct profiles
+ * build in parallel. Entries are never erased: the map is bounded
+ * by the number of distinct profiles a process touches.
+ */
+std::mutex &
+pathMutex(const std::string &path)
+{
+    static std::mutex registry_mutex;
+    static std::unordered_map<std::string, std::mutex> registry;
+    std::lock_guard<std::mutex> lock(registry_mutex);
+    return registry[path];
+}
+
+std::atomic<std::uint64_t> statHits{0};
+std::atomic<std::uint64_t> statBuilds{0};
+std::atomic<std::uint64_t> statRejects{0};
 
 } // namespace
 
@@ -86,6 +90,7 @@ IntervalProfile
 buildProfile(const workload::Workload &workload,
              const ProfileOptions &opts)
 {
+    statBuilds.fetch_add(1, std::memory_order_relaxed);
     std::unique_ptr<uarch::TimingCore> core =
         makeCore(opts.coreName, opts.machine);
 
@@ -96,7 +101,9 @@ buildProfile(const workload::Workload &workload,
                               opts.dims);
     sim.addSink(&profiler);
     sim.run();
-    return profiler.takeProfile();
+    IntervalProfile profile = profiler.takeProfile();
+    profile.setMachineHash(uarch::configHash(opts.machine));
+    return profile;
 }
 
 std::string
@@ -109,8 +116,8 @@ profileCachePath(const std::string &workload_name,
     for (std::size_t i = 0; i < opts.dims.size(); ++i)
         oss << (i ? "-" : "") << opts.dims[i];
     // Non-Table-1 machines get a distinguishing hash tag.
-    std::uint64_t h = machineHash(opts.machine);
-    if (h != machineHash(uarch::MachineConfig::table1()))
+    std::uint64_t h = uarch::configHash(opts.machine);
+    if (h != uarch::configHash(uarch::MachineConfig::table1()))
         oss << "_m" << std::hex << (h & 0xffffffff) << std::dec;
     oss << ".tpcpprof";
     return (std::filesystem::path(cacheDirOf(opts)) / oss.str())
@@ -125,9 +132,21 @@ getProfile(const workload::Workload &workload,
         return buildProfile(workload, opts);
 
     std::string path = profileCachePath(workload.name, opts);
+    // Serialize load-or-build per path: a stampede of workers asking
+    // for the same profile simulates it once and the rest load the
+    // freshly written file.
+    std::lock_guard<std::mutex> lock(pathMutex(path));
+
     IntervalProfile cached;
-    if (cached.load(path) && profileMatches(cached, workload, opts))
+    if (cached.load(path) && profileMatches(cached, workload, opts)) {
+        statHits.fetch_add(1, std::memory_order_relaxed);
         return cached;
+    }
+    // An unreadable (corrupt/truncated/old-version) file and a
+    // mismatched one are both rejections; a missing file is a plain
+    // cold build.
+    if (std::filesystem::exists(path))
+        statRejects.fetch_add(1, std::memory_order_relaxed);
 
     IntervalProfile fresh = buildProfile(workload, opts);
     std::error_code ec;
@@ -141,6 +160,24 @@ IntervalProfile
 getProfileByName(const std::string &name, const ProfileOptions &opts)
 {
     return getProfile(workload::makeWorkload(name), opts);
+}
+
+ProfileCacheStats
+profileCacheStats()
+{
+    ProfileCacheStats s;
+    s.hits = statHits.load(std::memory_order_relaxed);
+    s.builds = statBuilds.load(std::memory_order_relaxed);
+    s.rejects = statRejects.load(std::memory_order_relaxed);
+    return s;
+}
+
+void
+resetProfileCacheStats()
+{
+    statHits.store(0, std::memory_order_relaxed);
+    statBuilds.store(0, std::memory_order_relaxed);
+    statRejects.store(0, std::memory_order_relaxed);
 }
 
 } // namespace tpcp::trace

@@ -2,8 +2,15 @@
  * @file
  * Builds interval profiles for workloads, with a transparent on-disk
  * cache: the timing simulation for a given (workload, core, interval
- * length, dimension set) runs once and is reused by every experiment
- * binary afterwards.
+ * length, dimension set, machine) runs once and is reused by every
+ * experiment binary afterwards.
+ *
+ * The cache is safe to share between concurrent runners: files are
+ * written to a temp name and atomically renamed into place (readers
+ * never see a torn file), cached profiles are validated against the
+ * full machine-configuration hash on load, and an in-process
+ * per-path mutex ensures a stampede of getProfile() calls for the
+ * same profile simulates it exactly once.
  */
 
 #ifndef TPCP_TRACE_PROFILE_CACHE_HH
@@ -62,6 +69,23 @@ IntervalProfile getProfileByName(const std::string &name,
 /** The cache file path that would be used for these options. */
 std::string profileCachePath(const std::string &workload_name,
                              const ProfileOptions &opts);
+
+/** Process-wide cache effectiveness counters (all monotonic). */
+struct ProfileCacheStats
+{
+    /** Profiles served from a valid cache file. */
+    std::uint64_t hits = 0;
+    /** Timing simulations actually run. */
+    std::uint64_t builds = 0;
+    /** Cache files rejected (corrupt or mismatched options). */
+    std::uint64_t rejects = 0;
+};
+
+/** Snapshot of the process-wide cache counters (thread-safe). */
+ProfileCacheStats profileCacheStats();
+
+/** Resets the cache counters to zero (for tests). */
+void resetProfileCacheStats();
 
 } // namespace tpcp::trace
 

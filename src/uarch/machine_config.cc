@@ -20,6 +20,50 @@ MachineConfig::table1()
     return m;
 }
 
+std::uint64_t
+configHash(const MachineConfig &m)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    auto fold = [&h](std::uint64_t v) {
+        h = (h ^ v) * 0x100000001b3ULL;
+    };
+    auto fold_cache = [&](const CacheConfig &c) {
+        fold(c.sizeBytes);
+        fold(c.assoc);
+        fold(c.blockBytes);
+        fold(c.hitLatency);
+    };
+    auto fold_tlb = [&](const TlbConfig &t) {
+        fold(t.pageBytes);
+        fold(t.entries);
+        fold(t.assoc);
+        fold(t.missLatency);
+    };
+    fold_cache(m.icache);
+    fold_cache(m.dcache);
+    fold_cache(m.l2);
+    fold(m.memoryLatency);
+    fold(m.branchPred.gshareHistoryBits);
+    fold(m.branchPred.gshareEntries);
+    fold(m.branchPred.bimodalEntries);
+    fold(m.branchPred.chooserEntries);
+    fold(m.branchPred.mispredictPenalty);
+    fold_tlb(m.itlb);
+    fold_tlb(m.dtlb);
+    fold(m.core.fetchWidth);
+    fold(m.core.issueWidth);
+    fold(m.core.commitWidth);
+    fold(m.core.robEntries);
+    fold(m.core.lsqEntries);
+    fold(m.core.frontendDepth);
+    fold(m.core.intAluUnits);
+    fold(m.core.loadStoreUnits);
+    fold(m.core.fpAddUnits);
+    fold(m.core.intMultDivUnits);
+    fold(m.core.fpMultDivUnits);
+    return h;
+}
+
 std::string
 MachineConfig::toString() const
 {

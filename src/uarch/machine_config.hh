@@ -93,6 +93,15 @@ struct MachineConfig
     std::string toString() const;
 };
 
+/**
+ * FNV-1a hash over every timing-relevant machine parameter (cache
+ * geometries and latencies, memory latency, branch predictor, TLBs,
+ * and all core widths/depths/unit counts). Two machines that can
+ * produce different timing must hash differently; the profile cache
+ * keys and validates cached profiles with this value.
+ */
+std::uint64_t configHash(const MachineConfig &m);
+
 } // namespace tpcp::uarch
 
 #endif // TPCP_UARCH_MACHINE_CONFIG_HH

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Unit tests for the work-stealing thread pool: task completion,
+ * wait() semantics, pool reuse, and work stealing around a blocked
+ * worker.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <thread>
+
+#include "common/thread_pool.hh"
+
+using namespace tpcp;
+
+TEST(ThreadPool, RunsEveryTask)
+{
+    ThreadPool pool(4);
+    std::atomic<int> count{0};
+    for (int i = 0; i < 100; ++i)
+        pool.submit([&count] { count.fetch_add(1); });
+    pool.wait();
+    EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, NumThreadsHonored)
+{
+    ThreadPool pool(3);
+    EXPECT_EQ(pool.numThreads(), 3u);
+}
+
+TEST(ThreadPool, DefaultThreadsAtLeastOne)
+{
+    EXPECT_GE(ThreadPool::defaultThreads(), 1u);
+}
+
+TEST(ThreadPool, WaitWithNoTasksReturns)
+{
+    ThreadPool pool(2);
+    pool.wait(); // must not hang
+}
+
+TEST(ThreadPool, ReusableAfterWait)
+{
+    ThreadPool pool(2);
+    std::atomic<int> count{0};
+    for (int round = 0; round < 3; ++round) {
+        for (int i = 0; i < 10; ++i)
+            pool.submit([&count] { count.fetch_add(1); });
+        pool.wait();
+        EXPECT_EQ(count.load(), (round + 1) * 10);
+    }
+}
+
+TEST(ThreadPool, SingleThreadPoolCompletes)
+{
+    ThreadPool pool(1);
+    std::atomic<int> count{0};
+    for (int i = 0; i < 20; ++i)
+        pool.submit([&count] { count.fetch_add(1); });
+    pool.wait();
+    EXPECT_EQ(count.load(), 20);
+}
+
+TEST(ThreadPool, StealingDrainsQueueBehindBlockedWorker)
+{
+    // One task blocks its worker; the tasks queued round-robin
+    // behind it must still complete via stealing before the blocker
+    // is released.
+    ThreadPool pool(2);
+    std::promise<void> release;
+    std::shared_future<void> gate = release.get_future().share();
+    std::atomic<int> done{0};
+
+    pool.submit([gate] { gate.wait(); });
+    for (int i = 0; i < 8; ++i)
+        pool.submit([&done] { done.fetch_add(1); });
+
+    auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    while (done.load() < 8 &&
+           std::chrono::steady_clock::now() < deadline) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    EXPECT_EQ(done.load(), 8)
+        << "tasks were stranded behind a blocked worker";
+
+    release.set_value();
+    pool.wait();
+}
+
+TEST(ThreadPool, DestructorWaitsForPendingTasks)
+{
+    std::atomic<int> count{0};
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 16; ++i)
+            pool.submit([&count] {
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(1));
+                count.fetch_add(1);
+            });
+        // No explicit wait(): destruction must drain the queue.
+    }
+    EXPECT_EQ(count.load(), 16);
+}

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <vector>
 
 #include "phase/signature.hh"
@@ -166,4 +167,28 @@ TEST(Signature, SixBitsDefaultMatchesPaper)
     EXPECT_EQ(s.bitsPerDim(), 6u);
     // avg = 1024 (11 bits), window top 13, shift 7: 1024>>7 = 8.
     EXPECT_EQ(s.dim(0), 8);
+}
+
+TEST(Signature, ZeroWeightPairDiffersMaximally)
+{
+    // Regression: an all-zero signature compared against a non-zero
+    // one must score the maximum difference (1.0), never NaN - the
+    // denominator is the sum of both weights and one side is zero.
+    Signature zero({0, 0, 0}, 6);
+    Signature live({5, 0, 2}, 6);
+    double d = zero.difference(live);
+    EXPECT_FALSE(std::isnan(d));
+    EXPECT_DOUBLE_EQ(d, 1.0);
+    EXPECT_DOUBLE_EQ(live.difference(zero), 1.0);
+}
+
+TEST(Signature, ZeroWeightPairIdentical)
+{
+    // Two empty signatures carry no evidence of difference: 0.0,
+    // never NaN from the 0/0 division.
+    Signature a({0, 0, 0}, 6);
+    Signature b({0, 0, 0}, 6);
+    double d = a.difference(b);
+    EXPECT_FALSE(std::isnan(d));
+    EXPECT_DOUBLE_EQ(d, 0.0);
 }

@@ -8,7 +8,9 @@
 
 #include <unistd.h>
 
+#include <cstdint>
 #include <cstdio>
+#include <filesystem>
 #include <string>
 
 #include "trace/interval_profile.hh"
@@ -132,4 +134,92 @@ TEST(IntervalProfile, PushRejectsWrongShape)
     IntervalRecord bad;
     bad.accums = {std::vector<std::uint32_t>(8, 1)};
     EXPECT_DEATH(p.push(std::move(bad)), "width|mismatch");
+}
+
+TEST(IntervalProfile, MachineHashRoundTrip)
+{
+    IntervalProfile p = sampleProfile();
+    p.setMachineHash(0xdeadbeefcafef00dull);
+    std::string path = tmpPath("mhash.tpcpprof");
+    ASSERT_TRUE(p.save(path));
+
+    IntervalProfile q;
+    ASSERT_TRUE(q.load(path));
+    EXPECT_EQ(q.machineHash(), 0xdeadbeefcafef00dull);
+    std::remove(path.c_str());
+}
+
+TEST(IntervalProfile, LoadRejectsTrailingGarbage)
+{
+    IntervalProfile p = sampleProfile();
+    std::string path = tmpPath("trailing.tpcpprof");
+    ASSERT_TRUE(p.save(path));
+    std::FILE *f = std::fopen(path.c_str(), "ab");
+    ASSERT_NE(f, nullptr);
+    std::fputs("extra", f);
+    std::fclose(f);
+
+    IntervalProfile q;
+    EXPECT_FALSE(q.load(path));
+    std::remove(path.c_str());
+}
+
+TEST(IntervalProfile, LoadRejectsOldVersion)
+{
+    IntervalProfile p = sampleProfile();
+    std::string path = tmpPath("oldver.tpcpprof");
+    ASSERT_TRUE(p.save(path));
+    // Patch the version field (second uint32 in the header) back to
+    // the pre-machine-hash version 1.
+    std::FILE *f = std::fopen(path.c_str(), "rb+");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 4, SEEK_SET);
+    std::uint32_t old_version = 1;
+    ASSERT_EQ(std::fwrite(&old_version, 4, 1, f), 1u);
+    std::fclose(f);
+
+    IntervalProfile q;
+    EXPECT_FALSE(q.load(path));
+    std::remove(path.c_str());
+}
+
+TEST(IntervalProfile, FailedLoadLeavesProfileEmpty)
+{
+    // A profile that already holds data must come out empty after a
+    // failed load, not with a mix of old and half-read state.
+    IntervalProfile p = sampleProfile();
+    std::string path = tmpPath("halfread.tpcpprof");
+    ASSERT_TRUE(p.save(path));
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    std::fseek(f, 0, SEEK_END);
+    long size = std::ftell(f);
+    std::fclose(f);
+    ASSERT_EQ(truncate(path.c_str(), size - 8), 0);
+
+    IntervalProfile q = sampleProfile();
+    ASSERT_GT(q.numIntervals(), 0u);
+    EXPECT_FALSE(q.load(path));
+    EXPECT_EQ(q.numIntervals(), 0u);
+    EXPECT_TRUE(q.workload().empty());
+    EXPECT_TRUE(q.dims().empty());
+    std::remove(path.c_str());
+}
+
+TEST(IntervalProfile, SaveLeavesNoTempFiles)
+{
+    namespace fs = std::filesystem;
+    std::string dir =
+        std::string(::testing::TempDir()) + "tpcp_prof_atomic";
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    IntervalProfile p = sampleProfile();
+    ASSERT_TRUE(p.save(dir + "/x.tpcpprof"));
+    std::size_t entries = 0;
+    for (const auto &e : fs::directory_iterator(dir)) {
+        ++entries;
+        EXPECT_EQ(e.path().extension(), ".tpcpprof")
+            << "unexpected leftover: " << e.path();
+    }
+    EXPECT_EQ(entries, 1u);
+    fs::remove_all(dir);
 }

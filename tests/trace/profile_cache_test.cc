@@ -6,7 +6,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <filesystem>
+#include <thread>
+#include <vector>
 
 #include "trace/profile_cache.hh"
 
@@ -139,4 +142,144 @@ TEST(ProfileCache, CustomMachineChangesTiming)
         cs += ps.interval(i).cpi;
     }
     EXPECT_GT(cs, cf * 1.5);
+}
+
+TEST(ProfileCache, TimingParamsChangeCachePath)
+{
+    // Machines differing only in a timing parameter the old name
+    // hash omitted must not share a cache file.
+    ProfileOptions base;
+    std::string base_path = profileCachePath("mcf", base);
+
+    ProfileOptions dlat = base;
+    dlat.machine.dcache.hitLatency += 2;
+    EXPECT_NE(profileCachePath("mcf", dlat), base_path);
+
+    ProfileOptions l2lat = base;
+    l2lat.machine.l2.hitLatency += 4;
+    EXPECT_NE(profileCachePath("mcf", l2lat), base_path);
+
+    ProfileOptions bpred = base;
+    bpred.machine.branchPred.mispredictPenalty += 1;
+    EXPECT_NE(profileCachePath("mcf", bpred), base_path);
+
+    ProfileOptions tlb = base;
+    tlb.machine.dtlb.missLatency += 10;
+    EXPECT_NE(profileCachePath("mcf", tlb), base_path);
+}
+
+TEST(ProfileCache, MismatchedMachineHashRejectedOnLoad)
+{
+    std::string dir =
+        std::string(::testing::TempDir()) + "tpcp_cache_mismatch";
+    std::filesystem::remove_all(dir);
+    ProfileOptions opts = tinyOptions(dir);
+    workload::Workload w = workload::makeWorkload("perl/d");
+
+    IntervalProfile first = getProfile(w, opts);
+    std::string path = profileCachePath(w.name, opts);
+    ASSERT_TRUE(std::filesystem::exists(path));
+
+    // Tamper with the stored machine hash, as if the file had been
+    // produced by a build whose timing parameters silently differed.
+    IntervalProfile tampered;
+    ASSERT_TRUE(tampered.load(path));
+    tampered.setMachineHash(tampered.machineHash() ^ 1);
+    ASSERT_TRUE(tampered.save(path));
+
+    resetProfileCacheStats();
+    IntervalProfile second = getProfile(w, opts);
+    ProfileCacheStats stats = profileCacheStats();
+    EXPECT_EQ(stats.rejects, 1u);
+    EXPECT_EQ(stats.builds, 1u);
+    EXPECT_EQ(stats.hits, 0u);
+    ASSERT_EQ(second.numIntervals(), first.numIntervals());
+    for (std::size_t i = 0; i < first.numIntervals(); ++i)
+        EXPECT_DOUBLE_EQ(second.interval(i).cpi,
+                         first.interval(i).cpi);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(ProfileCache, CorruptCacheFileRebuilt)
+{
+    std::string dir =
+        std::string(::testing::TempDir()) + "tpcp_cache_corrupt";
+    std::filesystem::remove_all(dir);
+    ProfileOptions opts = tinyOptions(dir);
+    workload::Workload w = workload::makeWorkload("perl/d");
+
+    IntervalProfile first = getProfile(w, opts);
+    std::string path = profileCachePath(w.name, opts);
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("corrupt", f);
+    std::fclose(f);
+
+    resetProfileCacheStats();
+    IntervalProfile second = getProfile(w, opts);
+    EXPECT_EQ(profileCacheStats().rejects, 1u);
+    EXPECT_EQ(profileCacheStats().builds, 1u);
+    ASSERT_EQ(second.numIntervals(), first.numIntervals());
+
+    // The rebuild must have repaired the cache file.
+    resetProfileCacheStats();
+    IntervalProfile third = getProfile(w, opts);
+    EXPECT_EQ(profileCacheStats().hits, 1u);
+    EXPECT_EQ(profileCacheStats().builds, 0u);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(ProfileCache, ConcurrentGetProfileBuildsOnce)
+{
+    // A stampede of getProfile() calls for the same cold profile
+    // must run the simulation exactly once; everyone else waits and
+    // loads the cached file.
+    std::string dir =
+        std::string(::testing::TempDir()) + "tpcp_cache_stampede";
+    std::filesystem::remove_all(dir);
+    ProfileOptions opts = tinyOptions(dir);
+    workload::Workload w = workload::makeWorkload("perl/d");
+
+    resetProfileCacheStats();
+    constexpr unsigned num_threads = 8;
+    std::vector<IntervalProfile> results(num_threads);
+    std::vector<std::thread> threads;
+    for (unsigned t = 0; t < num_threads; ++t)
+        threads.emplace_back([&, t] {
+            results[t] = getProfile(w, opts);
+        });
+    for (std::thread &t : threads)
+        t.join();
+
+    ProfileCacheStats stats = profileCacheStats();
+    EXPECT_EQ(stats.builds, 1u)
+        << "the simulation ran more than once";
+    EXPECT_EQ(stats.hits, num_threads - 1);
+    EXPECT_EQ(stats.rejects, 0u);
+    for (unsigned t = 1; t < num_threads; ++t) {
+        ASSERT_EQ(results[t].numIntervals(),
+                  results[0].numIntervals());
+        for (std::size_t i = 0; i < results[0].numIntervals(); ++i) {
+            EXPECT_DOUBLE_EQ(results[t].interval(i).cpi,
+                             results[0].interval(i).cpi);
+            EXPECT_EQ(results[t].interval(i).accums,
+                      results[0].interval(i).accums);
+        }
+    }
+    std::filesystem::remove_all(dir);
+}
+
+TEST(ProfileCache, NoTempFilesLeftBehind)
+{
+    std::string dir =
+        std::string(::testing::TempDir()) + "tpcp_cache_tmpfiles";
+    std::filesystem::remove_all(dir);
+    ProfileOptions opts = tinyOptions(dir);
+    workload::Workload w = workload::makeWorkload("perl/d");
+    getProfile(w, opts);
+    for (const auto &e : std::filesystem::directory_iterator(dir)) {
+        EXPECT_EQ(e.path().extension(), ".tpcpprof")
+            << "leftover temp file: " << e.path();
+    }
+    std::filesystem::remove_all(dir);
 }

@@ -14,6 +14,12 @@
  * Common options:
  *   --interval N     instructions per interval   (default 100000)
  *   --core NAME      'ooo' or 'simple'           (default ooo)
+ *   --jobs N         worker threads for 'profile all'
+ *                    (0 = one per hardware thread; default 0)
+ *
+ * 'profile all' builds/loads every workload profile (in parallel
+ * with --jobs) and prints a one-line summary per workload; use it to
+ * warm a shared $TPCP_PROFILE_DIR before a figure-suite run.
  * Classify options:
  *   --threshold X    similarity threshold        (default 0.25)
  *   --min N          transition min count        (default 8)
@@ -39,6 +45,7 @@
 #include <vector>
 
 #include "analysis/experiment.hh"
+#include "analysis/parallel_runner.hh"
 #include "common/ascii_table.hh"
 #include "common/logging.hh"
 #include "common/running_stats.hh"
@@ -190,8 +197,47 @@ cmdMachine()
 }
 
 int
+cmdProfileAll(const Args &args)
+{
+    unsigned jobs =
+        static_cast<unsigned>(args.getU64("jobs", 0));
+    trace::ProfileOptions opts = profileOptions(args);
+    const std::vector<std::string> &names =
+        workload::workloadNames();
+    std::cerr << "building/loading " << names.size()
+              << " profiles ("
+              << analysis::effectiveJobs(jobs, names.size())
+              << " jobs) ...\n";
+    auto profiles = analysis::runIndexed(
+        names.size(), jobs, [&](std::size_t i) {
+            return trace::getProfileByName(names[i], opts);
+        });
+    AsciiTable table(
+        {"workload", "intervals", "avg CPI", "CoV"});
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        RunningStats cpi;
+        for (const auto &rec : profiles[i].intervals())
+            cpi.push(rec.cpi);
+        table.row()
+            .cell(names[i])
+            .cell(static_cast<std::uint64_t>(
+                profiles[i].numIntervals()))
+            .cell(cpi.mean(), 3)
+            .percentCell(cpi.cov());
+    }
+    table.print(std::cout);
+    trace::ProfileCacheStats stats = trace::profileCacheStats();
+    std::cout << "cache: " << stats.hits << " hits, " << stats.builds
+              << " builds, " << stats.rejects << " rejects\n";
+    return 0;
+}
+
+int
 cmdProfile(const Args &args)
 {
+    if (!args.positional.empty() &&
+        args.positional.front() == "all")
+        return cmdProfileAll(args);
     auto name = requireWorkload(args);
     if (!name)
         return 2;
