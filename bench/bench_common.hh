@@ -17,6 +17,8 @@
 
 #include <cstdlib>
 #include <iostream>
+#include <map>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -28,50 +30,165 @@
 namespace tpcp::bench
 {
 
+/** An extra flag a harness accepts beyond the shared --jobs. */
+struct FlagSpec
+{
+    /** Flag name without the leading "--". */
+    std::string name;
+    /** Whether the flag consumes a value (--name=V or --name V). */
+    bool takesValue = true;
+    /** One-line description shown by --help and on errors. */
+    std::string help;
+};
+
 /** Command-line options shared by every harness. */
 struct BenchArgs
 {
     /** Worker threads: 0 = one per hardware thread, 1 = serial. */
     unsigned jobs = 0;
+    /** Values of the harness-specific flags, keyed by flag name
+     * (value-less flags map to ""). */
+    std::map<std::string, std::string> extra;
+
+    bool has(const std::string &name) const
+    {
+        return extra.count(name) != 0;
+    }
+
+    std::string
+    get(const std::string &name, const std::string &dflt) const
+    {
+        auto it = extra.find(name);
+        return it == extra.end() ? dflt : it->second;
+    }
+
+    std::uint64_t
+    getU64(const std::string &name, std::uint64_t dflt) const
+    {
+        auto it = extra.find(name);
+        return it == extra.end()
+                   ? dflt
+                   : std::strtoull(it->second.c_str(), nullptr, 10);
+    }
+
+    double
+    getDouble(const std::string &name, double dflt) const
+    {
+        auto it = extra.find(name);
+        return it == extra.end()
+                   ? dflt
+                   : std::strtod(it->second.c_str(), nullptr);
+    }
 };
 
-/** Parses a non-negative --jobs value; exits on malformed input. */
-inline unsigned
-parseJobs(const std::string &value)
+/** The valid-options listing printed by --help and on errors. */
+inline std::string
+optionHelp(const std::vector<FlagSpec> &extras)
 {
-    char *end = nullptr;
-    unsigned long n = std::strtoul(value.c_str(), &end, 10);
-    if (value.empty() || *end != '\0') {
-        std::cerr << "error: --jobs expects a non-negative integer, "
-                     "got '" << value << "'\n";
-        std::exit(2);
+    std::string out =
+        "  --jobs=N  worker threads (0 = one per hardware thread, "
+        "1 = serial)\n";
+    for (const FlagSpec &f : extras) {
+        out += "  --" + f.name + (f.takesValue ? "=V" : "") + "  " +
+               f.help + "\n";
     }
-    return static_cast<unsigned>(n);
+    return out;
 }
 
-/** Parses harness arguments (--jobs=N | --jobs N | --help). */
-inline BenchArgs
-parseArgs(int argc, char **argv)
+/**
+ * Parses harness arguments: the shared --jobs plus any
+ * harness-specific @p extras, in --flag=value or --flag value form.
+ * Returns std::nullopt with an error message in @p error for
+ * unknown or malformed flags — a typo like --job=4 must fail
+ * loudly, not silently run the full serial sweep.
+ */
+inline std::optional<BenchArgs>
+tryParseArgs(const std::vector<std::string> &argv,
+             const std::vector<FlagSpec> &extras,
+             std::string &error)
 {
     BenchArgs args;
-    for (int i = 1; i < argc; ++i) {
-        std::string arg = argv[i];
-        if (arg.rfind("--jobs=", 0) == 0) {
-            args.jobs = parseJobs(arg.substr(7));
-        } else if (arg == "--jobs" && i + 1 < argc) {
-            args.jobs = parseJobs(argv[++i]);
-        } else if (arg == "--help" || arg == "-h") {
-            std::cout << "usage: " << argv[0] << " [--jobs=N]\n"
-                      << "  --jobs=N  worker threads (0 = one per "
-                         "hardware thread, 1 = serial)\n";
-            std::exit(0);
+    for (std::size_t i = 0; i < argv.size(); ++i) {
+        const std::string &arg = argv[i];
+        std::string key = arg, value;
+        bool has_value = false;
+        if (auto eq = arg.find('='); eq != std::string::npos) {
+            key = arg.substr(0, eq);
+            value = arg.substr(eq + 1);
+            has_value = true;
+        }
+
+        const FlagSpec *spec = nullptr;
+        static const FlagSpec jobs_spec{"jobs", true, ""};
+        if (key == "--jobs") {
+            spec = &jobs_spec;
         } else {
-            std::cerr << "error: unknown argument '" << arg
-                      << "' (try --help)\n";
-            std::exit(2);
+            for (const FlagSpec &f : extras)
+                if (key == "--" + f.name)
+                    spec = &f;
+        }
+        if (!spec) {
+            error = "unknown argument '" + arg +
+                    "'\nvalid options:\n" + optionHelp(extras);
+            return std::nullopt;
+        }
+        if (spec->takesValue && !has_value) {
+            if (i + 1 >= argv.size()) {
+                error = "--" + spec->name + " expects a value\n" +
+                        "valid options:\n" + optionHelp(extras);
+                return std::nullopt;
+            }
+            value = argv[++i];
+        } else if (!spec->takesValue && has_value) {
+            error = "--" + spec->name + " takes no value\n" +
+                    "valid options:\n" + optionHelp(extras);
+            return std::nullopt;
+        }
+
+        if (spec->name == "jobs") {
+            char *end = nullptr;
+            unsigned long n =
+                std::strtoul(value.c_str(), &end, 10);
+            if (value.empty() || *end != '\0') {
+                error = "--jobs expects a non-negative integer, "
+                        "got '" + value + "'";
+                return std::nullopt;
+            }
+            args.jobs = static_cast<unsigned>(n);
+        } else {
+            args.extra[spec->name] = value;
         }
     }
     return args;
+}
+
+/**
+ * Parses harness arguments (--jobs / extras / --help); prints the
+ * valid options and exits on errors, so every harness rejects
+ * unknown flags the same way.
+ */
+inline BenchArgs
+parseArgs(int argc, char **argv,
+          const std::vector<FlagSpec> &extras = {})
+{
+    std::vector<std::string> in;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            std::cout << "usage: " << argv[0] << " [options]\n"
+                      << optionHelp(extras);
+            std::exit(0);
+        }
+        in.push_back(std::move(arg));
+    }
+    std::string error;
+    std::optional<BenchArgs> args =
+        tryParseArgs(in, extras, error);
+    if (!args) {
+        std::cerr << "error: " << error << "\n";
+        std::exit(2);
+    }
+    return *args;
 }
 
 /**

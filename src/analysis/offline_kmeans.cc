@@ -123,12 +123,11 @@ kMeans(const std::vector<std::vector<double>> &rows, unsigned k,
     return res;
 }
 
-OfflineResult
-classifyOffline(const trace::IntervalProfile &profile,
-                const OfflineConfig &cfg)
+std::vector<std::vector<double>>
+normalizedIntervalVectors(const trace::IntervalProfile &profile,
+                          unsigned dims)
 {
-    tpcp_assert(profile.numIntervals() > 0, "empty profile");
-    std::size_t dim_idx = profile.dimIndex(cfg.dims);
+    std::size_t dim_idx = profile.dimIndex(dims);
 
     // Frequency-normalize each interval's accumulator vector, as
     // SimPoint normalizes basic-block vectors.
@@ -146,6 +145,16 @@ classifyOffline(const trace::IntervalProfile &profile,
                          : 0.0;
         rows.push_back(std::move(row));
     }
+    return rows;
+}
+
+OfflineResult
+classifyOffline(const trace::IntervalProfile &profile,
+                const OfflineConfig &cfg)
+{
+    tpcp_assert(profile.numIntervals() > 0, "empty profile");
+    std::vector<std::vector<double>> rows =
+        normalizedIntervalVectors(profile, cfg.dims);
 
     unsigned max_k = std::min<unsigned>(
         cfg.maxK, static_cast<unsigned>(rows.size()));

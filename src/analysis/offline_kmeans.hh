@@ -73,6 +73,16 @@ OfflineResult classifyOffline(const trace::IntervalProfile &profile,
                               const OfflineConfig &cfg = {});
 
 /**
+ * One frequency-normalized accumulator vector per interval at
+ * dimension config @p dims (each vector sums to 1, or is all zero
+ * for an empty interval) — the row representation k-means clusters,
+ * exposed for other signature-space consumers (e.g. the sampling
+ * subsystem's centroid-nearest selector).
+ */
+std::vector<std::vector<double>> normalizedIntervalVectors(
+    const trace::IntervalProfile &profile, unsigned dims);
+
+/**
  * Low-level k-means on arbitrary row vectors (exposed for testing):
  * k-means++ seeding, Lloyd iterations, returns assignments and
  * inertia for a fixed @p k.

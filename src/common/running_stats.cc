@@ -1,5 +1,6 @@
 #include "common/running_stats.hh"
 
+#include <algorithm>
 #include <cmath>
 
 namespace tpcp
@@ -37,7 +38,10 @@ RunningStats::variance() const
 {
     if (n < 2)
         return 0.0;
-    return m2 / static_cast<double>(n);
+    // Rounding in push()/merge() can leave m2 a hair below zero for
+    // (near-)constant samples; clamp so stddev() never sees a
+    // negative radicand.
+    return std::max(0.0, m2 / static_cast<double>(n));
 }
 
 double

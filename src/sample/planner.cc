@@ -1,0 +1,193 @@
+#include "sample/planner.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/running_stats.hh"
+#include "sample/strata.hh"
+
+namespace tpcp::sample
+{
+
+namespace
+{
+
+/** Instruction-weighted CPI mean of a set of intervals. */
+double
+weightedCpi(const trace::IntervalProfile &profile,
+            const std::vector<std::size_t> &intervals)
+{
+    double cycles = 0.0, insts = 0.0;
+    for (std::size_t i : intervals) {
+        const trace::IntervalRecord &rec = profile.interval(i);
+        double w = static_cast<double>(rec.insts);
+        cycles += rec.cpi * w;
+        insts += w;
+    }
+    return insts > 0.0 ? cycles / insts : 0.0;
+}
+
+} // namespace
+
+Plan
+planBudget(const SelectorContext &ctx, std::size_t budget)
+{
+    Strata strata = buildStrata(ctx.profile, ctx.phases);
+    Plan plan;
+    plan.budget = budget;
+    plan.allocations.reserve(strata.order.size());
+    for (PhaseId id : strata.order) {
+        PhaseAllocation a;
+        a.phase = id;
+        a.population = strata.members.at(id).size();
+        a.insts = strata.insts.at(id);
+        plan.allocations.push_back(a);
+    }
+
+    // Stage 1: pilot coverage. One sample for each phase in
+    // descending instruction order (so a tiny budget covers the
+    // phases that matter most), then a second per phase while the
+    // budget lasts — two pilot samples are the minimum that yields a
+    // variance estimate for Neyman allocation.
+    std::vector<std::size_t> by_insts(plan.allocations.size());
+    for (std::size_t i = 0; i < by_insts.size(); ++i)
+        by_insts[i] = i;
+    std::stable_sort(by_insts.begin(), by_insts.end(),
+                     [&](std::size_t a, std::size_t b) {
+                         return plan.allocations[a].insts >
+                                plan.allocations[b].insts;
+                     });
+    std::size_t left = budget;
+    for (unsigned round = 0; round < 2 && left > 0; ++round) {
+        for (std::size_t i : by_insts) {
+            if (left == 0)
+                break;
+            PhaseAllocation &a = plan.allocations[i];
+            if (a.pilot < std::min<std::size_t>(round + 1,
+                                                a.population)) {
+                ++a.pilot;
+                --left;
+            }
+        }
+    }
+
+    // Measure the pilot: per-phase CPI spread and the pilot-only
+    // whole-program estimate.
+    std::vector<std::vector<double>> rows = signatureRows(ctx);
+    RunningStats pooled;
+    double pilot_cycles = 0.0;
+    InstCount pilot_insts = 0;
+    for (PhaseAllocation &a : plan.allocations) {
+        a.samples = a.pilot;
+        if (a.pilot == 0)
+            continue;
+        const std::vector<std::size_t> &members =
+            strata.members.at(a.phase);
+        std::vector<std::size_t> perm =
+            phasePermutation(members, rows);
+        perm.resize(a.pilot);
+        RunningStats st;
+        for (std::size_t i : perm)
+            st.push(ctx.profile.interval(i).cpi);
+        for (std::size_t i : perm)
+            pooled.push(ctx.profile.interval(i).cpi);
+        a.pilotStddev = st.stddev();
+        pilot_cycles += weightedCpi(ctx.profile, perm) *
+                        static_cast<double>(a.insts);
+        pilot_insts += a.insts;
+    }
+    // Phases the pilot could not reach are extrapolated from the
+    // pooled pilot mean, both here and in the estimator.
+    double uncovered =
+        static_cast<double>(strata.totalInsts - pilot_insts);
+    plan.pilotCpi =
+        strata.totalInsts > 0
+            ? (pilot_cycles + pooled.mean() * uncovered) /
+                  static_cast<double>(strata.totalInsts)
+            : 0.0;
+
+    // Stage 2: spend the remaining budget where it reduces variance
+    // most. Adding a sample to phase h shrinks its SE^2 term by
+    // (W_h * s_h)^2 / (n_h * (n_h + 1)) — repeatedly granting the
+    // largest reduction converges to Neyman allocation without
+    // fractional-apportionment corner cases.
+    bool any_spread = false;
+    for (const PhaseAllocation &a : plan.allocations)
+        any_spread |= (a.pilot > 0 && a.pilotStddev > 0.0);
+    while (left > 0) {
+        // Start below zero so zero-variance phases still absorb
+        // leftover budget once every noisy phase is saturated.
+        double best_gain = -1.0;
+        PhaseAllocation *best = nullptr;
+        for (PhaseAllocation &a : plan.allocations) {
+            if (a.pilot == 0 || a.samples >= a.population)
+                continue;
+            double w = static_cast<double>(a.insts) *
+                       (any_spread
+                            ? a.pilotStddev
+                            // No phase showed CPI spread in the
+                            // pilot; fall back to instruction-
+                            // proportional filling.
+                            : 1.0);
+            double n = static_cast<double>(a.samples);
+            double gain = w * w / (n * (n + 1.0));
+            if (gain > best_gain) {
+                best_gain = gain;
+                best = &a;
+            }
+        }
+        if (!best)
+            break; // every eligible phase is fully sampled
+        ++best->samples;
+        --left;
+    }
+
+    // Predicted standard error of the final stratified estimate:
+    // sum_h (W_h/W)^2 * s_h^2 / n_h * (1 - n_h/N_h), with the
+    // pooled pilot variance standing in for unreachable phases.
+    double se2 = 0.0;
+    double total = static_cast<double>(strata.totalInsts);
+    for (const PhaseAllocation &a : plan.allocations) {
+        double share = static_cast<double>(a.insts) / total;
+        if (a.samples == 0) {
+            se2 += share * share * pooled.variance();
+            continue;
+        }
+        double n = static_cast<double>(a.samples);
+        double fpc =
+            1.0 - n / static_cast<double>(a.population);
+        se2 += share * share * a.pilotStddev * a.pilotStddev / n *
+               std::max(fpc, 0.0);
+    }
+    plan.predictedSe = std::sqrt(se2);
+    plan.predictedRelError =
+        plan.pilotCpi > 0.0
+            ? 1.96 * plan.predictedSe / plan.pilotCpi
+            : 0.0;
+    for (const PhaseAllocation &a : plan.allocations)
+        plan.planned += a.samples;
+    return plan;
+}
+
+Selection
+realizePlan(const Plan &plan, const SelectorContext &ctx)
+{
+    Strata strata = buildStrata(ctx.profile, ctx.phases);
+    std::vector<std::vector<double>> rows = signatureRows(ctx);
+    std::vector<std::size_t> picks;
+    picks.reserve(plan.planned);
+    for (const PhaseAllocation &a : plan.allocations) {
+        if (a.samples == 0)
+            continue;
+        std::vector<std::size_t> perm = phasePermutation(
+            strata.members.at(a.phase), rows);
+        perm.resize(std::min(a.samples, perm.size()));
+        picks.insert(picks.end(), perm.begin(), perm.end());
+    }
+    std::sort(picks.begin(), picks.end());
+    picks.erase(std::unique(picks.begin(), picks.end()),
+                picks.end());
+    return Selection{std::move(picks)};
+}
+
+} // namespace tpcp::sample

@@ -5,9 +5,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <set>
 
 #include "analysis/offline_kmeans.hh"
+#include "analysis/parallel_runner.hh"
 #include "common/rng.hh"
 
 using namespace tpcp;
@@ -152,4 +154,76 @@ TEST(OfflineClassify, SingleShapeGivesFewClusters)
     }
     OfflineResult r = classifyOffline(p);
     EXPECT_LE(r.k, 2u);
+}
+
+TEST(OfflineClassify, DeterministicForFixedSeed)
+{
+    trace::IntervalProfile profile = shapedProfile(180);
+    OfflineConfig cfg;
+    cfg.seed = 0xfeedu;
+    OfflineResult a = classifyOffline(profile, cfg);
+    OfflineResult b = classifyOffline(profile, cfg);
+    EXPECT_EQ(a.k, b.k);
+    EXPECT_EQ(a.assignments, b.assignments);
+    EXPECT_DOUBLE_EQ(a.inertia, b.inertia);
+    EXPECT_DOUBLE_EQ(a.score, b.score);
+}
+
+TEST(OfflineClassify, BitIdenticalAcrossJobCounts)
+{
+    // The classification grid must not depend on how it is fanned
+    // out: the same cells at --jobs=1 and --jobs=4 must produce
+    // byte-identical assignments (the contract every harness's
+    // output determinism rests on).
+    std::vector<trace::IntervalProfile> profiles;
+    for (std::size_t n : {90u, 120u, 150u, 240u})
+        profiles.push_back(shapedProfile(n));
+    auto classifyAll = [&](unsigned jobs) {
+        return runIndexed(profiles.size(), jobs,
+                          [&](std::size_t i) {
+                              return classifyOffline(profiles[i]);
+                          });
+    };
+    std::vector<OfflineResult> serial = classifyAll(1);
+    std::vector<OfflineResult> fanned = classifyAll(4);
+    ASSERT_EQ(serial.size(), fanned.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        EXPECT_EQ(serial[i].k, fanned[i].k) << "profile " << i;
+        EXPECT_EQ(serial[i].assignments, fanned[i].assignments)
+            << "profile " << i;
+        EXPECT_DOUBLE_EQ(serial[i].inertia, fanned[i].inertia)
+            << "profile " << i;
+    }
+}
+
+TEST(NormalizedVectors, RowsAreUnitSumFrequencies)
+{
+    trace::IntervalProfile profile = shapedProfile(60);
+    auto rows = normalizedIntervalVectors(profile, 16);
+    ASSERT_EQ(rows.size(), profile.numIntervals());
+    for (const auto &row : rows) {
+        ASSERT_EQ(row.size(), 16u);
+        double sum = 0.0;
+        for (double v : row) {
+            EXPECT_GE(v, 0.0);
+            sum += v;
+        }
+        EXPECT_NEAR(sum, 1.0, 1e-9);
+    }
+}
+
+TEST(NormalizedVectors, SameShapeGivesSimilarRows)
+{
+    // Intervals 2 and 32 share planted shape 0; interval 12 is
+    // shape 1 — distances in row space must reflect that.
+    trace::IntervalProfile profile = shapedProfile(60);
+    auto rows = normalizedIntervalVectors(profile, 16);
+    auto dist = [&](std::size_t a, std::size_t b) {
+        double d = 0.0;
+        for (std::size_t i = 0; i < rows[a].size(); ++i)
+            d += (rows[a][i] - rows[b][i]) *
+                 (rows[a][i] - rows[b][i]);
+        return std::sqrt(d);
+    };
+    EXPECT_LT(dist(2, 32), dist(2, 12));
 }

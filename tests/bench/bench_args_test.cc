@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Unit tests for the shared benchmark-harness argument parser: a
+ * typo like --job=4 must fail loudly with the valid options listed,
+ * not silently fall back to a serial sweep.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bench_common.hh"
+
+using namespace tpcp::bench;
+
+namespace
+{
+
+const std::vector<FlagSpec> kExtras = {
+    {"budgets", true, "comma-separated sample budgets"},
+    {"verbose", false, "chatty output"},
+};
+
+std::optional<BenchArgs>
+parse(const std::vector<std::string> &argv, std::string &error)
+{
+    return tryParseArgs(argv, kExtras, error);
+}
+
+} // namespace
+
+TEST(BenchArgs, EmptyArgvGivesDefaults)
+{
+    std::string error;
+    auto args = parse({}, error);
+    ASSERT_TRUE(args.has_value());
+    EXPECT_EQ(args->jobs, 0u);
+    EXPECT_TRUE(args->extra.empty());
+}
+
+TEST(BenchArgs, ParsesJobsInBothForms)
+{
+    std::string error;
+    auto eq = parse({"--jobs=4"}, error);
+    ASSERT_TRUE(eq.has_value());
+    EXPECT_EQ(eq->jobs, 4u);
+    auto sep = parse({"--jobs", "8"}, error);
+    ASSERT_TRUE(sep.has_value());
+    EXPECT_EQ(sep->jobs, 8u);
+}
+
+TEST(BenchArgs, ParsesExtrasInBothForms)
+{
+    std::string error;
+    auto args =
+        parse({"--budgets=8,16", "--verbose", "--jobs", "2"}, error);
+    ASSERT_TRUE(args.has_value());
+    EXPECT_TRUE(args->has("budgets"));
+    EXPECT_EQ(args->get("budgets", ""), "8,16");
+    EXPECT_TRUE(args->has("verbose"));
+    EXPECT_EQ(args->jobs, 2u);
+}
+
+TEST(BenchArgs, UnknownFlagListsTheValidOptions)
+{
+    // The motivating typo: --job=4 instead of --jobs=4.
+    std::string error;
+    auto args = parse({"--job=4"}, error);
+    EXPECT_FALSE(args.has_value());
+    EXPECT_NE(error.find("unknown argument '--job=4'"),
+              std::string::npos)
+        << error;
+    EXPECT_NE(error.find("--jobs=N"), std::string::npos) << error;
+    EXPECT_NE(error.find("--budgets=V"), std::string::npos)
+        << error;
+    EXPECT_NE(error.find("--verbose"), std::string::npos) << error;
+}
+
+TEST(BenchArgs, PositionalArgumentsAreRejected)
+{
+    std::string error;
+    EXPECT_FALSE(parse({"gcc/1"}, error).has_value());
+    EXPECT_NE(error.find("unknown argument 'gcc/1'"),
+              std::string::npos);
+}
+
+TEST(BenchArgs, MissingValueIsAnError)
+{
+    std::string error;
+    EXPECT_FALSE(parse({"--budgets"}, error).has_value());
+    EXPECT_NE(error.find("--budgets expects a value"),
+              std::string::npos)
+        << error;
+}
+
+TEST(BenchArgs, ValueOnValuelessFlagIsAnError)
+{
+    std::string error;
+    EXPECT_FALSE(parse({"--verbose=yes"}, error).has_value());
+    EXPECT_NE(error.find("--verbose takes no value"),
+              std::string::npos)
+        << error;
+}
+
+TEST(BenchArgs, MalformedJobsIsAnError)
+{
+    std::string error;
+    EXPECT_FALSE(parse({"--jobs=four"}, error).has_value());
+    EXPECT_NE(error.find("non-negative integer"),
+              std::string::npos)
+        << error;
+    EXPECT_FALSE(parse({"--jobs="}, error).has_value());
+}
+
+TEST(BenchArgs, TypedAccessorsConvertAndDefault)
+{
+    std::string error;
+    auto args = parse({"--budgets=42"}, error);
+    ASSERT_TRUE(args.has_value());
+    EXPECT_EQ(args->getU64("budgets", 0), 42u);
+    EXPECT_DOUBLE_EQ(args->getDouble("budgets", 0.0), 42.0);
+    EXPECT_EQ(args->getU64("absent", 7), 7u);
+    EXPECT_DOUBLE_EQ(args->getDouble("absent", 2.5), 2.5);
+    EXPECT_EQ(args->get("absent", "dflt"), "dflt");
+    EXPECT_FALSE(args->has("absent"));
+}

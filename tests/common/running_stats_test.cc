@@ -31,8 +31,38 @@ TEST(RunningStats, SingleSample)
     EXPECT_EQ(s.count(), 1u);
     EXPECT_DOUBLE_EQ(s.mean(), 3.5);
     EXPECT_EQ(s.variance(), 0.0);
+    EXPECT_EQ(s.stddev(), 0.0);
+    EXPECT_EQ(s.cov(), 0.0);
     EXPECT_EQ(s.min(), 3.5);
     EXPECT_EQ(s.max(), 3.5);
+}
+
+TEST(RunningStats, SmallCountsNeverProduceNan)
+{
+    // n = 0 and n = 1 leave the m2/n ratio undefined; the
+    // accessors must report 0, never NaN — downstream consumers
+    // (Neyman allocation, SE formulas) multiply these values.
+    RunningStats s;
+    for (int samples = 0; samples <= 1; ++samples) {
+        EXPECT_FALSE(std::isnan(s.variance())) << "n=" << samples;
+        EXPECT_FALSE(std::isnan(s.stddev())) << "n=" << samples;
+        EXPECT_FALSE(std::isnan(s.cov())) << "n=" << samples;
+        EXPECT_EQ(s.variance(), 0.0) << "n=" << samples;
+        EXPECT_EQ(s.stddev(), 0.0) << "n=" << samples;
+        EXPECT_EQ(s.cov(), 0.0) << "n=" << samples;
+        s.push(2.25);
+    }
+}
+
+TEST(RunningStats, VarianceNeverNegativeUnderNearConstantInput)
+{
+    // Catastrophic cancellation can nudge m2 fractionally below
+    // zero; variance() clamps so stddev() never goes NaN.
+    RunningStats s;
+    for (int i = 0; i < 1000; ++i)
+        s.push(1e15 + (i % 2 ? 1.0 : -1.0) * 1e-2);
+    EXPECT_GE(s.variance(), 0.0);
+    EXPECT_FALSE(std::isnan(s.stddev()));
 }
 
 TEST(RunningStats, KnownValues)

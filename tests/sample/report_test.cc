@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Unit tests for SampleReport JSON serialization and the end-to-end
+ * runSampledSimulation wrapper.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "sample/report.hh"
+#include "sample_test_util.hh"
+
+using namespace tpcp;
+using namespace tpcp::sample;
+using sample_test::Cell;
+using sample_test::makeProfile;
+using sample_test::phasesOf;
+
+namespace
+{
+
+SampleReport
+sampleReport()
+{
+    SampleReport r;
+    r.workload = "gcc/1";
+    r.selector = "stratified";
+    r.phaseSource = "online";
+    r.budget = 8;
+    r.sampled = 7;
+    r.totalIntervals = 100;
+    r.phasesTotal = 5;
+    r.phasesCovered = 4;
+    r.trueCpi = 1.5;
+    r.estimatedCpi = 1.53;
+    r.relError = 0.02;
+    return r;
+}
+
+std::vector<Cell>
+mixedCells()
+{
+    std::vector<Cell> cells;
+    for (std::size_t i = 0; i < 50; ++i)
+        // Wiggle period 3 is coprime to the bit-reversal sampling
+        // stride, so even a two-member pilot sees CPI spread.
+        cells.push_back({static_cast<PhaseId>(i % 2 + 1),
+                         1.0 + static_cast<double>(i % 2) +
+                             0.05 * static_cast<double>(i % 3)});
+    return cells;
+}
+
+} // namespace
+
+TEST(Report, JsonHasStableKeyOrderAndValues)
+{
+    std::string json = toJson(sampleReport());
+    EXPECT_EQ(json.find("{\"workload\": \"gcc/1\""), 0u)
+        << json;
+    EXPECT_NE(json.find("\"selector\": \"stratified\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"budget\": 8"), std::string::npos);
+    EXPECT_NE(json.find("\"true_cpi\": 1.5"), std::string::npos);
+    EXPECT_NE(json.find("\"sampled_fraction\": 0.07"),
+              std::string::npos);
+    // speedup = 100/7; the last field carries no trailing comma.
+    EXPECT_NE(json.find("\"speedup_equivalent\": 14.28571429}"),
+              std::string::npos)
+        << json;
+    std::size_t wk = json.find("\"workload\"");
+    std::size_t sel = json.find("\"selector\"");
+    std::size_t spd = json.find("\"speedup_equivalent\"");
+    EXPECT_LT(wk, sel);
+    EXPECT_LT(sel, spd);
+}
+
+TEST(Report, JsonEscapesStrings)
+{
+    SampleReport r = sampleReport();
+    r.workload = "we\"ird\\name\n";
+    std::string json = toJson(r);
+    EXPECT_NE(json.find("\"we\\\"ird\\\\name\\n\""),
+              std::string::npos)
+        << json;
+}
+
+TEST(Report, JsonArrayShape)
+{
+    EXPECT_EQ(toJson(std::vector<SampleReport>{}), "[\n]\n");
+    std::string two =
+        toJson(std::vector<SampleReport>{sampleReport(),
+                                         sampleReport()});
+    EXPECT_EQ(two.rfind("[\n", 0), 0u);
+    EXPECT_EQ(two.substr(two.size() - 4), "}\n]\n")
+        << "no comma after the final element";
+    EXPECT_NE(two.find("},\n"), std::string::npos)
+        << "elements are comma-separated, one per line";
+}
+
+TEST(Report, WriteJsonRoundTripsThroughAFile)
+{
+    std::vector<SampleReport> reports = {sampleReport()};
+    std::string path = "report_test_tmp.json";
+    ASSERT_TRUE(writeJson(path, reports));
+    std::ifstream in(path);
+    std::stringstream buf;
+    buf << in.rdbuf();
+    EXPECT_EQ(buf.str(), toJson(reports));
+    std::remove(path.c_str());
+}
+
+TEST(Report, WriteJsonFailsCleanlyOnBadPath)
+{
+    EXPECT_FALSE(writeJson("/nonexistent-dir/x/y.json", {}));
+}
+
+TEST(Report, RunSampledSimulationFillsEveryField)
+{
+    auto cells = mixedCells();
+    trace::IntervalProfile profile = makeProfile(cells);
+    std::vector<PhaseId> phases = phasesOf(cells);
+    SampleReport r = runSampledSimulation(
+        profile, phases, "stratified", PhaseSource::Online, 10);
+    EXPECT_EQ(r.workload, "synthetic");
+    EXPECT_EQ(r.selector, "stratified");
+    EXPECT_EQ(r.phaseSource, "online");
+    EXPECT_EQ(r.budget, 10u);
+    EXPECT_LE(r.sampled, 10u);
+    EXPECT_GT(r.sampled, 0u);
+    EXPECT_EQ(r.totalIntervals, cells.size());
+    EXPECT_EQ(r.phasesTotal, 2u);
+    EXPECT_EQ(r.phasesCovered, 2u);
+    EXPECT_NEAR(r.trueCpi, sample_test::trueCpiOf(cells), 1e-12);
+    EXPECT_NEAR(r.relError,
+                std::abs(r.estimatedCpi - r.trueCpi) / r.trueCpi,
+                1e-12);
+    EXPECT_GT(r.predictedRelError, 0.0)
+        << "the stratified selector reports its planner prediction";
+    EXPECT_LE(r.ciLow, r.estimatedCpi);
+    EXPECT_GE(r.ciHigh, r.estimatedCpi);
+}
+
+TEST(Report, NonPlanningSelectorsPredictNothing)
+{
+    auto cells = mixedCells();
+    trace::IntervalProfile profile = makeProfile(cells);
+    std::vector<PhaseId> phases = phasesOf(cells);
+    SampleReport r = runSampledSimulation(
+        profile, phases, "uniform", PhaseSource::Online, 10);
+    EXPECT_EQ(r.predictedRelError, 0.0);
+}
+
+TEST(Report, RunSampledSimulationIsDeterministic)
+{
+    auto cells = mixedCells();
+    trace::IntervalProfile profile = makeProfile(cells);
+    std::vector<PhaseId> phases = phasesOf(cells);
+    for (const std::string &sel :
+         {"first", "centroid", "stratified", "uniform", "random"}) {
+        SampleReport a = runSampledSimulation(
+            profile, phases, sel, PhaseSource::Online, 8);
+        SampleReport b = runSampledSimulation(
+            profile, phases, sel, PhaseSource::Online, 8);
+        EXPECT_EQ(toJson(a), toJson(b)) << sel;
+    }
+}

@@ -10,6 +10,7 @@
  *   predict  <workload> [opts]     next-phase / change prediction
  *   export   <workload> [opts]     per-interval CSV for plotting
  *   simstats <workload> [opts]     run the simulator, dump uarch stats
+ *   sample   [workloads...] [opts] phase-guided sampled simulation
  *
  * Common options:
  *   --interval N     instructions per interval   (default 100000)
@@ -34,8 +35,17 @@
  *   --out PATH       output CSV file             (default stdout)
  * Simstats options:
  *   --max-insts N    stop after N instructions   (default: full run)
+ * Sample options (no workloads named = all 11, in parallel):
+ *   --budget N       detailed intervals per workload (default 16)
+ *   --selector S     first | centroid | stratified | uniform |
+ *                    random                      (default stratified)
+ *   --phase-source P online | offline            (default online)
+ *   --json PATH      write SampleReport records as JSON
+ *   --max-error X    exit 1 if any CPI estimate is off by more
+ *                    than fraction X (CI tripwire)
  */
 
+#include <algorithm>
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -50,6 +60,7 @@
 #include "common/logging.hh"
 #include "common/running_stats.hh"
 #include "pred/eval.hh"
+#include "sample/report.hh"
 #include "trace/profile_cache.hh"
 #include "uarch/machine_config.hh"
 #include "uarch/ooo_core.hh"
@@ -73,8 +84,12 @@ class Args
             std::string arg = argv[i];
             if (arg.rfind("--", 0) == 0) {
                 std::string key = arg.substr(2);
-                if (i + 1 < argc &&
-                    std::string(argv[i + 1]).rfind("--", 0) != 0) {
+                if (auto eq = key.find('=');
+                    eq != std::string::npos) {
+                    kv[key.substr(0, eq)] = key.substr(eq + 1);
+                } else if (i + 1 < argc &&
+                           std::string(argv[i + 1]).rfind("--", 0) !=
+                               0) {
                     kv[key] = argv[++i];
                 } else {
                     kv[key] = "";
@@ -124,7 +139,7 @@ usage()
     std::cerr
         << "usage: tpcp <command> [args]\n"
            "  workloads | machine | profile <wl> | classify <wl> |\n"
-           "  predict <wl> | export <wl>\n"
+           "  predict <wl> | export <wl> | sample [wl...]\n"
            "see the header of tools/tpcp.cc for all options\n";
     return 2;
 }
@@ -458,6 +473,89 @@ cmdSimStats(const Args &args)
     return 0;
 }
 
+int
+cmdSample(const Args &args)
+{
+    std::vector<std::string> names = args.positional;
+    if (names.empty()) {
+        names = workload::workloadNames();
+    } else {
+        for (const std::string &name : names) {
+            if (!workload::isWorkloadName(name)) {
+                std::cerr << "error: unknown workload '" << name
+                          << "'; run 'tpcp workloads'\n";
+                return 2;
+            }
+        }
+    }
+    auto budget =
+        static_cast<std::size_t>(args.getU64("budget", 16));
+    if (budget == 0) {
+        std::cerr << "error: --budget must be positive\n";
+        return 2;
+    }
+    std::string selector = args.get("selector", "stratified");
+    sample::PhaseSource source = sample::phaseSourceByName(
+        args.get("phase-source", "online"));
+    unsigned jobs = static_cast<unsigned>(args.getU64("jobs", 0));
+    trace::ProfileOptions opts = profileOptions(args);
+
+    std::cerr << "[sample] " << names.size() << " workloads, "
+              << "selector=" << selector << ", budget=" << budget
+              << " (" << analysis::effectiveJobs(jobs, names.size())
+              << " jobs)\n";
+    std::vector<sample::SampleReport> reports =
+        analysis::runIndexed(
+            names.size(), jobs, [&](std::size_t i) {
+                trace::IntervalProfile profile =
+                    trace::getProfileByName(names[i], opts);
+                return sample::runSampledSimulation(
+                    profile, selector, source, budget);
+            });
+
+    AsciiTable table({"workload", "phases", "sampled", "true CPI",
+                      "est CPI", "error", "pred err", "speedup"});
+    double worst = 0.0;
+    for (const sample::SampleReport &r : reports) {
+        table.row()
+            .cell(r.workload)
+            .cell(std::to_string(r.phasesCovered) + "/" +
+                  std::to_string(r.phasesTotal))
+            .cell(std::to_string(r.sampled) + "/" +
+                  std::to_string(r.totalIntervals))
+            .cell(r.trueCpi, 3)
+            .cell(r.estimatedCpi, 3)
+            .percentCell(r.relError)
+            .percentCell(r.predictedRelError)
+            .cell(r.speedupEquivalent(), 1);
+        worst = std::max(worst, r.relError);
+    }
+    table.print(std::cout);
+
+    std::string json = args.get("json", "");
+    if (!json.empty()) {
+        if (!sample::writeJson(json, reports)) {
+            std::cerr << "error: cannot write " << json << "\n";
+            return 1;
+        }
+        std::cout << "wrote " << reports.size() << " reports to "
+                  << json << "\n";
+    }
+    if (args.has("max-error")) {
+        double limit = args.getDouble("max-error", 0.0);
+        if (worst > limit) {
+            std::cerr << "error: worst CPI error "
+                      << worst * 100.0 << "% exceeds --max-error "
+                      << limit * 100.0 << "%\n";
+            return 1;
+        }
+        std::cout << "worst CPI error " << worst * 100.0
+                  << "% within --max-error " << limit * 100.0
+                  << "%\n";
+    }
+    return 0;
+}
+
 } // namespace
 
 int
@@ -482,5 +580,7 @@ main(int argc, char **argv)
         return cmdExport(args);
     if (cmd == "simstats")
         return cmdSimStats(args);
+    if (cmd == "sample")
+        return cmdSample(args);
     return usage();
 }
