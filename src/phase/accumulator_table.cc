@@ -1,6 +1,5 @@
 #include "phase/accumulator_table.hh"
 
-#include "common/bitops.hh"
 #include "common/logging.hh"
 
 namespace tpcp::phase
@@ -10,19 +9,10 @@ AccumulatorTable::AccumulatorTable(unsigned num_counters,
                                    unsigned counter_bits)
     : numCtrs(num_counters), bits(counter_bits),
       maxVal(static_cast<std::uint32_t>(maskLow(counter_bits))),
-      ctrs(num_counters, 0)
+      usePow2Mask(isPowerOf2(num_counters)), ctrs(num_counters, 0)
 {
     tpcp_assert(num_counters >= 1);
     tpcp_assert(counter_bits >= 4 && counter_bits <= 32);
-}
-
-void
-AccumulatorTable::recordBranch(Addr pc, InstCount insts)
-{
-    unsigned idx = hashToBucket(pc, numCtrs);
-    std::uint64_t v = ctrs[idx] + insts;
-    ctrs[idx] = v > maxVal ? maxVal : static_cast<std::uint32_t>(v);
-    total += insts;
 }
 
 void

@@ -13,10 +13,20 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/bitops.hh"
 #include "common/types.hh"
 
 namespace tpcp::phase
 {
+
+/** One committed branch: its PC and the instructions committed since
+ * the previous branch. Batches of these drive the batched replay
+ * paths of AccumulatorTable and PhaseClassifier. */
+struct BranchEvent
+{
+    Addr pc;
+    InstCount insts;
+};
 
 /**
  * N x counterBits saturating accumulators plus the running total used
@@ -39,7 +49,34 @@ class AccumulatorTable
      * increments it (saturating) by @p insts, the instruction count
      * since the previous branch.
      */
-    void recordBranch(Addr pc, InstCount insts);
+    void
+    recordBranch(Addr pc, InstCount insts)
+    {
+        unsigned idx = bucketOf(pc);
+        std::uint64_t v = ctrs[idx] + insts;
+        ctrs[idx] =
+            v > maxVal ? maxVal : static_cast<std::uint32_t>(v);
+        total += insts;
+    }
+
+    /**
+     * Batched equivalent of calling recordBranch() once per event, in
+     * order. Trace replay buffers branch commits and feeds them here
+     * to amortize per-branch call overhead.
+     */
+    void
+    recordBranches(const BranchEvent *events, std::size_t n)
+    {
+        InstCount sum = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+            unsigned idx = bucketOf(events[i].pc);
+            std::uint64_t v = ctrs[idx] + events[i].insts;
+            ctrs[idx] =
+                v > maxVal ? maxVal : static_cast<std::uint32_t>(v);
+            sum += events[i].insts;
+        }
+        total += sum;
+    }
 
     /** Raw counter values of the current interval. */
     const std::vector<std::uint32_t> &counters() const { return ctrs; }
@@ -61,9 +98,22 @@ class AccumulatorTable
     void reset();
 
   private:
+    /** Same bucket as hashToBucket(pc, numCtrs), with the
+     * power-of-two test hoisted out of the per-branch path. */
+    unsigned
+    bucketOf(Addr pc) const
+    {
+        std::uint64_t h = mix64(pc);
+        return usePow2Mask
+                   ? static_cast<unsigned>(h & (numCtrs - 1))
+                   : static_cast<unsigned>(h % numCtrs);
+    }
+
     unsigned numCtrs;
     unsigned bits;
     std::uint32_t maxVal;
+    /** True when numCtrs is a power of two (mask instead of mod). */
+    bool usePow2Mask;
     std::vector<std::uint32_t> ctrs;
     InstCount total = 0;
 };

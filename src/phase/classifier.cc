@@ -10,7 +10,8 @@ namespace tpcp::phase
 
 PhaseClassifier::PhaseClassifier(const ClassifierConfig &config)
     : cfg(config), accum(config.numCounters, config.counterBits),
-      sigTable(config.tableEntries, config.minCounterBits)
+      sigTable(config.tableEntries, config.minCounterBits),
+      scratch(config.numCounters, 0)
 {
     tpcp_assert(cfg.similarityThreshold > 0.0 &&
                 cfg.similarityThreshold <= 1.0,
@@ -21,6 +22,13 @@ void
 PhaseClassifier::recordBranch(Addr pc, InstCount insts)
 {
     accum.recordBranch(pc, insts);
+}
+
+void
+PhaseClassifier::recordBranches(const BranchEvent *events,
+                                std::size_t n)
+{
+    accum.recordBranches(events, n);
 }
 
 ClassifyResult
@@ -41,55 +49,70 @@ PhaseClassifier::classifyRaw(const std::vector<std::uint32_t> &raw,
     ClassifyResult res;
     ++stats_.intervals;
 
-    Signature sig = Signature::fromAccumulators(
-        raw, total, cfg.bitsPerDim, cfg.bitSelection, cfg.staticShift);
+    // Compress into the reusable scratch row: the hot path allocates
+    // nothing and the table works on raw signature bytes.
+    std::uint32_t weight = Signature::compressTo(
+        raw, total, cfg.bitsPerDim, cfg.bitSelection, cfg.staticShift,
+        scratch.data());
 
-    SigEntry *entry = sigTable.match(sig, cfg.matchPolicy);
-    if (entry) {
+    SignatureTable::MatchResult m = sigTable.match(
+        scratch.data(), scratch.size(), weight, cfg.matchPolicy);
+    if (m) {
+        SigEntryMeta &meta = sigTable.meta(m.index);
         res.matched = true;
-        res.distance = sig.difference(entry->sig);
+        res.distance = m.distance;
         // The matching signature is replaced with the current one so
         // the entry tracks the phase's most recent code profile.
-        entry->sig = sig;
-        sigTable.touch(*entry);
-        entry->minCounter.increment();
+        sigTable.replaceSignature(m.index, scratch.data(),
+                                  scratch.size(), weight);
+        sigTable.touch(m.index);
+        meta.minCounter.increment();
 
         bool stable = cfg.minCountThreshold == 0 ||
-                      entry->minCounter.value() >=
+                      meta.minCounter.value() >=
                           cfg.minCountThreshold;
-        if (stable && entry->phase == transitionPhaseId &&
+        if (stable && meta.phase == transitionPhaseId &&
             cfg.minCountThreshold != 0) {
-            entry->phase = nextPhase++;
+            meta.phase = nextPhase++;
         }
-        res.phase = stable ? entry->phase : transitionPhaseId;
+        res.phase = stable ? meta.phase : transitionPhaseId;
 
         // Performance feedback (section 4.6): if this interval's CPI
         // deviates too far from the entry's running average, tighten
         // the entry's similarity threshold and restart its stats.
-        if (cfg.adaptiveThreshold && entry->cpi.count() >= 1) {
-            double avg = entry->cpi.mean();
+        if (cfg.adaptiveThreshold && meta.cpi.count() >= 1) {
+            double avg = meta.cpi.mean();
             if (avg > 0.0 &&
                 std::abs(cpi - avg) / avg > cfg.cpiDeviationThreshold) {
-                entry->threshold = std::max(
-                    cfg.thresholdFloor, entry->threshold / 2.0);
-                entry->cpi.clear();
+                sigTable.setThreshold(
+                    m.index,
+                    std::max(cfg.thresholdFloor,
+                             sigTable.threshold(m.index) / 2.0));
+                meta.cpi.clear();
                 res.thresholdHalved = true;
                 ++stats_.thresholdHalvings;
             }
         }
-        entry->cpi.push(cpi);
+        meta.cpi.push(cpi);
     } else {
-        SigEntry &fresh =
-            sigTable.insert(sig, cfg.similarityThreshold);
+        std::uint32_t idx = sigTable.insert(
+            scratch.data(), scratch.size(), weight,
+            cfg.similarityThreshold, cfg.bitsPerDim);
+        SigEntryMeta &meta = sigTable.meta(idx);
         res.inserted = true;
         ++stats_.insertions;
+        stats_.evictions = sigTable.evictions();
         if (cfg.minCountThreshold == 0) {
             // No transition phase: every new signature immediately
             // represents a new phase (prior work [25]).
-            fresh.phase = nextPhase++;
+            meta.phase = nextPhase++;
+        } else if (meta.minCounter.value() >= cfg.minCountThreshold) {
+            // min_count == 1: the inserting interval is already the
+            // min_count-th sighting, so the phase is stable at once.
+            meta.phase = nextPhase++;
         }
-        res.phase = fresh.phase;
-        fresh.cpi.push(cpi);
+        res.phase = meta.phase;
+        meta.cpi.push(cpi);
     }
 
     if (res.phase == transitionPhaseId)

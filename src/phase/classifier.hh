@@ -43,6 +43,8 @@ struct ClassifierStats
     std::uint64_t transitionIntervals = 0;
     std::uint64_t insertions = 0;
     std::uint64_t thresholdHalvings = 0;
+    /** Signature-table entries lost to LRU replacement. */
+    std::uint64_t evictions = 0;
 
     /** Fraction of intervals classified as phase transitions. */
     double
@@ -71,6 +73,10 @@ class PhaseClassifier
 
     /** Online use: records one committed branch. */
     void recordBranch(Addr pc, InstCount insts);
+
+    /** Batched equivalent of recordBranch() once per event, in
+     * order; used by trace replay to amortize per-branch overhead. */
+    void recordBranches(const BranchEvent *events, std::size_t n);
 
     /** Online use: ends the interval, classifying its signature.
      * @param cpi the interval's measured CPI (performance feedback
@@ -103,6 +109,8 @@ class PhaseClassifier
     ClassifierConfig cfg;
     AccumulatorTable accum;
     SignatureTable sigTable;
+    /** Reusable compressed-signature row (hot path, no allocation). */
+    std::vector<std::uint8_t> scratch;
     PhaseId nextPhase = firstStablePhaseId;
     ClassifierStats stats_;
 };

@@ -27,6 +27,18 @@ Signature::fromAccumulators(const std::vector<std::uint32_t> &raw,
                             InstCount total, unsigned bits_per_dim,
                             BitSelection mode, unsigned static_shift)
 {
+    std::vector<std::uint8_t> dims(raw.size());
+    compressTo(raw, total, bits_per_dim, mode, static_shift,
+               dims.data());
+    return Signature(std::move(dims), bits_per_dim);
+}
+
+std::uint32_t
+Signature::compressTo(const std::vector<std::uint32_t> &raw,
+                      InstCount total, unsigned bits_per_dim,
+                      BitSelection mode, unsigned static_shift,
+                      std::uint8_t *out)
+{
     tpcp_assert(!raw.empty());
     tpcp_assert(bits_per_dim >= 1 && bits_per_dim <= 8);
 
@@ -44,23 +56,32 @@ Signature::fromAccumulators(const std::vector<std::uint32_t> &raw,
     } else {
         window_top = static_shift + bits_per_dim;
     }
+    // A window reaching at or above bit 64 can never saturate (the
+    // counters are 64-bit at most), and shifting a 64-bit value by
+    // >= 64 is undefined; clamp both shifts instead of computing
+    // (v >> window_top) with an out-of-range width.
+    bool can_saturate = window_top < 64;
 
     std::uint8_t max_dim =
         static_cast<std::uint8_t>(maskLow(bits_per_dim));
-    std::vector<std::uint8_t> dims(raw.size());
+    std::uint64_t low_mask = maskLow(bits_per_dim);
+    std::uint32_t weight = 0;
     for (std::size_t i = 0; i < raw.size(); ++i) {
         std::uint64_t v = raw[i];
         // If any bit above the selected window is set, the value is
         // too large to represent: store the maximum (paper: "we set
         // all of the selected bits to one").
-        if ((v >> window_top) != 0) {
-            dims[i] = max_dim;
+        if (can_saturate && (v >> window_top) != 0) {
+            out[i] = max_dim;
+            weight += max_dim;
             continue;
         }
-        std::uint64_t selected = (v >> shift) & maskLow(bits_per_dim);
-        dims[i] = static_cast<std::uint8_t>(selected);
+        std::uint64_t selected =
+            shift >= 64 ? 0 : (v >> shift) & low_mask;
+        out[i] = static_cast<std::uint8_t>(selected);
+        weight += static_cast<std::uint32_t>(selected);
     }
-    return Signature(std::move(dims), bits_per_dim);
+    return weight;
 }
 
 std::uint32_t

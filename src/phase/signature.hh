@@ -62,6 +62,18 @@ class Signature
         unsigned bits_per_dim, BitSelection mode,
         unsigned static_shift = 14);
 
+    /**
+     * Allocation-free variant of fromAccumulators() for the classify
+     * hot path: compresses @p raw into the caller-provided buffer
+     * @p out (raw.size() bytes) and returns the signature weight (sum
+     * of the compressed dimensions). Produces exactly the same bytes
+     * as fromAccumulators().
+     */
+    static std::uint32_t compressTo(
+        const std::vector<std::uint32_t> &raw, InstCount total,
+        unsigned bits_per_dim, BitSelection mode,
+        unsigned static_shift, std::uint8_t *out);
+
     /** Number of dimensions. */
     std::size_t size() const { return dims.size(); }
 
@@ -70,6 +82,9 @@ class Signature
 
     /** Compressed value of dimension @p i. */
     std::uint8_t dim(std::size_t i) const { return dims[i]; }
+
+    /** Contiguous compressed dimension values (size() bytes). */
+    const std::uint8_t *data() const { return dims.data(); }
 
     /** Sum of all compressed dimension values. */
     std::uint32_t weight() const { return weight_; }

@@ -11,73 +11,205 @@ SignatureTable::SignatureTable(unsigned capacity,
                                unsigned min_ctr_bits)
     : cap(capacity), minCtrBits(min_ctr_bits)
 {
-    if (cap)
-        entries.reserve(cap);
+    if (cap) {
+        metas.reserve(cap);
+        weights.reserve(cap);
+        thresholds.reserve(cap);
+    }
 }
 
-SigEntry *
-SignatureTable::match(const Signature &sig, MatchPolicy policy)
+namespace
 {
-    SigEntry *best = nullptr;
-    double best_diff = 0.0;
-    for (SigEntry &e : entries) {
-        double diff = sig.difference(e.sig);
-        if (diff >= e.threshold)
+
+/**
+ * Smallest integer bound D such that (double)D / denom >= cutoff:
+ * a running Manhattan distance reaching D proves the entry's
+ * normalized difference (computed in double, exactly as the final
+ * comparison does) is at least @p cutoff, so the scan can stop.
+ * The ceil estimate is corrected by at most a step in either
+ * direction, so float rounding in the product can never change a
+ * match decision.
+ */
+std::uint64_t
+distanceBound(double cutoff, std::uint64_t denom)
+{
+    double prod = cutoff * static_cast<double>(denom);
+    std::uint64_t d = prod <= 0.0 ? 0
+                                  : static_cast<std::uint64_t>(prod);
+    if (static_cast<double>(d) < prod)
+        ++d;
+    while (static_cast<double>(d) / static_cast<double>(denom) <
+           cutoff)
+        ++d;
+    while (d > 0 && static_cast<double>(d - 1) /
+                            static_cast<double>(denom) >=
+                        cutoff)
+        --d;
+    return d;
+}
+
+} // namespace
+
+SignatureTable::MatchResult
+SignatureTable::match(const Signature &sig, MatchPolicy policy) const
+{
+    return match(sig.data(), sig.size(), sig.weight(), policy);
+}
+
+SignatureTable::MatchResult
+SignatureTable::match(const std::uint8_t *qdims, std::size_t ndims,
+                      std::uint32_t qweight,
+                      MatchPolicy policy) const
+{
+    tpcp_assert(metas.empty() || ndims == rowDims,
+                "signature dimensionality mismatch");
+    MatchResult best;
+    const std::size_t n = metas.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::uint32_t wi = weights[i];
+        const std::uint64_t denom =
+            static_cast<std::uint64_t>(qweight) + wi;
+        double diff;
+        if (denom == 0) {
+            // Two all-zero signatures: identical by definition.
+            diff = 0.0;
+        } else if (qweight == 0 || wi == 0) {
+            // Empty vs non-empty: fully disjoint support.
+            diff = 1.0;
+        } else {
+            // The entry is irrelevant once its normalized difference
+            // reaches its own threshold — and, under best-match, the
+            // current best distance. A running distance at or above
+            // the corresponding integer bound proves that, so stop
+            // scanning the row early.
+            double cutoff = thresholds[i];
+            if (policy == MatchPolicy::BestMatch && best &&
+                best.distance < cutoff)
+                cutoff = best.distance;
+            if (cutoff <= 0.0)
+                continue;
+            const std::uint64_t bound = distanceBound(cutoff, denom);
+            const std::uint8_t *row = &rows[i * rowDims];
+            std::uint64_t dist = 0;
+            std::size_t j = 0;
+            for (; j < ndims; ++j) {
+                int d = static_cast<int>(qdims[j]) -
+                        static_cast<int>(row[j]);
+                dist += static_cast<std::uint64_t>(d < 0 ? -d : d);
+                if (dist >= bound)
+                    break;
+            }
+            if (j < ndims)
+                continue; // proven too different
+            diff = static_cast<double>(dist) /
+                   static_cast<double>(denom);
+        }
+        // Final decisions use the same double comparisons as the
+        // original entry-by-entry scan.
+        if (diff >= thresholds[i])
             continue;
         if (policy == MatchPolicy::FirstMatch)
-            return &e;
-        if (!best || diff < best_diff) {
-            best = &e;
-            best_diff = diff;
+            return {static_cast<std::uint32_t>(i), diff};
+        if (!best || diff < best.distance) {
+            best.index = static_cast<std::uint32_t>(i);
+            best.distance = diff;
         }
     }
     return best;
 }
 
-SigEntry &
+std::uint32_t
+SignatureTable::allocSlot(std::size_t ndims)
+{
+    if (rowDims == 0)
+        rowDims = ndims;
+    tpcp_assert(ndims == rowDims,
+                "signature dimensionality mismatch");
+    if (cap != 0 && metas.size() >= cap) {
+        // Evict the LRU entry and reuse its slot.
+        std::uint32_t victim = 0;
+        for (std::uint32_t i = 1; i < metas.size(); ++i) {
+            if (metas[i].lastUse < metas[victim].lastUse)
+                victim = i;
+        }
+        ++evictions_;
+        return victim;
+    }
+    metas.emplace_back();
+    weights.push_back(0);
+    thresholds.push_back(0.0);
+    rows.resize(rows.size() + rowDims);
+    return static_cast<std::uint32_t>(metas.size() - 1);
+}
+
+std::uint32_t
 SignatureTable::insert(const Signature &sig, double threshold)
 {
-    if (cap != 0 && entries.size() >= cap) {
-        // Evict the LRU entry and reuse its slot.
-        auto victim = std::min_element(
-            entries.begin(), entries.end(),
-            [](const SigEntry &a, const SigEntry &b) {
-                return a.lastUse < b.lastUse;
-            });
-        ++evictions_;
-        *victim = SigEntry{};
-        victim->sig = sig;
-        victim->minCounter = SatCounter(minCtrBits, 0);
-        victim->threshold = threshold;
-        victim->lastUse = ++tick;
-        return *victim;
-    }
-    entries.emplace_back();
-    SigEntry &e = entries.back();
-    e.sig = sig;
-    e.minCounter = SatCounter(minCtrBits, 0);
-    e.threshold = threshold;
-    e.lastUse = ++tick;
-    return e;
+    return insert(sig.data(), sig.size(), sig.weight(), threshold,
+                  sig.bitsPerDim());
+}
+
+std::uint32_t
+SignatureTable::insert(const std::uint8_t *dims, std::size_t ndims,
+                       std::uint32_t weight, double threshold,
+                       unsigned bits_per_dim)
+{
+    rowBits = bits_per_dim;
+    std::uint32_t idx = allocSlot(ndims);
+    std::copy(dims, dims + ndims, &rows[idx * rowDims]);
+    weights[idx] = weight;
+    thresholds[idx] = threshold;
+    SigEntryMeta &m = metas[idx];
+    m = SigEntryMeta{};
+    // The inserting interval is the entry's first sighting: it counts
+    // toward the min-count threshold (paper section 4.4, "seen
+    // min_count times").
+    m.minCounter = SatCounter(minCtrBits, 1);
+    m.lastUse = ++tick;
+    return idx;
 }
 
 void
-SignatureTable::touch(SigEntry &entry)
+SignatureTable::replaceSignature(std::uint32_t idx,
+                                 const std::uint8_t *dims,
+                                 std::size_t ndims,
+                                 std::uint32_t weight)
 {
-    entry.lastUse = ++tick;
+    tpcp_assert(idx < metas.size() && ndims == rowDims);
+    std::copy(dims, dims + ndims, &rows[idx * rowDims]);
+    weights[idx] = weight;
+}
+
+void
+SignatureTable::touch(std::uint32_t idx)
+{
+    metas[idx].lastUse = ++tick;
+}
+
+Signature
+SignatureTable::signatureAt(std::uint32_t idx) const
+{
+    tpcp_assert(idx < metas.size());
+    const std::uint8_t *row = &rows[idx * rowDims];
+    return Signature(std::vector<std::uint8_t>(row, row + rowDims),
+                     rowBits);
 }
 
 void
 SignatureTable::clearPerformanceStats()
 {
-    for (SigEntry &e : entries)
-        e.cpi.clear();
+    for (SigEntryMeta &m : metas)
+        m.cpi.clear();
 }
 
 void
 SignatureTable::clear()
 {
-    entries.clear();
+    rows.clear();
+    weights.clear();
+    thresholds.clear();
+    metas.clear();
+    rowDims = 0;
     tick = 0;
     evictions_ = 0;
 }

@@ -4,6 +4,14 @@
  * table of past code signatures, each with its phase ID, transition
  * min counter, per-entry similarity threshold (for the adaptive
  * scheme) and running CPI statistics.
+ *
+ * Storage is structure-of-arrays: the signature bytes of all entries
+ * live in one contiguous row-major buffer with the per-entry weights
+ * and thresholds cached in flat parallel arrays, so match() — the
+ * per-interval hot path — walks flat memory and can cut each row's
+ * Manhattan scan short with a precomputed running bound. Entries are
+ * referred to by index, which stays valid as an unbounded table grows
+ * (a `SigEntry *` into a reallocating vector would not).
  */
 
 #ifndef TPCP_PHASE_SIGNATURE_TABLE_HH
@@ -21,16 +29,18 @@
 namespace tpcp::phase
 {
 
-/** One signature-table entry. */
-struct SigEntry
+/**
+ * Classification metadata of one signature-table entry. The entry's
+ * signature bytes, weight and similarity threshold live in the
+ * table's flat arrays; this struct holds the cold per-entry state.
+ */
+struct SigEntryMeta
 {
-    Signature sig;
     /** Real phase ID once stable; transitionPhaseId before that. */
     PhaseId phase = transitionPhaseId;
-    /** Counts intervals classified into this entry (section 4.4). */
+    /** Counts intervals classified into this entry (section 4.4),
+     * including the interval that inserted it. */
     SatCounter minCounter{6, 0};
-    /** Per-entry similarity threshold (section 4.6). */
-    double threshold = 0.25;
     /** Running CPI average of intervals classified here. */
     RunningStats cpi;
     /** LRU tick. */
@@ -47,6 +57,20 @@ struct SigEntry
 class SignatureTable
 {
   public:
+    /** Index value meaning "no entry". */
+    static constexpr std::uint32_t npos = ~std::uint32_t(0);
+
+    /** Outcome of a match: entry index + normalized distance. */
+    struct MatchResult
+    {
+        std::uint32_t index = npos;
+        /** Normalized difference to the matched entry (meaningless
+         * when no entry matched). */
+        double distance = 0.0;
+
+        explicit operator bool() const { return index != npos; }
+    };
+
     /**
      * @param capacity      maximum entries (0 = unbounded)
      * @param min_ctr_bits  width of each entry's min counter
@@ -56,32 +80,87 @@ class SignatureTable
     /**
      * Finds the entry matching @p sig: among entries whose
      * (per-entry) threshold exceeds the normalized difference, picks
-     * the first or the most similar per @p policy. Returns nullptr
-     * when nothing matches. Does not update LRU state.
+     * the first or the most similar per @p policy. Returns a result
+     * with index == npos when nothing matches. Does not update LRU
+     * state.
      */
-    SigEntry *match(const Signature &sig, MatchPolicy policy);
+    MatchResult match(const Signature &sig, MatchPolicy policy) const;
+
+    /**
+     * Hot-path variant of match() over a raw compressed signature
+     * (@p ndims bytes at @p dims with weight @p weight, as produced
+     * by Signature::compressTo()).
+     */
+    MatchResult match(const std::uint8_t *dims, std::size_t ndims,
+                      std::uint32_t weight, MatchPolicy policy) const;
 
     /**
      * Inserts a new entry for @p sig with threshold @p threshold,
-     * evicting the LRU entry when at capacity. Returns the new
-     * entry.
+     * evicting the LRU entry when at capacity. The new entry's min
+     * counter starts at 1: the inserting interval is its first
+     * sighting (paper section 4.4 counts it toward min_count).
+     * Returns the new entry's index.
      */
-    SigEntry &insert(const Signature &sig, double threshold);
+    std::uint32_t insert(const Signature &sig, double threshold);
 
-    /** Marks @p entry most recently used. */
-    void touch(SigEntry &entry);
+    /** Hot-path variant of insert() over a raw compressed signature;
+     * @p bits_per_dim is recorded for signatureAt(). */
+    std::uint32_t insert(const std::uint8_t *dims, std::size_t ndims,
+                         std::uint32_t weight, double threshold,
+                         unsigned bits_per_dim);
+
+    /** Replaces entry @p idx's stored signature bytes (signature
+     * creep: a matched entry tracks the most recent code profile). */
+    void replaceSignature(std::uint32_t idx, const std::uint8_t *dims,
+                          std::size_t ndims, std::uint32_t weight);
+
+    /** Marks entry @p idx most recently used. */
+    void touch(std::uint32_t idx);
+
+    /** Mutable classification metadata of entry @p idx. */
+    SigEntryMeta &
+    meta(std::uint32_t idx)
+    {
+        return metas[idx];
+    }
+
+    const SigEntryMeta &
+    meta(std::uint32_t idx) const
+    {
+        return metas[idx];
+    }
+
+    /** Per-entry similarity threshold (section 4.6). */
+    double
+    threshold(std::uint32_t idx) const
+    {
+        return thresholds[idx];
+    }
+
+    void
+    setThreshold(std::uint32_t idx, double t)
+    {
+        thresholds[idx] = t;
+    }
+
+    /** Cached weight of entry @p idx's signature. */
+    std::uint32_t
+    weightAt(std::uint32_t idx) const
+    {
+        return weights[idx];
+    }
+
+    /** Materializes entry @p idx's signature (analysis / tests). */
+    Signature signatureAt(std::uint32_t idx) const;
 
     /** Number of valid entries. */
-    std::size_t size() const { return entries.size(); }
+    std::size_t size() const { return metas.size(); }
 
     /** Capacity (0 = unbounded). */
     unsigned capacity() const { return cap; }
 
     /** Cumulative count of entries evicted by LRU replacement. */
     std::uint64_t evictions() const { return evictions_; }
-
-    /** Read-only view of the stored entries (analysis / tests). */
-    const std::vector<SigEntry> &view() const { return entries; }
 
     /** Clears every entry's running CPI statistics (performance
      * feedback flush; signatures and phase IDs are retained). */
@@ -91,9 +170,24 @@ class SignatureTable
     void clear();
 
   private:
+    /** Appends or recycles a slot and returns its index. */
+    std::uint32_t allocSlot(std::size_t ndims);
+
     unsigned cap;
     unsigned minCtrBits;
-    std::vector<SigEntry> entries;
+    /** Bytes per signature row; fixed by the first insert. */
+    std::size_t rowDims = 0;
+    /** Bits per dimension of the stored signatures (materialization
+     * only); fixed by the first insert. */
+    unsigned rowBits = 6;
+    /** All signature bytes, row-major, rowDims bytes per entry. */
+    std::vector<std::uint8_t> rows;
+    /** Cached signature weights, parallel to rows. */
+    std::vector<std::uint32_t> weights;
+    /** Per-entry similarity thresholds, parallel to rows. */
+    std::vector<double> thresholds;
+    /** Cold per-entry state, parallel to rows. */
+    std::vector<SigEntryMeta> metas;
     std::uint64_t tick = 0;
     std::uint64_t evictions_ = 0;
 };

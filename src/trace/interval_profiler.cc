@@ -5,6 +5,13 @@
 namespace tpcp::trace
 {
 
+namespace
+{
+/** Cap on buffered branch events between flushes (bounds memory for
+ * branch-dense intervals; ~64 KiB of events). */
+constexpr std::size_t kPendingFlushThreshold = 4096;
+} // namespace
+
 IntervalProfiler::IntervalProfiler(const uarch::TimingCore &core,
                                    std::string workload,
                                    InstCount interval_len,
@@ -16,6 +23,7 @@ IntervalProfiler::IntervalProfiler(const uarch::TimingCore &core,
     tpcp_assert(interval_len > 0);
     for (unsigned d : dims)
         accums.emplace_back(d, counter_bits);
+    pending.reserve(kPendingFlushThreshold);
 }
 
 void
@@ -26,11 +34,14 @@ IntervalProfiler::onCommit(const uarch::DynInst &inst)
     ++instsSinceBranch;
 
     if (inst.isControl()) {
-        // Record (branch PC, instructions since the previous branch)
-        // into every accumulator configuration, as the hardware's
-        // branch-commit tap would.
-        for (auto &acc : accums)
-            acc.recordBranch(inst.pc, instsSinceBranch);
+        // Buffer (branch PC, instructions since the previous branch);
+        // the batch is replayed into every accumulator configuration
+        // at the interval boundary. Event order per accumulator is
+        // identical to recording at every branch, so the counters
+        // (and any saturation) come out the same.
+        pending.push_back({inst.pc, instsSinceBranch});
+        if (pending.size() >= kPendingFlushThreshold)
+            flushPending();
         instsSinceBranch = 0;
     }
 
@@ -39,8 +50,17 @@ IntervalProfiler::onCommit(const uarch::DynInst &inst)
 }
 
 void
+IntervalProfiler::flushPending()
+{
+    for (auto &acc : accums)
+        acc.recordBranches(pending.data(), pending.size());
+    pending.clear();
+}
+
+void
 IntervalProfiler::endInterval()
 {
+    flushPending();
     IntervalRecord rec;
     Cycles now = core.cycles();
     rec.insts = instsInInterval;

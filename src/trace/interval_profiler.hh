@@ -55,11 +55,20 @@ class IntervalProfiler : public uarch::TraceSink
 
   private:
     void endInterval();
+    /** Replays the buffered branch events into every accumulator
+     * config (batched recordBranches) and clears the buffer. */
+    void flushPending();
 
     const uarch::TimingCore &core;
     InstCount intervalLen;
     std::vector<phase::AccumulatorTable> accums;
     IntervalProfile profile_;
+
+    /** Branch commits buffered since the last flush. Replaying the
+     * batch once per accumulator config amortizes the per-branch
+     * call overhead and walks each table with better locality than
+     * interleaving all configs at every branch. */
+    std::vector<phase::BranchEvent> pending;
 
     InstCount instsInInterval = 0;
     InstCount instsSinceBranch = 0;

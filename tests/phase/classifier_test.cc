@@ -106,20 +106,39 @@ TEST(Classifier, TransitionPhaseUntilMinCount)
     ClassifierConfig cfg = baseConfig();
     cfg.minCountThreshold = 4;
     PhaseClassifier c(cfg);
-    // Insert (interval 1) + 3 matches: still transition.
+    // The inserting interval is sighting 1 (paper section 4.1: the
+    // signature must be "seen min_count times"); insert + 2 matches
+    // are still transition.
     EXPECT_EQ(c.classifyRaw(rawFor(0), kTotal, 1.0).phase,
               transitionPhaseId);
-    for (int i = 0; i < 3; ++i) {
+    for (int i = 0; i < 2; ++i) {
         EXPECT_EQ(c.classifyRaw(rawFor(0, 0.03, i), kTotal, 1.0)
                       .phase,
                   transitionPhaseId)
             << "match " << i;
     }
-    // 4th match crosses the threshold: real phase ID.
+    // The 3rd match is the 4th sighting: real phase ID.
     ClassifyResult r = c.classifyRaw(rawFor(0, 0.03, 9), kTotal, 1.0);
     EXPECT_EQ(r.phase, firstStablePhaseId);
     EXPECT_EQ(c.numStablePhases(), 1u);
-    EXPECT_EQ(c.stats().transitionIntervals, 4u);
+    EXPECT_EQ(c.stats().transitionIntervals, 3u);
+}
+
+TEST(Classifier, MinCountOnePromotesAtInsertion)
+{
+    // With minCountThreshold == 1 a signature has been "seen once"
+    // the moment it is inserted, so the very first interval of a new
+    // behavior already gets a stable phase ID. (Pre-fix, promotion
+    // needed minCountThreshold + 1 sightings: the inserting interval
+    // was not counted.)
+    ClassifierConfig cfg = baseConfig();
+    cfg.minCountThreshold = 1;
+    PhaseClassifier c(cfg);
+    ClassifyResult r = c.classifyRaw(rawFor(0), kTotal, 1.0);
+    EXPECT_TRUE(r.inserted);
+    EXPECT_EQ(r.phase, firstStablePhaseId);
+    EXPECT_EQ(c.stats().transitionIntervals, 0u);
+    EXPECT_EQ(c.numStablePhases(), 1u);
 }
 
 TEST(Classifier, InfrequentBehaviorStaysInTransition)
@@ -212,9 +231,8 @@ TEST(Classifier, AdaptiveHalvesThresholdOnCpiDeviation)
     ClassifyResult r = c.classifyRaw(rawFor(0, 0.02, 2), kTotal, 3.1);
     EXPECT_TRUE(r.thresholdHalved);
     EXPECT_EQ(c.stats().thresholdHalvings, 1u);
-    const SigEntry &e = c.table().view().front();
-    EXPECT_NEAR(e.threshold, 0.125, 1e-9);
-    EXPECT_EQ(e.cpi.count(), 1u)
+    EXPECT_NEAR(c.table().threshold(0), 0.125, 1e-9);
+    EXPECT_EQ(c.table().meta(0).cpi.count(), 1u)
         << "stats cleared then re-seeded with the current interval";
 }
 
@@ -230,11 +248,9 @@ TEST(Classifier, AdaptiveRespectsFloor)
     for (int i = 0; i < 10; ++i) {
         cpi *= 1.5; // always deviating
         c.classifyRaw(rawFor(0, 0.01, i), kTotal, cpi);
-        if (c.table().view().empty())
-            break;
     }
-    for (const SigEntry &e : c.table().view())
-        EXPECT_GE(e.threshold, 0.1);
+    for (std::uint32_t i = 0; i < c.table().size(); ++i)
+        EXPECT_GE(c.table().threshold(i), 0.1);
 }
 
 TEST(Classifier, StaticConfigNeverHalves)
@@ -305,4 +321,64 @@ TEST(Classifier, RejectsWrongDimensionality)
     std::vector<std::uint32_t> wrong(8, 100);
     EXPECT_DEATH(c.classifyRaw(wrong, kTotal, 1.0),
                  "dimensionality");
+}
+
+TEST(Classifier, EvictionsSurfacedInStats)
+{
+    ClassifierConfig cfg = baseConfig();
+    cfg.tableEntries = 2;
+    PhaseClassifier c(cfg);
+    for (unsigned shape = 0; shape < 6; ++shape)
+        c.classifyRaw(rawFor(shape), kTotal, 1.0);
+    EXPECT_GT(c.stats().evictions, 0u);
+    EXPECT_EQ(c.stats().evictions, c.table().evictions())
+        << "classifier stats mirror the table's eviction counter";
+}
+
+TEST(Classifier, EvictedPhaseGetsFreshIdOnRecurrence)
+{
+    // Intended hardware behavior: once LRU replacement drops a
+    // phase's signature, the classifier has no memory of it — the
+    // same code recurring is a *new* signature and receives a fresh
+    // phase ID, not its old one.
+    ClassifierConfig cfg = baseConfig();
+    cfg.tableEntries = 2;
+    PhaseClassifier c(cfg);
+    PhaseId a = c.classifyRaw(rawFor(0), kTotal, 1.0).phase;
+    // Two different behaviors fill the 2-entry table and evict A.
+    c.classifyRaw(rawFor(1), kTotal, 1.0);
+    c.classifyRaw(rawFor(2), kTotal, 1.0);
+    EXPECT_GT(c.table().evictions(), 0u);
+    ClassifyResult r = c.classifyRaw(rawFor(0), kTotal, 1.0);
+    EXPECT_TRUE(r.inserted) << "the old signature is gone";
+    EXPECT_NE(r.phase, a) << "recurrence after eviction = fresh ID";
+}
+
+TEST(Classifier, BatchedRecordBranchesMatchesSerial)
+{
+    ClassifierConfig cfg = baseConfig();
+    PhaseClassifier serial(cfg);
+    PhaseClassifier batched(cfg);
+
+    Rng rng(std::uint64_t{77});
+    for (int interval = 0; interval < 12; ++interval) {
+        std::vector<BranchEvent> events;
+        unsigned shape = interval % 3;
+        for (int b = 0; b < 300; ++b) {
+            // Large increments exercise saturation equivalence too.
+            events.push_back({0x2000 * (shape + 1) +
+                                  4 * rng.nextBounded(16),
+                              7 + rng.nextBounded(50000)});
+        }
+        for (const BranchEvent &ev : events)
+            serial.recordBranch(ev.pc, ev.insts);
+        batched.recordBranches(events.data(), events.size());
+
+        ClassifyResult a = serial.endInterval(1.0 + shape);
+        ClassifyResult b = batched.endInterval(1.0 + shape);
+        EXPECT_EQ(a.phase, b.phase) << "interval " << interval;
+        EXPECT_EQ(a.matched, b.matched) << "interval " << interval;
+        EXPECT_DOUBLE_EQ(a.distance, b.distance)
+            << "interval " << interval;
+    }
 }

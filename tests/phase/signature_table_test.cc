@@ -1,7 +1,9 @@
 /**
  * @file
  * Unit tests for the Past Signature Table: threshold matching,
- * best-vs-first match policies, LRU replacement and per-entry state.
+ * best-vs-first match policies, LRU replacement, per-entry state,
+ * index stability of the structure-of-arrays storage, and the
+ * eviction/reset semantics the classifier depends on.
  */
 
 #include <gtest/gtest.h>
@@ -25,8 +27,7 @@ sig(std::vector<std::uint8_t> dims)
 TEST(SignatureTable, EmptyNoMatch)
 {
     SignatureTable t(32, 6);
-    EXPECT_EQ(t.match(sig({1, 2, 3}), MatchPolicy::BestMatch),
-              nullptr);
+    EXPECT_FALSE(t.match(sig({1, 2, 3}), MatchPolicy::BestMatch));
     EXPECT_EQ(t.size(), 0u);
 }
 
@@ -34,8 +35,9 @@ TEST(SignatureTable, InsertThenExactMatch)
 {
     SignatureTable t(32, 6);
     t.insert(sig({10, 20, 30}), 0.25);
-    SigEntry *e = t.match(sig({10, 20, 30}), MatchPolicy::BestMatch);
-    ASSERT_NE(e, nullptr);
+    auto m = t.match(sig({10, 20, 30}), MatchPolicy::BestMatch);
+    ASSERT_TRUE(m);
+    EXPECT_DOUBLE_EQ(m.distance, 0.0);
     EXPECT_EQ(t.size(), 1u);
 }
 
@@ -44,69 +46,116 @@ TEST(SignatureTable, ThresholdIsExclusive)
     SignatureTable t(32, 6);
     // weight 40 + 40; a distance of 20 -> difference 0.25 exactly.
     t.insert(sig({40, 0}), 0.25);
-    EXPECT_EQ(t.match(sig({20, 20}), MatchPolicy::BestMatch),
-              nullptr)
+    EXPECT_FALSE(t.match(sig({20, 20}), MatchPolicy::BestMatch))
         << "difference must be strictly below the threshold";
     // distance 10 -> difference 10/75 ~ 0.133 < 0.25: matches.
-    EXPECT_NE(t.match(sig({35, 0}), MatchPolicy::BestMatch),
-              nullptr);
+    EXPECT_TRUE(t.match(sig({35, 0}), MatchPolicy::BestMatch));
+}
+
+TEST(SignatureTable, MatchReportsNormalizedDistance)
+{
+    SignatureTable t(32, 6);
+    t.insert(sig({40, 0}), 0.25);
+    auto m = t.match(sig({35, 0}), MatchPolicy::BestMatch);
+    ASSERT_TRUE(m);
+    EXPECT_DOUBLE_EQ(m.distance, 5.0 / 75.0);
 }
 
 TEST(SignatureTable, BestMatchPicksClosest)
 {
     SignatureTable t(32, 6);
-    SigEntry &far = t.insert(sig({30, 10}), 1.0);
-    far.phase = 1;
-    SigEntry &near = t.insert(sig({22, 18}), 1.0);
-    near.phase = 2;
-    SigEntry *best = t.match(sig({20, 20}), MatchPolicy::BestMatch);
-    ASSERT_NE(best, nullptr);
-    EXPECT_EQ(best->phase, 2u);
+    std::uint32_t far = t.insert(sig({30, 10}), 1.0);
+    t.meta(far).phase = 1;
+    std::uint32_t near = t.insert(sig({22, 18}), 1.0);
+    t.meta(near).phase = 2;
+    auto best = t.match(sig({20, 20}), MatchPolicy::BestMatch);
+    ASSERT_TRUE(best);
+    EXPECT_EQ(t.meta(best.index).phase, 2u);
 }
 
 TEST(SignatureTable, FirstMatchPicksFirstInTableOrder)
 {
     SignatureTable t(32, 6);
-    SigEntry &first = t.insert(sig({30, 10}), 1.0);
-    first.phase = 1;
-    SigEntry &closer = t.insert(sig({22, 18}), 1.0);
-    closer.phase = 2;
-    SigEntry *got = t.match(sig({20, 20}), MatchPolicy::FirstMatch);
-    ASSERT_NE(got, nullptr);
-    EXPECT_EQ(got->phase, 1u)
+    std::uint32_t first = t.insert(sig({30, 10}), 1.0);
+    t.meta(first).phase = 1;
+    std::uint32_t closer = t.insert(sig({22, 18}), 1.0);
+    t.meta(closer).phase = 2;
+    auto got = t.match(sig({20, 20}), MatchPolicy::FirstMatch);
+    ASSERT_TRUE(got);
+    EXPECT_EQ(t.meta(got.index).phase, 1u)
         << "prior work [25] takes the first satisfying entry";
 }
 
 TEST(SignatureTable, PerEntryThresholdRespected)
 {
     SignatureTable t(32, 6);
-    SigEntry &tight = t.insert(sig({40, 0}), 0.05);
-    tight.phase = 1;
+    std::uint32_t tight = t.insert(sig({40, 0}), 0.05);
+    t.meta(tight).phase = 1;
     // Difference ~0.07 fails the tightened 5% threshold.
-    EXPECT_EQ(t.match(sig({37, 3}), MatchPolicy::BestMatch),
-              nullptr);
-    tight.threshold = 0.25;
-    EXPECT_NE(t.match(sig({37, 3}), MatchPolicy::BestMatch),
-              nullptr);
+    EXPECT_FALSE(t.match(sig({37, 3}), MatchPolicy::BestMatch));
+    t.setThreshold(tight, 0.25);
+    EXPECT_TRUE(t.match(sig({37, 3}), MatchPolicy::BestMatch));
 }
 
 TEST(SignatureTable, LruEvictionAtCapacity)
 {
     SignatureTable t(2, 6);
-    SigEntry &a = t.insert(sig({63, 0}), 0.25);
-    a.phase = 1;
-    SigEntry &b = t.insert(sig({0, 63}), 0.25);
-    b.phase = 2;
+    std::uint32_t a = t.insert(sig({63, 0}), 0.25);
+    t.meta(a).phase = 1;
+    std::uint32_t b = t.insert(sig({0, 63}), 0.25);
+    t.meta(b).phase = 2;
     // Touch A so B is LRU; inserting C evicts B.
-    t.touch(*t.match(sig({63, 0}), MatchPolicy::BestMatch));
+    t.touch(t.match(sig({63, 0}), MatchPolicy::BestMatch).index);
     t.insert(sig({32, 32}), 0.25);
     EXPECT_EQ(t.size(), 2u);
     EXPECT_EQ(t.evictions(), 1u);
-    EXPECT_NE(t.match(sig({63, 0}), MatchPolicy::BestMatch),
-              nullptr);
-    EXPECT_EQ(t.match(sig({0, 63}), MatchPolicy::BestMatch),
-              nullptr)
+    EXPECT_TRUE(t.match(sig({63, 0}), MatchPolicy::BestMatch));
+    EXPECT_FALSE(t.match(sig({0, 63}), MatchPolicy::BestMatch))
         << "B was evicted";
+}
+
+TEST(SignatureTable, EvictionResetsEntryState)
+{
+    SignatureTable t(1, 6);
+    std::uint32_t a = t.insert(sig({63, 0}), 0.25);
+    t.meta(a).phase = 7;
+    t.meta(a).minCounter.increment(5);
+    t.setThreshold(a, 0.03125);
+    t.meta(a).cpi.push(1.5);
+    t.meta(a).cpi.push(2.5);
+
+    // Inserting a new signature evicts A and must hand back a
+    // factory-fresh slot: transition phase, min counter restarted at
+    // the inserting sighting, the *new* threshold, no CPI history.
+    std::uint32_t b = t.insert(sig({0, 63}), 0.25);
+    EXPECT_EQ(t.evictions(), 1u);
+    EXPECT_EQ(t.meta(b).phase, transitionPhaseId);
+    EXPECT_EQ(t.meta(b).minCounter.value(), 1u)
+        << "the inserting interval is the first sighting";
+    EXPECT_DOUBLE_EQ(t.threshold(b), 0.25);
+    EXPECT_EQ(t.meta(b).cpi.count(), 0u);
+    EXPECT_EQ(t.signatureAt(b), sig({0, 63}));
+}
+
+TEST(SignatureTable, LruTickMonotonicAcrossMatchAndInsert)
+{
+    SignatureTable t(8, 6);
+    std::uint32_t a = t.insert(sig({63, 0}), 1.0);
+    std::uint32_t b = t.insert(sig({0, 63}), 1.0);
+    EXPECT_LT(t.meta(a).lastUse, t.meta(b).lastUse)
+        << "later insert is more recently used";
+    std::uint64_t b_use = t.meta(b).lastUse;
+
+    // match() must not advance LRU state by itself...
+    t.match(sig({63, 0}), MatchPolicy::BestMatch);
+    EXPECT_EQ(t.meta(b).lastUse, b_use);
+
+    // ...but touch() after a match moves the entry ahead of every
+    // prior use, and a subsequent insert is newer still.
+    t.touch(a);
+    EXPECT_GT(t.meta(a).lastUse, b_use);
+    std::uint32_t c = t.insert(sig({32, 32}), 1.0);
+    EXPECT_GT(t.meta(c).lastUse, t.meta(a).lastUse);
 }
 
 TEST(SignatureTable, UnboundedNeverEvicts)
@@ -121,25 +170,80 @@ TEST(SignatureTable, UnboundedNeverEvicts)
     EXPECT_EQ(t.evictions(), 0u);
 }
 
+TEST(SignatureTable, IndexStableWhileUnboundedTableGrows)
+{
+    // Regression for the pointer-stability hazard: with cap == 0 the
+    // old SigEntry* returns were invalidated when the entries vector
+    // reallocated. Entry references are indices now; hold one across
+    // growth far past the initial capacity and keep using it.
+    SignatureTable t(0, 6);
+    std::uint32_t held = t.insert(sig({63, 0, 0, 0}), 0.25);
+    t.meta(held).phase = 42;
+    t.meta(held).cpi.push(1.25);
+
+    for (int i = 0; i < 4096; ++i) {
+        std::vector<std::uint8_t> d(4, 0);
+        d[i % 4] = static_cast<std::uint8_t>(1 + i % 62);
+        d[(i + 1) % 4] = static_cast<std::uint8_t>(1 + (i / 62) % 62);
+        t.insert(sig(d), 0.25);
+    }
+    EXPECT_EQ(t.size(), 4097u);
+
+    // The held reference still designates the original entry.
+    EXPECT_EQ(t.meta(held).phase, 42u);
+    EXPECT_EQ(t.meta(held).cpi.count(), 1u);
+    EXPECT_DOUBLE_EQ(t.meta(held).cpi.mean(), 1.25);
+    EXPECT_EQ(t.signatureAt(held), sig({63, 0, 0, 0}));
+    EXPECT_EQ(t.weightAt(held), 63u);
+    auto m = t.match(sig({63, 0, 0, 0}), MatchPolicy::BestMatch);
+    ASSERT_TRUE(m);
+    EXPECT_EQ(m.index, held);
+}
+
 TEST(SignatureTable, MinCounterWidthFromConstruction)
 {
     SignatureTable t(4, 3);
-    SigEntry &e = t.insert(sig({1}), 0.25);
-    EXPECT_EQ(e.minCounter.max(), 7u);
+    std::uint32_t e = t.insert(sig({1}), 0.25);
+    EXPECT_EQ(t.meta(e).minCounter.max(), 7u);
+}
+
+TEST(SignatureTable, InsertCountsTheInsertingSighting)
+{
+    // Paper section 4.1/4.4: promotion requires the signature to have
+    // been *seen* min_count times, and the inserting interval is the
+    // first sighting. A fresh entry therefore starts at 1, not 0.
+    SignatureTable t(4, 6);
+    std::uint32_t e = t.insert(sig({5, 5}), 0.25);
+    EXPECT_EQ(t.meta(e).minCounter.value(), 1u);
+}
+
+TEST(SignatureTable, ReplaceSignatureTracksDrift)
+{
+    SignatureTable t(4, 6);
+    std::uint32_t e = t.insert(sig({40, 0}), 0.25);
+    Signature drifted = sig({44, 2});
+    t.replaceSignature(e, drifted.data(), drifted.size(),
+                       drifted.weight());
+    EXPECT_EQ(t.signatureAt(e), drifted);
+    EXPECT_EQ(t.weightAt(e), 46u);
+    auto m = t.match(sig({44, 2}), MatchPolicy::BestMatch);
+    ASSERT_TRUE(m);
+    EXPECT_DOUBLE_EQ(m.distance, 0.0);
 }
 
 TEST(SignatureTable, ClearPerformanceStatsKeepsEntries)
 {
     SignatureTable t(4, 6);
-    SigEntry &e = t.insert(sig({1, 2}), 0.25);
-    e.phase = 3;
-    e.cpi.push(1.5);
+    std::uint32_t e = t.insert(sig({1, 2}), 0.25);
+    t.meta(e).phase = 3;
+    t.meta(e).cpi.push(1.5);
     t.clearPerformanceStats();
     EXPECT_EQ(t.size(), 1u);
-    SigEntry *m = t.match(sig({1, 2}), MatchPolicy::BestMatch);
-    ASSERT_NE(m, nullptr);
-    EXPECT_EQ(m->phase, 3u) << "phase IDs survive the flush";
-    EXPECT_EQ(m->cpi.count(), 0u) << "CPI stats flushed";
+    auto m = t.match(sig({1, 2}), MatchPolicy::BestMatch);
+    ASSERT_TRUE(m);
+    EXPECT_EQ(t.meta(m.index).phase, 3u)
+        << "phase IDs survive the flush";
+    EXPECT_EQ(t.meta(m.index).cpi.count(), 0u) << "CPI stats flushed";
 }
 
 TEST(SignatureTable, ClearRemovesEverything)
@@ -149,4 +253,57 @@ TEST(SignatureTable, ClearRemovesEverything)
     t.clear();
     EXPECT_EQ(t.size(), 0u);
     EXPECT_EQ(t.evictions(), 0u);
+    // The dimensionality is re-fixed by the next insert.
+    t.insert(sig({1, 2, 3}), 0.25);
+    EXPECT_TRUE(t.match(sig({1, 2, 3}), MatchPolicy::BestMatch));
+}
+
+TEST(SignatureTable, EarlyExitAgreesWithFullScan)
+{
+    // The running-bound early exit must be invisible: across a mix of
+    // weights and thresholds (including exact-boundary distances) the
+    // match decisions equal a naive full difference() scan.
+    SignatureTable t(0, 6);
+    std::vector<Signature> stored;
+    for (unsigned i = 0; i < 64; ++i) {
+        std::vector<std::uint8_t> d(8, 0);
+        for (unsigned j = 0; j < 8; ++j)
+            d[j] = static_cast<std::uint8_t>((i * 7 + j * 13) % 64);
+        stored.push_back(sig(d));
+        t.insert(stored.back(), 0.05 + 0.01 * (i % 23));
+    }
+    for (unsigned q = 0; q < 64; ++q) {
+        std::vector<std::uint8_t> d(8, 0);
+        for (unsigned j = 0; j < 8; ++j)
+            d[j] = static_cast<std::uint8_t>((q * 11 + j * 5) % 64);
+        Signature query = sig(d);
+
+        // Naive reference: first index under threshold, and best
+        // index by strictly-smaller distance.
+        int ref_first = -1, ref_best = -1;
+        double best_diff = 0.0;
+        for (unsigned i = 0; i < 64; ++i) {
+            double diff = query.difference(stored[i]);
+            if (diff >= t.threshold(i))
+                continue;
+            if (ref_first < 0)
+                ref_first = static_cast<int>(i);
+            if (ref_best < 0 || diff < best_diff) {
+                ref_best = static_cast<int>(i);
+                best_diff = diff;
+            }
+        }
+
+        auto first = t.match(query, MatchPolicy::FirstMatch);
+        auto best = t.match(query, MatchPolicy::BestMatch);
+        EXPECT_EQ(first ? static_cast<int>(first.index) : -1,
+                  ref_first)
+            << "query " << q;
+        EXPECT_EQ(best ? static_cast<int>(best.index) : -1, ref_best)
+            << "query " << q;
+        if (best && ref_best >= 0) {
+            EXPECT_DOUBLE_EQ(best.distance, best_diff)
+                << "query " << q;
+        }
+    }
 }

@@ -182,6 +182,89 @@ TEST(Signature, ZeroWeightPairDiffersMaximally)
     EXPECT_DOUBLE_EQ(live.difference(zero), 1.0);
 }
 
+TEST(Signature, ZeroBranchIntervalDynamicSelection)
+{
+    // An interval with no committed branches: total == 0, all
+    // counters zero. Dynamic selection must take the avg == 0 path
+    // (window top = bitsFor(0) + 2 = 3, shift 0) and produce the
+    // all-zero signature, not crash or saturate.
+    std::vector<std::uint32_t> raw(16, 0);
+    Signature s = Signature::fromAccumulators(
+        raw, 0, 6, BitSelection::Dynamic);
+    EXPECT_EQ(s.size(), 16u);
+    EXPECT_EQ(s.weight(), 0u);
+    for (std::size_t i = 0; i < s.size(); ++i)
+        EXPECT_EQ(s.dim(i), 0u);
+}
+
+TEST(Signature, ZeroTotalWithResidualCountersSelectsLowBits)
+{
+    // total == 0 fixes the window at bits [0, 3); counters small
+    // enough to fit are kept verbatim, larger ones saturate.
+    std::vector<std::uint32_t> raw = {0, 3, 5, 63};
+    Signature s = Signature::fromAccumulators(
+        raw, 0, 6, BitSelection::Dynamic);
+    EXPECT_EQ(s.dim(0), 0u);
+    EXPECT_EQ(s.dim(1), 3u);
+    EXPECT_EQ(s.dim(2), 5u);
+    EXPECT_EQ(s.dim(3), 63u) << "bits above window bit 3 saturate";
+}
+
+TEST(Signature, LargeStaticShiftIsDefinedAndZero)
+{
+    // static_shift = 60 with 6 bits/dim puts the window top at 66:
+    // the old (v >> 66) was undefined (on x86 it aliased to v >> 2
+    // and spuriously saturated every counter >= 4). The window is
+    // clamped now: 32-bit counters have no bits at or above bit 60,
+    // so every dimension compresses to 0.
+    std::vector<std::uint32_t> raw = {4, 1000, 0xffffffffu};
+    Signature s = Signature::fromAccumulators(
+        raw, 3000, 6, BitSelection::Static, 60);
+    for (std::size_t i = 0; i < s.size(); ++i)
+        EXPECT_EQ(s.dim(i), 0u) << "dim " << i;
+    EXPECT_EQ(s.weight(), 0u);
+}
+
+TEST(Signature, StaticShiftBeyondWordWidthIsDefinedAndZero)
+{
+    // Even shift >= 64 (window entirely above the counter word) must
+    // be well-defined: nothing to select, nothing to saturate.
+    std::vector<std::uint32_t> raw = {0xffffffffu, 123};
+    Signature s = Signature::fromAccumulators(
+        raw, 500, 6, BitSelection::Static, 80);
+    EXPECT_EQ(s.dim(0), 0u);
+    EXPECT_EQ(s.dim(1), 0u);
+}
+
+TEST(Signature, HugeDynamicAverageClampsWindow)
+{
+    // A pathological total drives bitsFor(avg) + 2 past 64; the
+    // clamped window keeps the shift in range (UB regression guard).
+    std::vector<std::uint32_t> raw = {0xffffffffu, 42};
+    Signature s = Signature::fromAccumulators(
+        raw, ~InstCount(0), 6, BitSelection::Dynamic);
+    EXPECT_EQ(s.dim(0), 0u) << "32-bit counter >> 60 is zero";
+    EXPECT_EQ(s.dim(1), 0u);
+}
+
+TEST(Signature, CompressToMatchesFromAccumulators)
+{
+    // The allocation-free hot-path compressor must produce exactly
+    // the bytes and weight of fromAccumulators().
+    std::vector<std::uint32_t> raw = {0, 17, 4096, 70000, 123456,
+                                      9999999, 1, 63};
+    for (auto mode : {BitSelection::Dynamic, BitSelection::Static}) {
+        Signature ref = Signature::fromAccumulators(
+            raw, 1234567, 6, mode, 14);
+        std::vector<std::uint8_t> buf(raw.size(), 0xee);
+        std::uint32_t w = Signature::compressTo(raw, 1234567, 6,
+                                                mode, 14, buf.data());
+        EXPECT_EQ(w, ref.weight());
+        for (std::size_t i = 0; i < raw.size(); ++i)
+            EXPECT_EQ(buf[i], ref.dim(i)) << "dim " << i;
+    }
+}
+
 TEST(Signature, ZeroWeightPairIdentical)
 {
     // Two empty signatures carry no evidence of difference: 0.0,

@@ -60,7 +60,10 @@ TEST(PhaseTracker, ReportsPhaseChanges)
         changes.push_back(
             tracker.onIntervalEnd(1.0 + shape).phaseChanged);
     }
-    EXPECT_FALSE(changes[1]) << "stable dwell";
+    // Interval 0 inserts (transition, sighting 1); interval 1 is the
+    // min_count == 2nd sighting and promotes — a phase change. The
+    // stable dwell starts at interval 2.
+    EXPECT_FALSE(changes[2]) << "stable dwell";
     int total_changes = 0;
     for (bool c : changes)
         total_changes += c ? 1 : 0;

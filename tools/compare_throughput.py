@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Compare a micro_throughput run against the checked-in baseline.
+
+Usage:
+    compare_throughput.py BASELINE.json CURRENT.json [--tolerance F]
+                          [--strict]
+
+Each benchmark is matched by (name, config) and its items_per_sec is
+compared against the baseline. A benchmark regresses when
+
+    current < baseline * (1 - tolerance)
+
+The default tolerance is deliberately generous (50%): the CI runner
+is a shared 1-core container, so this check is a tripwire for large
+regressions (an accidental O(n^2), a lost optimization), not a gate
+on run-to-run noise. By default regressions are reported as warnings
+and the exit code stays 0; pass --strict to exit 1 instead.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    return {(r["name"], r["config"]): r for r in doc["results"]}
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--tolerance", type=float, default=0.5,
+                    help="allowed fractional slowdown (default 0.5)")
+    ap.add_argument("--strict", action="store_true",
+                    help="exit non-zero on regressions")
+    args = ap.parse_args()
+
+    base = load(args.baseline)
+    cur = load(args.current)
+
+    regressions = []
+    print(f"{'benchmark':<14} {'config':<14} {'baseline':>14} "
+          f"{'current':>14} {'ratio':>7}")
+    for key in sorted(base):
+        name, config = key
+        b = base[key]["items_per_sec"]
+        c_entry = cur.get(key)
+        if c_entry is None:
+            regressions.append((name, config, "missing from current"))
+            print(f"{name:<14} {config:<14} {b:>14,} {'MISSING':>14}")
+            continue
+        c = c_entry["items_per_sec"]
+        ratio = c / b if b else float("inf")
+        flag = ""
+        if c < b * (1.0 - args.tolerance):
+            regressions.append(
+                (name, config,
+                 f"{c:,}/sec vs baseline {b:,}/sec "
+                 f"(ratio {ratio:.2f})"))
+            flag = "  <-- REGRESSION"
+        print(f"{name:<14} {config:<14} {b:>14,} {c:>14,} "
+              f"{ratio:>6.2f}x{flag}")
+    for key in sorted(set(cur) - set(base)):
+        print(f"{key[0]:<14} {key[1]:<14} {'(new, no baseline)':>29}")
+
+    if regressions:
+        print(f"\n{len(regressions)} benchmark(s) slower than "
+              f"{(1 - args.tolerance):.0%} of baseline:",
+              file=sys.stderr)
+        for name, config, detail in regressions:
+            print(f"  {name} [{config}]: {detail}", file=sys.stderr)
+        if args.strict:
+            return 1
+        print("(warn-only: perf tripwire, not a gate)",
+              file=sys.stderr)
+    else:
+        print("\nall benchmarks within tolerance of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
