@@ -1,0 +1,135 @@
+#include "adapt/controller.hh"
+
+#include "common/logging.hh"
+#include "pred/length_predictor.hh"
+#include "pred/next_phase_predictor.hh"
+
+namespace tpcp::adapt
+{
+
+AdaptController::AdaptController(const ConfigLattice &lattice,
+                                 const ControllerOptions &options)
+    : lattice(lattice), opts(options)
+{
+}
+
+ControllerResult
+AdaptController::run(
+    const std::vector<trace::IntervalProfile> &profiles,
+    const std::vector<PhaseId> &phases) const
+{
+    if (profiles.size() != lattice.size())
+        tpcp_fatal("adapt: ", profiles.size(),
+                   " profiles for a lattice of ", lattice.size());
+    std::size_t n = profiles.front().numIntervals();
+    for (const trace::IntervalProfile &p : profiles) {
+        if (p.numIntervals() != n)
+            tpcp_fatal("adapt: interval count mismatch across "
+                       "lattice profiles (", p.numIntervals(),
+                       " vs ", n, ")");
+    }
+    if (phases.size() != n)
+        tpcp_fatal("adapt: phase stream length ", phases.size(),
+                   " != ", n, " intervals");
+
+    EnergyModel model(opts.energy);
+    ReconfigPenalty penalty(opts.penalty);
+    GreedyHillClimbPolicy policy(lattice, opts.policy);
+    pred::NextPhasePredictor predictor(
+        opts.anticipate
+            ? std::make_unique<pred::ChangePredictor>(
+                  pred::ChangePredictorConfig::rle(2))
+            : nullptr);
+    pred::RunLengthPredictor lengthPred;
+
+    ControllerResult res;
+    res.activeConfig.reserve(n);
+
+    std::size_t active = ConfigLattice::bigIndex;
+    Cycles pending_penalty = 0;
+    PhaseId prev_phase = invalidPhaseId;
+    PhaseId predicted_phase = invalidPhaseId;
+
+    for (std::size_t t = 0; t < n; ++t) {
+        const trace::IntervalRecord &rec =
+            profiles[active].interval(t);
+        PhaseId phase = phases[t];
+        res.activeConfig.push_back(active);
+
+        // Account the interval under the active configuration; a
+        // switch charged at the previous boundary costs its cycles
+        // (and their leakage energy) here.
+        double insts = static_cast<double>(rec.insts);
+        double clean_cycles = rec.cpi * insts;
+        double cycles =
+            clean_cycles + static_cast<double>(pending_penalty);
+        pending_penalty = 0;
+        double energy = model.intervalEnergy(
+            lattice.machine(active), rec.insts,
+            static_cast<Cycles>(cycles));
+        res.totals.cycles += cycles;
+        res.totals.energy += energy;
+        res.totals.edp += energy * cycles;
+
+        // The learner sees penalty-free measurements: switch costs
+        // are the controller's doing, not the configuration's.
+        policy.record(phase, active, clean_cycles,
+                      model.intervalEnergy(lattice.machine(active),
+                                           rec.insts,
+                                           static_cast<Cycles>(
+                                               clean_cycles)));
+
+        bool changed = t > 0 && phase != prev_phase;
+        bool anticipated = changed && predicted_phase == phase;
+        if (changed) {
+            ++res.phaseChanges;
+            if (!anticipated)
+                ++res.unanticipatedChanges;
+        }
+
+        // Interval boundary: train the predictors on the observed
+        // phase, then decide the configuration for interval t+1.
+        predictor.observe(phase);
+        lengthPred.observe(phase);
+        pred::NextPhasePrediction next = predictor.predict();
+        predicted_phase = next.phase;
+
+        // No interval follows the last boundary, so there is
+        // nothing to reconfigure for.
+        if (t + 1 >= n)
+            break;
+
+        std::size_t want = policy.choose(predicted_phase);
+        if (want != active) {
+            SwitchKind kind;
+            if (predicted_phase != phase) {
+                // Anticipating a change into a different phase.
+                kind = SwitchKind::Predicted;
+            } else if (changed && !anticipated) {
+                // Correcting after a change nobody predicted.
+                kind = SwitchKind::Reactive;
+            } else {
+                kind = SwitchKind::Exploration;
+            }
+            if (kind == SwitchKind::Reactive && opts.lengthGate &&
+                lengthPred.pendingPrediction() == 0u) {
+                // Predicted-short run: the stale configuration for
+                // a few intervals is cheaper than flush + warmup.
+                ++res.lengthGateSkips;
+            } else {
+                pending_penalty = penalty.charge(kind);
+                active = want;
+            }
+        }
+        prev_phase = phase;
+    }
+
+    res.switches = penalty.stats();
+    for (PhaseId id : phases) {
+        if (!res.bestPerPhase.count(id))
+            res.bestPerPhase[id] = policy.bestChoice(id);
+    }
+    return res;
+}
+
+} // namespace tpcp::adapt

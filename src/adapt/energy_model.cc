@@ -1,0 +1,89 @@
+#include "adapt/energy_model.hh"
+
+#include <cmath>
+
+namespace tpcp::adapt
+{
+
+EnergyModel::EnergyModel(const EnergyWeights &weights)
+    : weights_(weights)
+{
+}
+
+double
+EnergyModel::staticPower(const uarch::MachineConfig &m) const
+{
+    const EnergyWeights &w = weights_;
+    double cache_bytes =
+        static_cast<double>(m.icache.sizeBytes) +
+        static_cast<double>(m.dcache.sizeBytes) +
+        static_cast<double>(m.l2.sizeBytes);
+    double tlb_entries = static_cast<double>(m.itlb.entries) +
+                         static_cast<double>(m.dtlb.entries);
+    return w.cacheLeakPerByte * cache_bytes +
+           w.tlbLeakPerEntry * tlb_entries +
+           w.coreLeakPerSlot *
+               static_cast<double>(m.core.issueWidth);
+}
+
+double
+EnergyModel::cacheAccessEnergy(const uarch::CacheConfig &c) const
+{
+    // Normalized to a 16K 4-way reference array: access energy grows
+    // with the square root of size (bitline length) and of
+    // associativity (ways probed in parallel).
+    double size_scale = std::sqrt(
+        static_cast<double>(c.sizeBytes) / (16.0 * 1024.0));
+    double assoc_scale =
+        std::sqrt(static_cast<double>(c.assoc) / 4.0);
+    return weights_.cacheDynPerAccess * size_scale * assoc_scale;
+}
+
+double
+EnergyModel::energy(const uarch::MachineConfig &m,
+                    const uarch::AccessCounts &counts) const
+{
+    const EnergyWeights &w = weights_;
+    double e = staticPower(m) * static_cast<double>(counts.cycles);
+    e += cacheAccessEnergy(m.icache) *
+         static_cast<double>(counts.icacheAccesses);
+    e += cacheAccessEnergy(m.dcache) *
+         static_cast<double>(counts.dcacheAccesses);
+    e += cacheAccessEnergy(m.l2) *
+         static_cast<double>(counts.l2Accesses);
+    e += w.tlbDynPerAccess *
+         static_cast<double>(counts.itlbAccesses +
+                             counts.dtlbAccesses);
+    e += w.coreDynPerInst *
+         std::sqrt(static_cast<double>(m.core.issueWidth) / 4.0) *
+         static_cast<double>(counts.insts);
+    return e;
+}
+
+uarch::AccessCounts
+EnergyModel::estimateAccesses(InstCount insts, Cycles cycles) const
+{
+    const EnergyWeights &w = weights_;
+    auto rate = [insts](double r) {
+        return static_cast<std::uint64_t>(
+            r * static_cast<double>(insts));
+    };
+    uarch::AccessCounts counts;
+    counts.cycles = cycles;
+    counts.insts = insts;
+    counts.icacheAccesses = rate(w.icacheAccessRate);
+    counts.dcacheAccesses = rate(w.dcacheAccessRate);
+    counts.l2Accesses = rate(w.l2AccessRate);
+    counts.itlbAccesses = rate(w.tlbAccessRate * 0.5);
+    counts.dtlbAccesses = rate(w.tlbAccessRate * 0.5);
+    return counts;
+}
+
+double
+EnergyModel::intervalEnergy(const uarch::MachineConfig &m,
+                            InstCount insts, Cycles cycles) const
+{
+    return energy(m, estimateAccesses(insts, cycles));
+}
+
+} // namespace tpcp::adapt

@@ -1,0 +1,157 @@
+#include "adapt/lattice.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace tpcp::adapt
+{
+
+namespace
+{
+
+/** Applies @p level steps of @p kind to @p m. */
+uarch::MachineConfig
+applySteps(uarch::MachineConfig m, StepKind kind, unsigned level)
+{
+    for (unsigned i = 0; i < level; ++i) {
+        switch (kind) {
+          case StepKind::L1dCache:
+            m.dcache = uarch::halvedCache(m.dcache);
+            break;
+          case StepKind::L2Cache:
+            m.l2 = uarch::halvedCache(m.l2);
+            break;
+          case StepKind::CoreWidth:
+            m.core = uarch::narrowedCore(m.core);
+            break;
+        }
+    }
+    return m;
+}
+
+std::string
+pointName(const uarch::MachineConfig &m)
+{
+    std::ostringstream oss;
+    oss << "l1d" << m.dcache.sizeBytes / 1024 << "k-l2"
+        << m.l2.sizeBytes / 1024 << "k-w" << m.core.issueWidth;
+    return oss.str();
+}
+
+} // namespace
+
+ConfigLattice::ConfigLattice(const uarch::MachineConfig &base,
+                             std::vector<LatticeDim> dims)
+    : dims_(std::move(dims))
+{
+    if (dims_.empty())
+        tpcp_fatal("ConfigLattice needs at least one dimension");
+    std::size_t total = 1;
+    for (const LatticeDim &d : dims_) {
+        if (d.levels == 0)
+            tpcp_fatal("lattice dimension with zero levels");
+        total *= d.levels;
+    }
+    points.reserve(total);
+    std::vector<unsigned> levels(dims_.size(), 0);
+    for (std::size_t i = 0; i < total; ++i) {
+        Point p;
+        p.levels = levels;
+        uarch::MachineConfig m = base;
+        for (std::size_t d = 0; d < dims_.size(); ++d)
+            m = applySteps(m, dims_[d].kind, levels[d]);
+        p.machine = m;
+        p.name = pointName(m);
+        points.push_back(std::move(p));
+        // Mixed-radix increment, last dimension fastest.
+        for (std::size_t d = dims_.size(); d-- > 0;) {
+            if (++levels[d] < dims_[d].levels)
+                break;
+            levels[d] = 0;
+        }
+    }
+}
+
+ConfigLattice
+ConfigLattice::standard(const uarch::MachineConfig &base)
+{
+    return ConfigLattice(base, {{StepKind::L1dCache, 3},
+                                {StepKind::L2Cache, 2},
+                                {StepKind::CoreWidth, 2}});
+}
+
+ConfigLattice
+ConfigLattice::small(const uarch::MachineConfig &base)
+{
+    return ConfigLattice(base, {{StepKind::L1dCache, 2},
+                                {StepKind::CoreWidth, 2}});
+}
+
+ConfigLattice
+ConfigLattice::byName(const std::string &name)
+{
+    if (name == "standard")
+        return standard();
+    if (name == "small")
+        return small();
+    tpcp_fatal("unknown lattice '", name,
+               "' (expected standard | small)");
+}
+
+const uarch::MachineConfig &
+ConfigLattice::machine(std::size_t idx) const
+{
+    if (idx >= points.size())
+        tpcp_panic("lattice index out of range");
+    return points[idx].machine;
+}
+
+const std::string &
+ConfigLattice::name(std::size_t idx) const
+{
+    if (idx >= points.size())
+        tpcp_panic("lattice index out of range");
+    return points[idx].name;
+}
+
+unsigned
+ConfigLattice::level(std::size_t idx, std::size_t dim) const
+{
+    if (idx >= points.size() || dim >= dims_.size())
+        tpcp_panic("lattice index out of range");
+    return points[idx].levels[dim];
+}
+
+std::size_t
+ConfigLattice::indexOf(const std::vector<unsigned> &levels) const
+{
+    std::size_t idx = 0;
+    for (std::size_t d = 0; d < dims_.size(); ++d)
+        idx = idx * dims_[d].levels + levels[d];
+    return idx;
+}
+
+std::vector<std::size_t>
+ConfigLattice::neighbors(std::size_t idx) const
+{
+    if (idx >= points.size())
+        tpcp_panic("lattice index out of range");
+    std::vector<std::size_t> out;
+    std::vector<unsigned> levels = points[idx].levels;
+    for (std::size_t d = 0; d < dims_.size(); ++d) {
+        if (levels[d] > 0) {
+            --levels[d];
+            out.push_back(indexOf(levels));
+            ++levels[d];
+        }
+        if (levels[d] + 1 < dims_[d].levels) {
+            ++levels[d];
+            out.push_back(indexOf(levels));
+            --levels[d];
+        }
+    }
+    return out;
+}
+
+} // namespace tpcp::adapt

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * The bounded configuration lattice a reconfiguration policy explores:
+ * a small set of machine-configuration dimensions (L1 data cache, L2
+ * cache, core width), each with a few discrete power-of-two levels
+ * stepped down from a base machine. Level 0 of every dimension is the
+ * base ("always big") machine; higher levels are produced by the
+ * uarch config steppers (halvedCache / narrowedCore).
+ *
+ * Points are addressed by a dense index so policies and reports can
+ * treat a configuration as a small integer; neighbors(idx) enumerates
+ * the points one level away in exactly one dimension, which is the
+ * move set of the greedy hill-climbing policy.
+ */
+
+#ifndef TPCP_ADAPT_LATTICE_HH
+#define TPCP_ADAPT_LATTICE_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "uarch/machine_config.hh"
+
+namespace tpcp::adapt
+{
+
+/** Which machine structure a lattice dimension steps. */
+enum class StepKind
+{
+    L1dCache, ///< halvedCache() on the L1 data cache
+    L2Cache,  ///< halvedCache() on the unified L2
+    CoreWidth ///< narrowedCore() on the core widths/ROB/LSQ
+};
+
+/** One dimension of the lattice. */
+struct LatticeDim
+{
+    StepKind kind;
+    /** Number of levels including level 0 (the base machine). */
+    unsigned levels = 2;
+};
+
+/**
+ * The enumerated lattice: every combination of dimension levels,
+ * materialized as a MachineConfig with a stable short name.
+ */
+class ConfigLattice
+{
+  public:
+    /**
+     * Enumerates all points of @p dims over @p base. Index 0 is the
+     * all-level-0 point (== @p base); the last dimension varies
+     * fastest (mixed-radix row-major order).
+     */
+    ConfigLattice(const uarch::MachineConfig &base,
+                  std::vector<LatticeDim> dims);
+
+    /** The default exploration space: L1D {16K,8K,4K} x L2
+     * {128K,64K} x width {4,2} over Table 1 — 12 points. */
+    static ConfigLattice standard(
+        const uarch::MachineConfig &base =
+            uarch::MachineConfig::table1());
+
+    /** A 4-point lattice (L1D x width, 2 levels each) for tests and
+     * quick CI runs. */
+    static ConfigLattice small(
+        const uarch::MachineConfig &base =
+            uarch::MachineConfig::table1());
+
+    /** Builds a named preset: "standard" | "small". Fatal (user
+     * error) on unknown names. */
+    static ConfigLattice byName(const std::string &name);
+
+    std::size_t size() const { return points.size(); }
+    std::size_t numDims() const { return dims_.size(); }
+    const std::vector<LatticeDim> &dims() const { return dims_; }
+
+    const uarch::MachineConfig &machine(std::size_t idx) const;
+
+    /** Short stable name, e.g. "l1d8k-l2128k-w4". */
+    const std::string &name(std::size_t idx) const;
+
+    /** Level of @p idx in dimension @p dim. */
+    unsigned level(std::size_t idx, std::size_t dim) const;
+
+    /**
+     * Indices one level away in exactly one dimension, in a fixed
+     * deterministic order (dimension 0 down, dimension 0 up,
+     * dimension 1 down, ...). "Down" (toward level 0, bigger
+     * hardware) comes first so ties resolve toward the safer
+     * configuration.
+     */
+    std::vector<std::size_t> neighbors(std::size_t idx) const;
+
+    /** The index of the all-level-0 (biggest) point: always 0. */
+    static constexpr std::size_t bigIndex = 0;
+
+  private:
+    struct Point
+    {
+        std::vector<unsigned> levels;
+        uarch::MachineConfig machine;
+        std::string name;
+    };
+
+    std::size_t indexOf(const std::vector<unsigned> &levels) const;
+
+    std::vector<LatticeDim> dims_;
+    std::vector<Point> points;
+};
+
+} // namespace tpcp::adapt
+
+#endif // TPCP_ADAPT_LATTICE_HH

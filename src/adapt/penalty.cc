@@ -1,0 +1,50 @@
+#include "adapt/penalty.hh"
+
+#include "common/logging.hh"
+
+namespace tpcp::adapt
+{
+
+const char *
+switchKindName(SwitchKind kind)
+{
+    switch (kind) {
+      case SwitchKind::Predicted: return "predicted";
+      case SwitchKind::Exploration: return "exploration";
+      case SwitchKind::Reactive: return "reactive";
+    }
+    tpcp_panic("bad SwitchKind");
+}
+
+ReconfigPenalty::ReconfigPenalty(const PenaltyConfig &config)
+    : cfg(config)
+{
+}
+
+Cycles
+ReconfigPenalty::cost(SwitchKind kind) const
+{
+    switch (kind) {
+      case SwitchKind::Predicted:
+      case SwitchKind::Exploration:
+        return cfg.predictedSwitchCycles;
+      case SwitchKind::Reactive:
+        return cfg.unpredictedSwitchCycles;
+    }
+    tpcp_panic("bad SwitchKind");
+}
+
+Cycles
+ReconfigPenalty::charge(SwitchKind kind)
+{
+    switch (kind) {
+      case SwitchKind::Predicted: ++stats_.predicted; break;
+      case SwitchKind::Exploration: ++stats_.exploration; break;
+      case SwitchKind::Reactive: ++stats_.reactive; break;
+    }
+    Cycles c = cost(kind);
+    stats_.penaltyCycles += c;
+    return c;
+}
+
+} // namespace tpcp::adapt

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Reconfiguration cost model: every configuration switch charges
+ * cycles to the simulated run, so switching is never free and a
+ * mispredicted phase change costs real simulated time.
+ *
+ * Switches come in three kinds:
+ *  - Predicted: the phase-change predictor anticipated the change,
+ *    so the switch overlaps the drain of the old configuration
+ *    (cheap).
+ *  - Exploration: the policy deliberately moved to a neighboring
+ *    configuration inside a stable phase (same cheap drain).
+ *  - Reactive: the phase changed without the predictor anticipating
+ *    it; the interval ran on the stale configuration and the
+ *    correction pays the full flush + warmup cost (expensive).
+ *
+ * Invariants (unit-tested): zero switches accrue zero penalty, and a
+ * reactive switch always costs at least as much as a predicted one.
+ */
+
+#ifndef TPCP_ADAPT_PENALTY_HH
+#define TPCP_ADAPT_PENALTY_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace tpcp::adapt
+{
+
+/** Why a configuration switch happened. */
+enum class SwitchKind
+{
+    Predicted,   ///< anticipated phase change (confident predictor)
+    Exploration, ///< policy-driven move within a stable phase
+    Reactive     ///< correction after an unanticipated phase change
+};
+
+/** Human-readable switch-kind name ("predicted", ...). */
+const char *switchKindName(SwitchKind kind);
+
+/** Per-kind switch costs in cycles. */
+struct PenaltyConfig
+{
+    /** Drain-overlapped switch (predicted / exploration). */
+    Cycles predictedSwitchCycles = 2'000;
+    /** Flush + warmup after an unanticipated change. */
+    Cycles unpredictedSwitchCycles = 20'000;
+};
+
+/** Accrued switch counts and penalty cycles of one run. */
+struct SwitchStats
+{
+    std::uint64_t predicted = 0;
+    std::uint64_t exploration = 0;
+    std::uint64_t reactive = 0;
+    Cycles penaltyCycles = 0;
+
+    std::uint64_t
+    total() const
+    {
+        return predicted + exploration + reactive;
+    }
+};
+
+/**
+ * Charges per-switch cycle penalties and keeps the running totals.
+ */
+class ReconfigPenalty
+{
+  public:
+    explicit ReconfigPenalty(const PenaltyConfig &config = {});
+
+    /** Cycle cost of one switch of @p kind. */
+    Cycles cost(SwitchKind kind) const;
+
+    /** Records one switch; returns its cycle cost. */
+    Cycles charge(SwitchKind kind);
+
+    const SwitchStats &stats() const { return stats_; }
+    const PenaltyConfig &config() const { return cfg; }
+
+  private:
+    PenaltyConfig cfg;
+    SwitchStats stats_;
+};
+
+} // namespace tpcp::adapt
+
+#endif // TPCP_ADAPT_PENALTY_HH

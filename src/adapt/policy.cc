@@ -1,0 +1,135 @@
+#include "adapt/policy.hh"
+
+namespace tpcp::adapt
+{
+
+GreedyHillClimbPolicy::GreedyHillClimbPolicy(
+    const ConfigLattice &lattice, const PolicyConfig &config)
+    : lattice(lattice), cfg(config)
+{
+}
+
+GreedyHillClimbPolicy::PhaseState &
+GreedyHillClimbPolicy::stateFor(PhaseId phase)
+{
+    auto it = phases.find(phase);
+    if (it != phases.end())
+        return it->second;
+    // The big configuration is the first candidate; the incumbent's
+    // neighbors are enqueued as its evaluation completes.
+    PhaseState st;
+    st.candidate = ConfigLattice::bigIndex;
+    st.enqueued.insert(ConfigLattice::bigIndex);
+    return phases.emplace(phase, std::move(st)).first->second;
+}
+
+std::size_t
+GreedyHillClimbPolicy::currentBest(PhaseState &st) const
+{
+    // A configuration needs a full candidate's worth of samples
+    // before it may claim the incumbency, and must beat the
+    // incumbent's mean by the hysteresis margin — near-ties stay
+    // with the configuration already running.
+    auto inc = st.stats.find(st.best);
+    double best_mean = inc != st.stats.end() && inc->second.count()
+                           ? inc->second.mean()
+                           : 0.0;
+    bool have_best = inc != st.stats.end() &&
+                     inc->second.count() > 0;
+    for (const auto &[config, samples] : st.stats) {
+        if (config == st.best ||
+            samples.count() < cfg.sampleIntervals)
+            continue;
+        double mean = samples.mean();
+        if (!have_best || mean < best_mean * (1.0 - cfg.switchMargin)) {
+            st.best = config;
+            best_mean = mean;
+            have_best = true;
+        }
+    }
+    return st.best;
+}
+
+std::size_t
+GreedyHillClimbPolicy::choose(PhaseId phase)
+{
+    if (phase == invalidPhaseId ||
+        (cfg.bigOnTransition && phase == transitionPhaseId))
+        return ConfigLattice::bigIndex;
+    PhaseState &st = stateFor(phase);
+    return st.exploring ? st.candidate : currentBest(st);
+}
+
+std::size_t
+GreedyHillClimbPolicy::bestChoice(PhaseId phase) const
+{
+    if (cfg.bigOnTransition && phase == transitionPhaseId)
+        return ConfigLattice::bigIndex;
+    auto it = phases.find(phase);
+    return it == phases.end() ? ConfigLattice::bigIndex
+                              : it->second.best;
+}
+
+bool
+GreedyHillClimbPolicy::settled(PhaseId phase) const
+{
+    auto it = phases.find(phase);
+    return it != phases.end() && !it->second.exploring;
+}
+
+void
+GreedyHillClimbPolicy::finishCandidate(PhaseState &st)
+{
+    // The base configuration's own evaluation does not count
+    // against the revisit budget.
+    if (st.candidate != ConfigLattice::bigIndex)
+        ++st.evals;
+    // Climb from the incumbent: its unqueued neighbors become the
+    // next moves to try (FIFO keeps exploration breadth-first and
+    // deterministic).
+    for (std::size_t n : lattice.neighbors(currentBest(st))) {
+        if (st.enqueued.insert(n).second)
+            st.queue.push_back(n);
+    }
+    nextCandidate(st);
+}
+
+void
+GreedyHillClimbPolicy::nextCandidate(PhaseState &st)
+{
+    while (st.evals < cfg.revisitBudget && !st.queue.empty()) {
+        std::size_t next = st.queue.front();
+        st.queue.pop_front();
+        // Cross-samples (intervals run in a stale configuration
+        // after a mispredicted change) may already have covered
+        // this point; such evaluations are free.
+        auto it = st.stats.find(next);
+        if (it != st.stats.end() &&
+            it->second.count() >= cfg.sampleIntervals)
+            continue;
+        st.candidate = next;
+        return;
+    }
+    st.exploring = false;
+    st.candidate = currentBest(st);
+}
+
+void
+GreedyHillClimbPolicy::record(PhaseId phase, std::size_t cfg_idx,
+                              double cycles, double energy)
+{
+    if (phase == invalidPhaseId ||
+        (cfg.bigOnTransition && phase == transitionPhaseId))
+        return;
+    PhaseState &st = stateFor(phase);
+    // Every interval is a genuine measurement of the (phase, config)
+    // pair that actually ran — including stale-config intervals
+    // after an unanticipated change — so all of them feed the
+    // cumulative statistics.
+    st.stats[cfg_idx].push(cycles * energy);
+    if (st.exploring &&
+        st.stats[st.candidate].count() >= cfg.sampleIntervals)
+        finishCandidate(st);
+}
+
+} // namespace tpcp::adapt

@@ -64,6 +64,43 @@ configHash(const MachineConfig &m)
     return h;
 }
 
+CacheConfig
+halvedCache(const CacheConfig &c)
+{
+    CacheConfig out = c;
+    std::uint64_t min_size =
+        static_cast<std::uint64_t>(out.assoc) * out.blockBytes;
+    if (out.sizeBytes / 2 < min_size) {
+        if (out.assoc > 1) {
+            out.assoc /= 2;
+            out.sizeBytes /= 2;
+        }
+        return out;
+    }
+    out.sizeBytes /= 2;
+    // Keep at least two sets per way so the geometry stays a real
+    // set-associative cache rather than degenerating fully
+    // associative.
+    if (out.assoc > 1 && out.numSets() < 2)
+        out.assoc /= 2;
+    return out;
+}
+
+CoreConfig
+narrowedCore(const CoreConfig &c)
+{
+    CoreConfig out = c;
+    auto halve = [](unsigned v, unsigned floor) {
+        return v / 2 >= floor ? v / 2 : floor;
+    };
+    out.fetchWidth = halve(c.fetchWidth, 1);
+    out.issueWidth = halve(c.issueWidth, 1);
+    out.commitWidth = halve(c.commitWidth, 1);
+    out.robEntries = halve(c.robEntries, 4);
+    out.lsqEntries = halve(c.lsqEntries, 2);
+    return out;
+}
+
 std::string
 MachineConfig::toString() const
 {

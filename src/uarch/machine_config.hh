@@ -102,6 +102,24 @@ struct MachineConfig
  */
 std::uint64_t configHash(const MachineConfig &m);
 
+/**
+ * Config stepping: one power-of-two step down a cache's size.
+ * Associativity is halved along with the size once it exceeds the
+ * number of sets the smaller geometry supports, so the result is
+ * always a valid geometry (>= 1 set, >= 1 way, block size kept).
+ * The size never drops below one block per way.
+ */
+CacheConfig halvedCache(const CacheConfig &c);
+
+/**
+ * Config stepping: narrow the core by one step — fetch/issue/commit
+ * widths, ROB and LSQ entries are halved (floors of 1 for widths and
+ * 4/2 for ROB/LSQ). Function units and frontend depth are kept: a
+ * narrower machine still has the same unit mix, just less of it
+ * reachable per cycle.
+ */
+CoreConfig narrowedCore(const CoreConfig &c);
+
 } // namespace tpcp::uarch
 
 #endif // TPCP_UARCH_MACHINE_CONFIG_HH

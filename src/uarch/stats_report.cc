@@ -9,6 +9,22 @@
 namespace tpcp::uarch
 {
 
+AccessCounts
+collectAccessCounts(const TimingCore &core)
+{
+    AccessCounts counts;
+    counts.cycles = core.cycles();
+    counts.insts = core.stats().insts;
+    if (const CacheHierarchy *h = core.memoryHierarchy()) {
+        counts.icacheAccesses = h->icache().stats().accesses;
+        counts.dcacheAccesses = h->dcache().stats().accesses;
+        counts.l2Accesses = h->l2cache().stats().accesses;
+        counts.itlbAccesses = h->itlb().stats().accesses;
+        counts.dtlbAccesses = h->dtlb().stats().accesses;
+    }
+    return counts;
+}
+
 std::string
 formatCoreStats(const TimingCore &core)
 {
@@ -46,8 +62,14 @@ formatCoreStats(const TimingCore &core)
             .cell("dcache writebacks")
             .cell(h->dcache().stats().writebacks);
         table.row()
+            .cell("itlb accesses")
+            .cell(h->itlb().stats().accesses);
+        table.row()
             .cell("itlb miss rate")
             .percentCell(h->itlb().stats().missRate());
+        table.row()
+            .cell("dtlb accesses")
+            .cell(h->dtlb().stats().accesses);
         table.row()
             .cell("dtlb miss rate")
             .percentCell(h->dtlb().stats().missRate());

@@ -20,6 +20,31 @@ class CacheHierarchy;
 class BranchPredictor;
 
 /**
+ * Per-structure activity counters of one run: the inputs an energy
+ * model charges dynamic (per-access) energy against, next to the
+ * cycle count its static (leakage) energy scales with. Collected
+ * from a core's hierarchy counters or estimated from an interval's
+ * instruction/cycle totals (adapt::EnergyModel::estimateAccesses).
+ */
+struct AccessCounts
+{
+    Cycles cycles = 0;
+    InstCount insts = 0;
+    std::uint64_t icacheAccesses = 0;
+    std::uint64_t dcacheAccesses = 0;
+    std::uint64_t l2Accesses = 0;
+    std::uint64_t itlbAccesses = 0;
+    std::uint64_t dtlbAccesses = 0;
+};
+
+/**
+ * Snapshot of @p core's activity counters. Cores without a modelled
+ * memory hierarchy report cycles/instructions only (cache and TLB
+ * counts stay zero).
+ */
+AccessCounts collectAccessCounts(const TimingCore &core);
+
+/**
  * Formats a full statistics report for @p core. Works for both
  * SimpleCore and OooCore (anything exposing its hierarchy and branch
  * predictor through the optional TimingCore accessors); cores

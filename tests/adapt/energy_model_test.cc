@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Unit tests for the energy proxy: the two accounting identities
+ * (monotonicity in every access count, zero-activity == leakage
+ * only) plus the size/associativity scaling of per-access energy
+ * and the static-power ordering of stepped-down machines.
+ */
+
+#include <gtest/gtest.h>
+
+#include "adapt/energy_model.hh"
+#include "uarch/machine_config.hh"
+
+using namespace tpcp;
+using namespace tpcp::adapt;
+
+namespace
+{
+
+uarch::AccessCounts
+someActivity()
+{
+    uarch::AccessCounts counts;
+    counts.cycles = 10'000;
+    counts.insts = 8'000;
+    counts.icacheAccesses = 2'000;
+    counts.dcacheAccesses = 3'600;
+    counts.l2Accesses = 240;
+    counts.itlbAccesses = 2'800;
+    counts.dtlbAccesses = 2'800;
+    return counts;
+}
+
+} // namespace
+
+TEST(EnergyModel, ZeroActivityReducesToStaticTimesCycles)
+{
+    EnergyModel model;
+    uarch::MachineConfig m = uarch::MachineConfig::table1();
+    uarch::AccessCounts counts;
+    counts.cycles = 12'345;
+    EXPECT_DOUBLE_EQ(model.energy(m, counts),
+                     model.staticPower(m) * 12'345.0);
+}
+
+TEST(EnergyModel, ZeroCyclesAndActivityIsZeroEnergy)
+{
+    EnergyModel model;
+    uarch::MachineConfig m = uarch::MachineConfig::table1();
+    EXPECT_DOUBLE_EQ(model.energy(m, uarch::AccessCounts{}), 0.0);
+}
+
+TEST(EnergyModel, EnergyIsMonotoneInEveryAccessCount)
+{
+    EnergyModel model;
+    uarch::MachineConfig m = uarch::MachineConfig::table1();
+    uarch::AccessCounts base = someActivity();
+    double e0 = model.energy(m, base);
+
+    auto bumped = [&](auto field) {
+        uarch::AccessCounts c = base;
+        c.*field += 1'000;
+        return model.energy(m, c);
+    };
+    EXPECT_GT(bumped(&uarch::AccessCounts::icacheAccesses), e0);
+    EXPECT_GT(bumped(&uarch::AccessCounts::dcacheAccesses), e0);
+    EXPECT_GT(bumped(&uarch::AccessCounts::l2Accesses), e0);
+    EXPECT_GT(bumped(&uarch::AccessCounts::itlbAccesses), e0);
+    EXPECT_GT(bumped(&uarch::AccessCounts::dtlbAccesses), e0);
+    EXPECT_GT(bumped(&uarch::AccessCounts::insts), e0);
+    EXPECT_GT(bumped(&uarch::AccessCounts::cycles), e0);
+}
+
+TEST(EnergyModel, CacheAccessEnergyGrowsWithSizeAndAssoc)
+{
+    EnergyModel model;
+    uarch::CacheConfig ref;
+    ref.sizeBytes = 16 * 1024;
+    ref.assoc = 4;
+    EXPECT_DOUBLE_EQ(model.cacheAccessEnergy(ref),
+                     model.weights().cacheDynPerAccess);
+
+    uarch::CacheConfig big = ref;
+    big.sizeBytes *= 4;
+    EXPECT_NEAR(model.cacheAccessEnergy(big),
+                2.0 * model.cacheAccessEnergy(ref), 1e-12);
+
+    uarch::CacheConfig wide = ref;
+    wide.assoc *= 4;
+    EXPECT_NEAR(model.cacheAccessEnergy(wide),
+                2.0 * model.cacheAccessEnergy(ref), 1e-12);
+}
+
+TEST(EnergyModel, SteppedDownMachineLeaksLess)
+{
+    EnergyModel model;
+    uarch::MachineConfig big = uarch::MachineConfig::table1();
+
+    uarch::MachineConfig small_cache = big;
+    small_cache.dcache = uarch::halvedCache(big.dcache);
+    EXPECT_LT(model.staticPower(small_cache),
+              model.staticPower(big));
+
+    uarch::MachineConfig narrow = big;
+    narrow.core = uarch::narrowedCore(big.core);
+    EXPECT_LT(model.staticPower(narrow), model.staticPower(big));
+}
+
+TEST(EnergyModel, IntervalEnergyMatchesEstimatedAccessCounts)
+{
+    EnergyModel model;
+    uarch::MachineConfig m = uarch::MachineConfig::table1();
+    uarch::AccessCounts est = model.estimateAccesses(100'000,
+                                                     150'000);
+    EXPECT_EQ(est.insts, 100'000u);
+    EXPECT_EQ(est.cycles, 150'000u);
+    EXPECT_DOUBLE_EQ(model.intervalEnergy(m, 100'000, 150'000),
+                     model.energy(m, est));
+}

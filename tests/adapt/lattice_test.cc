@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Unit tests for the configuration lattice: enumeration order, the
+ * big-index convention, stepped machine geometry, unique names, and
+ * the neighbor move set.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+
+#include "adapt/lattice.hh"
+#include "uarch/machine_config.hh"
+
+using namespace tpcp;
+using namespace tpcp::adapt;
+
+TEST(ConfigLattice, BigIndexIsTheBaseMachine)
+{
+    uarch::MachineConfig base = uarch::MachineConfig::table1();
+    ConfigLattice lattice = ConfigLattice::standard(base);
+    EXPECT_EQ(uarch::configHash(
+                  lattice.machine(ConfigLattice::bigIndex)),
+              uarch::configHash(base));
+    for (std::size_t d = 0; d < lattice.numDims(); ++d)
+        EXPECT_EQ(lattice.level(ConfigLattice::bigIndex, d), 0u);
+}
+
+TEST(ConfigLattice, StandardHasTwelvePointsSmallHasFour)
+{
+    EXPECT_EQ(ConfigLattice::standard().size(), 12u);
+    EXPECT_EQ(ConfigLattice::small().size(), 4u);
+}
+
+TEST(ConfigLattice, EveryPointHasAUniqueNameAndMachine)
+{
+    ConfigLattice lattice = ConfigLattice::standard();
+    std::set<std::string> names;
+    std::set<std::uint64_t> hashes;
+    for (std::size_t i = 0; i < lattice.size(); ++i) {
+        names.insert(lattice.name(i));
+        hashes.insert(uarch::configHash(lattice.machine(i)));
+    }
+    EXPECT_EQ(names.size(), lattice.size());
+    EXPECT_EQ(hashes.size(), lattice.size());
+}
+
+TEST(ConfigLattice, LevelsStepTheAdvertisedStructures)
+{
+    ConfigLattice lattice = ConfigLattice::standard();
+    const uarch::MachineConfig &big =
+        lattice.machine(ConfigLattice::bigIndex);
+    for (std::size_t i = 0; i < lattice.size(); ++i) {
+        const uarch::MachineConfig &m = lattice.machine(i);
+        EXPECT_EQ(m.dcache.sizeBytes,
+                  big.dcache.sizeBytes >> lattice.level(i, 0));
+        EXPECT_EQ(m.l2.sizeBytes,
+                  big.l2.sizeBytes >> lattice.level(i, 1));
+        EXPECT_EQ(m.core.issueWidth,
+                  big.core.issueWidth >> lattice.level(i, 2));
+        // Untouched dimensions stay at the base geometry.
+        EXPECT_EQ(m.icache.sizeBytes, big.icache.sizeBytes);
+    }
+}
+
+TEST(ConfigLattice, NeighborsDifferInExactlyOneDimensionByOne)
+{
+    ConfigLattice lattice = ConfigLattice::standard();
+    for (std::size_t i = 0; i < lattice.size(); ++i) {
+        for (std::size_t n : lattice.neighbors(i)) {
+            ASSERT_LT(n, lattice.size());
+            unsigned diffs = 0;
+            for (std::size_t d = 0; d < lattice.numDims(); ++d) {
+                int delta = static_cast<int>(lattice.level(n, d)) -
+                            static_cast<int>(lattice.level(i, d));
+                if (delta != 0) {
+                    ++diffs;
+                    EXPECT_EQ(std::abs(delta), 1);
+                }
+            }
+            EXPECT_EQ(diffs, 1u);
+        }
+    }
+}
+
+TEST(ConfigLattice, NeighborRelationIsSymmetric)
+{
+    ConfigLattice lattice = ConfigLattice::standard();
+    for (std::size_t i = 0; i < lattice.size(); ++i) {
+        for (std::size_t n : lattice.neighbors(i)) {
+            std::vector<std::size_t> back = lattice.neighbors(n);
+            EXPECT_NE(std::find(back.begin(), back.end(), i),
+                      back.end())
+                << "neighbor edge " << i << " -> " << n
+                << " has no reverse edge";
+        }
+    }
+}
+
+TEST(ConfigLattice, ByNameResolvesPresets)
+{
+    EXPECT_EQ(ConfigLattice::byName("standard").size(), 12u);
+    EXPECT_EQ(ConfigLattice::byName("small").size(), 4u);
+    EXPECT_EXIT((void)ConfigLattice::byName("nosuch"),
+                testing::ExitedWithCode(1), "unknown lattice");
+}
+
+TEST(ConfigLattice, CornerPointNamesEncodeTheGeometry)
+{
+    ConfigLattice lattice = ConfigLattice::standard();
+    EXPECT_EQ(lattice.name(ConfigLattice::bigIndex),
+              "l1d16k-l2128k-w4");
+    EXPECT_EQ(lattice.name(lattice.size() - 1), "l1d4k-l264k-w2");
+}

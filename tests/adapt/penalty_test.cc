@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Unit tests for the reconfiguration cost model: zero switches accrue
+ * zero penalty, an unpredicted (reactive) switch costs strictly more
+ * than a predicted one, and the per-kind stats add up.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "adapt/penalty.hh"
+
+using namespace tpcp;
+using namespace tpcp::adapt;
+
+TEST(ReconfigPenalty, NoSwitchesMeansZeroPenalty)
+{
+    ReconfigPenalty penalty;
+    EXPECT_EQ(penalty.stats().total(), 0u);
+    EXPECT_EQ(penalty.stats().penaltyCycles, 0u);
+}
+
+TEST(ReconfigPenalty, PredictedCostsLessThanUnpredicted)
+{
+    ReconfigPenalty penalty;
+    EXPECT_LT(penalty.cost(SwitchKind::Predicted),
+              penalty.cost(SwitchKind::Reactive));
+    EXPECT_EQ(penalty.cost(SwitchKind::Exploration),
+              penalty.cost(SwitchKind::Predicted))
+        << "policy moves ride the same drain overlap as "
+           "anticipated changes";
+}
+
+TEST(ReconfigPenalty, ChargeAccumulatesPerKind)
+{
+    PenaltyConfig cfg;
+    cfg.predictedSwitchCycles = 10;
+    cfg.unpredictedSwitchCycles = 100;
+    ReconfigPenalty penalty(cfg);
+
+    EXPECT_EQ(penalty.charge(SwitchKind::Predicted), 10u);
+    EXPECT_EQ(penalty.charge(SwitchKind::Exploration), 10u);
+    EXPECT_EQ(penalty.charge(SwitchKind::Reactive), 100u);
+    EXPECT_EQ(penalty.charge(SwitchKind::Reactive), 100u);
+
+    const SwitchStats &s = penalty.stats();
+    EXPECT_EQ(s.predicted, 1u);
+    EXPECT_EQ(s.exploration, 1u);
+    EXPECT_EQ(s.reactive, 2u);
+    EXPECT_EQ(s.total(), 4u);
+    EXPECT_EQ(s.penaltyCycles, 220u);
+}
+
+TEST(ReconfigPenalty, KindNamesAreStable)
+{
+    EXPECT_EQ(std::string(switchKindName(SwitchKind::Predicted)),
+              "predicted");
+    EXPECT_EQ(std::string(switchKindName(SwitchKind::Exploration)),
+              "exploration");
+    EXPECT_EQ(std::string(switchKindName(SwitchKind::Reactive)),
+              "reactive");
+}

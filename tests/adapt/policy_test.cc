@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Unit tests for the greedy hill-climb policy: convergence to a
+ * planted best configuration, the revisit budget, cross-sample
+ * (stale-config) learning, hysteresis, and transition-phase
+ * pinning.
+ */
+
+#include <gtest/gtest.h>
+
+#include "adapt/policy.hh"
+
+using namespace tpcp;
+using namespace tpcp::adapt;
+
+namespace
+{
+
+/**
+ * Drives the policy through @p n intervals of @p phase, always
+ * running whatever the policy chooses, with planted per-config
+ * interval EDP (cycles = 1, energy = edp[cfg]).
+ */
+void
+drive(GreedyHillClimbPolicy &policy, PhaseId phase,
+      const std::vector<double> &edp, std::size_t n)
+{
+    for (std::size_t t = 0; t < n; ++t) {
+        std::size_t cfg = policy.choose(phase);
+        policy.record(phase, cfg, 1.0, edp.at(cfg));
+    }
+}
+
+} // namespace
+
+TEST(GreedyHillClimbPolicy, StartsAtTheBigConfiguration)
+{
+    ConfigLattice lattice = ConfigLattice::small();
+    GreedyHillClimbPolicy policy(lattice);
+    EXPECT_EQ(policy.choose(7), ConfigLattice::bigIndex);
+    EXPECT_EQ(policy.bestChoice(7), ConfigLattice::bigIndex);
+}
+
+TEST(GreedyHillClimbPolicy, ConvergesToThePlantedBestConfig)
+{
+    ConfigLattice lattice = ConfigLattice::small();
+    GreedyHillClimbPolicy policy(lattice);
+    // Config 3 (smallest) is clearly best for phase 1.
+    std::vector<double> edp = {10.0, 8.0, 7.0, 4.0};
+    drive(policy, 1, edp, 40);
+    EXPECT_TRUE(policy.settled(1));
+    EXPECT_EQ(policy.bestChoice(1), 3u);
+    EXPECT_EQ(policy.choose(1), 3u);
+}
+
+TEST(GreedyHillClimbPolicy, StaysBigWhenBigIsBest)
+{
+    ConfigLattice lattice = ConfigLattice::small();
+    GreedyHillClimbPolicy policy(lattice);
+    std::vector<double> edp = {1.0, 5.0, 5.0, 5.0};
+    drive(policy, 1, edp, 40);
+    EXPECT_TRUE(policy.settled(1));
+    EXPECT_EQ(policy.bestChoice(1), ConfigLattice::bigIndex);
+}
+
+TEST(GreedyHillClimbPolicy, PhasesLearnIndependently)
+{
+    ConfigLattice lattice = ConfigLattice::small();
+    GreedyHillClimbPolicy policy(lattice);
+    std::vector<double> phase1 = {1.0, 5.0, 5.0, 5.0};
+    std::vector<double> phase2 = {10.0, 8.0, 7.0, 4.0};
+    for (std::size_t round = 0; round < 20; ++round) {
+        drive(policy, 1, phase1, 2);
+        drive(policy, 2, phase2, 2);
+    }
+    EXPECT_EQ(policy.bestChoice(1), ConfigLattice::bigIndex);
+    EXPECT_EQ(policy.bestChoice(2), 3u);
+}
+
+TEST(GreedyHillClimbPolicy, RevisitBudgetBoundsExploration)
+{
+    ConfigLattice lattice = ConfigLattice::standard();
+    PolicyConfig cfg;
+    cfg.revisitBudget = 2;
+    GreedyHillClimbPolicy policy(lattice, cfg);
+    // Strictly decreasing EDP with the index keeps the climb going
+    // until the budget cuts it off.
+    std::vector<double> edp(lattice.size());
+    for (std::size_t i = 0; i < edp.size(); ++i)
+        edp[i] = 100.0 - static_cast<double>(i);
+    drive(policy, 1, edp, 100);
+    EXPECT_TRUE(policy.settled(1));
+    // Big plus at most two charged candidate evaluations.
+    std::size_t best = policy.bestChoice(1);
+    EXPECT_NE(best, lattice.size() - 1)
+        << "a budget of 2 cannot have reached the far corner";
+}
+
+TEST(GreedyHillClimbPolicy, CrossSamplesAreFreeEvaluations)
+{
+    ConfigLattice lattice = ConfigLattice::small();
+    PolicyConfig cfg;
+    cfg.sampleIntervals = 2;
+    GreedyHillClimbPolicy policy(lattice, cfg);
+    // Feed stale-config measurements of config 3 before exploration
+    // ever reaches it: the policy should absorb them and, once its
+    // queue gets there, adopt 3 without spending intervals on it.
+    policy.record(1, 3, 1.0, 1.0);
+    policy.record(1, 3, 1.0, 1.0);
+    std::vector<double> edp = {10.0, 9.0, 8.0, 1.0};
+    drive(policy, 1, edp, 30);
+    EXPECT_EQ(policy.bestChoice(1), 3u);
+}
+
+TEST(GreedyHillClimbPolicy, HysteresisKeepsNearTiedIncumbent)
+{
+    ConfigLattice lattice = ConfigLattice::small();
+    PolicyConfig cfg;
+    cfg.switchMargin = 0.10;
+    GreedyHillClimbPolicy policy(lattice, cfg);
+    // Config 1 is 5% better than big - inside the 10% margin, so
+    // the incumbent (big, measured first) must survive.
+    std::vector<double> edp = {1.00, 0.95, 1.50, 1.50};
+    drive(policy, 1, edp, 40);
+    EXPECT_EQ(policy.bestChoice(1), ConfigLattice::bigIndex);
+}
+
+TEST(GreedyHillClimbPolicy, ContinuingSamplesDemoteABadIncumbent)
+{
+    ConfigLattice lattice = ConfigLattice::small();
+    GreedyHillClimbPolicy policy(lattice);
+    // During exploration config 3 looks great...
+    std::vector<double> good = {10.0, 9.5, 9.5, 1.0};
+    drive(policy, 1, good, 20);
+    ASSERT_EQ(policy.bestChoice(1), 3u);
+    // ...but the phase's steady state is terrible on it. The
+    // cumulative mean climbs past the others and the policy walks
+    // away from its earlier verdict.
+    std::vector<double> bad = {10.0, 9.5, 9.5, 100.0};
+    drive(policy, 1, bad, 200);
+    EXPECT_NE(policy.choose(1), 3u);
+}
+
+TEST(GreedyHillClimbPolicy, TransitionPhasePinnedBigWhenConfigured)
+{
+    ConfigLattice lattice = ConfigLattice::small();
+    PolicyConfig cfg;
+    cfg.bigOnTransition = true;
+    GreedyHillClimbPolicy policy(lattice, cfg);
+    std::vector<double> edp = {10.0, 1.0, 1.0, 1.0};
+    drive(policy, transitionPhaseId, edp, 40);
+    EXPECT_EQ(policy.choose(transitionPhaseId),
+              ConfigLattice::bigIndex);
+    EXPECT_EQ(policy.bestChoice(transitionPhaseId),
+              ConfigLattice::bigIndex);
+}
+
+TEST(GreedyHillClimbPolicy, TransitionPhaseLearnsWhenUnpinned)
+{
+    ConfigLattice lattice = ConfigLattice::small();
+    GreedyHillClimbPolicy policy(lattice); // bigOnTransition = false
+    std::vector<double> edp = {10.0, 9.0, 8.0, 1.0};
+    drive(policy, transitionPhaseId, edp, 40);
+    EXPECT_EQ(policy.bestChoice(transitionPhaseId), 3u);
+}
+
+TEST(GreedyHillClimbPolicy, InvalidPhaseAlwaysRunsBig)
+{
+    ConfigLattice lattice = ConfigLattice::small();
+    GreedyHillClimbPolicy policy(lattice);
+    EXPECT_EQ(policy.choose(invalidPhaseId),
+              ConfigLattice::bigIndex);
+}

@@ -60,3 +60,44 @@ TEST(MachineConfig, ToStringMentionsKeyParameters)
     EXPECT_NE(s.find("64 entry re-order buffer"), std::string::npos);
     EXPECT_NE(s.find("30 cycle fixed TLB"), std::string::npos);
 }
+
+TEST(MachineConfig, HalvedCacheHalvesSizeKeepsGeometryLegal)
+{
+    CacheConfig base = MachineConfig::table1().dcache;
+    CacheConfig half = halvedCache(base);
+    EXPECT_EQ(half.sizeBytes, base.sizeBytes / 2);
+    EXPECT_EQ(half.blockBytes, base.blockBytes);
+    EXPECT_GE(half.numSets(), 1u);
+    MachineConfig was = MachineConfig::table1();
+    MachineConfig now = was;
+    now.dcache = half;
+    EXPECT_NE(configHash(now), configHash(was));
+}
+
+TEST(MachineConfig, HalvedCacheBottomsOutAtOneSetDirectMapped)
+{
+    CacheConfig c = MachineConfig::table1().dcache;
+    for (int i = 0; i < 32; ++i)
+        c = halvedCache(c);
+    EXPECT_GE(c.sizeBytes, c.blockBytes);
+    EXPECT_GE(c.assoc, 1u);
+    EXPECT_GE(c.numSets(), 1u);
+}
+
+TEST(MachineConfig, NarrowedCoreHalvesWidthsWithFloors)
+{
+    CoreConfig base = MachineConfig::table1().core;
+    CoreConfig narrow = narrowedCore(base);
+    EXPECT_EQ(narrow.issueWidth, base.issueWidth / 2);
+    EXPECT_EQ(narrow.fetchWidth, base.fetchWidth / 2);
+    EXPECT_EQ(narrow.commitWidth, base.commitWidth / 2);
+    EXPECT_EQ(narrow.robEntries, base.robEntries / 2);
+    EXPECT_EQ(narrow.lsqEntries, base.lsqEntries / 2);
+
+    CoreConfig floor = base;
+    for (int i = 0; i < 32; ++i)
+        floor = narrowedCore(floor);
+    EXPECT_EQ(floor.issueWidth, 1u);
+    EXPECT_GE(floor.robEntries, 4u);
+    EXPECT_GE(floor.lsqEntries, 2u);
+}

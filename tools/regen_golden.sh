@@ -1,0 +1,38 @@
+#!/bin/sh
+# Regenerate the checked-in golden stdout captures in tests/golden/.
+#
+# Run from the repository root after an *intentional* behavior
+# change (a model bugfix that legitimately moves the numbers), never
+# to paper over an unexplained CI diff. Rebuilds first so a stale
+# binary can't be captured, runs every golden harness at --jobs=1
+# (the CI reference), and prints a git diff summary of what moved.
+#
+# Usage: tools/regen_golden.sh [build-dir]   (default: build)
+
+set -eu
+
+build=${1:-build}
+golden=tests/golden
+
+if [ ! -f "$golden/README.md" ]; then
+    echo "error: run from the repository root" >&2
+    exit 1
+fi
+if [ ! -d "$build" ]; then
+    echo "error: no build directory '$build' (cmake -B $build)" >&2
+    exit 1
+fi
+
+harnesses="fig2_table_size abl_bitsel fig4_transition_phase \
+fig7_next_phase"
+
+cmake --build "$build" --target $harnesses
+
+for h in $harnesses; do
+    echo "regenerating $golden/$h.stdout" >&2
+    "./$build/bench/$h" --jobs=1 > "$golden/$h.stdout"
+done
+
+echo >&2
+echo "golden diff (empty means outputs were already current):" >&2
+git --no-pager diff --stat -- "$golden"

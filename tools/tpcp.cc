@@ -11,6 +11,7 @@
  *   export   <workload> [opts]     per-interval CSV for plotting
  *   simstats <workload> [opts]     run the simulator, dump uarch stats
  *   sample   [workloads...] [opts] phase-guided sampled simulation
+ *   adapt    [workloads...] [opts] phase-guided dynamic reconfiguration
  *
  * Common options:
  *   --interval N     instructions per interval   (default 100000)
@@ -41,8 +42,18 @@
  *                    random                      (default stratified)
  *   --phase-source P online | offline            (default online)
  *   --json PATH      write SampleReport records as JSON
+ *                    ('-' disables)
  *   --max-error X    exit 1 if any CPI estimate is off by more
  *                    than fraction X (CI tripwire)
+ * Adapt options (no workloads named = all 11, in parallel; the core
+ * defaults to 'simple' since each lattice point is a full sim):
+ *   --policy P       greedy | greedy-nopred      (default greedy)
+ *   --lattice L      standard | small            (default standard)
+ *   --json PATH      write AdaptReport records as JSON
+ *                    ('-' disables)
+ *   --min-oracle X   exit 1 if any workload's greedy policy reaches
+ *                    less than fraction X of the oracle's EDP
+ *                    savings (CI tripwire)
  */
 
 #include <algorithm>
@@ -54,6 +65,7 @@
 #include <string>
 #include <vector>
 
+#include "adapt/report.hh"
 #include "analysis/experiment.hh"
 #include "analysis/parallel_runner.hh"
 #include "common/ascii_table.hh"
@@ -139,7 +151,8 @@ usage()
     std::cerr
         << "usage: tpcp <command> [args]\n"
            "  workloads | machine | profile <wl> | classify <wl> |\n"
-           "  predict <wl> | export <wl> | sample [wl...]\n"
+           "  predict <wl> | export <wl> | sample [wl...] |\n"
+           "  adapt [wl...]\n"
            "see the header of tools/tpcp.cc for all options\n";
     return 2;
 }
@@ -532,8 +545,9 @@ cmdSample(const Args &args)
     }
     table.print(std::cout);
 
+    // '-' disables, matching the bench harness convention.
     std::string json = args.get("json", "");
-    if (!json.empty()) {
+    if (!json.empty() && json != "-") {
         if (!sample::writeJson(json, reports)) {
             std::cerr << "error: cannot write " << json << "\n";
             return 1;
@@ -551,6 +565,90 @@ cmdSample(const Args &args)
         }
         std::cout << "worst CPI error " << worst * 100.0
                   << "% within --max-error " << limit * 100.0
+                  << "%\n";
+    }
+    return 0;
+}
+
+int
+cmdAdapt(const Args &args)
+{
+    std::vector<std::string> names = args.positional;
+    if (names.empty()) {
+        names = workload::workloadNames();
+    } else {
+        for (const std::string &name : names) {
+            if (!workload::isWorkloadName(name)) {
+                std::cerr << "error: unknown workload '" << name
+                          << "'; run 'tpcp workloads'\n";
+                return 2;
+            }
+        }
+    }
+    adapt::PolicyPreset preset =
+        adapt::policyPresetByName(args.get("policy", "greedy"));
+    adapt::ConfigLattice lattice = adapt::ConfigLattice::byName(
+        args.get("lattice", "standard"));
+    unsigned jobs = static_cast<unsigned>(args.getU64("jobs", 0));
+    trace::ProfileOptions opts = profileOptions(args);
+    if (!args.has("core"))
+        opts.coreName = "simple";
+
+    std::cerr << "[adapt] " << names.size() << " workloads, "
+              << "policy=" << preset.name
+              << ", lattice=" << lattice.size() << " configs ("
+              << analysis::effectiveJobs(jobs, names.size())
+              << " jobs)\n";
+    std::vector<adapt::AdaptReport> reports = analysis::runIndexed(
+        names.size(), jobs, [&](std::size_t i) {
+            return adapt::runAdaptation(names[i], preset, lattice,
+                                        opts);
+        });
+
+    AsciiTable table({"workload", "phases", "switches", "penalty(K)",
+                      "policy", "static", "oracle", "of oracle",
+                      "slowdown"});
+    double worst_fraction = 1.0;
+    for (const adapt::AdaptReport &r : reports) {
+        table.row()
+            .cell(r.workload)
+            .cell(static_cast<std::uint64_t>(r.numPhases))
+            .cell(r.switches.total())
+            .cell(static_cast<double>(r.switches.penaltyCycles) /
+                      1000.0,
+                  1)
+            .percentCell(r.edpSavings(r.policyTotals))
+            .percentCell(r.edpSavings(r.staticBest))
+            .percentCell(r.edpSavings(r.oracle))
+            .percentCell(r.oracleFraction())
+            .percentCell(r.slowdown());
+        worst_fraction = std::min(worst_fraction,
+                                  r.oracleFraction());
+    }
+    table.print(std::cout);
+
+    // '-' disables, matching the bench harness convention.
+    std::string json = args.get("json", "");
+    if (!json.empty() && json != "-") {
+        if (!adapt::writeJson(json, reports)) {
+            std::cerr << "error: cannot write " << json << "\n";
+            return 1;
+        }
+        std::cout << "wrote " << reports.size() << " reports to "
+                  << json << "\n";
+    }
+    if (args.has("min-oracle")) {
+        double limit = args.getDouble("min-oracle", 0.0);
+        if (worst_fraction < limit) {
+            std::cerr << "error: worst oracle fraction "
+                      << worst_fraction * 100.0
+                      << "% below --min-oracle " << limit * 100.0
+                      << "%\n";
+            return 1;
+        }
+        std::cout << "worst oracle fraction "
+                  << worst_fraction * 100.0
+                  << "% meets --min-oracle " << limit * 100.0
                   << "%\n";
     }
     return 0;
@@ -582,5 +680,7 @@ main(int argc, char **argv)
         return cmdSimStats(args);
     if (cmd == "sample")
         return cmdSample(args);
+    if (cmd == "adapt")
+        return cmdAdapt(args);
     return usage();
 }
