@@ -1,6 +1,7 @@
 #include "adapt/controller.hh"
 
 #include "common/logging.hh"
+#include "common/status.hh"
 #include "pred/length_predictor.hh"
 #include "pred/next_phase_predictor.hh"
 
@@ -19,17 +20,17 @@ AdaptController::run(
     const std::vector<PhaseId> &phases) const
 {
     if (profiles.size() != lattice.size())
-        tpcp_fatal("adapt: ", profiles.size(),
+        tpcp_raise("adapt: ", profiles.size(),
                    " profiles for a lattice of ", lattice.size());
     std::size_t n = profiles.front().numIntervals();
     for (const trace::IntervalProfile &p : profiles) {
         if (p.numIntervals() != n)
-            tpcp_fatal("adapt: interval count mismatch across "
+            tpcp_raise("adapt: interval count mismatch across "
                        "lattice profiles (", p.numIntervals(),
                        " vs ", n, ")");
     }
     if (phases.size() != n)
-        tpcp_fatal("adapt: phase stream length ", phases.size(),
+        tpcp_raise("adapt: phase stream length ", phases.size(),
                    " != ", n, " intervals");
 
     EnergyModel model(opts.energy);

@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "common/logging.hh"
+#include "common/status.hh"
 
 namespace tpcp::adapt
 {
@@ -46,11 +47,11 @@ ConfigLattice::ConfigLattice(const uarch::MachineConfig &base,
     : dims_(std::move(dims))
 {
     if (dims_.empty())
-        tpcp_fatal("ConfigLattice needs at least one dimension");
+        tpcp_raise("ConfigLattice needs at least one dimension");
     std::size_t total = 1;
     for (const LatticeDim &d : dims_) {
         if (d.levels == 0)
-            tpcp_fatal("lattice dimension with zero levels");
+            tpcp_raise("lattice dimension with zero levels");
         total *= d.levels;
     }
     points.reserve(total);
@@ -95,7 +96,7 @@ ConfigLattice::byName(const std::string &name)
         return standard();
     if (name == "small")
         return small();
-    tpcp_fatal("unknown lattice '", name,
+    tpcp_raise("unknown lattice '", name,
                "' (expected standard | small)");
 }
 

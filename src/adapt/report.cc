@@ -6,6 +6,7 @@
 
 #include "analysis/experiment.hh"
 #include "common/logging.hh"
+#include "common/status.hh"
 
 namespace tpcp::adapt
 {
@@ -25,7 +26,7 @@ policyPresetByName(const std::string &name)
         preset.options.lengthGate = false;
         return preset;
     }
-    tpcp_fatal("unknown adapt policy '", name,
+    tpcp_raise("unknown adapt policy '", name,
                "' (expected greedy | greedy-nopred)");
 }
 

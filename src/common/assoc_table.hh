@@ -200,6 +200,30 @@ class AssocTable
         }
     }
 
+    /** Iteration over every slot, valid or not, in slot order
+     * (serialization: the full storage array is the state). */
+    template <typename Fn>
+    void
+    forEachSlot(Fn fn)
+    {
+        for (auto &e : slots)
+            fn(e);
+    }
+
+    template <typename Fn>
+    void
+    forEachSlot(Fn fn) const
+    {
+        for (const auto &e : slots)
+            fn(e);
+    }
+
+    /** Current LRU tick (serialization). */
+    std::uint64_t useTick() const { return tick; }
+
+    /** Restores the LRU tick (serialization). */
+    void setUseTick(std::uint64_t t) { tick = t; }
+
   private:
     Entry &
     slot(unsigned set, unsigned way)

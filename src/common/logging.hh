@@ -4,8 +4,11 @@
  *
  * panic()  - an internal invariant was violated; this is a library bug.
  *            Calls std::abort() so a debugger or core dump can catch it.
- * fatal()  - the simulation cannot continue because of a user error
- *            (bad configuration, invalid arguments). Exits with code 1.
+ * fatal()  - the run cannot continue because of a user error (bad
+ *            configuration, invalid arguments). Exits with code 1.
+ *            Reserved for tool/bench mains and their argument
+ *            parsing: library code must raise a recoverable
+ *            tpcp::Error instead (tpcp_raise, common/status.hh).
  * warn()   - something is suspicious but the run can continue.
  * inform() - plain status output.
  */

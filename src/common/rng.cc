@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/bitops.hh"
+#include "common/state_io.hh"
 
 namespace tpcp
 {
@@ -143,6 +144,26 @@ Rng
 Rng::fork(std::uint64_t salt)
 {
     return Rng(mix64(state ^ salt), mix64(inc + salt));
+}
+
+void
+Rng::saveState(StateWriter &w) const
+{
+    w.u64(state);
+    w.u64(inc);
+}
+
+void
+Rng::loadState(StateReader &r)
+{
+    state = r.u64();
+    std::uint64_t in = r.u64();
+    // inc must be odd for PCG32 to have full period; a snapshot written
+    // by saveState() always satisfies this, so treat violation as
+    // corruption the envelope checksum somehow missed.
+    if ((in & 1) == 0)
+        tpcp_raise("rng state snapshot: even increment ", in);
+    inc = in;
 }
 
 } // namespace tpcp

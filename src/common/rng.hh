@@ -19,6 +19,9 @@
 namespace tpcp
 {
 
+class StateWriter;
+class StateReader;
+
 /**
  * PCG32 generator (O'Neill, 2014): 64-bit state, 32-bit output,
  * period 2^64 per stream. Small, fast and statistically strong enough
@@ -69,6 +72,12 @@ class Rng
 
     /** Derives an independent child generator (for sub-components). */
     Rng fork(std::uint64_t salt);
+
+    /** Appends generator state to a checkpoint snapshot. */
+    void saveState(StateWriter &w) const;
+
+    /** Restores generator state from a checkpoint snapshot. */
+    void loadState(StateReader &r);
 
   private:
     std::uint64_t state;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/state_io.hh"
+
 namespace tpcp
 {
 
@@ -79,6 +81,26 @@ RunningStats::merge(const RunningStats &other)
     if (other.max_ > max_)
         max_ = other.max_;
     n += other.n;
+}
+
+void
+RunningStats::saveState(StateWriter &w) const
+{
+    w.u64(n);
+    w.f64(mean_);
+    w.f64(m2);
+    w.f64(min_);
+    w.f64(max_);
+}
+
+void
+RunningStats::loadState(StateReader &r)
+{
+    n = r.u64();
+    mean_ = r.f64();
+    m2 = r.f64();
+    min_ = r.f64();
+    max_ = r.f64();
 }
 
 } // namespace tpcp

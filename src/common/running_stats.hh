@@ -13,6 +13,9 @@
 namespace tpcp
 {
 
+class StateWriter;
+class StateReader;
+
 /**
  * Accumulates count / mean / variance of a stream of doubles without
  * storing the samples (numerically stable Welford update).
@@ -57,6 +60,12 @@ class RunningStats
 
     /** Merges another accumulator into this one. */
     void merge(const RunningStats &other);
+
+    /** Appends accumulator state to a checkpoint snapshot. */
+    void saveState(StateWriter &w) const;
+
+    /** Restores accumulator state from a checkpoint snapshot. */
+    void loadState(StateReader &r);
 
   private:
     std::uint64_t n = 0;

@@ -1,0 +1,127 @@
+#include "common/state_io.hh"
+
+#include <array>
+#include <cstdio>
+
+namespace tpcp
+{
+
+namespace
+{
+
+std::array<std::uint32_t, 256>
+makeCrcTable()
+{
+    std::array<std::uint32_t, 256> table{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint32_t c = i;
+        for (int k = 0; k < 8; ++k)
+            c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+        table[i] = c;
+    }
+    return table;
+}
+
+} // namespace
+
+void
+StateWriter::raw(const void *data, std::size_t size)
+{
+    const auto *p = static_cast<const std::uint8_t *>(data);
+    buf.insert(buf.end(), p, p + size);
+}
+
+std::uint32_t
+crc32(const void *data, std::size_t size)
+{
+    static const std::array<std::uint32_t, 256> table = makeCrcTable();
+    const auto *p = static_cast<const std::uint8_t *>(data);
+    std::uint32_t c = 0xffffffffu;
+    for (std::size_t i = 0; i < size; ++i)
+        c = table[(c ^ p[i]) & 0xffu] ^ (c >> 8);
+    return c ^ 0xffffffffu;
+}
+
+bool
+writeStateFile(const std::string &path, std::uint32_t magic,
+               std::uint32_t version, const StateWriter &payload)
+{
+    std::uint8_t header[20];
+    const std::uint64_t payloadSize = payload.size();
+    const std::uint32_t crc =
+        crc32(payload.buffer().data(), payload.size());
+    std::memcpy(header + 0, &magic, 4);
+    std::memcpy(header + 4, &version, 4);
+    std::memcpy(header + 8, &payloadSize, 8);
+    std::memcpy(header + 16, &crc, 4);
+
+    // Atomic publish: write to a temp file, then rename over the target,
+    // so a reader (or a resumed run) never sees a half-written snapshot.
+    const std::string tmp = path + ".tmp";
+    std::FILE *f = std::fopen(tmp.c_str(), "wb");
+    if (!f)
+        return false;
+    bool ok =
+        std::fwrite(header, 1, sizeof(header), f) == sizeof(header) &&
+        (payload.size() == 0 ||
+         std::fwrite(payload.buffer().data(), 1, payload.size(), f) ==
+             payload.size());
+    ok = std::fclose(f) == 0 && ok;
+    if (!ok) {
+        std::remove(tmp.c_str());
+        return false;
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        return false;
+    }
+    return true;
+}
+
+std::vector<std::uint8_t>
+readStateFile(const std::string &path, std::uint32_t magic,
+              std::uint32_t version)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        tpcp_raise("cannot open state file '", path, "'");
+
+    std::vector<std::uint8_t> bytes;
+    std::uint8_t chunk[4096];
+    std::size_t got;
+    while ((got = std::fread(chunk, 1, sizeof(chunk), f)) > 0)
+        bytes.insert(bytes.end(), chunk, chunk + got);
+    const bool readErr = std::ferror(f) != 0;
+    std::fclose(f);
+    if (readErr)
+        tpcp_raise("I/O error reading state file '", path, "'");
+
+    StateReader r(bytes);
+    constexpr std::size_t headerSize = 4 + 4 + 8 + 4;
+    if (bytes.size() < headerSize)
+        tpcp_raise("state file '", path, "' truncated: ", bytes.size(),
+                   " bytes, need at least ", headerSize);
+    const std::uint32_t gotMagic = r.u32();
+    if (gotMagic != magic)
+        tpcp_raise("state file '", path, "' has bad magic ", gotMagic,
+                   " (expected ", magic, ")");
+    const std::uint32_t gotVersion = r.u32();
+    if (gotVersion != version)
+        tpcp_raise("state file '", path, "' has version ", gotVersion,
+                   " (expected ", version, ")");
+    const std::uint64_t payloadSize = r.u64();
+    const std::uint32_t wantCrc = r.u32();
+    if (payloadSize != r.remaining())
+        tpcp_raise("state file '", path, "' payload length mismatch: header "
+                   "says ", payloadSize, ", file carries ", r.remaining());
+
+    std::vector<std::uint8_t> payload(bytes.begin() + headerSize,
+                                      bytes.end());
+    const std::uint32_t gotCrc = crc32(payload.data(), payload.size());
+    if (gotCrc != wantCrc)
+        tpcp_raise("state file '", path, "' failed checksum: computed ",
+                   gotCrc, ", stored ", wantCrc);
+    return payload;
+}
+
+} // namespace tpcp

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Checksummed state serialization for checkpoint/resume.
+ *
+ * StateWriter/StateReader move plain scalars, strings and byte blocks
+ * through a flat byte buffer; every hardware structure that can be
+ * checkpointed (accumulator table, signature table, predictors, the
+ * full phase tracker) implements saveState()/loadState() against this
+ * pair. A reader that runs past the end of its buffer raises
+ * tpcp::Error — a truncated or corrupted snapshot surfaces as a
+ * recoverable error, never as UB.
+ *
+ * writeStateFile()/readStateFile() wrap a payload in a versioned,
+ * CRC-32-checksummed envelope (magic, version, payload length, CRC,
+ * payload). Every byte of the file is covered: magic/version/length
+ * mismatches and trailing bytes are detected structurally, and any
+ * payload corruption fails the checksum — flipping a single bit
+ * anywhere in a state file makes the load fail cleanly.
+ */
+
+#ifndef TPCP_COMMON_STATE_IO_HH
+#define TPCP_COMMON_STATE_IO_HH
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/status.hh"
+
+namespace tpcp
+{
+
+/** CRC-32 (IEEE 802.3 polynomial, reflected) of a byte range. */
+std::uint32_t crc32(const void *data, std::size_t size);
+
+/** Serializes scalars into a growing byte buffer. */
+class StateWriter
+{
+  public:
+    void
+    u8(std::uint8_t v)
+    {
+        buf.push_back(v);
+    }
+
+    void b(bool v) { u8(v ? 1 : 0); }
+
+    void
+    u32(std::uint32_t v)
+    {
+        raw(&v, sizeof(v));
+    }
+
+    void
+    u64(std::uint64_t v)
+    {
+        raw(&v, sizeof(v));
+    }
+
+    void
+    f64(double v)
+    {
+        std::uint64_t bits;
+        std::memcpy(&bits, &v, sizeof(bits));
+        u64(bits);
+    }
+
+    void
+    str(const std::string &s)
+    {
+        u64(s.size());
+        raw(s.data(), s.size());
+    }
+
+    /** Raw byte block (length must be known to the reader).
+     * Out-of-line: GCC 12 -O2 emits a bogus -Wstringop-overflow
+     * through the inlined vector::insert otherwise. */
+    void raw(const void *data, std::size_t size);
+
+    const std::vector<std::uint8_t> &buffer() const { return buf; }
+    std::size_t size() const { return buf.size(); }
+
+  private:
+    std::vector<std::uint8_t> buf;
+};
+
+/**
+ * Deserializes scalars from a byte buffer. All read methods raise
+ * tpcp::Error on underflow; str() additionally bounds the length.
+ */
+class StateReader
+{
+  public:
+    StateReader(const std::uint8_t *data, std::size_t size)
+        : cur(data), end(data + size)
+    {
+    }
+
+    explicit StateReader(const std::vector<std::uint8_t> &buf)
+        : StateReader(buf.data(), buf.size())
+    {
+    }
+
+    std::uint8_t
+    u8()
+    {
+        std::uint8_t v;
+        raw(&v, sizeof(v));
+        return v;
+    }
+
+    bool b() { return u8() != 0; }
+
+    std::uint32_t
+    u32()
+    {
+        std::uint32_t v;
+        raw(&v, sizeof(v));
+        return v;
+    }
+
+    std::uint64_t
+    u64()
+    {
+        std::uint64_t v;
+        raw(&v, sizeof(v));
+        return v;
+    }
+
+    double
+    f64()
+    {
+        std::uint64_t bits = u64();
+        double v;
+        std::memcpy(&v, &bits, sizeof(v));
+        return v;
+    }
+
+    std::string
+    str()
+    {
+        std::uint64_t len = u64();
+        if (len > (1ull << 24) || len > remaining())
+            tpcp_raise("state snapshot: string length ", len,
+                       " exceeds remaining payload");
+        std::string s(len, '\0');
+        raw(s.data(), len);
+        return s;
+    }
+
+    void
+    raw(void *out, std::size_t size)
+    {
+        if (size > remaining())
+            tpcp_raise("state snapshot truncated: need ", size,
+                       " bytes, have ", remaining());
+        std::memcpy(out, cur, size);
+        cur += size;
+    }
+
+    std::size_t
+    remaining() const
+    {
+        return static_cast<std::size_t>(end - cur);
+    }
+
+    bool atEnd() const { return cur == end; }
+
+  private:
+    const std::uint8_t *cur;
+    const std::uint8_t *end;
+};
+
+/**
+ * Writes @p payload to @p path inside the checksummed envelope,
+ * atomically (temp file + rename). Returns false on I/O error.
+ */
+bool writeStateFile(const std::string &path, std::uint32_t magic,
+                    std::uint32_t version, const StateWriter &payload);
+
+/**
+ * Reads a state file written by writeStateFile() and returns its
+ * payload bytes. Raises tpcp::Error when the file is missing, has
+ * the wrong magic or version, is truncated, carries trailing bytes,
+ * or fails the CRC check.
+ */
+std::vector<std::uint8_t> readStateFile(const std::string &path,
+                                        std::uint32_t magic,
+                                        std::uint32_t version);
+
+} // namespace tpcp
+
+#endif // TPCP_COMMON_STATE_IO_HH

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Recoverable library errors.
+ *
+ * Library code must never terminate the process: a bad input (corrupt
+ * profile, unknown name, malformed checkpoint) raises tpcp::Error,
+ * which callers catch and handle — the parallel runner propagates it
+ * across worker threads, `tpcp profile all` skips the bad workload
+ * and reports it, and only the `main()` of a tool or benchmark turns
+ * an uncaught Error into an exit code. tpcp_panic (std::abort on an
+ * internal invariant violation) remains the one intentional hard
+ * stop, because it marks a library bug rather than a bad input.
+ */
+
+#ifndef TPCP_COMMON_STATUS_HH
+#define TPCP_COMMON_STATUS_HH
+
+#include <stdexcept>
+#include <string>
+
+#include "common/logging.hh"
+
+namespace tpcp
+{
+
+/**
+ * A recoverable error: the operation failed because of bad input or
+ * environment, not a library bug. Carries a human-readable message
+ * (what() is the full text shown to the user).
+ */
+class Error : public std::runtime_error
+{
+  public:
+    explicit Error(std::string msg) : std::runtime_error(std::move(msg))
+    {
+    }
+};
+
+namespace detail
+{
+
+[[noreturn]] inline void
+raiseImpl(const std::string &msg)
+{
+    throw Error(msg);
+}
+
+} // namespace detail
+} // namespace tpcp
+
+/** Raises a recoverable tpcp::Error built from stream-style args. */
+#define tpcp_raise(...)                                                 \
+    ::tpcp::detail::raiseImpl(                                          \
+        ::tpcp::detail::buildMessage(__VA_ARGS__))
+
+#endif // TPCP_COMMON_STATUS_HH

@@ -1,0 +1,31 @@
+#include "fault/checkpoint.hh"
+
+#include "common/state_io.hh"
+#include "common/status.hh"
+
+namespace tpcp::fault
+{
+
+bool
+saveTracker(const std::string &path,
+            const pred::PhaseTracker &tracker)
+{
+    StateWriter w;
+    tracker.saveState(w);
+    return writeStateFile(path, trackerCheckpointMagic,
+                          trackerCheckpointVersion, w);
+}
+
+void
+loadTracker(const std::string &path, pred::PhaseTracker &tracker)
+{
+    std::vector<std::uint8_t> payload = readStateFile(
+        path, trackerCheckpointMagic, trackerCheckpointVersion);
+    StateReader r(payload);
+    tracker.loadState(r);
+    if (!r.atEnd())
+        tpcp_raise("tracker checkpoint ", path, ": ", r.remaining(),
+                   " trailing payload bytes");
+}
+
+} // namespace tpcp::fault

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Versioned, checksummed checkpoint/resume of the full phase-tracking
+ * unit (classifier + signature table + all predictors).
+ *
+ * The snapshot rides the common/state_io envelope: magic, version,
+ * payload length and CRC-32 cover every byte of the file, so a
+ * truncated, bit-flipped or wrong-version checkpoint fails the load
+ * with a recoverable tpcp::Error — never silently restores garbage.
+ * All restored counters pass through saturating clamps on load (see
+ * the individual loadState() implementations), so even a snapshot
+ * that *was* valid for different structure geometry cannot push a
+ * counter outside its physical range.
+ */
+
+#ifndef TPCP_FAULT_CHECKPOINT_HH
+#define TPCP_FAULT_CHECKPOINT_HH
+
+#include <cstdint>
+#include <string>
+
+#include "pred/phase_tracker.hh"
+
+namespace tpcp::fault
+{
+
+/** Envelope tag of a bare tracker snapshot ("TPCP"). */
+inline constexpr std::uint32_t trackerCheckpointMagic = 0x50435054;
+inline constexpr std::uint32_t trackerCheckpointVersion = 1;
+
+/**
+ * Writes @p tracker's full state to @p path (atomically: temp file +
+ * rename). Returns false on I/O error.
+ */
+bool saveTracker(const std::string &path,
+                 const pred::PhaseTracker &tracker);
+
+/**
+ * Restores @p tracker from a snapshot written by saveTracker().
+ * Raises tpcp::Error when the file is missing, corrupt, truncated,
+ * of the wrong version, or structurally incompatible with the
+ * tracker's configuration.
+ */
+void loadTracker(const std::string &path,
+                 pred::PhaseTracker &tracker);
+
+} // namespace tpcp::fault
+
+#endif // TPCP_FAULT_CHECKPOINT_HH

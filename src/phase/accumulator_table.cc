@@ -1,6 +1,7 @@
 #include "phase/accumulator_table.hh"
 
 #include "common/logging.hh"
+#include "common/state_io.hh"
 
 namespace tpcp::phase
 {
@@ -20,6 +21,33 @@ AccumulatorTable::reset()
 {
     std::fill(ctrs.begin(), ctrs.end(), 0);
     total = 0;
+}
+
+void
+AccumulatorTable::saveState(StateWriter &w) const
+{
+    w.u32(numCtrs);
+    w.u32(bits);
+    for (std::uint32_t c : ctrs)
+        w.u32(c);
+    w.u64(total);
+}
+
+void
+AccumulatorTable::loadState(StateReader &r)
+{
+    const std::uint32_t savedCtrs = r.u32();
+    const std::uint32_t savedBits = r.u32();
+    if (savedCtrs != numCtrs || savedBits != bits)
+        tpcp_raise("accumulator snapshot geometry mismatch: saved ",
+                   savedCtrs, "x", savedBits, " bits, configured ",
+                   numCtrs, "x", bits, " bits");
+    for (std::uint32_t &c : ctrs) {
+        c = r.u32();
+        if (c > maxVal)
+            c = maxVal; // saturating clamp on restore
+    }
+    total = r.u64();
 }
 
 } // namespace tpcp::phase

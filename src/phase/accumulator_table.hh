@@ -16,6 +16,12 @@
 #include "common/bitops.hh"
 #include "common/types.hh"
 
+namespace tpcp
+{
+class StateWriter;
+class StateReader;
+} // namespace tpcp
+
 namespace tpcp::phase
 {
 
@@ -96,6 +102,23 @@ class AccumulatorTable
 
     /** Clears all counters for the next interval. */
     void reset();
+
+    /** Fault hook: flips bit @p bit of counter @p idx. The result is
+     * clamped to the counter width — a flip can corrupt the value but
+     * never widen the physical counter. */
+    void
+    flipCounterBit(unsigned idx, unsigned bit)
+    {
+        std::uint32_t v = ctrs[idx] ^ (std::uint32_t(1) << bit);
+        ctrs[idx] = v > maxVal ? maxVal : v;
+    }
+
+    /** Appends counter state to a checkpoint snapshot. */
+    void saveState(StateWriter &w) const;
+
+    /** Restores counter state from a checkpoint snapshot; every
+     * restored counter is clamped (saturating) to the counter width. */
+    void loadState(StateReader &r);
 
   private:
     /** Same bucket as hashToBucket(pc, numCtrs), with the

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "common/state_io.hh"
 
 namespace tpcp::phase
 {
@@ -49,6 +50,18 @@ PhaseClassifier::classifyRaw(const std::vector<std::uint32_t> &raw,
     ClassifyResult res;
     ++stats_.intervals;
 
+    // Input sanitization: a non-finite or negative CPI (damaged
+    // profile, corrupted counter) must not poison the per-entry
+    // running averages or the adaptive-threshold feedback. The
+    // interval is still classified — only the feedback is dropped.
+    const bool cpiOk = std::isfinite(cpi) && cpi >= 0.0;
+    if (!cpiOk)
+        ++stats_.rejectedCpiSamples;
+
+    if (cfg.parityProtect && cfg.scrubEvery != 0 &&
+        stats_.intervals % cfg.scrubEvery == 0)
+        stats_.quarantines += sigTable.scrubParity();
+
     // Compress into the reusable scratch row: the hot path allocates
     // nothing and the table works on raw signature bytes.
     std::uint32_t weight = Signature::compressTo(
@@ -57,15 +70,59 @@ PhaseClassifier::classifyRaw(const std::vector<std::uint32_t> &raw,
 
     SignatureTable::MatchResult m = sigTable.match(
         scratch.data(), scratch.size(), weight, cfg.matchPolicy);
+    while (m && cfg.parityProtect && !sigTable.checkParityAt(m.index)) {
+        // Read-detected parity failure: the match was computed over
+        // corrupt signature bytes, so it cannot be trusted. The entry
+        // is now quarantined (match() skips it); rematch against the
+        // remaining clean entries.
+        ++stats_.quarantines;
+        m = sigTable.match(scratch.data(), scratch.size(), weight,
+                           cfg.matchPolicy);
+    }
+    bool repaired = false;
+    if (cfg.parityProtect) {
+        // Quarantined rows were excluded from the clean match, but
+        // one of them may be the entry that would have matched
+        // fault-free — either outright (clean miss) or better than
+        // the clean winner (overlapping thresholds). Re-match against
+        // them with syndrome-corrected distances, which closely
+        // recover each damaged row's uncorrupted distance, and let
+        // the corrected candidate compete under the same best-match
+        // rule. A win repairs the entry in place with the fresh
+        // signature while its ECC-protected phase ID and counters
+        // survive; a loss falls through unchanged, so a genuinely new
+        // phase still inserts. Only this split keeps the insertion
+        // sequence — and therefore every future phase-ID allocation —
+        // in lockstep with a fault-free run.
+        if (!m) // misses are rare: a demand scrub is affordable
+            stats_.quarantines += sigTable.scrubParity();
+        if (sigTable.numQuarantined() != 0) {
+            SignatureTable::MatchResult q = sigTable.matchQuarantined(
+                scratch.data(), scratch.size(), weight,
+                cfg.repairSlack);
+            if (q && (!m || q.distance < m.distance)) {
+                sigTable.repairEntry(q.index, scratch.data(),
+                                     scratch.size(), weight);
+                repaired = true;
+                ++stats_.repairs;
+                m = q;
+            }
+        }
+    }
     if (m) {
         SigEntryMeta &meta = sigTable.meta(m.index);
-        res.matched = true;
+        res.matched = !repaired;
+        res.repaired = repaired;
         res.distance = m.distance;
-        // The matching signature is replaced with the current one so
-        // the entry tracks the phase's most recent code profile.
-        sigTable.replaceSignature(m.index, scratch.data(),
-                                  scratch.size(), weight);
-        sigTable.touch(m.index);
+        if (!repaired) {
+            // The matching signature is replaced with the current one
+            // so the entry tracks the phase's most recent code
+            // profile. (A repair already rewrote the row, bumping the
+            // LRU tick exactly once like touch() does.)
+            sigTable.replaceSignature(m.index, scratch.data(),
+                                      scratch.size(), weight);
+            sigTable.touch(m.index);
+        }
         meta.minCounter.increment();
 
         bool stable = cfg.minCountThreshold == 0 ||
@@ -80,7 +137,7 @@ PhaseClassifier::classifyRaw(const std::vector<std::uint32_t> &raw,
         // Performance feedback (section 4.6): if this interval's CPI
         // deviates too far from the entry's running average, tighten
         // the entry's similarity threshold and restart its stats.
-        if (cfg.adaptiveThreshold && meta.cpi.count() >= 1) {
+        if (cpiOk && cfg.adaptiveThreshold && meta.cpi.count() >= 1) {
             double avg = meta.cpi.mean();
             if (avg > 0.0 &&
                 std::abs(cpi - avg) / avg > cfg.cpiDeviationThreshold) {
@@ -93,7 +150,8 @@ PhaseClassifier::classifyRaw(const std::vector<std::uint32_t> &raw,
                 ++stats_.thresholdHalvings;
             }
         }
-        meta.cpi.push(cpi);
+        if (cpiOk)
+            meta.cpi.push(cpi);
     } else {
         std::uint32_t idx = sigTable.insert(
             scratch.data(), scratch.size(), weight,
@@ -112,7 +170,8 @@ PhaseClassifier::classifyRaw(const std::vector<std::uint32_t> &raw,
             meta.phase = nextPhase++;
         }
         res.phase = meta.phase;
-        meta.cpi.push(cpi);
+        if (cpiOk)
+            meta.cpi.push(cpi);
     }
 
     if (res.phase == transitionPhaseId)
@@ -124,6 +183,40 @@ void
 PhaseClassifier::flushPerformanceFeedback()
 {
     sigTable.clearPerformanceStats();
+}
+
+void
+PhaseClassifier::saveState(StateWriter &w) const
+{
+    accum.saveState(w);
+    sigTable.saveState(w);
+    w.u32(nextPhase);
+    w.u64(stats_.intervals);
+    w.u64(stats_.transitionIntervals);
+    w.u64(stats_.insertions);
+    w.u64(stats_.thresholdHalvings);
+    w.u64(stats_.evictions);
+    w.u64(stats_.repairs);
+    w.u64(stats_.quarantines);
+    w.u64(stats_.rejectedCpiSamples);
+}
+
+void
+PhaseClassifier::loadState(StateReader &r)
+{
+    accum.loadState(r);
+    sigTable.loadState(r);
+    nextPhase = r.u32();
+    if (nextPhase < firstStablePhaseId)
+        nextPhase = firstStablePhaseId;
+    stats_.intervals = r.u64();
+    stats_.transitionIntervals = r.u64();
+    stats_.insertions = r.u64();
+    stats_.thresholdHalvings = r.u64();
+    stats_.evictions = r.u64();
+    stats_.repairs = r.u64();
+    stats_.quarantines = r.u64();
+    stats_.rejectedCpiSamples = r.u64();
 }
 
 } // namespace tpcp::phase

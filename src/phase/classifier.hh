@@ -18,6 +18,12 @@
 #include "phase/classifier_config.hh"
 #include "phase/signature_table.hh"
 
+namespace tpcp
+{
+class StateWriter;
+class StateReader;
+} // namespace tpcp
+
 namespace tpcp::phase
 {
 
@@ -32,6 +38,9 @@ struct ClassifyResult
     bool inserted = false;
     /** The adaptive scheme halved the matched entry's threshold. */
     bool thresholdHalved = false;
+    /** A quarantined (parity-failed) entry was repaired in place with
+     * this interval's signature instead of inserting a new entry. */
+    bool repaired = false;
     /** Normalized difference to the matched entry (0 when inserted). */
     double distance = 0.0;
 };
@@ -45,6 +54,12 @@ struct ClassifierStats
     std::uint64_t thresholdHalvings = 0;
     /** Signature-table entries lost to LRU replacement. */
     std::uint64_t evictions = 0;
+    /** Parity-failed entries repaired in place (parityProtect). */
+    std::uint64_t repairs = 0;
+    /** Entries quarantined by parity checks (parityProtect). */
+    std::uint64_t quarantines = 0;
+    /** CPI feedback samples rejected as non-finite or negative. */
+    std::uint64_t rejectedCpiSamples = 0;
 
     /** Fraction of intervals classified as phase transitions. */
     double
@@ -104,6 +119,19 @@ class PhaseClassifier
     const ClassifierConfig &config() const { return cfg; }
     const SignatureTable &table() const { return sigTable; }
     const ClassifierStats &stats() const { return stats_; }
+
+    /** Mutable table access for the fault injector: soft errors are
+     * injected directly into live table state. */
+    SignatureTable &mutableTable() { return sigTable; }
+
+    /** Mutable accumulator access for the fault injector. */
+    AccumulatorTable &mutableAccumulator() { return accum; }
+
+    /** Appends full classifier state to a checkpoint snapshot. */
+    void saveState(StateWriter &w) const;
+
+    /** Restores classifier state from a checkpoint snapshot. */
+    void loadState(StateReader &r);
 
   private:
     ClassifierConfig cfg;

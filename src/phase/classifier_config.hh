@@ -61,6 +61,25 @@ struct ClassifierConfig
     /** Per-entry thresholds are never halved below this floor. */
     double thresholdFloor = 0.01;
 
+    // ---- Soft-error mitigation (fault subsystem) ----
+    /** Parity-protect signature-table rows: parity is checked on
+     * every match and on every miss (demand scrub), parity-failed
+     * entries are quarantined and repaired in place by the next
+     * unmatched interval, preserving their phase ID. Off by default:
+     * fault-free behavior and all golden outputs are unchanged. */
+    bool parityProtect = false;
+    /** When parityProtect is on, additionally parity-scrub the whole
+     * table every this many intervals (0 = demand scrubbing only). */
+    unsigned scrubEvery = 0;
+    /** Extra Manhattan distance (pre-normalization) tolerated on top
+     * of the syndrome-corrected distance when re-matching a query
+     * against *quarantined* rows. The correction already recovers a
+     * single-event flip exactly, so the default adds no slack; raise
+     * it only to absorb multi-event corruption that single-byte
+     * correction cannot fully undo. Too much slack risks binding a
+     * genuinely new phase to a damaged entry instead of inserting. */
+    double repairSlack = 0.0;
+
     /** Paper baseline reproducing [25]: 32 counters, static 12.5%
      * threshold, no transition phase, first match. */
     static ClassifierConfig

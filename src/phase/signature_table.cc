@@ -1,8 +1,10 @@
 #include "phase/signature_table.hh"
 
 #include <algorithm>
+#include <limits>
 
 #include "common/logging.hh"
+#include "common/state_io.hh"
 
 namespace tpcp::phase
 {
@@ -15,6 +17,9 @@ SignatureTable::SignatureTable(unsigned capacity,
         metas.reserve(cap);
         weights.reserve(cap);
         thresholds.reserve(cap);
+        parity.reserve(cap);
+        eccPos.reserve(cap);
+        quarantined.reserve(cap);
     }
 }
 
@@ -65,7 +70,12 @@ SignatureTable::match(const std::uint8_t *qdims, std::size_t ndims,
                 "signature dimensionality mismatch");
     MatchResult best;
     const std::size_t n = metas.size();
+    // Hoisted so the fault-free hot path pays one register test per
+    // entry, never a quarantine-array load.
+    const bool anyQuarantined = numQuarantined_ != 0;
     for (std::size_t i = 0; i < n; ++i) {
+        if (anyQuarantined && quarantined[i])
+            continue; // parity-failed entry awaiting repair
         const std::uint32_t wi = weights[i];
         const std::uint64_t denom =
             static_cast<std::uint64_t>(qweight) + wi;
@@ -126,11 +136,19 @@ SignatureTable::allocSlot(std::size_t ndims)
     tpcp_assert(ndims == rowDims,
                 "signature dimensionality mismatch");
     if (cap != 0 && metas.size() >= cap) {
-        // Evict the LRU entry and reuse its slot.
+        // Evict and reuse the LRU slot. Quarantined entries get no
+        // special treatment here: eviction decisions must stay in
+        // lockstep with a fault-free run of the same stream, or the
+        // two tables' contents — and with them all later phase-ID
+        // allocations — permanently diverge.
         std::uint32_t victim = 0;
         for (std::uint32_t i = 1; i < metas.size(); ++i) {
             if (metas[i].lastUse < metas[victim].lastUse)
                 victim = i;
+        }
+        if (quarantined[victim]) {
+            quarantined[victim] = 0;
+            --numQuarantined_;
         }
         ++evictions_;
         return victim;
@@ -138,6 +156,9 @@ SignatureTable::allocSlot(std::size_t ndims)
     metas.emplace_back();
     weights.push_back(0);
     thresholds.push_back(0.0);
+    parity.push_back(0);
+    eccPos.push_back(0);
+    quarantined.push_back(0);
     rows.resize(rows.size() + rowDims);
     return static_cast<std::uint32_t>(metas.size() - 1);
 }
@@ -166,6 +187,7 @@ SignatureTable::insert(const std::uint8_t *dims, std::size_t ndims,
     // min_count times").
     m.minCounter = SatCounter(minCtrBits, 1);
     m.lastUse = ++tick;
+    refreshParity(idx);
     return idx;
 }
 
@@ -178,6 +200,7 @@ SignatureTable::replaceSignature(std::uint32_t idx,
     tpcp_assert(idx < metas.size() && ndims == rowDims);
     std::copy(dims, dims + ndims, &rows[idx * rowDims]);
     weights[idx] = weight;
+    refreshParity(idx);
 }
 
 void
@@ -209,9 +232,301 @@ SignatureTable::clear()
     weights.clear();
     thresholds.clear();
     metas.clear();
+    parity.clear();
+    eccPos.clear();
+    quarantined.clear();
+    numQuarantined_ = 0;
+    corrections_ = 0;
     rowDims = 0;
     tick = 0;
     evictions_ = 0;
+}
+
+std::uint8_t
+SignatureTable::computeParity(std::uint32_t idx) const
+{
+    const std::uint8_t *row = &rows[idx * rowDims];
+    std::uint8_t p = 0;
+    for (std::size_t j = 0; j < rowDims; ++j)
+        p ^= row[j];
+    return p;
+}
+
+std::uint16_t
+SignatureTable::computeEccPos(std::uint32_t idx) const
+{
+    const std::uint8_t *row = &rows[idx * rowDims];
+    std::uint16_t s = 0;
+    for (std::size_t j = 0; j < rowDims; ++j) {
+        std::uint8_t v = row[j];
+        while (v) {
+            unsigned b = static_cast<unsigned>(
+                __builtin_ctz(static_cast<unsigned>(v)));
+            s ^= static_cast<std::uint16_t>(j * 8 + b + 1);
+            v = static_cast<std::uint8_t>(v & (v - 1));
+        }
+    }
+    return s;
+}
+
+void
+SignatureTable::refreshParity(std::uint32_t idx)
+{
+    parity[idx] = computeParity(idx);
+    eccPos[idx] = computeEccPos(idx);
+    if (quarantined[idx]) {
+        quarantined[idx] = 0;
+        --numQuarantined_;
+    }
+}
+
+void
+SignatureTable::flipSignatureBit(std::uint32_t idx, unsigned bit)
+{
+    tpcp_assert(idx < metas.size() && bit < rowDims * 8);
+    rows[idx * rowDims + bit / 8] ^=
+        static_cast<std::uint8_t>(1u << (bit % 8));
+}
+
+bool
+SignatureTable::checkParityAt(std::uint32_t idx)
+{
+    tpcp_assert(idx < metas.size());
+    if (quarantined[idx])
+        return false;
+    const std::uint8_t sFold =
+        static_cast<std::uint8_t>(parity[idx] ^ computeParity(idx));
+    const std::uint16_t sPos =
+        static_cast<std::uint16_t>(eccPos[idx] ^ computeEccPos(idx));
+    if (sFold == 0 && sPos == 0)
+        return true;
+    // Single-bit correction: exactly one bit position flipped (one
+    // fold bit set) and the position code names a bit inside the row
+    // consistent with it. Both syndromes must verify clean after the
+    // flip-back, or the damage was wider than one bit after all.
+    if ((sFold & (sFold - 1)) == 0 && sFold != 0 && sPos >= 1 &&
+        sPos <= rowDims * 8) {
+        const unsigned pos = sPos - 1;
+        std::uint8_t &byte = rows[idx * rowDims + pos / 8];
+        if ((std::uint8_t(1) << (pos % 8)) == sFold) {
+            byte = static_cast<std::uint8_t>(byte ^ (1u << (pos % 8)));
+            if (computeParity(idx) == parity[idx] &&
+                computeEccPos(idx) == eccPos[idx]) {
+                ++corrections_;
+                return true;
+            }
+            byte = static_cast<std::uint8_t>(byte ^ (1u << (pos % 8)));
+        }
+    }
+    quarantined[idx] = 1;
+    ++numQuarantined_;
+    return false;
+}
+
+std::uint32_t
+SignatureTable::scrubParity()
+{
+    std::uint32_t newlyQuarantined = 0;
+    for (std::uint32_t i = 0; i < metas.size(); ++i) {
+        if (!quarantined[i] && !checkParityAt(i))
+            ++newlyQuarantined;
+    }
+    return newlyQuarantined;
+}
+
+std::uint32_t
+SignatureTable::mruQuarantined() const
+{
+    std::uint32_t best = npos;
+    if (numQuarantined_ == 0)
+        return best;
+    for (std::uint32_t i = 0; i < metas.size(); ++i) {
+        if (quarantined[i] &&
+            (best == npos || metas[i].lastUse > metas[best].lastUse))
+            best = i;
+    }
+    return best;
+}
+
+SignatureTable::MatchResult
+SignatureTable::matchQuarantined(const std::uint8_t *qdims,
+                                 std::size_t ndims,
+                                 std::uint32_t qweight,
+                                 double slack) const
+{
+    tpcp_assert(metas.empty() || ndims == rowDims,
+                "signature dimensionality mismatch");
+    MatchResult best;
+    if (numQuarantined_ == 0)
+        return best;
+    // Quarantined entries are rare, so each row is scanned in full —
+    // no early-exit bound needed on this cold path.
+    for (std::size_t i = 0; i < metas.size(); ++i) {
+        if (!quarantined[i])
+            continue;
+        const std::uint32_t wi = weights[i];
+        const std::uint64_t denom =
+            static_cast<std::uint64_t>(qweight) + wi;
+        double diff;
+        if (denom == 0) {
+            diff = 0.0;
+        } else if (qweight == 0 || wi == 0) {
+            diff = 1.0;
+        } else {
+            const std::uint8_t *row = &rows[i * rowDims];
+            std::int64_t dist = 0;
+            for (std::size_t j = 0; j < ndims; ++j) {
+                int d = static_cast<int>(qdims[j]) -
+                        static_cast<int>(row[j]);
+                dist += d < 0 ? -d : d;
+            }
+            // Syndrome-corrected distance. The XOR-fold parity pins
+            // down exactly which *bit positions* flipped (odd number
+            // of times) somewhere in the row, just not in which byte.
+            // For each syndrome bit, undo the flip in whichever byte
+            // shrinks the Manhattan distance the most: when a single
+            // event flipped that bit, the true byte is among the
+            // candidates, so the corrected distance is a tight lower
+            // bound on the entry's uncorrupted distance — sharp
+            // enough to compare against the entry's own threshold,
+            // exactly as a fault-free match would.
+            const std::uint8_t syndrome =
+                static_cast<std::uint8_t>(parity[i] ^
+                                          computeParity(
+                                              static_cast<std::uint32_t>(
+                                                  i)));
+            for (unsigned b = 0; b < 8; ++b) {
+                if (!(syndrome & (1u << b)))
+                    continue;
+                std::int64_t bestDelta =
+                    std::numeric_limits<std::int64_t>::max();
+                for (std::size_t j = 0; j < ndims; ++j) {
+                    int cur = static_cast<int>(qdims[j]) -
+                              static_cast<int>(row[j]);
+                    cur = cur < 0 ? -cur : cur;
+                    int alt = static_cast<int>(qdims[j]) -
+                              static_cast<int>(row[j] ^ (1u << b));
+                    alt = alt < 0 ? -alt : alt;
+                    if (alt - cur < bestDelta)
+                        bestDelta = alt - cur;
+                }
+                dist += bestDelta;
+            }
+            if (dist < 0)
+                dist = 0;
+            diff = static_cast<double>(dist) /
+                   static_cast<double>(denom);
+        }
+        const double cutoff =
+            thresholds[i] +
+            slack / static_cast<double>(denom == 0 ? 1 : denom);
+        if (diff >= cutoff)
+            continue;
+        if (!best || diff < best.distance) {
+            best.index = static_cast<std::uint32_t>(i);
+            best.distance = diff;
+        }
+    }
+    return best;
+}
+
+void
+SignatureTable::repairEntry(std::uint32_t idx, const std::uint8_t *dims,
+                            std::size_t ndims, std::uint32_t weight)
+{
+    tpcp_assert(idx < metas.size() && ndims == rowDims);
+    tpcp_assert(quarantined[idx], "repairing a non-quarantined entry");
+    std::copy(dims, dims + ndims, &rows[idx * rowDims]);
+    weights[idx] = weight;
+    refreshParity(idx);
+    metas[idx].lastUse = ++tick;
+}
+
+void
+SignatureTable::saveState(StateWriter &w) const
+{
+    w.u32(cap);
+    w.u32(minCtrBits);
+    w.u64(rowDims);
+    w.u32(rowBits);
+    w.u64(metas.size());
+    w.raw(rows.data(), rows.size());
+    for (std::uint32_t wt : weights)
+        w.u32(wt);
+    for (double t : thresholds)
+        w.f64(t);
+    for (const SigEntryMeta &m : metas) {
+        w.u32(m.phase);
+        w.u64(m.minCounter.value());
+        m.cpi.saveState(w);
+        w.u64(m.lastUse);
+    }
+    w.raw(parity.data(), parity.size());
+    for (std::uint16_t e : eccPos)
+        w.u32(e);
+    w.raw(quarantined.data(), quarantined.size());
+    w.u32(numQuarantined_);
+    w.u64(corrections_);
+    w.u64(tick);
+    w.u64(evictions_);
+}
+
+void
+SignatureTable::loadState(StateReader &r)
+{
+    const std::uint32_t savedCap = r.u32();
+    const std::uint32_t savedBits = r.u32();
+    if (savedCap != cap || savedBits != minCtrBits)
+        tpcp_raise("signature-table snapshot geometry mismatch: saved ",
+                   savedCap, "x", savedBits, " bits, configured ", cap,
+                   "x", minCtrBits, " bits");
+    clear();
+    rowDims = r.u64();
+    rowBits = r.u32();
+    const std::uint64_t n = r.u64();
+    if (cap != 0 && n > cap)
+        tpcp_raise("signature-table snapshot holds ", n,
+                   " entries, capacity is ", cap);
+    if (rowDims > 4096 || n > (1u << 20))
+        tpcp_raise("signature-table snapshot implausibly large (",
+                   n, " entries x ", rowDims, " bytes)");
+    rows.resize(n * rowDims);
+    r.raw(rows.data(), rows.size());
+    weights.resize(n);
+    for (std::uint32_t &wt : weights)
+        wt = r.u32();
+    thresholds.resize(n);
+    for (double &t : thresholds) {
+        t = r.f64();
+        // Saturating clamp: a normalized-difference threshold is
+        // meaningful only in [0, 1], and NaN would poison matching.
+        if (!(t >= 0.0))
+            t = 0.0;
+        else if (t > 1.0)
+            t = 1.0;
+    }
+    metas.resize(n);
+    for (SigEntryMeta &m : metas) {
+        m.phase = r.u32();
+        m.minCounter = SatCounter(minCtrBits, 0);
+        m.minCounter.set(r.u64()); // clamps to the counter width
+        m.cpi.loadState(r);
+        m.lastUse = r.u64();
+    }
+    parity.resize(n);
+    r.raw(parity.data(), parity.size());
+    eccPos.resize(n);
+    for (std::uint16_t &e : eccPos)
+        e = static_cast<std::uint16_t>(r.u32());
+    quarantined.resize(n);
+    r.raw(quarantined.data(), quarantined.size());
+    r.u32(); // saved quarantine count; recomputed below from the flags
+    numQuarantined_ = 0;
+    for (std::uint8_t q : quarantined)
+        numQuarantined_ += q ? 1 : 0;
+    corrections_ = r.u64();
+    tick = r.u64();
+    evictions_ = r.u64();
 }
 
 } // namespace tpcp::phase

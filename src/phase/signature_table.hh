@@ -26,6 +26,12 @@
 #include "phase/classifier_config.hh"
 #include "phase/signature.hh"
 
+namespace tpcp
+{
+class StateWriter;
+class StateReader;
+} // namespace tpcp
+
 namespace tpcp::phase
 {
 
@@ -169,9 +175,97 @@ class SignatureTable
     /** Removes all entries. */
     void clear();
 
+    // ---- Soft-error model & parity protection (fault subsystem) ----
+
+    /** Bytes per stored signature row (0 before the first insert). */
+    std::size_t rowSize() const { return rowDims; }
+
+    /**
+     * Fault hook: flips bit @p bit of entry @p idx's stored signature
+     * bytes *without* updating the row's parity byte, modelling a
+     * soft error in the SRAM holding the signature.
+     */
+    void flipSignatureBit(std::uint32_t idx, unsigned bit);
+
+    /**
+     * Verifies entry @p idx against its per-row check bits. A clean
+     * row returns true immediately. A single flipped bit is located
+     * by the position code and corrected in place (SEC-DED style —
+     * the XOR-fold parity says *which bit position* flipped, the
+     * position code says *where*), also returning true. Damage beyond
+     * one bit is detected but uncorrectable: the entry is quarantined
+     * (excluded from matching until repaired) and false is returned.
+     */
+    bool checkParityAt(std::uint32_t idx);
+
+    /** Soft errors corrected in place by the per-row ECC. */
+    std::uint64_t eccCorrections() const { return corrections_; }
+
+    /** Parity-checks every entry (periodic scrub). Returns the number
+     * of entries newly quarantined by this pass. */
+    std::uint32_t scrubParity();
+
+    /** True when entry @p idx is quarantined by a parity failure. */
+    bool
+    quarantinedAt(std::uint32_t idx) const
+    {
+        return quarantined[idx] != 0;
+    }
+
+    /** Number of currently quarantined entries. */
+    std::uint32_t numQuarantined() const { return numQuarantined_; }
+
+    /** Most-recently-used quarantined entry, or npos when none. */
+    std::uint32_t mruQuarantined() const;
+
+    /**
+     * Relaxed best-match over the *quarantined* entries only: each
+     * entry's cutoff is its threshold plus @p slack extra Manhattan
+     * distance (normalized by the same weight denominator), sized for
+     * the inflation a few flipped bits can cause. Used by the
+     * classifier's miss path to decide between repairing a damaged
+     * entry and inserting a genuinely new one. Returns index == npos
+     * when nothing is close enough.
+     */
+    MatchResult matchQuarantined(const std::uint8_t *dims,
+                                 std::size_t ndims,
+                                 std::uint32_t weight,
+                                 double slack) const;
+
+    /**
+     * Repairs a quarantined entry in place with a fresh signature:
+     * the corrupted bytes are overwritten, parity recomputed and the
+     * quarantine lifted, while the entry's classification metadata
+     * (phase ID, min counter, CPI stats, threshold) is retained — the
+     * narrow metadata fields are modelled as ECC-protected, so only
+     * the wide signature bytes are lost to the soft error.
+     */
+    void repairEntry(std::uint32_t idx, const std::uint8_t *dims,
+                     std::size_t ndims, std::uint32_t weight);
+
+    /** Appends full table state to a checkpoint snapshot. */
+    void saveState(StateWriter &w) const;
+
+    /** Restores table state from a checkpoint snapshot; counters and
+     * thresholds are clamped to their representable ranges. */
+    void loadState(StateReader &r);
+
   private:
     /** Appends or recycles a slot and returns its index. */
     std::uint32_t allocSlot(std::size_t ndims);
+
+    /** XOR fold of entry @p idx's signature bytes. */
+    std::uint8_t computeParity(std::uint32_t idx) const;
+
+    /** XOR of the 1-based positions of all set bits in entry
+     * @p idx's row: a single flipped bit at position p changes this
+     * by exactly p, which locates the error. */
+    std::uint16_t computeEccPos(std::uint32_t idx) const;
+
+    /** Stores fresh check bits for entry @p idx and lifts any
+     * quarantine (called whenever the row's bytes are rewritten
+     * wholesale). */
+    void refreshParity(std::uint32_t idx);
 
     unsigned cap;
     unsigned minCtrBits;
@@ -188,6 +282,16 @@ class SignatureTable
     std::vector<double> thresholds;
     /** Cold per-entry state, parallel to rows. */
     std::vector<SigEntryMeta> metas;
+    /** XOR-fold parity byte per entry, parallel to rows. */
+    std::vector<std::uint8_t> parity;
+    /** Error-locating position code per entry (see computeEccPos),
+     * parallel to rows. */
+    std::vector<std::uint16_t> eccPos;
+    /** Non-zero when the entry failed a parity check, parallel to
+     * rows; quarantined entries are skipped by match(). */
+    std::vector<std::uint8_t> quarantined;
+    std::uint32_t numQuarantined_ = 0;
+    std::uint64_t corrections_ = 0;
     std::uint64_t tick = 0;
     std::uint64_t evictions_ = 0;
 };

@@ -4,6 +4,8 @@
 
 #include "common/bitops.hh"
 #include "common/logging.hh"
+#include "common/rng.hh"
+#include "common/state_io.hh"
 
 namespace tpcp::pred
 {
@@ -273,6 +275,126 @@ ChangePredictor::observe(PhaseId actual)
     lastPhase = actual;
     runLen = 1;
     return outcome;
+}
+
+bool
+ChangePredictor::injectFault(Rng &rng, bool invalidate)
+{
+    // Collect the valid slots so the victim choice is uniform over
+    // live entries regardless of where they sit in the storage array.
+    std::vector<AssocTable<std::uint64_t, Entry>::Entry *> live;
+    table.forEachSlot([&](auto &e) {
+        if (e.valid)
+            live.push_back(&e);
+    });
+    if (live.empty())
+        return false;
+    auto &victim = *live[rng.nextBounded(
+        static_cast<std::uint32_t>(live.size()))];
+    if (invalidate) {
+        // ECC detects the error on access; the entry is dropped and
+        // will retrain from scratch (last-value fallback meanwhile).
+        table.erase(victim);
+        return true;
+    }
+    switch (rng.nextBounded(3)) {
+      case 0: // stored outcome: predicts a wrong next phase
+        victim.value.lastOutcome ^=
+            PhaseId(1) << rng.nextBounded(32);
+        break;
+      case 1: // tag: the entry now answers for a different history
+        victim.tag ^= std::uint64_t(1) << rng.nextBounded(64);
+        break;
+      default: // confidence bit
+        victim.value.conf.set(victim.value.conf.value() ^ 1);
+        break;
+    }
+    return true;
+}
+
+void
+ChangePredictor::saveState(StateWriter &w) const
+{
+    w.u64(table.capacity());
+    table.forEachSlot([&](const auto &e) {
+        w.b(e.valid);
+        w.u64(e.tag);
+        w.u64(e.lastUse);
+        w.u32(e.value.lastOutcome);
+        for (PhaseId p : e.value.ring)
+            w.u32(p);
+        w.u8(e.value.ringCount);
+        w.u8(e.value.ringHead);
+        for (const auto &[id, count] : e.value.freq) {
+            w.u32(id);
+            w.u32(count);
+        }
+        w.u8(e.value.freqCount);
+        w.u64(e.value.conf.value());
+    });
+    w.u64(table.useTick());
+    w.b(primed);
+    w.u32(lastPhase);
+    w.u64(runLen);
+    w.u64(uniqueHist.size());
+    for (PhaseId p : uniqueHist)
+        w.u32(p);
+    w.u64(rleHist.size());
+    for (const auto &[id, len] : rleHist) {
+        w.u32(id);
+        w.u64(len);
+    }
+}
+
+void
+ChangePredictor::loadState(StateReader &r)
+{
+    const std::uint64_t savedSlots = r.u64();
+    if (savedSlots != table.capacity())
+        tpcp_raise("change-predictor snapshot has ", savedSlots,
+                   " slots, table is configured with ",
+                   table.capacity());
+    table.forEachSlot([&](auto &e) {
+        e.valid = r.b();
+        e.tag = r.u64();
+        e.lastUse = r.u64();
+        e.value.lastOutcome = r.u32();
+        for (PhaseId &p : e.value.ring)
+            p = r.u32();
+        e.value.ringCount = std::min<std::uint8_t>(
+            r.u8(), static_cast<std::uint8_t>(e.value.ring.size()));
+        e.value.ringHead = static_cast<std::uint8_t>(
+            r.u8() % e.value.ring.size());
+        for (auto &[id, count] : e.value.freq) {
+            id = r.u32();
+            count = r.u32();
+        }
+        e.value.freqCount = std::min<std::uint8_t>(
+            r.u8(), static_cast<std::uint8_t>(e.value.freq.size()));
+        e.value.conf = SatCounter(cfg.confBits, 0);
+        e.value.conf.set(r.u64()); // clamps to the counter width
+    });
+    table.setUseTick(r.u64());
+    primed = r.b();
+    lastPhase = r.u32();
+    runLen = r.u64();
+    std::uint64_t n = r.u64();
+    if (n > 64)
+        tpcp_raise("change-predictor snapshot: unique history of ", n,
+                   " entries is implausible");
+    uniqueHist.clear();
+    for (std::uint64_t i = 0; i < n; ++i)
+        uniqueHist.push_back(r.u32());
+    n = r.u64();
+    if (n > 64)
+        tpcp_raise("change-predictor snapshot: RLE history of ", n,
+                   " entries is implausible");
+    rleHist.clear();
+    for (std::uint64_t i = 0; i < n; ++i) {
+        PhaseId id = r.u32();
+        std::uint64_t len = r.u64();
+        rleHist.emplace_back(id, len);
+    }
 }
 
 } // namespace tpcp::pred

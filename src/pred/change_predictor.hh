@@ -32,6 +32,13 @@
 #include "common/sat_counter.hh"
 #include "common/types.hh"
 
+namespace tpcp
+{
+class Rng;
+class StateWriter;
+class StateReader;
+} // namespace tpcp
+
 namespace tpcp::pred
 {
 
@@ -149,6 +156,23 @@ class ChangePredictor
 
     /** Length of the current run so far, in intervals. */
     std::uint64_t currentRunLength() const { return runLen; }
+
+    /**
+     * Fault hook: corrupts one random valid table entry. Unmitigated
+     * (@p invalidate false) a raw bit flips in the entry's stored
+     * outcome, tag or confidence — the entry silently mislearns.
+     * Mitigated (@p invalidate true) the error is detected (ECC
+     * model) and the entry invalidated, degrading to a miss that
+     * retrains. Returns false when the table holds no valid entry.
+     */
+    bool injectFault(Rng &rng, bool invalidate);
+
+    /** Appends predictor state to a checkpoint snapshot. */
+    void saveState(StateWriter &w) const;
+
+    /** Restores predictor state from a checkpoint snapshot; counters
+     * and ring/frequency cursors are clamped to their ranges. */
+    void loadState(StateReader &r);
 
   private:
     /** Stored per-entry learning state. */

@@ -14,6 +14,12 @@
 #include "common/sat_counter.hh"
 #include "common/types.hh"
 
+namespace tpcp
+{
+class StateWriter;
+class StateReader;
+} // namespace tpcp
+
 namespace tpcp::pred
 {
 
@@ -56,6 +62,12 @@ class LastValuePredictor
     /** Resets the confidence counter of @p phase (the paper resets a
      * phase's counter when its signature-table entry is (re)added). */
     void resetConfidence(PhaseId phase);
+
+    /** Appends predictor state to a checkpoint snapshot. */
+    void saveState(StateWriter &w) const;
+
+    /** Restores predictor state from a checkpoint snapshot. */
+    void loadState(StateReader &r);
 
   private:
     SatCounter &counterFor(PhaseId phase);

@@ -2,6 +2,8 @@
 
 #include "common/bitops.hh"
 #include "common/logging.hh"
+#include "common/rng.hh"
+#include "common/state_io.hh"
 #include "phase/phase_trace.hh"
 
 namespace tpcp::pred
@@ -112,6 +114,96 @@ RunLengthPredictor::finish()
     train(pendingKey, actual_class);
     havePending = false;
     return rec;
+}
+
+bool
+RunLengthPredictor::injectFault(Rng &rng, bool invalidate)
+{
+    std::vector<AssocTable<std::uint64_t, Entry>::Entry *> live;
+    table.forEachSlot([&](auto &e) {
+        if (e.valid)
+            live.push_back(&e);
+    });
+    if (live.empty())
+        return false;
+    auto &victim = *live[rng.nextBounded(
+        static_cast<std::uint32_t>(live.size()))];
+    if (invalidate) {
+        table.erase(victim);
+        return true;
+    }
+    if (rng.nextBool()) {
+        // Stored class: 2 physical bits cover the 4 classes.
+        victim.value.cls = static_cast<std::uint8_t>(
+            victim.value.cls ^ (1u << rng.nextBounded(2)));
+    } else {
+        victim.tag ^= std::uint64_t(1) << rng.nextBounded(64);
+    }
+    return true;
+}
+
+void
+RunLengthPredictor::saveState(StateWriter &w) const
+{
+    w.u64(table.capacity());
+    table.forEachSlot([&](const auto &e) {
+        w.b(e.valid);
+        w.u64(e.tag);
+        w.u64(e.lastUse);
+        w.u8(e.value.cls);
+        w.u8(e.value.lastSeen);
+    });
+    w.u64(table.useTick());
+    w.b(primed);
+    w.u32(lastPhase);
+    w.u64(runLen);
+    w.u64(rleHist.size());
+    for (const auto &[id, len] : rleHist) {
+        w.u32(id);
+        w.u64(len);
+    }
+    w.b(havePending);
+    w.u64(pendingKey);
+    w.u32(pendingClass);
+    w.b(pendingHit);
+}
+
+void
+RunLengthPredictor::loadState(StateReader &r)
+{
+    const std::uint64_t savedSlots = r.u64();
+    if (savedSlots != table.capacity())
+        tpcp_raise("length-predictor snapshot has ", savedSlots,
+                   " slots, table is configured with ",
+                   table.capacity());
+    const auto maxCls =
+        static_cast<std::uint8_t>(phase::numRunLengthClasses - 1);
+    table.forEachSlot([&](auto &e) {
+        e.valid = r.b();
+        e.tag = r.u64();
+        e.lastUse = r.u64();
+        e.value.cls = std::min(r.u8(), maxCls);
+        e.value.lastSeen = std::min(r.u8(), maxCls);
+    });
+    table.setUseTick(r.u64());
+    primed = r.b();
+    lastPhase = r.u32();
+    runLen = r.u64();
+    std::uint64_t n = r.u64();
+    if (n > 64)
+        tpcp_raise("length-predictor snapshot: RLE history of ", n,
+                   " entries is implausible");
+    rleHist.clear();
+    for (std::uint64_t i = 0; i < n; ++i) {
+        PhaseId id = r.u32();
+        std::uint64_t len = r.u64();
+        rleHist.emplace_back(id, len);
+    }
+    havePending = r.b();
+    pendingKey = r.u64();
+    pendingClass = std::min(r.u32(),
+                            static_cast<std::uint32_t>(maxCls));
+    pendingHit = r.b();
 }
 
 } // namespace tpcp::pred

@@ -18,6 +18,13 @@
 #include "common/assoc_table.hh"
 #include "common/types.hh"
 
+namespace tpcp
+{
+class Rng;
+class StateWriter;
+class StateReader;
+} // namespace tpcp
+
 namespace tpcp::pred
 {
 
@@ -90,6 +97,21 @@ class RunLengthPredictor
             return std::nullopt;
         return pendingClass;
     }
+
+    /**
+     * Fault hook: corrupts one random valid table entry. Unmitigated
+     * a bit flips in the stored class or tag; mitigated the entry is
+     * invalidated (ECC detect-and-drop) and retrains. Returns false
+     * when the table holds no valid entry.
+     */
+    bool injectFault(Rng &rng, bool invalidate);
+
+    /** Appends predictor state to a checkpoint snapshot. */
+    void saveState(StateWriter &w) const;
+
+    /** Restores predictor state from a checkpoint snapshot; stored
+     * classes are clamped to the valid class range. */
+    void loadState(StateReader &r);
 
   private:
     struct Entry

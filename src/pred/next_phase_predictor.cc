@@ -1,5 +1,7 @@
 #include "pred/next_phase_predictor.hh"
 
+#include "common/state_io.hh"
+
 namespace tpcp::pred
 {
 
@@ -29,12 +31,35 @@ NextPhasePredictor::predict() const
     return out;
 }
 
-void
+std::optional<ChangeOutcome>
 NextPhasePredictor::observe(PhaseId actual)
 {
+    std::optional<ChangeOutcome> outcome;
     if (change)
-        change->observe(actual);
+        outcome = change->observe(actual);
     lastValue.observe(actual);
+    return outcome;
+}
+
+void
+NextPhasePredictor::saveState(StateWriter &w) const
+{
+    w.b(change != nullptr);
+    if (change)
+        change->saveState(w);
+    lastValue.saveState(w);
+}
+
+void
+NextPhasePredictor::loadState(StateReader &r)
+{
+    const bool hadChange = r.b();
+    if (hadChange != (change != nullptr))
+        tpcp_raise("next-phase snapshot change-table presence "
+                   "mismatch");
+    if (change)
+        change->loadState(r);
+    lastValue.loadState(r);
 }
 
 } // namespace tpcp::pred

@@ -17,6 +17,12 @@
 #include "pred/change_predictor.hh"
 #include "pred/last_value.hh"
 
+namespace tpcp
+{
+class StateWriter;
+class StateReader;
+} // namespace tpcp
+
 namespace tpcp::pred
 {
 
@@ -76,11 +82,21 @@ class NextPhasePredictor
     /** Predicts the phase of the next interval. */
     NextPhasePrediction predict() const;
 
-    /** Observes the next interval's phase (trains everything). */
-    void observe(PhaseId actual);
+    /**
+     * Observes the next interval's phase (trains everything).
+     * Returns the change-table outcome record when the observation
+     * was a phase change seen by a change table, nullopt otherwise.
+     */
+    std::optional<ChangeOutcome> observe(PhaseId actual);
 
     /** The change predictor, if any. */
     const ChangePredictor *changePredictor() const
+    {
+        return change.get();
+    }
+
+    /** Mutable change-predictor access (fault injection). */
+    ChangePredictor *mutableChangePredictor()
     {
         return change.get();
     }
@@ -90,6 +106,12 @@ class NextPhasePredictor
     {
         return lastValue;
     }
+
+    /** Appends predictor state to a checkpoint snapshot. */
+    void saveState(StateWriter &w) const;
+
+    /** Restores predictor state from a checkpoint snapshot. */
+    void loadState(StateReader &r);
 
   private:
     std::unique_ptr<ChangePredictor> change;

@@ -1,5 +1,7 @@
 #include "pred/phase_tracker.hh"
 
+#include "common/state_io.hh"
+
 namespace tpcp::pred
 {
 
@@ -21,15 +23,28 @@ PhaseTracker::onBranch(Addr pc, InstCount insts_since_last_branch)
 PhaseTrackerOutput
 PhaseTracker::onIntervalEnd(double cpi)
 {
+    return finishInterval(classifier_.endInterval(cpi));
+}
+
+PhaseTrackerOutput
+PhaseTracker::onIntervalRaw(const std::vector<std::uint32_t> &raw,
+                            InstCount total, double cpi)
+{
+    return finishInterval(classifier_.classifyRaw(raw, total, cpi));
+}
+
+PhaseTrackerOutput
+PhaseTracker::finishInterval(const phase::ClassifyResult &classification)
+{
     PhaseTrackerOutput out;
-    out.classification = classifier_.endInterval(cpi);
+    out.classification = classification;
     PhaseId id = out.classification.phase;
     out.phaseChanged = intervals_ > 0 && id != lastPhase;
 
     // Train the predictors with the observed phase, then report the
     // forward-looking predictions.
-    nextPhase.observe(id);
-    lengthPred.observe(id);
+    out.changeOutcome = nextPhase.observe(id);
+    out.completedRun = lengthPred.observe(id);
     out.nextPhase = nextPhase.predict();
     out.currentRunLengthClass = lengthPred.pendingPrediction();
 
@@ -42,6 +57,26 @@ void
 PhaseTracker::onReconfiguration()
 {
     classifier_.flushPerformanceFeedback();
+}
+
+void
+PhaseTracker::saveState(StateWriter &w) const
+{
+    classifier_.saveState(w);
+    nextPhase.saveState(w);
+    lengthPred.saveState(w);
+    w.u32(lastPhase);
+    w.u64(intervals_);
+}
+
+void
+PhaseTracker::loadState(StateReader &r)
+{
+    classifier_.loadState(r);
+    nextPhase.loadState(r);
+    lengthPred.loadState(r);
+    lastPhase = r.u32();
+    intervals_ = r.u64();
 }
 
 } // namespace tpcp::pred

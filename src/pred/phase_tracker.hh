@@ -51,6 +51,12 @@ struct PhaseTrackerOutput
     std::optional<unsigned> currentRunLengthClass;
     /** True when this interval started a new run (phase change). */
     bool phaseChanged = false;
+    /** Change-table outcome when this interval was a phase change
+     * the change predictor had context for (accuracy accounting). */
+    std::optional<ChangeOutcome> changeOutcome;
+    /** Prediction/actual record of the run this interval completed,
+     * when a run-length prediction had been standing. */
+    std::optional<LengthPredRecord> completedRun;
 };
 
 /**
@@ -73,6 +79,17 @@ class PhaseTracker
     PhaseTrackerOutput onIntervalEnd(double cpi);
 
     /**
+     * Replay-path interval boundary: identical to onIntervalEnd() but
+     * classifies a stored accumulator snapshot (see
+     * PhaseClassifier::classifyRaw()) instead of the live
+     * accumulator. The fault harness replays saved interval profiles
+     * through the full tracker with this entry point.
+     */
+    PhaseTrackerOutput onIntervalRaw(
+        const std::vector<std::uint32_t> &raw, InstCount total,
+        double cpi);
+
+    /**
      * Notifies the unit that a reconfiguration affecting CPI was
      * applied: flushes the classifier's performance-feedback state
      * (paper section 4.6). Phase IDs and predictor state survive
@@ -86,10 +103,27 @@ class PhaseTracker
         return nextPhase;
     }
 
+    /** Mutable component access for the fault injector, which flips
+     * bits in live classifier/predictor state. */
+    phase::PhaseClassifier &mutableClassifier() { return classifier_; }
+    NextPhasePredictor &mutablePredictor() { return nextPhase; }
+    RunLengthPredictor &mutableLengthPredictor() { return lengthPred; }
+
     /** Intervals processed so far. */
     std::uint64_t intervals() const { return intervals_; }
 
+    /** Appends full tracker state (classifier + all predictors) to a
+     * checkpoint snapshot. */
+    void saveState(StateWriter &w) const;
+
+    /** Restores full tracker state from a checkpoint snapshot. */
+    void loadState(StateReader &r);
+
   private:
+    /** Shared post-classification half of an interval boundary. */
+    PhaseTrackerOutput finishInterval(
+        const phase::ClassifyResult &classification);
+
     phase::PhaseClassifier classifier_;
     NextPhasePredictor nextPhase;
     RunLengthPredictor lengthPred;

@@ -7,6 +7,7 @@
 #include "analysis/experiment.hh"
 #include "analysis/offline_kmeans.hh"
 #include "common/logging.hh"
+#include "common/status.hh"
 #include "common/rng.hh"
 #include "phase/classifier_config.hh"
 #include "sample/planner.hh"
@@ -22,7 +23,7 @@ phaseSourceByName(const std::string &name)
         return PhaseSource::Online;
     if (name == "offline")
         return PhaseSource::Offline;
-    tpcp_fatal("unknown phase source '", name,
+    tpcp_raise("unknown phase source '", name,
                "' (expected 'online' or 'offline')");
 }
 
@@ -236,7 +237,7 @@ makeSelector(const std::string &name)
     std::string all;
     for (const std::string &s : selectorNames())
         all += (all.empty() ? "" : ", ") + s;
-    tpcp_fatal("unknown selector '", name, "' (expected one of: ",
+    tpcp_raise("unknown selector '", name, "' (expected one of: ",
                all, ")");
 }
 

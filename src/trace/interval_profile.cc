@@ -7,6 +7,7 @@
 #include <memory>
 
 #include "common/logging.hh"
+#include "common/status.hh"
 
 namespace tpcp::trace
 {
@@ -81,7 +82,7 @@ IntervalProfile::dimIndex(unsigned dim) const
 {
     auto it = std::find(dims_.begin(), dims_.end(), dim);
     if (it == dims_.end())
-        tpcp_fatal("profile for ", workload_,
+        tpcp_raise("profile for ", workload_,
                    " was not recorded at dimension ", dim);
     return static_cast<std::size_t>(it - dims_.begin());
 }
@@ -200,6 +201,21 @@ IntervalProfile::readFrom(std::FILE *fp)
     }
     std::uint64_t n = 0;
     if (!readScalar(fp, n) || n > (1ull << 32))
+        return false;
+    // Plausibility bound before the big allocation: a corrupted
+    // record count must not make a damaged file allocate gigabytes.
+    // Every record carries at least its fixed scalars plus one u32
+    // per accumulator counter, so the remaining file length caps n.
+    std::uint64_t perRecord = 8 + 8 + 8;
+    for (unsigned d : dims_)
+        perRecord += 4ull * d;
+    const long here = std::ftell(fp);
+    if (here < 0 || std::fseek(fp, 0, SEEK_END) != 0)
+        return false;
+    const long end = std::ftell(fp);
+    if (end < here || std::fseek(fp, here, SEEK_SET) != 0)
+        return false;
+    if (n > static_cast<std::uint64_t>(end - here) / perRecord)
         return false;
     records.resize(n);
     for (auto &r : records) {

@@ -10,6 +10,7 @@
 #include <unordered_map>
 
 #include "common/logging.hh"
+#include "common/status.hh"
 #include "trace/interval_profiler.hh"
 #include "uarch/ooo_core.hh"
 #include "uarch/simple_core.hh"
@@ -49,7 +50,7 @@ makeCore(const std::string &name, const uarch::MachineConfig &config)
         return std::make_unique<uarch::OooCore>(config);
     if (name == "simple")
         return std::make_unique<uarch::SimpleCore>(config);
-    tpcp_fatal("unknown timing core '", name,
+    tpcp_raise("unknown timing core '", name,
                "' (expected 'ooo' or 'simple')");
 }
 
@@ -145,8 +146,15 @@ getProfile(const workload::Workload &workload,
     // An unreadable (corrupt/truncated/old-version) file and a
     // mismatched one are both rejections; a missing file is a plain
     // cold build.
-    if (std::filesystem::exists(path))
+    const bool existed = std::filesystem::exists(path);
+    if (existed)
         statRejects.fetch_add(1, std::memory_order_relaxed);
+    if (opts.requireCache)
+        tpcp_raise(existed
+                       ? "cached profile is corrupt or mismatched: "
+                       : "no cached profile: ",
+                   path, " (workload '", workload.name,
+                   "', --require-cache forbids re-simulation)");
 
     IntervalProfile fresh = buildProfile(workload, opts);
     std::error_code ec;

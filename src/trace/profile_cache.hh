@@ -42,6 +42,12 @@ struct ProfileOptions
     std::string cacheDir;
     /** Disable to force re-simulation. */
     bool useCache = true;
+    /** Strict mode: when no valid cache file exists for the profile,
+     * raise tpcp::Error instead of silently re-simulating. `tpcp
+     * profile all --require-cache` uses this to audit a cache
+     * directory — corrupt or missing files surface as per-workload
+     * errors instead of quiet rebuild time. */
+    bool requireCache = false;
     /** Machine to simulate (defaults to the paper's Table 1). The
      * cache file name carries a hash of non-default machines. */
     uarch::MachineConfig machine = uarch::MachineConfig::table1();

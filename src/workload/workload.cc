@@ -4,6 +4,7 @@
 #include <map>
 
 #include "common/logging.hh"
+#include "common/status.hh"
 #include "common/rng.hh"
 #include "workload/program_builder.hh"
 
@@ -689,7 +690,7 @@ makeWorkload(std::string_view name)
 {
     auto it = factories().find(std::string(name));
     if (it == factories().end())
-        tpcp_fatal("unknown workload '", name,
+        tpcp_raise("unknown workload '", name,
                    "'; see workloadNames()");
     return it->second();
 }

@@ -10,6 +10,7 @@
 
 #include <algorithm>
 
+#include "common/status.hh"
 #include "adapt/controller.hh"
 #include "adapt/report.hh"
 #include "adapt_test_util.hh"
@@ -48,8 +49,8 @@ TEST(AdaptController, RejectsMismatchedProfileCount)
     std::vector<Cell> cells = twoPhaseCells(2);
     auto profiles = makeLatticeProfiles(3, cells); // lattice has 4
     AdaptController controller(lattice);
-    EXPECT_EXIT(controller.run(profiles, phasesOf(cells)),
-                testing::ExitedWithCode(1), "profiles");
+    EXPECT_THROW(controller.run(profiles, phasesOf(cells)),
+                 tpcp::Error);
 }
 
 TEST(AdaptController, RejectsMismatchedPhaseStream)
@@ -59,8 +60,8 @@ TEST(AdaptController, RejectsMismatchedPhaseStream)
     auto profiles = makeLatticeProfiles(lattice.size(), cells);
     std::vector<PhaseId> short_phases(cells.size() - 1, 1);
     AdaptController controller(lattice);
-    EXPECT_EXIT(controller.run(profiles, short_phases),
-                testing::ExitedWithCode(1), "phase stream");
+    EXPECT_THROW(controller.run(profiles, short_phases),
+                 tpcp::Error);
 }
 
 TEST(AdaptController, SinglePhaseSingleConfigHasNoSwitches)
@@ -191,7 +192,6 @@ TEST(AdaptReport, PresetsAreNamedAndValidated)
     PolicyPreset nopred = policyPresetByName("greedy-nopred");
     EXPECT_FALSE(nopred.options.anticipate);
     EXPECT_FALSE(nopred.options.lengthGate);
-    EXPECT_EXIT((void)policyPresetByName("nosuch"),
-                testing::ExitedWithCode(1), "unknown adapt policy");
+    EXPECT_THROW((void)policyPresetByName("nosuch"), tpcp::Error);
     EXPECT_EQ(policyPresetNames().size(), 2u);
 }

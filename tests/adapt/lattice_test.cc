@@ -11,6 +11,7 @@
 #include <set>
 #include <string>
 
+#include "common/status.hh"
 #include "adapt/lattice.hh"
 #include "uarch/machine_config.hh"
 
@@ -103,8 +104,8 @@ TEST(ConfigLattice, ByNameResolvesPresets)
 {
     EXPECT_EQ(ConfigLattice::byName("standard").size(), 12u);
     EXPECT_EQ(ConfigLattice::byName("small").size(), 4u);
-    EXPECT_EXIT((void)ConfigLattice::byName("nosuch"),
-                testing::ExitedWithCode(1), "unknown lattice");
+    EXPECT_THROW((void)ConfigLattice::byName("nosuch"),
+                 tpcp::Error);
 }
 
 TEST(ConfigLattice, CornerPointNamesEncodeTheGeometry)

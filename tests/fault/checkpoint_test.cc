@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Tests for the tracker checkpoint serializer: a resumed tracker
+ * continues bit-identically to the original, and — the property the
+ * envelope guarantees — a snapshot with any single corrupted byte is
+ * rejected by the checksum instead of silently restoring garbage.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/status.hh"
+#include "fault/checkpoint.hh"
+#include "pred/phase_tracker.hh"
+
+using namespace tpcp;
+using namespace tpcp::fault;
+
+namespace
+{
+
+std::string
+tmpPath(const char *name)
+{
+    return std::string(::testing::TempDir()) + name;
+}
+
+std::vector<std::uint32_t>
+rawFor(int phase)
+{
+    std::vector<std::uint32_t> raw(16, 0);
+    for (int i = 0; i < 4; ++i)
+        raw[(phase * 4 + i) % 16] = 2500;
+    return raw;
+}
+
+/** Feeds intervals [from, to) of a deterministic two-phase stream. */
+void
+feed(pred::PhaseTracker &t, int from, int to,
+     std::vector<PhaseId> *phases = nullptr)
+{
+    for (int i = from; i < to; ++i) {
+        int phase = (i / 10) % 2;
+        pred::PhaseTrackerOutput out =
+            t.onIntervalRaw(rawFor(phase), 10000, 1.0 + phase);
+        if (phases)
+            phases->push_back(out.classification.phase);
+    }
+}
+
+std::vector<std::uint8_t>
+readFileBytes(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    EXPECT_NE(f, nullptr);
+    std::vector<std::uint8_t> bytes;
+    int c;
+    while ((c = std::fgetc(f)) != EOF)
+        bytes.push_back(static_cast<std::uint8_t>(c));
+    std::fclose(f);
+    return bytes;
+}
+
+void
+writeFileBytes(const std::string &path,
+               const std::vector<std::uint8_t> &bytes)
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), f),
+              bytes.size());
+    std::fclose(f);
+}
+
+} // namespace
+
+TEST(TrackerCheckpoint, ResumedTrackerContinuesIdentically)
+{
+    const std::string path = tmpPath("tracker.ckpt");
+    pred::PhaseTracker a;
+    feed(a, 0, 60);
+    ASSERT_TRUE(saveTracker(path, a));
+
+    pred::PhaseTracker b;
+    loadTracker(path, b);
+    EXPECT_EQ(b.intervals(), a.intervals());
+
+    // Continue both for another 60 intervals: classifications and
+    // predictions must stay in lockstep interval by interval.
+    for (int i = 60; i < 120; ++i) {
+        int phase = (i / 10) % 2;
+        pred::PhaseTrackerOutput oa =
+            a.onIntervalRaw(rawFor(phase), 10000, 1.0 + phase);
+        pred::PhaseTrackerOutput ob =
+            b.onIntervalRaw(rawFor(phase), 10000, 1.0 + phase);
+        EXPECT_EQ(oa.classification.phase, ob.classification.phase)
+            << "interval " << i;
+        EXPECT_EQ(oa.nextPhase.phase, ob.nextPhase.phase)
+            << "interval " << i;
+        EXPECT_EQ(oa.phaseChanged, ob.phaseChanged) << "interval "
+                                                    << i;
+    }
+    std::remove(path.c_str());
+}
+
+TEST(TrackerCheckpoint, ResumeMatchesUninterruptedRun)
+{
+    const std::string path = tmpPath("tracker_split.ckpt");
+    std::vector<PhaseId> uninterrupted;
+    {
+        pred::PhaseTracker t;
+        feed(t, 0, 120, &uninterrupted);
+    }
+
+    std::vector<PhaseId> split;
+    {
+        pred::PhaseTracker t;
+        feed(t, 0, 47, &split);
+        ASSERT_TRUE(saveTracker(path, t));
+    }
+    {
+        pred::PhaseTracker t;
+        loadTracker(path, t);
+        feed(t, 47, 120, &split);
+    }
+    EXPECT_EQ(split, uninterrupted);
+    std::remove(path.c_str());
+}
+
+TEST(TrackerCheckpoint, AnySingleCorruptByteRejected)
+{
+    const std::string path = tmpPath("tracker_corrupt.ckpt");
+    pred::PhaseTracker t;
+    feed(t, 0, 30);
+    ASSERT_TRUE(saveTracker(path, t));
+
+    const std::vector<std::uint8_t> clean = readFileBytes(path);
+    ASSERT_GT(clean.size(), 20u);
+    for (std::size_t i = 0; i < clean.size(); ++i) {
+        std::vector<std::uint8_t> bad = clean;
+        bad[i] = static_cast<std::uint8_t>(bad[i] ^ 0x01);
+        writeFileBytes(path, bad);
+        pred::PhaseTracker fresh;
+        EXPECT_THROW(loadTracker(path, fresh), Error)
+            << "flipped byte " << i << " of " << clean.size()
+            << " not detected";
+    }
+    std::remove(path.c_str());
+}
+
+TEST(TrackerCheckpoint, TruncationAndMissingFileRejected)
+{
+    const std::string path = tmpPath("tracker_trunc.ckpt");
+    pred::PhaseTracker t;
+    feed(t, 0, 30);
+    ASSERT_TRUE(saveTracker(path, t));
+    std::vector<std::uint8_t> bytes = readFileBytes(path);
+    bytes.resize(bytes.size() / 2);
+    writeFileBytes(path, bytes);
+    pred::PhaseTracker fresh;
+    EXPECT_THROW(loadTracker(path, fresh), Error);
+    std::remove(path.c_str());
+    EXPECT_THROW(loadTracker(path, fresh), Error);
+}

@@ -1,0 +1,226 @@
+/**
+ * @file
+ * Unit tests for the fault injector: per-stream determinism, the
+ * mitigated plausibility gate on input stats, ECC absorption of
+ * narrow-structure faults, and checkpoint save/load of the RNG
+ * position so a resumed campaign replays the identical fault tail.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/state_io.hh"
+#include "common/status.hh"
+#include "fault/injector.hh"
+#include "pred/phase_tracker.hh"
+
+using namespace tpcp;
+using namespace tpcp::fault;
+
+namespace
+{
+
+/** Accumulator snapshot of a synthetic phase: the interval's branch
+ * weight concentrated in four counters picked by the phase number. */
+std::vector<std::uint32_t>
+rawFor(int phase)
+{
+    std::vector<std::uint32_t> raw(16, 0);
+    for (int i = 0; i < 4; ++i)
+        raw[(phase * 4 + i) % 16] = 2500;
+    return raw;
+}
+
+/** A tracker whose signature table holds a few live entries, so
+ * signature/metadata faults have somewhere to land. */
+pred::PhaseTracker
+warmedTracker()
+{
+    pred::PhaseTracker t;
+    for (int i = 0; i < 40; ++i) {
+        int phase = (i / 10) % 3;
+        t.onIntervalRaw(rawFor(phase), 10000, 1.0 + 0.1 * phase);
+    }
+    return t;
+}
+
+bool
+sameCpi(double a, double b)
+{
+    return a == b || (std::isnan(a) && std::isnan(b));
+}
+
+} // namespace
+
+TEST(Injector, TargetNamesRoundTrip)
+{
+    for (const std::string &name : targetNames())
+        EXPECT_EQ(targetName(targetByName(name)), name);
+    EXPECT_THROW(targetByName("bogus"), Error);
+}
+
+TEST(Injector, SameStreamSameFaults)
+{
+    InjectorConfig cfg;
+    cfg.target = Target::All;
+    cfg.ratePerInterval = 0.5;
+    cfg.seed = 123;
+    pred::PhaseTracker t1 = warmedTracker();
+    pred::PhaseTracker t2 = warmedTracker();
+    Injector i1(cfg, "wl/a");
+    Injector i2(cfg, "wl/a");
+    for (int k = 0; k < 50; ++k) {
+        std::vector<std::uint32_t> r1 = rawFor(k % 3);
+        std::vector<std::uint32_t> r2 = rawFor(k % 3);
+        double c1 = 1.25, c2 = 1.25;
+        i1.beforeInterval(t1, r1, c1);
+        i2.beforeInterval(t2, r2, c2);
+        EXPECT_EQ(r1, r2) << "interval " << k;
+        EXPECT_TRUE(sameCpi(c1, c2)) << "interval " << k;
+        t1.onIntervalRaw(r1, 10000, c1);
+        t2.onIntervalRaw(r2, 10000, c2);
+    }
+    EXPECT_GT(i1.counts().total(), 0u);
+    EXPECT_EQ(i1.counts().total(), i2.counts().total());
+}
+
+TEST(Injector, DifferentStreamsDiverge)
+{
+    InjectorConfig cfg;
+    cfg.target = Target::InputStats;
+    cfg.ratePerInterval = 0.5;
+    pred::PhaseTracker t1, t2;
+    Injector i1(cfg, "wl/a");
+    Injector i2(cfg, "wl/b");
+    bool diverged = false;
+    for (int k = 0; k < 256 && !diverged; ++k) {
+        std::vector<std::uint32_t> r1(16, 100), r2(16, 100);
+        double c1 = 1.0, c2 = 1.0;
+        i1.beforeInterval(t1, r1, c1);
+        i2.beforeInterval(t2, r2, c2);
+        // A corrupted CPI never compares equal to the clean 1.0.
+        diverged = (c1 == 1.0) != (c2 == 1.0);
+    }
+    EXPECT_TRUE(diverged)
+        << "distinct workload streams drew identical fault patterns";
+}
+
+TEST(Injector, MitigatedInputGateRejectsEveryCorruptionMode)
+{
+    // All three corruption modes of a clean 1.0 CPI (NaN, negation,
+    // x1024+1 garbage) fail the [0, 100] plausibility gate, so the
+    // mitigated injector always hands the classifier a NaN it
+    // structurally rejects — never silently-wrong feedback.
+    InjectorConfig cfg;
+    cfg.target = Target::InputStats;
+    cfg.ratePerInterval = 1.0;
+    cfg.mitigated = true;
+    pred::PhaseTracker t;
+    Injector inj(cfg, "wl/gate");
+    for (int k = 0; k < 64; ++k) {
+        std::vector<std::uint32_t> raw(16, 100);
+        double cpi = 1.0;
+        inj.beforeInterval(t, raw, cpi);
+        EXPECT_TRUE(std::isnan(cpi)) << "interval " << k;
+    }
+    EXPECT_EQ(inj.counts().inputFaults, 64u);
+}
+
+TEST(Injector, UnmitigatedInputFaultsPassGarbageThrough)
+{
+    InjectorConfig cfg;
+    cfg.target = Target::InputStats;
+    cfg.ratePerInterval = 1.0;
+    pred::PhaseTracker t;
+    Injector inj(cfg, "wl/raw");
+    bool sawGarbage = false;
+    for (int k = 0; k < 64; ++k) {
+        std::vector<std::uint32_t> raw(16, 100);
+        double cpi = 1.0;
+        inj.beforeInterval(t, raw, cpi);
+        EXPECT_TRUE(std::isnan(cpi) || cpi == -1.0 || cpi == 1025.0)
+            << "unexpected corruption value " << cpi;
+        sawGarbage |= cpi == 1025.0;
+    }
+    EXPECT_TRUE(sawGarbage)
+        << "the finite-garbage mode never fired in 64 draws";
+}
+
+TEST(Injector, MitigatedAccumFaultsAreAbsorbed)
+{
+    // The narrow accumulator file is modelled as fully ECC-corrected
+    // under mitigation: the fault is counted but the snapshot the
+    // classifier sees is untouched.
+    InjectorConfig cfg;
+    cfg.target = Target::AccumCounters;
+    cfg.ratePerInterval = 1.0;
+    cfg.mitigated = true;
+    pred::PhaseTracker t;
+    Injector inj(cfg, "wl/accum");
+    for (int k = 0; k < 32; ++k) {
+        std::vector<std::uint32_t> raw = rawFor(k % 3);
+        const std::vector<std::uint32_t> clean = raw;
+        double cpi = 1.0;
+        inj.beforeInterval(t, raw, cpi);
+        EXPECT_EQ(raw, clean) << "interval " << k;
+        EXPECT_DOUBLE_EQ(cpi, 1.0);
+    }
+    EXPECT_EQ(inj.counts().accumFlips, 32u);
+}
+
+TEST(Injector, UnmitigatedAccumFaultsLandInTheSnapshot)
+{
+    InjectorConfig cfg;
+    cfg.target = Target::AccumCounters;
+    cfg.ratePerInterval = 1.0;
+    pred::PhaseTracker t;
+    Injector inj(cfg, "wl/accum-raw");
+    bool mutated = false;
+    for (int k = 0; k < 32; ++k) {
+        std::vector<std::uint32_t> raw = rawFor(k % 3);
+        const std::vector<std::uint32_t> clean = raw;
+        double cpi = 1.0;
+        inj.beforeInterval(t, raw, cpi);
+        mutated |= raw != clean;
+        for (std::uint32_t v : raw)
+            EXPECT_LE(v, (1u << 24) - 1)
+                << "flip escaped the physical counter width";
+    }
+    EXPECT_TRUE(mutated);
+}
+
+TEST(Injector, StateRoundTripResumesIdenticalStream)
+{
+    InjectorConfig cfg;
+    cfg.target = Target::InputStats;
+    cfg.ratePerInterval = 0.5;
+    pred::PhaseTracker t1, t2;
+    Injector a(cfg, "wl/resume");
+    for (int k = 0; k < 32; ++k) {
+        std::vector<std::uint32_t> raw(16, 100);
+        double cpi = 1.0;
+        a.beforeInterval(t1, raw, cpi);
+    }
+
+    StateWriter w;
+    a.saveState(w);
+    Injector b(cfg, "wl/resume");
+    StateReader r(w.buffer());
+    b.loadState(r);
+    EXPECT_TRUE(r.atEnd());
+    EXPECT_EQ(b.counts().inputFaults, a.counts().inputFaults);
+
+    // Both injectors now sit at the same RNG position: the fault
+    // tails must be bit-identical.
+    for (int k = 0; k < 64; ++k) {
+        std::vector<std::uint32_t> ra(16, 100), rb(16, 100);
+        double ca = 1.0, cb = 1.0;
+        a.beforeInterval(t1, ra, ca);
+        b.beforeInterval(t2, rb, cb);
+        EXPECT_TRUE(sameCpi(ca, cb)) << "interval " << k;
+    }
+    EXPECT_EQ(a.counts().inputFaults, b.counts().inputFaults);
+}

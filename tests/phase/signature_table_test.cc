@@ -8,6 +8,8 @@
 
 #include <gtest/gtest.h>
 
+#include "common/state_io.hh"
+#include "common/status.hh"
 #include "phase/signature_table.hh"
 
 using namespace tpcp;
@@ -306,4 +308,187 @@ TEST(SignatureTable, EarlyExitAgreesWithFullScan)
                 << "query " << q;
         }
     }
+}
+
+// ---- Soft-error model: per-row ECC, quarantine, repair ----
+
+TEST(SignatureTableEcc, SingleFlipCorrectedInPlace)
+{
+    SignatureTable t(32, 6);
+    std::uint32_t e = t.insert(sig({40, 20, 10, 5}), 0.25);
+    t.flipSignatureBit(e, 10);
+    EXPECT_TRUE(t.checkParityAt(e))
+        << "a single-event flip is correctable, not a quarantine";
+    EXPECT_EQ(t.eccCorrections(), 1u);
+    EXPECT_FALSE(t.quarantinedAt(e));
+    EXPECT_EQ(t.signatureAt(e), sig({40, 20, 10, 5}))
+        << "the flipped bit was not restored";
+    auto m = t.match(sig({40, 20, 10, 5}), MatchPolicy::BestMatch);
+    ASSERT_TRUE(m);
+    EXPECT_DOUBLE_EQ(m.distance, 0.0);
+}
+
+TEST(SignatureTableEcc, EveryBitPositionIsCorrectable)
+{
+    for (unsigned bit = 0; bit < 4 * 8; ++bit) {
+        SignatureTable t(32, 6);
+        std::uint32_t e = t.insert(sig({40, 20, 10, 5}), 0.25);
+        t.flipSignatureBit(e, bit);
+        EXPECT_TRUE(t.checkParityAt(e)) << "bit " << bit;
+        EXPECT_EQ(t.signatureAt(e), sig({40, 20, 10, 5}))
+            << "bit " << bit;
+    }
+}
+
+TEST(SignatureTableEcc, MultiBitDamageQuarantines)
+{
+    SignatureTable t(32, 6);
+    std::uint32_t e = t.insert(sig({40, 20}), 0.25);
+    t.flipSignatureBit(e, 1);
+    t.flipSignatureBit(e, 11);
+    EXPECT_FALSE(t.checkParityAt(e));
+    EXPECT_TRUE(t.quarantinedAt(e));
+    EXPECT_EQ(t.numQuarantined(), 1u);
+    EXPECT_EQ(t.eccCorrections(), 0u);
+    // Quarantined entries are invisible to the clean match path...
+    EXPECT_FALSE(t.match(sig({40, 20}), MatchPolicy::BestMatch));
+    // ...but the syndrome-corrected quarantine matcher recovers the
+    // true distance (0 for the original query) from the damaged row.
+    Signature q = sig({40, 20});
+    auto m = t.matchQuarantined(q.data(), q.size(), q.weight(), 0.0);
+    ASSERT_TRUE(m);
+    EXPECT_EQ(m.index, e);
+    EXPECT_DOUBLE_EQ(m.distance, 0.0);
+}
+
+TEST(SignatureTableEcc, RepairKeepsMetadataAndLiftsQuarantine)
+{
+    SignatureTable t(32, 6);
+    std::uint32_t e = t.insert(sig({40, 20}), 0.125);
+    t.meta(e).phase = 5;
+    t.meta(e).minCounter.increment(3);
+    t.meta(e).cpi.push(1.5);
+    t.flipSignatureBit(e, 0);
+    t.flipSignatureBit(e, 9);
+    ASSERT_FALSE(t.checkParityAt(e));
+
+    Signature fresh = sig({41, 21});
+    t.repairEntry(e, fresh.data(), fresh.size(), fresh.weight());
+    EXPECT_FALSE(t.quarantinedAt(e));
+    EXPECT_EQ(t.numQuarantined(), 0u);
+    // The narrow metadata is ECC-protected: only the wide signature
+    // bytes were lost to the fault.
+    EXPECT_EQ(t.meta(e).phase, 5u);
+    EXPECT_EQ(t.meta(e).minCounter.value(), 4u);
+    EXPECT_EQ(t.meta(e).cpi.count(), 1u);
+    EXPECT_DOUBLE_EQ(t.threshold(e), 0.125);
+    EXPECT_EQ(t.signatureAt(e), fresh);
+    EXPECT_TRUE(t.checkParityAt(e)) << "repair left stale check bits";
+    EXPECT_TRUE(t.match(fresh, MatchPolicy::BestMatch));
+}
+
+TEST(SignatureTableEcc, ScrubCorrectsSinglesAndQuarantinesWider)
+{
+    SignatureTable t(32, 6);
+    std::uint32_t a = t.insert(sig({10, 10}), 0.25);
+    std::uint32_t b = t.insert(sig({20, 20}), 0.25);
+    std::uint32_t c = t.insert(sig({30, 30}), 0.25);
+    t.flipSignatureBit(a, 3);
+    t.flipSignatureBit(b, 2);
+    t.flipSignatureBit(b, 12);
+    EXPECT_EQ(t.scrubParity(), 1u) << "only the double-flip entry "
+                                      "should be newly quarantined";
+    EXPECT_EQ(t.eccCorrections(), 1u);
+    EXPECT_FALSE(t.quarantinedAt(a));
+    EXPECT_TRUE(t.quarantinedAt(b));
+    EXPECT_FALSE(t.quarantinedAt(c));
+    EXPECT_EQ(t.signatureAt(a), sig({10, 10}));
+    // A second scrub finds nothing new.
+    EXPECT_EQ(t.scrubParity(), 0u);
+}
+
+TEST(SignatureTableEcc, ReplaceSignatureRefreshesCheckBits)
+{
+    // Signature creep rewrites the row every matched interval; the
+    // check bits must follow or the next scrub would false-positive.
+    SignatureTable t(4, 6);
+    std::uint32_t e = t.insert(sig({40, 0}), 0.25);
+    Signature drifted = sig({44, 2});
+    t.replaceSignature(e, drifted.data(), drifted.size(),
+                       drifted.weight());
+    EXPECT_TRUE(t.checkParityAt(e));
+    EXPECT_EQ(t.eccCorrections(), 0u);
+}
+
+TEST(SignatureTableEcc, EvictionIsQuarantineBlind)
+{
+    // Eviction must be pure LRU: preferring quarantined victims would
+    // desynchronize table contents (and all later phase-ID
+    // allocations) from a fault-free run of the same stream.
+    SignatureTable t(2, 6);
+    std::uint32_t a = t.insert(sig({63, 0}), 0.25);
+    std::uint32_t b = t.insert(sig({0, 63}), 0.25);
+    t.flipSignatureBit(b, 0);
+    t.flipSignatureBit(b, 9);
+    ASSERT_FALSE(t.checkParityAt(b));
+    std::uint32_t c = t.insert(sig({32, 32}), 0.25);
+    EXPECT_EQ(c, a) << "the LRU entry is the victim even though the "
+                       "MRU one is quarantined";
+    EXPECT_TRUE(t.quarantinedAt(b));
+    EXPECT_EQ(t.numQuarantined(), 1u);
+}
+
+TEST(SignatureTableEcc, EvictingQuarantinedVictimClearsFlag)
+{
+    SignatureTable t(1, 6);
+    std::uint32_t a = t.insert(sig({63, 0}), 0.25);
+    t.flipSignatureBit(a, 0);
+    t.flipSignatureBit(a, 9);
+    ASSERT_FALSE(t.checkParityAt(a));
+    ASSERT_EQ(t.numQuarantined(), 1u);
+
+    std::uint32_t b = t.insert(sig({0, 63}), 0.25);
+    EXPECT_EQ(b, a) << "the quarantined LRU slot is recycled";
+    EXPECT_FALSE(t.quarantinedAt(b));
+    EXPECT_EQ(t.numQuarantined(), 0u);
+    EXPECT_TRUE(t.checkParityAt(b))
+        << "recycled slot carries fresh check bits";
+    EXPECT_EQ(t.match(sig({0, 63}), MatchPolicy::BestMatch).index, b);
+}
+
+TEST(SignatureTableEcc, StateRoundTripPreservesEccAndQuarantine)
+{
+    SignatureTable t(8, 6);
+    std::uint32_t a = t.insert(sig({40, 20}), 0.25);
+    std::uint32_t b = t.insert(sig({5, 50}), 0.25);
+    t.meta(b).phase = 3;
+    t.flipSignatureBit(a, 1);
+    t.flipSignatureBit(a, 11);
+    ASSERT_FALSE(t.checkParityAt(a));
+    t.flipSignatureBit(b, 4);
+    ASSERT_TRUE(t.checkParityAt(b));
+
+    StateWriter w;
+    t.saveState(w);
+    SignatureTable u(8, 6);
+    StateReader r(w.buffer());
+    u.loadState(r);
+    EXPECT_TRUE(r.atEnd());
+    EXPECT_EQ(u.size(), 2u);
+    EXPECT_TRUE(u.quarantinedAt(a));
+    EXPECT_EQ(u.numQuarantined(), 1u);
+    EXPECT_EQ(u.eccCorrections(), 1u);
+    EXPECT_EQ(u.meta(b).phase, 3u);
+    EXPECT_EQ(u.signatureAt(b), sig({5, 50}));
+    // The quarantined entry's damaged bytes and syndrome survive the
+    // round trip: the quarantine matcher still recovers it.
+    Signature q = sig({40, 20});
+    auto m = u.matchQuarantined(q.data(), q.size(), q.weight(), 0.0);
+    ASSERT_TRUE(m);
+    EXPECT_EQ(m.index, a);
+
+    // A snapshot for different table geometry is refused.
+    SignatureTable v(4, 6);
+    StateReader r2(w.buffer());
+    EXPECT_THROW(v.loadState(r2), Error);
 }

@@ -10,6 +10,7 @@
 #include <algorithm>
 #include <set>
 
+#include "common/status.hh"
 #include "sample/selector.hh"
 #include "sample_test_util.hh"
 
@@ -198,10 +199,9 @@ TEST(Selector, StratifiedSmallBudgetIsPrefixOfLargerBudget)
                               small.intervals.end()));
 }
 
-TEST(Selector, UnknownSelectorIsFatal)
+TEST(Selector, UnknownSelectorRaises)
 {
-    EXPECT_EXIT((void)makeSelector("bogus"),
-                ::testing::ExitedWithCode(1), "unknown selector");
+    EXPECT_THROW((void)makeSelector("bogus"), tpcp::Error);
 }
 
 TEST(Selector, PhaseSourceNamesRoundTrip)
@@ -210,9 +210,7 @@ TEST(Selector, PhaseSourceNamesRoundTrip)
     EXPECT_EQ(phaseSourceByName("offline"), PhaseSource::Offline);
     EXPECT_STREQ(phaseSourceName(PhaseSource::Online), "online");
     EXPECT_STREQ(phaseSourceName(PhaseSource::Offline), "offline");
-    EXPECT_EXIT((void)phaseSourceByName("sideways"),
-                ::testing::ExitedWithCode(1),
-                "unknown phase source");
+    EXPECT_THROW((void)phaseSourceByName("sideways"), tpcp::Error);
 }
 
 TEST(Selector, PhaseIdStreamMatchesProfileLength)

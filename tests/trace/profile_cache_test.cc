@@ -11,6 +11,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/status.hh"
 #include "trace/profile_cache.hh"
 
 using namespace tpcp;
@@ -226,6 +227,38 @@ TEST(ProfileCache, CorruptCacheFileRebuilt)
     IntervalProfile third = getProfile(w, opts);
     EXPECT_EQ(profileCacheStats().hits, 1u);
     EXPECT_EQ(profileCacheStats().builds, 0u);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(ProfileCache, RequireCacheRaisesOnColdOrCorruptCache)
+{
+    std::string dir =
+        std::string(::testing::TempDir()) + "tpcp_cache_require";
+    std::filesystem::remove_all(dir);
+    ProfileOptions opts = tinyOptions(dir);
+    opts.requireCache = true;
+    workload::Workload w = workload::makeWorkload("perl/d");
+
+    // Cold cache: strict mode surfaces the miss instead of silently
+    // spending simulation time.
+    EXPECT_THROW(getProfile(w, opts), Error);
+
+    // Warm the cache, then strict mode serves the file normally.
+    ProfileOptions build = tinyOptions(dir);
+    getProfile(w, build);
+    resetProfileCacheStats();
+    IntervalProfile p = getProfile(w, opts);
+    EXPECT_GT(p.numIntervals(), 0u);
+    EXPECT_EQ(profileCacheStats().hits, 1u);
+    EXPECT_EQ(profileCacheStats().builds, 0u);
+
+    // A corrupt cache file is an error in strict mode, not a rebuild.
+    std::string path = profileCachePath(w.name, opts);
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("corrupt", f);
+    std::fclose(f);
+    EXPECT_THROW(getProfile(w, opts), Error);
     std::filesystem::remove_all(dir);
 }
 

@@ -9,6 +9,7 @@
 
 #include <set>
 
+#include "common/status.hh"
 #include "workload/workload.hh"
 
 using namespace tpcp;
@@ -33,10 +34,9 @@ TEST(Workload, IsWorkloadName)
     EXPECT_FALSE(isWorkloadName(""));
 }
 
-TEST(Workload, UnknownNameIsFatal)
+TEST(Workload, UnknownNameRaises)
 {
-    EXPECT_EXIT(makeWorkload("nope"),
-                ::testing::ExitedWithCode(1), "unknown workload");
+    EXPECT_THROW(makeWorkload("nope"), tpcp::Error);
 }
 
 TEST(Workload, AllProgramsValidate)

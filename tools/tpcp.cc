@@ -12,6 +12,7 @@
  *   simstats <workload> [opts]     run the simulator, dump uarch stats
  *   sample   [workloads...] [opts] phase-guided sampled simulation
  *   adapt    [workloads...] [opts] phase-guided dynamic reconfiguration
+ *   faults   [workloads...] [opts] soft-error resilience measurement
  *
  * Common options:
  *   --interval N     instructions per interval   (default 100000)
@@ -21,7 +22,14 @@
  *
  * 'profile all' builds/loads every workload profile (in parallel
  * with --jobs) and prints a one-line summary per workload; use it to
- * warm a shared $TPCP_PROFILE_DIR before a figure-suite run.
+ * warm a shared $TPCP_PROFILE_DIR before a figure-suite run. A
+ * workload whose profile cannot be produced (e.g. a corrupt cache
+ * file under --require-cache) is skipped and reported in a
+ * per-workload error summary at the end; the exit code is 3 when
+ * some-but-not-all workloads failed.
+ * Profile options:
+ *   --require-cache  fail a workload instead of re-simulating when
+ *                    its cache file is missing/corrupt/mismatched
  * Classify options:
  *   --threshold X    similarity threshold        (default 0.25)
  *   --min N          transition min count        (default 8)
@@ -54,9 +62,30 @@
  *   --min-oracle X   exit 1 if any workload's greedy policy reaches
  *                    less than fraction X of the oracle's EDP
  *                    savings (CI tripwire)
+ * Faults options (no workloads named = all 11, in parallel):
+ *   --target T       accum | signature | metadata | change-table |
+ *                    length-table | input | all   (default all)
+ *   --rate X         per-interval fault probability (default 0.01)
+ *   --mitigated      enable the hardening model (parity-protected
+ *                    signature table with scrubbing and repair, ECC
+ *                    detect-and-contain predictor tables, CPI
+ *                    plausibility gate)
+ *   --seed N         fault campaign seed
+ *   --scrub-every N  mitigated scrub period in intervals (default 1)
+ *   --adapt          also measure the adapt-layer oracle-fraction
+ *                    delta (simulates the lattice; prefer
+ *                    --core simple)
+ *   --json PATH      write ResilienceReport records as JSON
+ *                    ('-' disables)
+ *   --min-agreement X  exit 1 if any workload's phase-ID agreement
+ *                    falls below fraction X (CI tripwire)
+ *   --checkpoint PATH  checkpoint file (single workload only)
+ *   --checkpoint-at K  save the checkpoint and stop after K intervals
+ *   --resume         resume the faulty run from --checkpoint
  */
 
 #include <algorithm>
+#include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -68,9 +97,11 @@
 #include "adapt/report.hh"
 #include "analysis/experiment.hh"
 #include "analysis/parallel_runner.hh"
+#include "fault/resilience.hh"
 #include "common/ascii_table.hh"
 #include "common/logging.hh"
 #include "common/running_stats.hh"
+#include "common/status.hh"
 #include "pred/eval.hh"
 #include "sample/report.hh"
 #include "trace/profile_cache.hh"
@@ -152,7 +183,7 @@ usage()
         << "usage: tpcp <command> [args]\n"
            "  workloads | machine | profile <wl> | classify <wl> |\n"
            "  predict <wl> | export <wl> | sample [wl...] |\n"
-           "  adapt [wl...]\n"
+           "  adapt [wl...] | faults [wl...]\n"
            "see the header of tools/tpcp.cc for all options\n";
     return 2;
 }
@@ -179,6 +210,7 @@ profileOptions(const Args &args)
     trace::ProfileOptions opts;
     opts.intervalLen = args.getU64("interval", 100'000);
     opts.coreName = args.get("core", "ooo");
+    opts.requireCache = args.has("require-cache");
     return opts;
 }
 
@@ -236,20 +268,39 @@ cmdProfileAll(const Args &args)
               << " profiles ("
               << analysis::effectiveJobs(jobs, names.size())
               << " jobs) ...\n";
+    // Graceful degradation: one bad workload (corrupt cache file
+    // under --require-cache, unknown core, ...) is skipped and
+    // reported at the end instead of aborting the whole batch. Each
+    // task writes only its own error slot, so the vector needs no
+    // lock.
+    std::vector<std::string> errors(names.size());
     auto profiles = analysis::runIndexed(
-        names.size(), jobs, [&](std::size_t i) {
-            return trace::getProfileByName(names[i], opts);
+        names.size(), jobs,
+        [&](std::size_t i) -> std::optional<trace::IntervalProfile> {
+            try {
+                return trace::getProfileByName(names[i], opts);
+            } catch (const Error &e) {
+                errors[i] = e.what();
+                return std::nullopt;
+            }
         });
     AsciiTable table(
         {"workload", "intervals", "avg CPI", "CoV"});
+    std::size_t failed = 0;
     for (std::size_t i = 0; i < names.size(); ++i) {
+        if (!profiles[i]) {
+            ++failed;
+            table.row().cell(names[i]).cell("-").cell("-").cell(
+                "FAILED");
+            continue;
+        }
         RunningStats cpi;
-        for (const auto &rec : profiles[i].intervals())
+        for (const auto &rec : profiles[i]->intervals())
             cpi.push(rec.cpi);
         table.row()
             .cell(names[i])
             .cell(static_cast<std::uint64_t>(
-                profiles[i].numIntervals()))
+                profiles[i]->numIntervals()))
             .cell(cpi.mean(), 3)
             .percentCell(cpi.cov());
     }
@@ -257,6 +308,16 @@ cmdProfileAll(const Args &args)
     trace::ProfileCacheStats stats = trace::profileCacheStats();
     std::cout << "cache: " << stats.hits << " hits, " << stats.builds
               << " builds, " << stats.rejects << " rejects\n";
+    if (failed != 0) {
+        std::cerr << "error: " << failed << " of " << names.size()
+                  << " workloads failed:\n";
+        for (std::size_t i = 0; i < names.size(); ++i)
+            if (!errors[i].empty())
+                std::cerr << "  " << names[i] << ": " << errors[i]
+                          << "\n";
+        // 3 = partial failure: some profiles were still produced.
+        return failed == names.size() ? 1 : 3;
+    }
     return 0;
 }
 
@@ -364,7 +425,7 @@ predictorByName(const std::string &name)
         return ChangePredictorConfig::markov(1, PayloadView::Top4);
     if (name == "last4markov1")
         return ChangePredictorConfig::markov(1, PayloadView::Last4);
-    tpcp_fatal("unknown predictor '", name, "'");
+    tpcp_raise("unknown predictor '", name, "'");
 }
 
 int
@@ -654,6 +715,111 @@ cmdAdapt(const Args &args)
     return 0;
 }
 
+int
+cmdFaults(const Args &args)
+{
+    std::vector<std::string> names = args.positional;
+    if (names.empty()) {
+        names = workload::workloadNames();
+    } else {
+        for (const std::string &name : names) {
+            if (!workload::isWorkloadName(name)) {
+                std::cerr << "error: unknown workload '" << name
+                          << "'; run 'tpcp workloads'\n";
+                return 2;
+            }
+        }
+    }
+
+    fault::ResilienceOptions ropts;
+    ropts.injector.target =
+        fault::targetByName(args.get("target", "all"));
+    ropts.injector.ratePerInterval = args.getDouble("rate", 0.01);
+    ropts.injector.mitigated = args.has("mitigated");
+    ropts.injector.seed = args.getU64("seed", 0x5eedfa17);
+    ropts.scrubEvery =
+        static_cast<unsigned>(args.getU64("scrub-every", 1));
+    ropts.withAdapt = args.has("adapt");
+    ropts.adaptLattice = args.get("lattice", "small");
+    ropts.checkpointPath = args.get("checkpoint", "");
+    ropts.checkpointAt = args.getU64("checkpoint-at", 0);
+    ropts.resume = args.has("resume");
+    if ((ropts.checkpointAt != 0 || ropts.resume) &&
+        (ropts.checkpointPath.empty() || names.size() != 1)) {
+        std::cerr << "error: --checkpoint-at/--resume need "
+                     "--checkpoint PATH and exactly one workload\n";
+        return 2;
+    }
+
+    unsigned jobs = static_cast<unsigned>(args.getU64("jobs", 0));
+    trace::ProfileOptions opts = profileOptions(args);
+
+    std::cerr << "[faults] " << names.size() << " workloads, target="
+              << fault::targetName(ropts.injector.target)
+              << ", rate=" << ropts.injector.ratePerInterval
+              << (ropts.injector.mitigated ? ", mitigated"
+                                           : ", unmitigated")
+              << " ("
+              << analysis::effectiveJobs(jobs, names.size())
+              << " jobs)\n";
+    std::vector<fault::ResilienceReport> reports =
+        analysis::runIndexed(
+            names.size(), jobs, [&](std::size_t i) {
+                trace::IntervalProfile profile =
+                    trace::getProfileByName(names[i], opts);
+                return fault::runResilience(profile, ropts);
+            });
+
+    AsciiTable table({"workload", "faults", "agreement",
+                      "next-phase", "change", "length",
+                      "ecc", "repairs", "quar"});
+    double worst = 1.0;
+    for (const fault::ResilienceReport &r : reports) {
+        auto pair = [](double base, double faulty) {
+            char buf[32];
+            std::snprintf(buf, sizeof(buf), "%.1f>%.1f",
+                          base * 100.0, faulty * 100.0);
+            return std::string(buf);
+        };
+        table.row()
+            .cell(r.workload)
+            .cell(r.faults.total())
+            .percentCell(r.agreement())
+            .cell(pair(r.nextPhaseAccBase, r.nextPhaseAccFaulty))
+            .cell(pair(r.changeAccBase, r.changeAccFaulty))
+            .cell(pair(r.lengthAccBase, r.lengthAccFaulty))
+            .cell(r.eccCorrections)
+            .cell(r.repairs)
+            .cell(r.quarantines);
+        worst = std::min(worst, r.agreement());
+    }
+    table.print(std::cout);
+
+    // '-' disables, matching the bench harness convention.
+    std::string json = args.get("json", "");
+    if (!json.empty() && json != "-") {
+        if (!fault::writeJson(json, reports)) {
+            std::cerr << "error: cannot write " << json << "\n";
+            return 1;
+        }
+        std::cout << "wrote " << reports.size() << " reports to "
+                  << json << "\n";
+    }
+    if (args.has("min-agreement")) {
+        double limit = args.getDouble("min-agreement", 0.0);
+        if (worst < limit) {
+            std::cerr << "error: worst phase-ID agreement "
+                      << worst * 100.0 << "% below --min-agreement "
+                      << limit * 100.0 << "%\n";
+            return 1;
+        }
+        std::cout << "worst phase-ID agreement " << worst * 100.0
+                  << "% meets --min-agreement " << limit * 100.0
+                  << "%\n";
+    }
+    return 0;
+}
+
 } // namespace
 
 int
@@ -664,23 +830,33 @@ main(int argc, char **argv)
     std::string cmd = argv[1];
     Args args(argc, argv, 2);
 
-    if (cmd == "workloads")
-        return cmdWorkloads();
-    if (cmd == "machine")
-        return cmdMachine();
-    if (cmd == "profile")
-        return cmdProfile(args);
-    if (cmd == "classify")
-        return cmdClassify(args);
-    if (cmd == "predict")
-        return cmdPredict(args);
-    if (cmd == "export")
-        return cmdExport(args);
-    if (cmd == "simstats")
-        return cmdSimStats(args);
-    if (cmd == "sample")
-        return cmdSample(args);
-    if (cmd == "adapt")
-        return cmdAdapt(args);
+    // The library raises recoverable tpcp::Error instead of exiting;
+    // the tool is the process boundary that turns an unhandled one
+    // into exit code 1.
+    try {
+        if (cmd == "workloads")
+            return cmdWorkloads();
+        if (cmd == "machine")
+            return cmdMachine();
+        if (cmd == "profile")
+            return cmdProfile(args);
+        if (cmd == "classify")
+            return cmdClassify(args);
+        if (cmd == "predict")
+            return cmdPredict(args);
+        if (cmd == "export")
+            return cmdExport(args);
+        if (cmd == "simstats")
+            return cmdSimStats(args);
+        if (cmd == "sample")
+            return cmdSample(args);
+        if (cmd == "adapt")
+            return cmdAdapt(args);
+        if (cmd == "faults")
+            return cmdFaults(args);
+    } catch (const Error &e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return 1;
+    }
     return usage();
 }
