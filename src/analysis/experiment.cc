@@ -14,11 +14,20 @@ classifyProfile(const trace::IntervalProfile &profile,
 
     phase::PhaseClassifier classifier(cfg);
     std::size_t dim_idx = profile.dimIndex(cfg.numCounters);
-    for (const trace::IntervalRecord &rec : profile.intervals()) {
-        phase::ClassifyResult res = classifier.classifyRaw(
-            rec.accums[dim_idx], rec.accumTotal, rec.cpi);
-        out.trace.push(res.phase, rec.cpi);
-    }
+    // Batched replay: gather the stored snapshots into RawInterval
+    // views once, classify them in a single call (identical results
+    // to one classifyRaw() per interval), then fold the results.
+    const auto &intervals = profile.intervals();
+    std::vector<phase::RawInterval> views;
+    views.reserve(intervals.size());
+    for (const trace::IntervalRecord &rec : intervals)
+        views.push_back({rec.accums[dim_idx].data(), rec.accumTotal,
+                         rec.cpi});
+    std::vector<phase::ClassifyResult> results(views.size());
+    classifier.classifyIntervals(views.data(), views.size(),
+                                 results.data());
+    for (std::size_t i = 0; i < results.size(); ++i)
+        out.trace.push(results[i].phase, intervals[i].cpi);
 
     out.numPhases = classifier.numStablePhases();
     out.covCpi = weightedPhaseCov(out.trace.phases, out.trace.cpis);

@@ -11,7 +11,8 @@ namespace tpcp::phase
 
 PhaseClassifier::PhaseClassifier(const ClassifierConfig &config)
     : cfg(config), accum(config.numCounters, config.counterBits),
-      sigTable(config.tableEntries, config.minCounterBits),
+      sigTable(config.tableEntries, config.minCounterBits,
+               config.parityProtect),
       scratch(config.numCounters, 0)
 {
     tpcp_assert(cfg.similarityThreshold > 0.0 &&
@@ -47,6 +48,26 @@ PhaseClassifier::classifyRaw(const std::vector<std::uint32_t> &raw,
 {
     tpcp_assert(raw.size() == cfg.numCounters,
                 "accumulator snapshot has wrong dimensionality");
+    return classifyOne(raw.data(), total, cpi);
+}
+
+void
+PhaseClassifier::classifyIntervals(const RawInterval *intervals,
+                                   std::size_t n, ClassifyResult *out)
+{
+    for (std::size_t i = 0; i < n; ++i) {
+        ClassifyResult res = classifyOne(intervals[i].raw,
+                                         intervals[i].total,
+                                         intervals[i].cpi);
+        if (out)
+            out[i] = res;
+    }
+}
+
+ClassifyResult
+PhaseClassifier::classifyOne(const std::uint32_t *raw,
+                             InstCount total, double cpi)
+{
     ClassifyResult res;
     ++stats_.intervals;
 
@@ -65,8 +86,8 @@ PhaseClassifier::classifyRaw(const std::vector<std::uint32_t> &raw,
     // Compress into the reusable scratch row: the hot path allocates
     // nothing and the table works on raw signature bytes.
     std::uint32_t weight = Signature::compressTo(
-        raw, total, cfg.bitsPerDim, cfg.bitSelection, cfg.staticShift,
-        scratch.data());
+        raw, cfg.numCounters, total, cfg.bitsPerDim, cfg.bitSelection,
+        cfg.staticShift, scratch.data());
 
     SignatureTable::MatchResult m = sigTable.match(
         scratch.data(), scratch.size(), weight, cfg.matchPolicy);

@@ -27,6 +27,17 @@ class StateReader;
 namespace tpcp::phase
 {
 
+/**
+ * One interval's raw accumulator snapshot for batched replay:
+ * @p raw points at numCounters counter values.
+ */
+struct RawInterval
+{
+    const std::uint32_t *raw = nullptr;
+    InstCount total = 0;
+    double cpi = 0.0;
+};
+
 /** Outcome of classifying one interval. */
 struct ClassifyResult
 {
@@ -106,6 +117,17 @@ class PhaseClassifier
                                InstCount total, double cpi);
 
     /**
+     * Batched replay: classifies @p n interval snapshots in order,
+     * writing one result per interval into @p out when non-null.
+     * Equivalent to calling classifyRaw() once per interval — same
+     * results, same final classifier state — but amortizes the
+     * per-interval call overhead; this is what the profile-replay
+     * sweeps and the fault campaigns spend their time in.
+     */
+    void classifyIntervals(const RawInterval *intervals, std::size_t n,
+                           ClassifyResult *out = nullptr);
+
+    /**
      * Flushes all per-phase CPI feedback statistics. The paper notes
      * that a reconfiguration-based optimization changing CPI must
      * flush the feedback data; classification state (signatures,
@@ -134,6 +156,10 @@ class PhaseClassifier
     void loadState(StateReader &r);
 
   private:
+    /** Shared hot-path implementation of the classify entry points. */
+    ClassifyResult classifyOne(const std::uint32_t *raw,
+                               InstCount total, double cpi);
+
     ClassifierConfig cfg;
     AccumulatorTable accum;
     SignatureTable sigTable;

@@ -1,10 +1,12 @@
 #include "phase/signature.hh"
 
 #include <cstdlib>
+#include <cstring>
 #include <sstream>
 
 #include "common/bitops.hh"
 #include "common/logging.hh"
+#include "common/simd.hh"
 
 namespace tpcp::phase
 {
@@ -39,7 +41,17 @@ Signature::compressTo(const std::vector<std::uint32_t> &raw,
                       BitSelection mode, unsigned static_shift,
                       std::uint8_t *out)
 {
-    tpcp_assert(!raw.empty());
+    return compressTo(raw.data(), raw.size(), total, bits_per_dim,
+                      mode, static_shift, out);
+}
+
+std::uint32_t
+Signature::compressTo(const std::uint32_t *raw, std::size_t n,
+                      InstCount total, unsigned bits_per_dim,
+                      BitSelection mode, unsigned static_shift,
+                      std::uint8_t *out)
+{
+    tpcp_assert(n != 0);
     tpcp_assert(bits_per_dim >= 1 && bits_per_dim <= 8);
 
     unsigned shift = static_shift;
@@ -47,7 +59,7 @@ Signature::compressTo(const std::vector<std::uint32_t> &raw,
     if (mode == BitSelection::Dynamic) {
         // Average counter value; the division is exact power-of-two
         // shifting in hardware when the counter count is one.
-        std::uint64_t avg = total / raw.size();
+        std::uint64_t avg = total / n;
         // Keep two bits above the bits needed for the average, so the
         // window represents values up to 4x the average.
         window_top = bitsFor(avg) + 2;
@@ -56,32 +68,21 @@ Signature::compressTo(const std::vector<std::uint32_t> &raw,
     } else {
         window_top = static_shift + bits_per_dim;
     }
-    // A window reaching at or above bit 64 can never saturate (the
-    // counters are 64-bit at most), and shifting a 64-bit value by
-    // >= 64 is undefined; clamp both shifts instead of computing
-    // (v >> window_top) with an out-of-range width.
-    bool can_saturate = window_top < 64;
-
     std::uint8_t max_dim =
         static_cast<std::uint8_t>(maskLow(bits_per_dim));
-    std::uint64_t low_mask = maskLow(bits_per_dim);
-    std::uint32_t weight = 0;
-    for (std::size_t i = 0; i < raw.size(); ++i) {
-        std::uint64_t v = raw[i];
-        // If any bit above the selected window is set, the value is
-        // too large to represent: store the maximum (paper: "we set
-        // all of the selected bits to one").
-        if (can_saturate && (v >> window_top) != 0) {
-            out[i] = max_dim;
-            weight += max_dim;
-            continue;
-        }
-        std::uint64_t selected =
-            shift >= 64 ? 0 : (v >> shift) & low_mask;
-        out[i] = static_cast<std::uint8_t>(selected);
-        weight += static_cast<std::uint32_t>(selected);
+    // The counters are 32-bit: a shift of 32 or more selects nothing,
+    // and a window topping out at or above bit 32 can never saturate
+    // (the kernel drops its saturation test for window_top >= 32).
+    // Handling the all-zero case here keeps the kernel contract at
+    // shift < 32, where the vector shift widths are well defined.
+    if (shift >= 32) {
+        std::memset(out, 0, n);
+        return 0;
     }
-    return weight;
+    // Saturate ("we set all of the selected bits to one" when any bit
+    // above the window is set), shift and mask — dispatched to the
+    // active SIMD level; every level stores identical bytes.
+    return simd::compressU32(raw, n, shift, window_top, max_dim, out);
 }
 
 std::uint32_t
@@ -89,13 +90,9 @@ Signature::manhattan(const Signature &other) const
 {
     tpcp_assert(dims.size() == other.dims.size(),
                 "signature dimensionality mismatch");
-    std::uint32_t dist = 0;
-    for (std::size_t i = 0; i < dims.size(); ++i) {
-        int d = static_cast<int>(dims[i]) -
-                static_cast<int>(other.dims[i]);
-        dist += static_cast<std::uint32_t>(std::abs(d));
-    }
-    return dist;
+    return static_cast<std::uint32_t>(
+        simd::manhattanU8(dims.data(), other.dims.data(),
+                          dims.size()));
 }
 
 double

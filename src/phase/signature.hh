@@ -74,6 +74,13 @@ class Signature
         unsigned bits_per_dim, BitSelection mode,
         unsigned static_shift, std::uint8_t *out);
 
+    /** Pointer variant of compressTo() over @p n raw counters, for
+     * batched replay over externally stored snapshots. */
+    static std::uint32_t compressTo(
+        const std::uint32_t *raw, std::size_t n, InstCount total,
+        unsigned bits_per_dim, BitSelection mode,
+        unsigned static_shift, std::uint8_t *out);
+
     /** Number of dimensions. */
     std::size_t size() const { return dims.size(); }
 

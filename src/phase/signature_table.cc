@@ -1,40 +1,20 @@
 #include "phase/signature_table.hh"
 
 #include <algorithm>
+#include <cstring>
 #include <limits>
+#include <numeric>
 
 #include "common/logging.hh"
+#include "common/simd.hh"
 #include "common/state_io.hh"
 
 namespace tpcp::phase
 {
 
-SignatureTable::SignatureTable(unsigned capacity,
-                               unsigned min_ctr_bits)
-    : cap(capacity), minCtrBits(min_ctr_bits)
-{
-    if (cap) {
-        metas.reserve(cap);
-        weights.reserve(cap);
-        thresholds.reserve(cap);
-        parity.reserve(cap);
-        eccPos.reserve(cap);
-        quarantined.reserve(cap);
-    }
-}
-
-namespace
+namespace detail
 {
 
-/**
- * Smallest integer bound D such that (double)D / denom >= cutoff:
- * a running Manhattan distance reaching D proves the entry's
- * normalized difference (computed in double, exactly as the final
- * comparison does) is at least @p cutoff, so the scan can stop.
- * The ceil estimate is corrected by at most a step in either
- * direction, so float rounding in the product can never change a
- * match decision.
- */
 std::uint64_t
 distanceBound(double cutoff, std::uint64_t denom)
 {
@@ -53,7 +33,56 @@ distanceBound(double cutoff, std::uint64_t denom)
     return d;
 }
 
+} // namespace detail
+
+namespace
+{
+
+/** Queries up to this padded width run the vectorized group scan;
+ * wider tables (loadState admits up to 4096-byte rows) fall back to
+ * the reference per-entry path. */
+constexpr std::size_t kMaxQueryPad = 256;
+
+/**
+ * Cheap conservative upper bound on detail::distanceBound(): any
+ * D >= the exact minimal bound proves diff >= cutoff, so a *larger*
+ * bound only lets extra rows through to the final double tests —
+ * which reject them exactly as the reference scan would — and never
+ * skips a row the reference scan accepts. trunc(prod) + 2 suffices:
+ * the exact bound is <= ceil(true product) + 1, and the double
+ * product is within 1 ulp (< 1 here: cutoff <= 1 and denom is a sum
+ * of signature weights, far below 2^52) of the true product. Costs
+ * one multiply and one conversion — no divisions, so the group scan
+ * pays no FP-divide latency per pruned entry.
+ */
+inline std::uint64_t
+distanceBoundUpper(double cutoff, std::uint64_t denom)
+{
+    if (!(cutoff > 0.0))
+        return 0; // reference scan skips the entry outright
+    double prod = cutoff * static_cast<double>(denom);
+    return static_cast<std::uint64_t>(prod) + 2;
+}
+
 } // namespace
+
+SignatureTable::SignatureTable(unsigned capacity,
+                               unsigned min_ctr_bits,
+                               bool track_parity)
+    : cap(capacity), minCtrBits(min_ctr_bits),
+      parityTracked(track_parity)
+{
+    if (cap) {
+        metas.reserve(cap);
+        weights.reserve(cap);
+        thresholds.reserve(cap);
+        parity.reserve(cap);
+        eccPos.reserve(cap);
+        quarantined.reserve(cap);
+        lruPrev.reserve(cap);
+        lruNext.reserve(cap);
+    }
+}
 
 SignatureTable::MatchResult
 SignatureTable::match(const Signature &sig, MatchPolicy policy) const
@@ -61,19 +90,17 @@ SignatureTable::match(const Signature &sig, MatchPolicy policy) const
     return match(sig.data(), sig.size(), sig.weight(), policy);
 }
 
-SignatureTable::MatchResult
-SignatureTable::match(const std::uint8_t *qdims, std::size_t ndims,
-                      std::uint32_t qweight,
-                      MatchPolicy policy) const
+bool
+SignatureTable::matchRange(const std::uint8_t *qdims,
+                           std::uint32_t qweight, MatchPolicy policy,
+                           std::size_t lo, std::size_t hi,
+                           MatchResult &best) const
 {
-    tpcp_assert(metas.empty() || ndims == rowDims,
-                "signature dimensionality mismatch");
-    MatchResult best;
-    const std::size_t n = metas.size();
+    const std::size_t ndims = rowDims;
     // Hoisted so the fault-free hot path pays one register test per
     // entry, never a quarantine-array load.
     const bool anyQuarantined = numQuarantined_ != 0;
-    for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t i = lo; i < hi; ++i) {
         if (anyQuarantined && quarantined[i])
             continue; // parity-failed entry awaiting repair
         const std::uint32_t wi = weights[i];
@@ -98,8 +125,9 @@ SignatureTable::match(const std::uint8_t *qdims, std::size_t ndims,
                 cutoff = best.distance;
             if (cutoff <= 0.0)
                 continue;
-            const std::uint64_t bound = distanceBound(cutoff, denom);
-            const std::uint8_t *row = &rows[i * rowDims];
+            const std::uint64_t bound =
+                detail::distanceBound(cutoff, denom);
+            const std::uint8_t *row = &rows[i * rowStride_];
             std::uint64_t dist = 0;
             std::size_t j = 0;
             for (; j < ndims; ++j) {
@@ -118,34 +146,154 @@ SignatureTable::match(const std::uint8_t *qdims, std::size_t ndims,
         // original entry-by-entry scan.
         if (diff >= thresholds[i])
             continue;
-        if (policy == MatchPolicy::FirstMatch)
-            return {static_cast<std::uint32_t>(i), diff};
+        if (policy == MatchPolicy::FirstMatch) {
+            best.index = static_cast<std::uint32_t>(i);
+            best.distance = diff;
+            return true;
+        }
         if (!best || diff < best.distance) {
             best.index = static_cast<std::uint32_t>(i);
             best.distance = diff;
         }
     }
+    return false;
+}
+
+SignatureTable::MatchResult
+SignatureTable::match(const std::uint8_t *qdims, std::size_t ndims,
+                      std::uint32_t qweight,
+                      MatchPolicy policy) const
+{
+    tpcp_assert(metas.empty() || ndims == rowDims,
+                "signature dimensionality mismatch");
+    MatchResult best;
+    const std::size_t n = metas.size();
+    if (n == 0)
+        return best;
+    // The vectorized group scan needs a weight-bearing query (so the
+    // degenerate all-zero diff definitions cannot trigger) and a
+    // stack-paddable row width; everything else takes the reference
+    // path. With fewer than one full group there is nothing to
+    // vectorize either.
+    if (simd::active() == simd::Level::Scalar || qweight == 0 ||
+        rowStride_ > kMaxQueryPad || n < 4) {
+        matchRange(qdims, qweight, policy, 0, n, best);
+        return best;
+    }
+    // Zero-pad the query to the row pitch: padding lanes contribute
+    // |0 - 0| = 0 to every vector chunk.
+    alignas(32) std::uint8_t qpad[kMaxQueryPad];
+    std::memcpy(qpad, qdims, ndims);
+    std::memset(qpad + ndims, 0, rowStride_ - ndims);
+    const bool anyQuarantined = numQuarantined_ != 0;
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        // Entries needing the degenerate-diff or quarantine handling
+        // are rare; hand the whole group to the reference scan so
+        // table order (FirstMatch semantics) is preserved.
+        bool mixed = false;
+        for (unsigned g = 0; g < 4; ++g)
+            if ((anyQuarantined && quarantined[i + g]) ||
+                weights[i + g] == 0)
+                mixed = true;
+        if (mixed) {
+            if (matchRange(qdims, qweight, policy, i, i + 4, best))
+                return best;
+            continue;
+        }
+        // Running distances for four entries at once, with the
+        // early-exit bound re-applied per vector chunk inside
+        // manhattanRows4. The conservative bound uses each entry's
+        // own threshold (not the running best), making it
+        // independent of scan state: pruning only ever discards
+        // entries the final double tests below would reject.
+        std::uint64_t denom[4];
+        std::uint64_t bound[4];
+        std::uint64_t dist[4];
+        for (unsigned g = 0; g < 4; ++g) {
+            denom[g] = static_cast<std::uint64_t>(qweight) +
+                       weights[i + g];
+            bound[g] = distanceBoundUpper(thresholds[i + g],
+                                          denom[g]);
+        }
+        if (simd::manhattanRows4(qpad, &rows[i * rowStride_],
+                                 rowStride_, bound, dist))
+            continue; // every running distance reached its bound
+        for (unsigned g = 0; g < 4; ++g) {
+            if (dist[g] >= bound[g])
+                continue;
+            double diff = static_cast<double>(dist[g]) /
+                          static_cast<double>(denom[g]);
+            if (diff >= thresholds[i + g])
+                continue;
+            if (policy == MatchPolicy::FirstMatch)
+                return {static_cast<std::uint32_t>(i + g), diff};
+            if (!best || diff < best.distance) {
+                best.index = static_cast<std::uint32_t>(i + g);
+                best.distance = diff;
+            }
+        }
+    }
+    matchRange(qdims, qweight, policy, i, n, best);
     return best;
+}
+
+void
+SignatureTable::lruDetach(std::uint32_t idx)
+{
+    const std::uint32_t p = lruPrev[idx];
+    const std::uint32_t nx = lruNext[idx];
+    if (p != npos)
+        lruNext[p] = nx;
+    else if (lruHead == idx)
+        lruHead = nx;
+    if (nx != npos)
+        lruPrev[nx] = p;
+    else if (lruTail == idx)
+        lruTail = p;
+    lruPrev[idx] = npos;
+    lruNext[idx] = npos;
+}
+
+void
+SignatureTable::lruAppend(std::uint32_t idx)
+{
+    lruPrev[idx] = lruTail;
+    lruNext[idx] = npos;
+    if (lruTail != npos)
+        lruNext[lruTail] = idx;
+    else
+        lruHead = idx;
+    lruTail = idx;
+}
+
+void
+SignatureTable::bumpUse(std::uint32_t idx)
+{
+    metas[idx].lastUse = ++tick;
+    lruDetach(idx);
+    lruAppend(idx);
 }
 
 std::uint32_t
 SignatureTable::allocSlot(std::size_t ndims)
 {
-    if (rowDims == 0)
+    if (rowDims == 0) {
         rowDims = ndims;
+        rowStride_ = simd::paddedSize(ndims);
+    }
     tpcp_assert(ndims == rowDims,
                 "signature dimensionality mismatch");
     if (cap != 0 && metas.size() >= cap) {
-        // Evict and reuse the LRU slot. Quarantined entries get no
-        // special treatment here: eviction decisions must stay in
-        // lockstep with a fault-free run of the same stream, or the
-        // two tables' contents — and with them all later phase-ID
-        // allocations — permanently diverge.
-        std::uint32_t victim = 0;
-        for (std::uint32_t i = 1; i < metas.size(); ++i) {
-            if (metas[i].lastUse < metas[victim].lastUse)
-                victim = i;
-        }
+        // Evict and reuse the LRU slot: the head of the use-ordered
+        // list, i.e. exactly the entry the previous O(n) min-lastUse
+        // rescan picked (lastUse ticks are unique, so the minimum is
+        // too). Quarantined entries get no special treatment here:
+        // eviction decisions must stay in lockstep with a fault-free
+        // run of the same stream, or the two tables' contents — and
+        // with them all later phase-ID allocations — permanently
+        // diverge.
+        std::uint32_t victim = lruHead;
         if (quarantined[victim]) {
             quarantined[victim] = 0;
             --numQuarantined_;
@@ -159,8 +307,12 @@ SignatureTable::allocSlot(std::size_t ndims)
     parity.push_back(0);
     eccPos.push_back(0);
     quarantined.push_back(0);
-    rows.resize(rows.size() + rowDims);
-    return static_cast<std::uint32_t>(metas.size() - 1);
+    lruPrev.push_back(npos);
+    lruNext.push_back(npos);
+    rows.resize(rows.size() + rowStride_);
+    std::uint32_t idx = static_cast<std::uint32_t>(metas.size() - 1);
+    lruAppend(idx);
+    return idx;
 }
 
 std::uint32_t
@@ -177,7 +329,7 @@ SignatureTable::insert(const std::uint8_t *dims, std::size_t ndims,
 {
     rowBits = bits_per_dim;
     std::uint32_t idx = allocSlot(ndims);
-    std::copy(dims, dims + ndims, &rows[idx * rowDims]);
+    std::copy(dims, dims + ndims, &rows[idx * rowStride_]);
     weights[idx] = weight;
     thresholds[idx] = threshold;
     SigEntryMeta &m = metas[idx];
@@ -186,7 +338,7 @@ SignatureTable::insert(const std::uint8_t *dims, std::size_t ndims,
     // toward the min-count threshold (paper section 4.4, "seen
     // min_count times").
     m.minCounter = SatCounter(minCtrBits, 1);
-    m.lastUse = ++tick;
+    bumpUse(idx);
     refreshParity(idx);
     return idx;
 }
@@ -198,7 +350,7 @@ SignatureTable::replaceSignature(std::uint32_t idx,
                                  std::uint32_t weight)
 {
     tpcp_assert(idx < metas.size() && ndims == rowDims);
-    std::copy(dims, dims + ndims, &rows[idx * rowDims]);
+    std::copy(dims, dims + ndims, &rows[idx * rowStride_]);
     weights[idx] = weight;
     refreshParity(idx);
 }
@@ -206,14 +358,14 @@ SignatureTable::replaceSignature(std::uint32_t idx,
 void
 SignatureTable::touch(std::uint32_t idx)
 {
-    metas[idx].lastUse = ++tick;
+    bumpUse(idx);
 }
 
 Signature
 SignatureTable::signatureAt(std::uint32_t idx) const
 {
     tpcp_assert(idx < metas.size());
-    const std::uint8_t *row = &rows[idx * rowDims];
+    const std::uint8_t *row = &rows[idx * rowStride_];
     return Signature(std::vector<std::uint8_t>(row, row + rowDims),
                      rowBits);
 }
@@ -235,9 +387,14 @@ SignatureTable::clear()
     parity.clear();
     eccPos.clear();
     quarantined.clear();
+    lruPrev.clear();
+    lruNext.clear();
+    lruHead = npos;
+    lruTail = npos;
     numQuarantined_ = 0;
     corrections_ = 0;
     rowDims = 0;
+    rowStride_ = 0;
     tick = 0;
     evictions_ = 0;
 }
@@ -245,7 +402,7 @@ SignatureTable::clear()
 std::uint8_t
 SignatureTable::computeParity(std::uint32_t idx) const
 {
-    const std::uint8_t *row = &rows[idx * rowDims];
+    const std::uint8_t *row = &rows[idx * rowStride_];
     std::uint8_t p = 0;
     for (std::size_t j = 0; j < rowDims; ++j)
         p ^= row[j];
@@ -255,7 +412,7 @@ SignatureTable::computeParity(std::uint32_t idx) const
 std::uint16_t
 SignatureTable::computeEccPos(std::uint32_t idx) const
 {
-    const std::uint8_t *row = &rows[idx * rowDims];
+    const std::uint8_t *row = &rows[idx * rowStride_];
     std::uint16_t s = 0;
     for (std::size_t j = 0; j < rowDims; ++j) {
         std::uint8_t v = row[j];
@@ -272,6 +429,8 @@ SignatureTable::computeEccPos(std::uint32_t idx) const
 void
 SignatureTable::refreshParity(std::uint32_t idx)
 {
+    if (!parityTracked)
+        return; // soft-error machinery disabled: rows carry no ECC
     parity[idx] = computeParity(idx);
     eccPos[idx] = computeEccPos(idx);
     if (quarantined[idx]) {
@@ -284,7 +443,7 @@ void
 SignatureTable::flipSignatureBit(std::uint32_t idx, unsigned bit)
 {
     tpcp_assert(idx < metas.size() && bit < rowDims * 8);
-    rows[idx * rowDims + bit / 8] ^=
+    rows[idx * rowStride_ + bit / 8] ^=
         static_cast<std::uint8_t>(1u << (bit % 8));
 }
 
@@ -292,6 +451,8 @@ bool
 SignatureTable::checkParityAt(std::uint32_t idx)
 {
     tpcp_assert(idx < metas.size());
+    tpcp_assert(parityTracked,
+                "parity check on a table without parity tracking");
     if (quarantined[idx])
         return false;
     const std::uint8_t sFold =
@@ -307,7 +468,7 @@ SignatureTable::checkParityAt(std::uint32_t idx)
     if ((sFold & (sFold - 1)) == 0 && sFold != 0 && sPos >= 1 &&
         sPos <= rowDims * 8) {
         const unsigned pos = sPos - 1;
-        std::uint8_t &byte = rows[idx * rowDims + pos / 8];
+        std::uint8_t &byte = rows[idx * rowStride_ + pos / 8];
         if ((std::uint8_t(1) << (pos % 8)) == sFold) {
             byte = static_cast<std::uint8_t>(byte ^ (1u << (pos % 8)));
             if (computeParity(idx) == parity[idx] &&
@@ -373,7 +534,7 @@ SignatureTable::matchQuarantined(const std::uint8_t *qdims,
         } else if (qweight == 0 || wi == 0) {
             diff = 1.0;
         } else {
-            const std::uint8_t *row = &rows[i * rowDims];
+            const std::uint8_t *row = &rows[i * rowStride_];
             std::int64_t dist = 0;
             for (std::size_t j = 0; j < ndims; ++j) {
                 int d = static_cast<int>(qdims[j]) -
@@ -436,10 +597,10 @@ SignatureTable::repairEntry(std::uint32_t idx, const std::uint8_t *dims,
 {
     tpcp_assert(idx < metas.size() && ndims == rowDims);
     tpcp_assert(quarantined[idx], "repairing a non-quarantined entry");
-    std::copy(dims, dims + ndims, &rows[idx * rowDims]);
+    std::copy(dims, dims + ndims, &rows[idx * rowStride_]);
     weights[idx] = weight;
     refreshParity(idx);
-    metas[idx].lastUse = ++tick;
+    bumpUse(idx);
 }
 
 void
@@ -450,7 +611,10 @@ SignatureTable::saveState(StateWriter &w) const
     w.u64(rowDims);
     w.u32(rowBits);
     w.u64(metas.size());
-    w.raw(rows.data(), rows.size());
+    // Rows are stored without their in-memory padding, keeping the
+    // snapshot byte stream identical to the unpadded layout.
+    for (std::size_t i = 0; i < metas.size(); ++i)
+        w.raw(&rows[i * rowStride_], rowDims);
     for (std::uint32_t wt : weights)
         w.u32(wt);
     for (double t : thresholds)
@@ -490,8 +654,10 @@ SignatureTable::loadState(StateReader &r)
     if (rowDims > 4096 || n > (1u << 20))
         tpcp_raise("signature-table snapshot implausibly large (",
                    n, " entries x ", rowDims, " bytes)");
-    rows.resize(n * rowDims);
-    r.raw(rows.data(), rows.size());
+    rowStride_ = rowDims == 0 ? 0 : simd::paddedSize(rowDims);
+    rows.assign(n * rowStride_, 0);
+    for (std::size_t i = 0; i < n; ++i)
+        r.raw(&rows[i * rowStride_], rowDims);
     weights.resize(n);
     for (std::uint32_t &wt : weights)
         wt = r.u32();
@@ -527,6 +693,21 @@ SignatureTable::loadState(StateReader &r)
     corrections_ = r.u64();
     tick = r.u64();
     evictions_ = r.u64();
+    // Rebuild the LRU list in lastUse order. Ticks are unique in any
+    // snapshot this code wrote; the stable sort reproduces the old
+    // min-rescan's tie-break (lowest index first) regardless.
+    std::vector<std::uint32_t> order(n);
+    std::iota(order.begin(), order.end(), 0u);
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::uint32_t a, std::uint32_t b) {
+                         return metas[a].lastUse < metas[b].lastUse;
+                     });
+    lruPrev.assign(n, npos);
+    lruNext.assign(n, npos);
+    lruHead = npos;
+    lruTail = npos;
+    for (std::uint32_t idx : order)
+        lruAppend(idx);
 }
 
 } // namespace tpcp::phase

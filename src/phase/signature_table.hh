@@ -9,9 +9,17 @@
  * live in one contiguous row-major buffer with the per-entry weights
  * and thresholds cached in flat parallel arrays, so match() — the
  * per-interval hot path — walks flat memory and can cut each row's
- * Manhattan scan short with a precomputed running bound. Entries are
- * referred to by index, which stays valid as an unbounded table grows
- * (a `SigEntry *` into a reallocating vector would not).
+ * Manhattan scan short with a precomputed running bound. Rows are
+ * padded with zero bytes to a multiple of simd::kRowPad so the
+ * vectorized match scan (common/simd.hh) processes whole aligned
+ * chunks; the padding contributes |0-0| = 0 to every distance, and
+ * every dispatch level returns bit-identical match results. Entries
+ * are referred to by index, which stays valid as an unbounded table
+ * grows (a `SigEntry *` into a reallocating vector would not).
+ *
+ * LRU replacement is O(1): entries are threaded on an intrusive
+ * doubly-linked list in use order (head = least recently used), kept
+ * in lockstep with the per-entry `lastUse` ticks.
  */
 
 #ifndef TPCP_PHASE_SIGNATURE_TABLE_HH
@@ -34,6 +42,22 @@ class StateReader;
 
 namespace tpcp::phase
 {
+
+namespace detail
+{
+
+/**
+ * Smallest integer bound D such that (double)D / denom >= cutoff: a
+ * running Manhattan distance reaching D proves the entry's
+ * normalized difference (computed in double, exactly as the final
+ * comparison does) is at least @p cutoff, so the match scan can stop
+ * early. The ceil estimate is corrected by at most one step in
+ * either direction (pinned by the distanceBound property test), so
+ * float rounding in the product can never change a match decision.
+ */
+std::uint64_t distanceBound(double cutoff, std::uint64_t denom);
+
+} // namespace detail
 
 /**
  * Classification metadata of one signature-table entry. The entry's
@@ -80,8 +104,15 @@ class SignatureTable
     /**
      * @param capacity      maximum entries (0 = unbounded)
      * @param min_ctr_bits  width of each entry's min counter
+     * @param track_parity  maintain per-row ECC check bits (the
+     *                      fault-mitigation machinery). When false —
+     *                      the classifier passes its parityProtect
+     *                      flag — rewriting a row skips the parity
+     *                      recompute entirely; checkParityAt() and
+     *                      scrubParity() must not be used.
      */
-    SignatureTable(unsigned capacity, unsigned min_ctr_bits);
+    SignatureTable(unsigned capacity, unsigned min_ctr_bits,
+                   bool track_parity = true);
 
     /**
      * Finds the entry matching @p sig: among entries whose
@@ -250,9 +281,34 @@ class SignatureTable
      * thresholds are clamped to their representable ranges. */
     void loadState(StateReader &r);
 
+    /** Padded bytes per stored row (multiple of simd::kRowPad; 0
+     * before the first insert). Tests/benchmarks only. */
+    std::size_t rowStride() const { return rowStride_; }
+
   private:
     /** Appends or recycles a slot and returns its index. */
     std::uint32_t allocSlot(std::size_t ndims);
+
+    /**
+     * Reference per-entry match scan over entries [lo, hi), shared
+     * by the scalar dispatch level, mixed groups (quarantined or
+     * zero-weight entries present) and the group tail. Updates
+     * @p best; returns true when a FirstMatch hit in this range ended
+     * the scan (the hit is in @p best).
+     */
+    bool matchRange(const std::uint8_t *qdims, std::uint32_t qweight,
+                    MatchPolicy policy, std::size_t lo, std::size_t hi,
+                    MatchResult &best) const;
+
+    /** Marks @p idx most recently used: bumps its lastUse tick and
+     * moves it to the back of the LRU list. */
+    void bumpUse(std::uint32_t idx);
+
+    /** Unlinks @p idx from the LRU list (no-op when detached). */
+    void lruDetach(std::uint32_t idx);
+
+    /** Appends detached @p idx at the MRU end of the LRU list. */
+    void lruAppend(std::uint32_t idx);
 
     /** XOR fold of entry @p idx's signature bytes. */
     std::uint8_t computeParity(std::uint32_t idx) const;
@@ -269,13 +325,25 @@ class SignatureTable
 
     unsigned cap;
     unsigned minCtrBits;
+    /** Maintain per-row ECC check bits (see constructor). */
+    bool parityTracked;
     /** Bytes per signature row; fixed by the first insert. */
     std::size_t rowDims = 0;
+    /** rowDims padded to a multiple of simd::kRowPad: the row-major
+     * pitch of `rows`. Padding bytes are always zero. */
+    std::size_t rowStride_ = 0;
     /** Bits per dimension of the stored signatures (materialization
      * only); fixed by the first insert. */
     unsigned rowBits = 6;
-    /** All signature bytes, row-major, rowDims bytes per entry. */
+    /** All signature bytes, row-major, rowStride_ bytes per entry
+     * (rowDims payload + zero padding). */
     std::vector<std::uint8_t> rows;
+    /** Intrusive LRU list, parallel to rows: lruHead is the LRU
+     * victim, lruTail the most recently used entry. */
+    std::vector<std::uint32_t> lruPrev;
+    std::vector<std::uint32_t> lruNext;
+    std::uint32_t lruHead = npos;
+    std::uint32_t lruTail = npos;
     /** Cached signature weights, parallel to rows. */
     std::vector<std::uint32_t> weights;
     /** Per-entry similarity thresholds, parallel to rows. */

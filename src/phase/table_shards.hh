@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Per-tenant sharding of past-signature tables.
+ *
+ * The planned streaming service (ROADMAP item 1) classifies interval
+ * streams from many tenants concurrently. Phase state is strictly
+ * per-stream — signatures from different tenants must never match
+ * each other — so instead of one lock-protected table, each tenant
+ * key is hashed onto its own independent SignatureTable. Shards share
+ * nothing: two worker threads driving different shards need no
+ * synchronization, and classification results per tenant are
+ * identical to running that tenant against a private table.
+ */
+
+#ifndef TPCP_PHASE_TABLE_SHARDS_HH
+#define TPCP_PHASE_TABLE_SHARDS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+#include "phase/signature_table.hh"
+
+namespace tpcp
+{
+class StateWriter;
+class StateReader;
+} // namespace tpcp
+
+namespace tpcp::phase
+{
+
+/** A fixed set of independent SignatureTable shards addressed by
+ * tenant key. */
+class SignatureTableShards
+{
+  public:
+    /**
+     * @param num_shards    shard count (> 0, fixed for the lifetime —
+     *                      resharding would re-home tenants and sever
+     *                      them from their accumulated phase state)
+     * @param capacity      per-shard entry capacity (0 = unbounded)
+     * @param min_ctr_bits  per-entry min-counter width
+     * @param track_parity  forwarded to every shard's table
+     */
+    SignatureTableShards(unsigned num_shards, unsigned capacity,
+                         unsigned min_ctr_bits,
+                         bool track_parity = true)
+    {
+        tpcp_assert(num_shards > 0, "need at least one shard");
+        shards_.reserve(num_shards);
+        for (unsigned i = 0; i < num_shards; ++i)
+            shards_.emplace_back(capacity, min_ctr_bits, track_parity);
+    }
+
+    unsigned
+    numShards() const
+    {
+        return static_cast<unsigned>(shards_.size());
+    }
+
+    /** Shard index owning @p tenant (stable for the lifetime). */
+    unsigned
+    shardOf(std::uint64_t tenant) const
+    {
+        return hashToBucket(tenant, numShards());
+    }
+
+    /** The table holding @p tenant's phase state. */
+    SignatureTable &
+    tableFor(std::uint64_t tenant)
+    {
+        return shards_[shardOf(tenant)];
+    }
+
+    const SignatureTable &
+    tableFor(std::uint64_t tenant) const
+    {
+        return shards_[shardOf(tenant)];
+    }
+
+    /** Direct shard access (worker threads own disjoint index
+     * ranges). */
+    SignatureTable &
+    shard(unsigned idx)
+    {
+        return shards_[idx];
+    }
+
+    const SignatureTable &
+    shard(unsigned idx) const
+    {
+        return shards_[idx];
+    }
+
+    /** Total entries across all shards. */
+    std::size_t
+    size() const
+    {
+        std::size_t n = 0;
+        for (const SignatureTable &t : shards_)
+            n += t.size();
+        return n;
+    }
+
+    /** Removes all entries from every shard. */
+    void
+    clear()
+    {
+        for (SignatureTable &t : shards_)
+            t.clear();
+    }
+
+    /** Appends every shard's state to a checkpoint snapshot. */
+    void
+    saveState(StateWriter &w) const
+    {
+        for (const SignatureTable &t : shards_)
+            t.saveState(w);
+    }
+
+    /** Restores every shard's state from a checkpoint snapshot
+     * written by a same-geometry instance. */
+    void
+    loadState(StateReader &r)
+    {
+        for (SignatureTable &t : shards_)
+            t.loadState(r);
+    }
+
+  private:
+    std::vector<SignatureTable> shards_;
+};
+
+} // namespace tpcp::phase
+
+#endif // TPCP_PHASE_TABLE_SHARDS_HH

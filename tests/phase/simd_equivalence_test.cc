@@ -1,0 +1,365 @@
+/**
+ * @file
+ * Bit-identity of the vectorized classify hot path against the
+ * scalar reference at the component level: SignatureTable::match
+ * across dispatch levels (both policies, quarantined entries,
+ * weight-0 signatures), the batched classifyIntervals() against
+ * per-interval classifyRaw(), the O(1) LRU eviction order against a
+ * reference min-lastUse rescan, and the per-tenant table shards.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <sstream>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/simd.hh"
+#include "common/state_io.hh"
+#include "phase/classifier.hh"
+#include "phase/signature_table.hh"
+#include "phase/table_shards.hh"
+
+using namespace tpcp;
+using namespace tpcp::phase;
+
+namespace
+{
+
+std::vector<simd::Level>
+availableLevels()
+{
+    std::vector<simd::Level> out;
+    for (simd::Level l :
+         {simd::Level::Scalar, simd::Level::Sse2, simd::Level::Avx2,
+          simd::Level::Neon}) {
+        if (simd::forceLevel(l) == l)
+            out.push_back(l);
+    }
+    return out;
+}
+
+struct LevelGuard
+{
+    simd::Level saved = simd::active();
+    ~LevelGuard() { simd::forceLevel(saved); }
+};
+
+std::vector<std::uint8_t>
+randomRow(Rng &rng, unsigned dims, unsigned max_val)
+{
+    std::vector<std::uint8_t> d(dims);
+    for (auto &v : d)
+        v = static_cast<std::uint8_t>(rng.nextBounded(max_val));
+    return d;
+}
+
+/** Builds a table with a mix of ordinary, near-duplicate, weight-0
+ * and (optionally) quarantined entries. */
+SignatureTable
+buildTable(Rng &rng, unsigned entries, unsigned dims,
+           bool with_quarantined, bool with_zero_weight)
+{
+    SignatureTable table(0, 6); // unbounded, parity-tracked
+    for (unsigned i = 0; i < entries; ++i) {
+        std::vector<std::uint8_t> row;
+        if (with_zero_weight && i % 7 == 3) {
+            row.assign(dims, 0); // all-zero signature, weight 0
+        } else if (i > 0 && i % 5 == 4) {
+            // Near-duplicate of the previous row: clustered entries
+            // with overlapping thresholds force real
+            // best-vs-first-match divergence.
+            Signature prev = table.signatureAt(i - 1);
+            row.assign(prev.data(), prev.data() + dims);
+            row[rng.nextBounded(dims)] ^= 1;
+        } else {
+            row = randomRow(rng, dims, 64);
+        }
+        double threshold = 0.05 + 0.2 * rng.nextDouble();
+        table.insert(Signature(row, 6), threshold);
+    }
+    if (with_quarantined) {
+        for (unsigned i = 0; i < entries; i += 4) {
+            // Two flipped bits: uncorrectable, quarantines the entry.
+            table.flipSignatureBit(i, 1);
+            table.flipSignatureBit(i, 9);
+            EXPECT_FALSE(table.checkParityAt(i));
+        }
+    }
+    return table;
+}
+
+} // namespace
+
+TEST(SimdMatchEquivalence, AllLevelsAgreeWithScalarBothPolicies)
+{
+    LevelGuard guard;
+    Rng rng(std::uint64_t{0xabcd});
+    for (unsigned dims : {8u, 16u, 32u, 48u}) {
+        for (bool quarantine : {false, true}) {
+            for (bool zeroWeight : {false, true}) {
+                SignatureTable table = buildTable(
+                    rng, 37, dims, quarantine, zeroWeight);
+                for (int probe = 0; probe < 64; ++probe) {
+                    std::vector<std::uint8_t> q;
+                    if (probe % 9 == 5)
+                        q.assign(dims, 0); // weight-0 query
+                    else if (probe % 2 == 0)
+                        q = randomRow(rng, dims, 64);
+                    else {
+                        // Perturbation of a stored row: likely hit.
+                        Signature s = table.signatureAt(
+                            rng.nextBounded(37));
+                        q.assign(s.data(), s.data() + dims);
+                        for (int k = 0; k < 3; ++k)
+                            q[rng.nextBounded(dims)] ^= 1;
+                    }
+                    std::uint32_t weight = 0;
+                    for (std::uint8_t v : q)
+                        weight += v;
+                    for (MatchPolicy policy :
+                         {MatchPolicy::FirstMatch,
+                          MatchPolicy::BestMatch}) {
+                        ASSERT_EQ(simd::forceLevel(
+                                      simd::Level::Scalar),
+                                  simd::Level::Scalar);
+                        auto ref = table.match(q.data(), dims, weight,
+                                               policy);
+                        for (simd::Level l : availableLevels()) {
+                            ASSERT_EQ(simd::forceLevel(l), l);
+                            auto got = table.match(q.data(), dims,
+                                                   weight, policy);
+                            ASSERT_EQ(got.index, ref.index)
+                                << "level=" << simd::levelName(l)
+                                << " dims=" << dims
+                                << " quarantine=" << quarantine
+                                << " zeroWeight=" << zeroWeight;
+                            // Bit-identical distance, not just close.
+                            ASSERT_EQ(got.distance, ref.distance)
+                                << "level=" << simd::levelName(l)
+                                << " dims=" << dims;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+TEST(SimdMatchEquivalence, SignatureMatchOverloadAgrees)
+{
+    LevelGuard guard;
+    Rng rng(std::uint64_t{0x1111});
+    SignatureTable table = buildTable(rng, 16, 16, false, false);
+    Signature probe(randomRow(rng, 16, 64), 6);
+    ASSERT_EQ(simd::forceLevel(simd::Level::Scalar),
+              simd::Level::Scalar);
+    auto ref = table.match(probe, MatchPolicy::BestMatch);
+    for (simd::Level l : availableLevels()) {
+        ASSERT_EQ(simd::forceLevel(l), l);
+        auto got = table.match(probe, MatchPolicy::BestMatch);
+        EXPECT_EQ(got.index, ref.index);
+        EXPECT_EQ(got.distance, ref.distance);
+    }
+}
+
+TEST(BatchedClassify, MatchesSequentialClassifyRaw)
+{
+    LevelGuard guard;
+    for (simd::Level l : availableLevels()) {
+        ASSERT_EQ(simd::forceLevel(l), l);
+        Rng rng(std::uint64_t{0x5150});
+        ClassifierConfig cfg = ClassifierConfig::paperDefault();
+        // Generate a phase-like snapshot stream.
+        std::vector<std::vector<std::uint32_t>> raws;
+        std::vector<InstCount> totals;
+        std::vector<double> cpis;
+        for (int i = 0; i < 600; ++i) {
+            std::vector<std::uint32_t> raw(cfg.numCounters);
+            unsigned shape = (i / 40) % 6;
+            InstCount total = 0;
+            for (unsigned c = 0; c < cfg.numCounters; ++c) {
+                raw[c] = ((c + shape) % 4 == 0)
+                             ? 500 + rng.nextBounded(80)
+                             : rng.nextBounded(30);
+                total += raw[c];
+            }
+            raws.push_back(std::move(raw));
+            totals.push_back(total * 12);
+            cpis.push_back(0.5 + rng.nextDouble());
+        }
+        PhaseClassifier sequential(cfg);
+        PhaseClassifier batched(cfg);
+        std::vector<ClassifyResult> want;
+        for (std::size_t i = 0; i < raws.size(); ++i)
+            want.push_back(sequential.classifyRaw(raws[i], totals[i],
+                                                  cpis[i]));
+        std::vector<RawInterval> views(raws.size());
+        for (std::size_t i = 0; i < raws.size(); ++i)
+            views[i] = {raws[i].data(), totals[i], cpis[i]};
+        std::vector<ClassifyResult> got(views.size());
+        batched.classifyIntervals(views.data(), views.size(),
+                                  got.data());
+        for (std::size_t i = 0; i < want.size(); ++i) {
+            ASSERT_EQ(got[i].phase, want[i].phase) << "interval " << i;
+            ASSERT_EQ(got[i].matched, want[i].matched);
+            ASSERT_EQ(got[i].inserted, want[i].inserted);
+            ASSERT_EQ(got[i].distance, want[i].distance);
+        }
+        // Final classifier state must be identical too.
+        StateWriter seqW, batW;
+        sequential.saveState(seqW);
+        batched.saveState(batW);
+        EXPECT_EQ(seqW.buffer(), batW.buffer())
+            << "level=" << simd::levelName(l);
+    }
+}
+
+TEST(LruEviction, MatchesReferenceMinLastUseScan)
+{
+    // Drive a capacity-4 table through a long insert/touch stream and
+    // mirror it with a reference model that picks victims by the old
+    // O(n) min-lastUse rescan; the inserted-key sequence per slot
+    // must stay identical.
+    Rng rng(std::uint64_t{0xfeed});
+    constexpr unsigned kCap = 4;
+    constexpr unsigned kDims = 16;
+    SignatureTable table(kCap, 6);
+    std::vector<std::uint64_t> refLastUse; // reference model
+    std::vector<unsigned> refKey;
+    std::vector<unsigned> tableKey; // key stored per live slot
+    std::uint64_t tick = 0;
+    for (int step = 0; step < 4000; ++step) {
+        if (!refKey.empty() && rng.nextBool(0.5)) {
+            // Touch (or replace+touch) a random live entry, exactly
+            // as the classifier's matched path does.
+            std::uint32_t idx = rng.nextBounded(
+                static_cast<std::uint32_t>(refKey.size()));
+            auto row = randomRow(rng, kDims, 64);
+            table.replaceSignature(idx, row.data(), kDims, 100);
+            table.touch(idx);
+            refLastUse[idx] = ++tick;
+        } else {
+            unsigned key = static_cast<unsigned>(step);
+            auto row = randomRow(rng, kDims, 64);
+            std::uint32_t idx = table.insert(row.data(), kDims, 100,
+                                             0.25, 6);
+            std::uint32_t refIdx;
+            if (refKey.size() < kCap) {
+                refKey.push_back(0);
+                refLastUse.push_back(0);
+                tableKey.push_back(0);
+                refIdx = static_cast<std::uint32_t>(
+                    refKey.size() - 1);
+            } else {
+                // The replaced reference victim: O(n) min rescan.
+                refIdx = 0;
+                for (std::uint32_t i = 1; i < refLastUse.size(); ++i)
+                    if (refLastUse[i] < refLastUse[refIdx])
+                        refIdx = i;
+            }
+            ASSERT_EQ(idx, refIdx) << "step " << step;
+            refKey[refIdx] = key;
+            refLastUse[refIdx] = ++tick;
+            tableKey[idx] = key;
+        }
+    }
+    EXPECT_EQ(table.size(), kCap);
+}
+
+TEST(LruEviction, SurvivesSaveLoadRoundTrip)
+{
+    Rng rng(std::uint64_t{0xcafe});
+    constexpr unsigned kCap = 8;
+    constexpr unsigned kDims = 16;
+    SignatureTable table(kCap, 6);
+    for (unsigned i = 0; i < kCap; ++i) {
+        auto row = randomRow(rng, kDims, 64);
+        table.insert(row.data(), kDims, 50 + i, 0.25, 6);
+    }
+    // Shuffle recency.
+    for (int i = 0; i < 50; ++i)
+        table.touch(rng.nextBounded(kCap));
+
+    StateWriter saved;
+    table.saveState(saved);
+    SignatureTable loaded(kCap, 6);
+    {
+        StateReader r(saved.buffer());
+        loaded.loadState(r);
+    }
+    // The reload must preserve the eviction order: insert kCap new
+    // rows into both tables and require identical victim slots.
+    for (unsigned i = 0; i < kCap; ++i) {
+        auto row = randomRow(rng, kDims, 64);
+        std::uint32_t a = table.insert(row.data(), kDims, 10, 0.25, 6);
+        std::uint32_t b = loaded.insert(row.data(), kDims, 10, 0.25,
+                                        6);
+        ASSERT_EQ(a, b) << "insert " << i;
+    }
+    // And the state streams must still agree byte for byte.
+    StateWriter wA, wB;
+    table.saveState(wA);
+    loaded.saveState(wB);
+    EXPECT_EQ(wA.buffer(), wB.buffer());
+}
+
+TEST(TableShards, TenantsMapStablyAndShardsAreIndependent)
+{
+    SignatureTableShards shards(4, 32, 6);
+    EXPECT_EQ(shards.numShards(), 4u);
+    // Stable mapping.
+    for (std::uint64_t t : {1ull, 42ull, 0xdeadbeefull}) {
+        unsigned s = shards.shardOf(t);
+        EXPECT_EQ(shards.shardOf(t), s);
+        EXPECT_LT(s, 4u);
+        EXPECT_EQ(&shards.tableFor(t), &shards.shard(s));
+    }
+    // Inserting into one tenant's shard is invisible to a tenant on
+    // a different shard.
+    std::uint64_t a = 1;
+    std::uint64_t b = 2;
+    while (shards.shardOf(b) == shards.shardOf(a))
+        ++b;
+    Rng rng(std::uint64_t{0x5eed});
+    auto row = randomRow(rng, 16, 64);
+    shards.tableFor(a).insert(row.data(), 16, 100, 0.25, 6);
+    EXPECT_EQ(shards.tableFor(a).size(), 1u);
+    EXPECT_EQ(shards.tableFor(b).size(), 0u);
+    EXPECT_EQ(shards.size(), 1u);
+    // The other tenant's matches can never see tenant a's signature.
+    std::uint32_t weight = 0;
+    for (std::uint8_t v : row)
+        weight += v;
+    auto m = shards.tableFor(b).match(row.data(), 16, weight,
+                                      MatchPolicy::BestMatch);
+    EXPECT_FALSE(m);
+    auto hit = shards.tableFor(a).match(row.data(), 16, weight,
+                                        MatchPolicy::BestMatch);
+    EXPECT_TRUE(hit);
+
+    shards.clear();
+    EXPECT_EQ(shards.size(), 0u);
+}
+
+TEST(TableShards, SaveLoadRoundTripsEveryShard)
+{
+    Rng rng(std::uint64_t{0x404});
+    SignatureTableShards shards(3, 8, 6);
+    for (std::uint64_t t = 0; t < 24; ++t) {
+        auto row = randomRow(rng, 16, 64);
+        shards.tableFor(t).insert(row.data(), 16, 100, 0.25, 6);
+    }
+    StateWriter saved;
+    shards.saveState(saved);
+    SignatureTableShards loaded(3, 8, 6);
+    {
+        StateReader r(saved.buffer());
+        loaded.loadState(r);
+    }
+    EXPECT_EQ(loaded.size(), shards.size());
+    StateWriter saved2;
+    loaded.saveState(saved2);
+    EXPECT_EQ(saved2.buffer(), saved.buffer());
+}

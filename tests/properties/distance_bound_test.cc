@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Property test pinning detail::distanceBound() as the *exact*
+ * minimal integer D with (double)D / denom >= cutoff — the "at most
+ * one correction step" claim the match scan's early exit (and the
+ * SIMD chunked early exit built on top of it) depends on. Sweeps
+ * randomized (cutoff, denom) pairs including denormal-adjacent
+ * cutoffs and products that round both ways in double.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cfloat>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "common/rng.hh"
+#include "phase/signature_table.hh"
+
+using namespace tpcp;
+using tpcp::phase::detail::distanceBound;
+
+namespace
+{
+
+/** The defining property: D is feasible, D-1 is not. */
+void
+expectMinimal(double cutoff, std::uint64_t denom)
+{
+    const std::uint64_t d = distanceBound(cutoff, denom);
+    const double dd = static_cast<double>(denom);
+    EXPECT_GE(static_cast<double>(d) / dd, cutoff)
+        << "cutoff=" << cutoff << " denom=" << denom << " D=" << d;
+    if (d > 0) {
+        EXPECT_LT(static_cast<double>(d - 1) / dd, cutoff)
+            << "cutoff=" << cutoff << " denom=" << denom
+            << " D=" << d;
+    }
+}
+
+} // namespace
+
+TEST(DistanceBoundProperty, KnownValues)
+{
+    // 0.25 * 8 = 2 exactly: D = 2.
+    EXPECT_EQ(distanceBound(0.25, 8), 2u);
+    // 0.25 * 10 = 2.5: smallest integer with D/10 >= 0.25 is 3.
+    EXPECT_EQ(distanceBound(0.25, 10), 3u);
+    // Non-positive cutoffs need no distance at all.
+    EXPECT_EQ(distanceBound(0.0, 100), 0u);
+    EXPECT_EQ(distanceBound(-1.0, 100), 0u);
+    // A cutoff of 1 (maximum meaningful difference) needs the full
+    // denominator.
+    EXPECT_EQ(distanceBound(1.0, 123456), 123456u);
+}
+
+TEST(DistanceBoundProperty, RandomizedCutoffsAndDenoms)
+{
+    Rng rng(std::uint64_t{0xb0b});
+    for (int round = 0; round < 200000; ++round) {
+        // Denominators from tiny tables up to far beyond any real
+        // signature weight sum (weights are <= 255 * dims).
+        std::uint64_t denom =
+            1 + (rng.next64() >> (rng.nextBounded(50) + 14));
+        double cutoff = rng.nextDouble(); // [0, 1)
+        expectMinimal(cutoff, denom);
+    }
+}
+
+TEST(DistanceBoundProperty, ExactAndNearExactProducts)
+{
+    // cutoff = k / denom makes cutoff * denom round to (nearly)
+    // exactly k; these are the cases where a naive ceil is off by
+    // one in either direction.
+    Rng rng(std::uint64_t{0x1dea});
+    for (int round = 0; round < 100000; ++round) {
+        std::uint64_t denom = 1 + rng.nextBounded(1u << 20);
+        std::uint64_t k = rng.nextBounded(
+            static_cast<std::uint32_t>(
+                denom > (1u << 20) ? (1u << 20) : denom) +
+            1);
+        double cutoff =
+            static_cast<double>(k) / static_cast<double>(denom);
+        expectMinimal(cutoff, denom);
+        // Nudge one ulp in both directions to land just above/below
+        // the representable quotient.
+        expectMinimal(
+            std::nextafter(cutoff,
+                           std::numeric_limits<double>::infinity()),
+            denom);
+        expectMinimal(std::nextafter(cutoff, -1.0), denom);
+    }
+}
+
+TEST(DistanceBoundProperty, DenormalAdjacentCutoffs)
+{
+    const double denorm_min =
+        std::numeric_limits<double>::denorm_min();
+    for (std::uint64_t denom :
+         {std::uint64_t{1}, std::uint64_t{7}, std::uint64_t{4080},
+          std::uint64_t{1} << 40}) {
+        // Any positive cutoff, however small, requires distance 1:
+        // D = 0 gives 0.0 / denom = 0.0 < cutoff.
+        expectMinimal(denorm_min, denom);
+        EXPECT_EQ(distanceBound(denorm_min, denom), 1u);
+        expectMinimal(DBL_MIN, denom);
+        expectMinimal(std::nextafter(DBL_MIN, 1.0), denom);
+        expectMinimal(DBL_EPSILON, denom);
+        // Just below 1.0 and exactly 1.0.
+        expectMinimal(std::nextafter(1.0, 0.0), denom);
+        expectMinimal(1.0, denom);
+    }
+}
+
+TEST(DistanceBoundProperty, HugeDenomsStayMinimal)
+{
+    // Products large enough that consecutive integers are no longer
+    // exactly representable in double: minimality must be stated in
+    // terms of the double division, which distanceBound guarantees.
+    Rng rng(std::uint64_t{0xb16});
+    for (int round = 0; round < 20000; ++round) {
+        std::uint64_t denom = (std::uint64_t{1} << 53) +
+                              (rng.next64() >> 11);
+        expectMinimal(rng.nextDouble(), denom);
+    }
+}

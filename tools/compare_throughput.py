@@ -15,6 +15,12 @@ is a shared 1-core container, so this check is a tripwire for large
 regressions (an accidental O(n^2), a lost optimization), not a gate
 on run-to-run noise. By default regressions are reported as warnings
 and the exit code stays 0; pass --strict to exit 1 instead.
+
+A benchmark whose unit differs between baseline and current measures
+different work (e.g. classify_loop switching from online intervals to
+batched replayed-intervals): the ratio would be apples-to-oranges, so
+a unit mismatch is always a hard error (exit 1 even without
+--strict) telling you to refresh the baseline.
 """
 
 import argparse
@@ -42,6 +48,7 @@ def main():
     cur = load(args.current)
 
     regressions = []
+    unit_mismatches = []
     print(f"{'benchmark':<14} {'config':<14} {'baseline':>14} "
           f"{'current':>14} {'ratio':>7}")
     for key in sorted(base):
@@ -51,6 +58,16 @@ def main():
         if c_entry is None:
             regressions.append((name, config, "missing from current"))
             print(f"{name:<14} {config:<14} {b:>14,} {'MISSING':>14}")
+            continue
+        b_unit = base[key].get("unit")
+        c_unit = c_entry.get("unit")
+        if b_unit != c_unit:
+            unit_mismatches.append(
+                (name, config,
+                 f"baseline counts '{b_unit}', current counts "
+                 f"'{c_unit}'"))
+            print(f"{name:<14} {config:<14} {b:>14,} "
+                  f"{'UNIT MISMATCH':>14}")
             continue
         c = c_entry["items_per_sec"]
         ratio = c / b if b else float("inf")
@@ -65,6 +82,15 @@ def main():
               f"{ratio:>6.2f}x{flag}")
     for key in sorted(set(cur) - set(base)):
         print(f"{key[0]:<14} {key[1]:<14} {'(new, no baseline)':>29}")
+
+    if unit_mismatches:
+        print(f"\nerror: {len(unit_mismatches)} benchmark(s) change "
+              f"unit between baseline and current — the throughput "
+              f"ratio would compare different work. Refresh the "
+              f"baseline for:", file=sys.stderr)
+        for name, config, detail in unit_mismatches:
+            print(f"  {name} [{config}]: {detail}", file=sys.stderr)
+        return 1
 
     if regressions:
         print(f"\n{len(regressions)} benchmark(s) slower than "
