@@ -31,6 +31,9 @@
 #include "phase/signature.hh"
 #include "phase/signature_table.hh"
 #include "pred/change_predictor.hh"
+#include "serve/producer.hh"
+#include "serve/ring_buffer.hh"
+#include "serve/tenant_registry.hh"
 
 using namespace tpcp;
 
@@ -312,6 +315,43 @@ benchClassifyOnline(double min_time, int repeats)
     return {"classify_online", "paper_default", "intervals", rate};
 }
 
+/**
+ * Streaming-service ingest: the full per-packet consumer path —
+ * ring transfer, frame decode and validation, tenant lookup and
+ * raw-counter classification — on pre-accumulated interval packets,
+ * cycling round-robin over the resident tenants.
+ */
+BenchResult
+benchServeIngest(unsigned tenants, double min_time, int repeats)
+{
+    serve::RegistryConfig rc;
+    rc.maxResident = tenants;
+    serve::TenantRegistry registry(rc);
+    serve::SpscRing ring(1u << 20);
+    const serve::EncodedStream stream = serve::encodeSyntheticStream(
+        7, 512, rc.tracker.classifier.numCounters);
+    std::vector<std::uint64_t> seq(tenants, 0);
+    std::vector<std::uint8_t> frame, popped;
+    serve::IntervalPacket pkt;
+    std::size_t i = 0;
+    unsigned t = 0;
+    double rate = measure(
+        [&] {
+            frame = stream[i++ & 511];
+            serve::restampPacket(frame.data(), t, seq[t]++);
+            ring.tryPush(frame.data(),
+                         static_cast<std::uint32_t>(frame.size()));
+            ring.tryPop(popped);
+            serve::decodePacket(popped.data(), popped.size(), pkt);
+            g_sink += registry.deliver(pkt);
+            if (++t == tenants)
+                t = 0;
+        },
+        1, min_time, repeats);
+    return {"serve_ingest", "tenants=" + std::to_string(tenants),
+            "packets", rate};
+}
+
 /** Markov change-predictor update rate. */
 BenchResult
 benchChangePredictor(double min_time, int repeats)
@@ -395,6 +435,8 @@ main(int argc, char **argv)
     results.push_back(benchClassifyLoop(min_time, repeats));
     results.push_back(benchClassifyOnline(min_time, repeats));
     results.push_back(benchChangePredictor(min_time, repeats));
+    for (unsigned t : {1u, 4u, 16u})
+        results.push_back(benchServeIngest(t, min_time, repeats));
 
     std::printf("%-14s %-14s %15s  %s\n", "benchmark", "config",
                 "items/sec", "unit");

@@ -20,6 +20,23 @@ PhaseClassifier::PhaseClassifier(const ClassifierConfig &config)
                 "similarity threshold must be in (0, 1]");
 }
 
+PhaseClassifier::PhaseClassifier(const ClassifierConfig &config,
+                                 SignatureTable *external_table)
+    // The owned table stays an empty shell: capacity 1, no parity
+    // tracking, never inserted into.
+    : cfg(config), accum(config.numCounters, config.counterBits),
+      sigTable(1, config.minCounterBits, false),
+      extTable(external_table), scratch(config.numCounters, 0)
+{
+    tpcp_assert(cfg.similarityThreshold > 0.0 &&
+                cfg.similarityThreshold <= 1.0,
+                "similarity threshold must be in (0, 1]");
+    tpcp_assert(external_table != nullptr,
+                "external-table construction needs a table");
+    tpcp_assert(external_table->capacity() == cfg.tableEntries,
+                "external table capacity mismatches the config");
+}
+
 void
 PhaseClassifier::recordBranch(Addr pc, InstCount insts)
 {
@@ -49,6 +66,15 @@ PhaseClassifier::classifyRaw(const std::vector<std::uint32_t> &raw,
     tpcp_assert(raw.size() == cfg.numCounters,
                 "accumulator snapshot has wrong dimensionality");
     return classifyOne(raw.data(), total, cpi);
+}
+
+ClassifyResult
+PhaseClassifier::classifyRaw(const std::uint32_t *raw, std::size_t n,
+                             InstCount total, double cpi)
+{
+    tpcp_assert(n == cfg.numCounters,
+                "accumulator snapshot has wrong dimensionality");
+    return classifyOne(raw, total, cpi);
 }
 
 void
@@ -81,7 +107,7 @@ PhaseClassifier::classifyOne(const std::uint32_t *raw,
 
     if (cfg.parityProtect && cfg.scrubEvery != 0 &&
         stats_.intervals % cfg.scrubEvery == 0)
-        stats_.quarantines += sigTable.scrubParity();
+        stats_.quarantines += tbl().scrubParity();
 
     // Compress into the reusable scratch row: the hot path allocates
     // nothing and the table works on raw signature bytes.
@@ -89,15 +115,15 @@ PhaseClassifier::classifyOne(const std::uint32_t *raw,
         raw, cfg.numCounters, total, cfg.bitsPerDim, cfg.bitSelection,
         cfg.staticShift, scratch.data());
 
-    SignatureTable::MatchResult m = sigTable.match(
+    SignatureTable::MatchResult m = tbl().match(
         scratch.data(), scratch.size(), weight, cfg.matchPolicy);
-    while (m && cfg.parityProtect && !sigTable.checkParityAt(m.index)) {
+    while (m && cfg.parityProtect && !tbl().checkParityAt(m.index)) {
         // Read-detected parity failure: the match was computed over
         // corrupt signature bytes, so it cannot be trusted. The entry
         // is now quarantined (match() skips it); rematch against the
         // remaining clean entries.
         ++stats_.quarantines;
-        m = sigTable.match(scratch.data(), scratch.size(), weight,
+        m = tbl().match(scratch.data(), scratch.size(), weight,
                            cfg.matchPolicy);
     }
     bool repaired = false;
@@ -116,13 +142,13 @@ PhaseClassifier::classifyOne(const std::uint32_t *raw,
         // sequence — and therefore every future phase-ID allocation —
         // in lockstep with a fault-free run.
         if (!m) // misses are rare: a demand scrub is affordable
-            stats_.quarantines += sigTable.scrubParity();
-        if (sigTable.numQuarantined() != 0) {
-            SignatureTable::MatchResult q = sigTable.matchQuarantined(
+            stats_.quarantines += tbl().scrubParity();
+        if (tbl().numQuarantined() != 0) {
+            SignatureTable::MatchResult q = tbl().matchQuarantined(
                 scratch.data(), scratch.size(), weight,
                 cfg.repairSlack);
             if (q && (!m || q.distance < m.distance)) {
-                sigTable.repairEntry(q.index, scratch.data(),
+                tbl().repairEntry(q.index, scratch.data(),
                                      scratch.size(), weight);
                 repaired = true;
                 ++stats_.repairs;
@@ -131,7 +157,7 @@ PhaseClassifier::classifyOne(const std::uint32_t *raw,
         }
     }
     if (m) {
-        SigEntryMeta &meta = sigTable.meta(m.index);
+        SigEntryMeta &meta = tbl().meta(m.index);
         res.matched = !repaired;
         res.repaired = repaired;
         res.distance = m.distance;
@@ -140,9 +166,9 @@ PhaseClassifier::classifyOne(const std::uint32_t *raw,
             // so the entry tracks the phase's most recent code
             // profile. (A repair already rewrote the row, bumping the
             // LRU tick exactly once like touch() does.)
-            sigTable.replaceSignature(m.index, scratch.data(),
+            tbl().replaceSignature(m.index, scratch.data(),
                                       scratch.size(), weight);
-            sigTable.touch(m.index);
+            tbl().touch(m.index);
         }
         meta.minCounter.increment();
 
@@ -162,10 +188,10 @@ PhaseClassifier::classifyOne(const std::uint32_t *raw,
             double avg = meta.cpi.mean();
             if (avg > 0.0 &&
                 std::abs(cpi - avg) / avg > cfg.cpiDeviationThreshold) {
-                sigTable.setThreshold(
+                tbl().setThreshold(
                     m.index,
                     std::max(cfg.thresholdFloor,
-                             sigTable.threshold(m.index) / 2.0));
+                             tbl().threshold(m.index) / 2.0));
                 meta.cpi.clear();
                 res.thresholdHalved = true;
                 ++stats_.thresholdHalvings;
@@ -174,13 +200,13 @@ PhaseClassifier::classifyOne(const std::uint32_t *raw,
         if (cpiOk)
             meta.cpi.push(cpi);
     } else {
-        std::uint32_t idx = sigTable.insert(
+        std::uint32_t idx = tbl().insert(
             scratch.data(), scratch.size(), weight,
             cfg.similarityThreshold, cfg.bitsPerDim);
-        SigEntryMeta &meta = sigTable.meta(idx);
+        SigEntryMeta &meta = tbl().meta(idx);
         res.inserted = true;
         ++stats_.insertions;
-        stats_.evictions = sigTable.evictions();
+        stats_.evictions = tbl().evictions();
         if (cfg.minCountThreshold == 0) {
             // No transition phase: every new signature immediately
             // represents a new phase (prior work [25]).
@@ -203,14 +229,14 @@ PhaseClassifier::classifyOne(const std::uint32_t *raw,
 void
 PhaseClassifier::flushPerformanceFeedback()
 {
-    sigTable.clearPerformanceStats();
+    tbl().clearPerformanceStats();
 }
 
 void
 PhaseClassifier::saveState(StateWriter &w) const
 {
     accum.saveState(w);
-    sigTable.saveState(w);
+    tbl().saveState(w);
     w.u32(nextPhase);
     w.u64(stats_.intervals);
     w.u64(stats_.transitionIntervals);
@@ -226,7 +252,7 @@ void
 PhaseClassifier::loadState(StateReader &r)
 {
     accum.loadState(r);
-    sigTable.loadState(r);
+    tbl().loadState(r);
     nextPhase = r.u32();
     if (nextPhase < firstStablePhaseId)
         nextPhase = firstStablePhaseId;

@@ -97,6 +97,19 @@ class PhaseClassifier
   public:
     explicit PhaseClassifier(const ClassifierConfig &config);
 
+    /**
+     * Constructs a classifier whose past-signature table lives
+     * outside the classifier — a shard of a SignatureTableShards in
+     * the streaming service, where per-tenant tables are partitioned
+     * across preallocated slots. @p external_table must match the
+     * geometry the classifier would build itself (capacity ==
+     * config.tableEntries, min-counter width == config.minCounterBits)
+     * and must outlive the classifier; classification results are
+     * identical to an owning classifier with the same config.
+     */
+    PhaseClassifier(const ClassifierConfig &config,
+                    SignatureTable *external_table);
+
     /** Online use: records one committed branch. */
     void recordBranch(Addr pc, InstCount insts);
 
@@ -114,6 +127,12 @@ class PhaseClassifier
      * accumulator snapshot. @p raw must have numCounters entries.
      */
     ClassifyResult classifyRaw(const std::vector<std::uint32_t> &raw,
+                               InstCount total, double cpi);
+
+    /** Pointer variant of classifyRaw() for callers that decode
+     * intervals out of packet buffers: @p raw points at @p n counter
+     * values, which must equal numCounters. */
+    ClassifyResult classifyRaw(const std::uint32_t *raw, std::size_t n,
                                InstCount total, double cpi);
 
     /**
@@ -139,12 +158,12 @@ class PhaseClassifier
     std::uint32_t numStablePhases() const { return nextPhase - 1; }
 
     const ClassifierConfig &config() const { return cfg; }
-    const SignatureTable &table() const { return sigTable; }
+    const SignatureTable &table() const { return tbl(); }
     const ClassifierStats &stats() const { return stats_; }
 
     /** Mutable table access for the fault injector: soft errors are
      * injected directly into live table state. */
-    SignatureTable &mutableTable() { return sigTable; }
+    SignatureTable &mutableTable() { return tbl(); }
 
     /** Mutable accumulator access for the fault injector. */
     AccumulatorTable &mutableAccumulator() { return accum; }
@@ -160,9 +179,29 @@ class PhaseClassifier
     ClassifyResult classifyOne(const std::uint32_t *raw,
                                InstCount total, double cpi);
 
+    /** The past-signature table in use: the owned one, or the
+     * external shard the classifier was constructed over. Stored as
+     * a flag + pointer (not a pointer into ourselves) so the
+     * compiler-generated copy/move of an owning classifier stays
+     * correct. */
+    SignatureTable &
+    tbl()
+    {
+        return extTable ? *extTable : sigTable;
+    }
+
+    const SignatureTable &
+    tbl() const
+    {
+        return extTable ? *extTable : sigTable;
+    }
+
     ClassifierConfig cfg;
     AccumulatorTable accum;
+    /** Owned table (empty, capacity-0 shell when extTable is set). */
     SignatureTable sigTable;
+    /** Borrowed table; nullptr for the owning construction. */
+    SignatureTable *extTable = nullptr;
     /** Reusable compressed-signature row (hot path, no allocation). */
     std::vector<std::uint8_t> scratch;
     PhaseId nextPhase = firstStablePhaseId;

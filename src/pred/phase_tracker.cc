@@ -14,6 +14,16 @@ PhaseTracker::PhaseTracker(const PhaseTrackerConfig &config)
 {
 }
 
+PhaseTracker::PhaseTracker(const PhaseTrackerConfig &config,
+                           phase::SignatureTable *external_table)
+    : classifier_(config.classifier, external_table),
+      nextPhase(std::make_unique<ChangePredictor>(
+                    config.changeTable),
+                config.lastValue),
+      lengthPred(config.length)
+{
+}
+
 void
 PhaseTracker::onBranch(Addr pc, InstCount insts_since_last_branch)
 {
@@ -31,6 +41,14 @@ PhaseTracker::onIntervalRaw(const std::vector<std::uint32_t> &raw,
                             InstCount total, double cpi)
 {
     return finishInterval(classifier_.classifyRaw(raw, total, cpi));
+}
+
+PhaseTrackerOutput
+PhaseTracker::onIntervalRaw(const std::uint32_t *raw, std::size_t n,
+                            InstCount total, double cpi)
+{
+    return finishInterval(
+        classifier_.classifyRaw(raw, n, total, cpi));
 }
 
 PhaseTrackerOutput

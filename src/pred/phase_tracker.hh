@@ -67,6 +67,16 @@ class PhaseTracker
   public:
     explicit PhaseTracker(const PhaseTrackerConfig &config = {});
 
+    /**
+     * Constructs a tracker whose classifier uses an external
+     * past-signature table (a SignatureTableShards slot in the
+     * streaming service). The table must match the classifier
+     * config's geometry and outlive the tracker; outputs are
+     * identical to a tracker owning its table.
+     */
+    PhaseTracker(const PhaseTrackerConfig &config,
+                 phase::SignatureTable *external_table);
+
     /** Commit-path tap: one committed branch. */
     void onBranch(Addr pc, InstCount insts_since_last_branch);
 
@@ -88,6 +98,13 @@ class PhaseTracker
     PhaseTrackerOutput onIntervalRaw(
         const std::vector<std::uint32_t> &raw, InstCount total,
         double cpi);
+
+    /** Pointer variant of onIntervalRaw() for the streaming-service
+     * hot path, which decodes intervals out of packet buffers:
+     * @p raw points at @p n counter values (== numCounters). */
+    PhaseTrackerOutput onIntervalRaw(const std::uint32_t *raw,
+                                     std::size_t n, InstCount total,
+                                     double cpi);
 
     /**
      * Notifies the unit that a reconfiguration affecting CPI was

@@ -1,0 +1,302 @@
+#include "serve/service.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+
+#include "common/status.hh"
+#include "serve/packet.hh"
+
+namespace tpcp::serve
+{
+
+ServiceLoop::ServiceLoop(const ServeOptions &options)
+    : opts(options), pool_(options.jobs)
+{
+    tpcp_assert(opts.producers >= 1,
+                "service needs at least one producer ring");
+    tpcp_assert(opts.drainBatch >= 1,
+                "drain batch must be at least one frame");
+    parts_.reserve(opts.producers);
+    for (unsigned i = 0; i < opts.producers; ++i)
+        parts_.push_back(std::make_unique<Partition>(opts.ringBytes,
+                                                     opts.registry));
+}
+
+SpscRing &
+ServiceLoop::ring(unsigned i)
+{
+    tpcp_assert(i < parts_.size(), "producer index out of range");
+    return parts_[i]->ring;
+}
+
+void
+ServiceLoop::producerDone(unsigned i)
+{
+    tpcp_assert(i < parts_.size(), "producer index out of range");
+    parts_[i]->done.store(true, std::memory_order_release);
+}
+
+unsigned
+ServiceLoop::numPartitions() const
+{
+    return static_cast<unsigned>(parts_.size());
+}
+
+const TenantRegistry &
+ServiceLoop::registry(unsigned i) const
+{
+    tpcp_assert(i < parts_.size(), "partition index out of range");
+    return parts_[i]->registry;
+}
+
+void
+ServiceLoop::drainOne(Partition &p)
+{
+    p.drained = 0;
+    for (std::size_t n = 0; n < opts.drainBatch; ++n) {
+        try {
+            if (!p.ring.tryPop(p.frame))
+                break;
+        } catch (const Error &) {
+            // Corrupt framing desynchronizes the ring; count it and
+            // give up on this cycle rather than spin on garbage.
+            ++p.malformed;
+            break;
+        }
+        ++p.drained;
+        try {
+            decodePacket(p.frame.data(), p.frame.size(), p.pkt);
+        } catch (const Error &) {
+            ++p.malformed;
+            continue;
+        }
+        try {
+            p.registry.deliver(p.pkt);
+        } catch (const Error &) {
+            // Duplicate/reordered sequence, a full registry with no
+            // checkpoint directory, or a failed resume: the packet
+            // is rejected, the service keeps running.
+            ++p.rejected;
+        }
+    }
+    p.registry.evictIdle();
+}
+
+void
+ServiceLoop::run()
+{
+    while (true) {
+        for (auto &part : parts_) {
+            Partition *p = part.get();
+            pool_.submit([this, p] { drainOne(*p); });
+        }
+        pool_.wait();
+        ++drainCycles_;
+
+        std::size_t drained = 0;
+        bool finished = true;
+        for (auto &part : parts_) {
+            drained += part->drained;
+            // Order matters: only if the producer was already done
+            // *before* we observed its ring empty can no further
+            // frame arrive (done is set after the final push).
+            if (!part->done.load(std::memory_order_acquire) ||
+                !part->ring.empty())
+                finished = false;
+        }
+        if (finished && drained == 0)
+            break;
+        if (drained == 0) {
+            // Rings empty but producers still running: yield the
+            // core so they can make progress (CI runs single-core).
+            std::this_thread::yield();
+        }
+    }
+}
+
+ServeCounters
+ServiceLoop::counters() const
+{
+    ServeCounters c;
+    for (const auto &part : parts_) {
+        const RegistryCounters &rc = part->registry.counters();
+        c.packets += rc.packets;
+        c.tenants += part->registry.numTenants();
+        c.evictions += rc.evictions;
+        c.resumes += rc.resumes;
+        c.phaseSwitches += rc.phaseSwitches;
+        c.duplicateSeq += rc.duplicateSeq;
+        c.seqGaps += rc.seqGaps;
+        c.lostUpstream += rc.lostUpstream;
+        c.malformedPackets += part->malformed;
+        c.rejectedPackets += part->rejected;
+    }
+    c.drainCycles = drainCycles_;
+    return c;
+}
+
+std::vector<std::uint64_t>
+ServiceLoop::allTenantIds() const
+{
+    std::vector<std::uint64_t> ids;
+    for (const auto &part : parts_) {
+        std::vector<std::uint64_t> pids = part->registry.tenantIds();
+        ids.insert(ids.end(), pids.begin(), pids.end());
+    }
+    std::sort(ids.begin(), ids.end());
+    return ids;
+}
+
+const TenantRegistry *
+ServiceLoop::findTenant(std::uint64_t tenant) const
+{
+    for (const auto &part : parts_)
+        if (part->registry.hasTenant(tenant))
+            return &part->registry;
+    return nullptr;
+}
+
+const TenantCounters &
+ServiceLoop::tenantCounters(std::uint64_t tenant) const
+{
+    const TenantRegistry *r = findTenant(tenant);
+    if (r == nullptr)
+        tpcp_raise("unknown tenant ", tenant);
+    return r->tenantCounters(tenant);
+}
+
+const std::vector<PhaseId> &
+ServiceLoop::phaseStream(std::uint64_t tenant) const
+{
+    const TenantRegistry *r = findTenant(tenant);
+    if (r == nullptr)
+        tpcp_raise("unknown tenant ", tenant);
+    return r->phaseStream(tenant);
+}
+
+void
+ServiceLoop::writePhaseStreams(const std::string &dir) const
+{
+    std::filesystem::create_directories(dir);
+    for (std::uint64_t id : allTenantIds()) {
+        const std::string path =
+            dir + "/tenant_" + std::to_string(id) + ".phases";
+        std::ofstream out(path);
+        if (!out)
+            tpcp_raise("cannot write phase stream ", path);
+        for (PhaseId p : phaseStream(id))
+            out << p << '\n';
+    }
+}
+
+namespace
+{
+
+void
+appendField(std::string &out, const char *key, std::uint64_t value,
+            bool last = false)
+{
+    out += '"';
+    out += key;
+    out += "\": ";
+    out += std::to_string(value);
+    if (!last)
+        out += ", ";
+}
+
+void
+appendField(std::string &out, const char *key, double value,
+            bool last = false)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+    out += '"';
+    out += key;
+    out += "\": ";
+    out += buf;
+    if (!last)
+        out += ", ";
+}
+
+} // namespace
+
+std::string
+toJson(const ServeReport &r)
+{
+    std::string out = "{\n  ";
+    appendField(out, "tenants", std::uint64_t{r.tenants});
+    appendField(out, "producers", std::uint64_t{r.producers});
+    appendField(out, "jobs", std::uint64_t{r.jobs});
+    appendField(out, "packets_produced", r.packetsProduced);
+    appendField(out, "packets_dropped", r.packetsDropped);
+    appendField(out, "park_events", r.parkEvents);
+    out += "\n  ";
+    appendField(out, "packets_delivered", r.service.packets);
+    appendField(out, "malformed_packets",
+                r.service.malformedPackets);
+    appendField(out, "rejected_packets", r.service.rejectedPackets);
+    appendField(out, "service_tenants", r.service.tenants);
+    appendField(out, "evictions", r.service.evictions);
+    appendField(out, "resumes", r.service.resumes);
+    appendField(out, "phase_switches", r.service.phaseSwitches);
+    appendField(out, "duplicate_seq", r.service.duplicateSeq);
+    appendField(out, "seq_gaps", r.service.seqGaps);
+    appendField(out, "lost_upstream", r.service.lostUpstream);
+    appendField(out, "drain_cycles", r.service.drainCycles);
+    out += "\n  ";
+    appendField(out, "elapsed_sec", r.elapsedSec);
+    appendField(out, "packets_per_sec", r.packetsPerSec);
+    out += "\"per_tenant\": [";
+    for (std::size_t i = 0; i < r.perTenant.size(); ++i) {
+        const ServeTenantReport &t = r.perTenant[i];
+        out += "\n    {";
+        appendField(out, "tenant", t.tenant);
+        appendField(out, "packets", t.c.packets);
+        appendField(out, "phase_switches", t.c.phaseSwitches);
+        appendField(out, "evictions", t.c.evictions);
+        appendField(out, "resumes", t.c.resumes);
+        appendField(out, "duplicate_seq", t.c.duplicateSeq);
+        appendField(out, "lost_upstream", t.c.lostUpstream, true);
+        out += '}';
+        if (i + 1 < r.perTenant.size())
+            out += ',';
+    }
+    if (!r.perTenant.empty())
+        out += "\n  ";
+    out += "]\n}\n";
+    return out;
+}
+
+std::vector<PhaseId>
+batchPhaseStream(const EncodedStream &stream,
+                 const pred::PhaseTrackerConfig &cfg)
+{
+    pred::PhaseTracker tracker(cfg);
+    IntervalPacket pkt;
+    std::vector<PhaseId> out;
+    out.reserve(stream.size());
+    for (const auto &frame : stream) {
+        decodePacket(frame.data(), frame.size(), pkt);
+        out.push_back(tracker
+                          .onIntervalRaw(pkt.counters.data(),
+                                         pkt.counters.size(),
+                                         pkt.total, pkt.cpi)
+                          .classification.phase);
+    }
+    return out;
+}
+
+bool
+writeJson(const std::string &path, const ServeReport &r)
+{
+    std::ofstream file(path);
+    if (!file)
+        return false;
+    file << toJson(r);
+    return file.good();
+}
+
+} // namespace tpcp::serve

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * The streaming multi-tenant phase service: N producer rings, each
+ * drained into its own TenantRegistry partition on the shared
+ * thread pool.
+ *
+ * Concurrency model. Each ring is strictly SPSC: one producer thread
+ * pushes, and in any drain cycle at most one pool task pops it. The
+ * service submits one drain task per ring, waits for the cycle, and
+ * repeats until every producer has signalled done and every ring is
+ * empty. Registries are confined to their ring's drain task, so no
+ * tenant state is ever touched from two threads — which is also why
+ * per-tenant phase-ID streams are byte-identical to the batch
+ * PhaseTracker path at any producer count.
+ *
+ * Error containment. Frame and packet validation failures, sequence
+ * violations, and resume failures raise recoverable tpcp::Error
+ * inside the drain task; the service counts them (malformedPackets /
+ * rejectedPackets) and keeps consuming. Nothing a producer can put
+ * in a ring crashes the service.
+ */
+
+#ifndef TPCP_SERVE_SERVICE_HH
+#define TPCP_SERVE_SERVICE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.hh"
+#include "serve/producer.hh"
+#include "serve/ring_buffer.hh"
+#include "serve/tenant_registry.hh"
+
+namespace tpcp::serve
+{
+
+/** Service configuration. */
+struct ServeOptions
+{
+    /** Per-partition registry configuration (each producer ring gets
+     * its own registry built from this). */
+    RegistryConfig registry;
+    /** Producer rings (= partitions). */
+    unsigned producers = 1;
+    /** Pool worker threads (0 = hardware concurrency). */
+    unsigned jobs = 0;
+    /** Capacity of each ring, bytes (rounded up to a power of two).
+     * Sized so a parked producer amortizes its wakeup over thousands
+     * of frames — small rings thrash the scheduler. */
+    std::size_t ringBytes = 1u << 20;
+    /** Frames popped from one ring per drain task, bounding how long
+     * a cycle can monopolize a worker. */
+    std::size_t drainBatch = 512;
+};
+
+/** Global service counters (aggregated over partitions). */
+struct ServeCounters
+{
+    std::uint64_t packets = 0;
+    std::uint64_t malformedPackets = 0;
+    std::uint64_t rejectedPackets = 0;
+    std::uint64_t tenants = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t resumes = 0;
+    std::uint64_t phaseSwitches = 0;
+    std::uint64_t duplicateSeq = 0;
+    std::uint64_t seqGaps = 0;
+    std::uint64_t lostUpstream = 0;
+    std::uint64_t drainCycles = 0;
+};
+
+/** One tenant's row in the service report. */
+struct ServeTenantReport
+{
+    std::uint64_t tenant = 0;
+    TenantCounters c;
+};
+
+/** Machine-readable run summary (tpcp serve --json). */
+struct ServeReport
+{
+    unsigned tenants = 0;
+    unsigned producers = 0;
+    unsigned jobs = 0;
+    std::uint64_t packetsProduced = 0;
+    std::uint64_t packetsDropped = 0;
+    std::uint64_t parkEvents = 0;
+    ServeCounters service;
+    double elapsedSec = 0.0;
+    double packetsPerSec = 0.0;
+    std::vector<ServeTenantReport> perTenant;
+};
+
+std::string toJson(const ServeReport &r);
+bool writeJson(const std::string &path, const ServeReport &r);
+
+/**
+ * The batch reference path: decodes @p stream and replays it through
+ * one fresh owned-table PhaseTracker, exactly as an offline `tpcp
+ * predict` run would. The service's per-tenant phase-ID streams must
+ * be byte-identical to this — including across evict/resume and at
+ * any producer count.
+ */
+std::vector<PhaseId>
+batchPhaseStream(const EncodedStream &stream,
+                 const pred::PhaseTrackerConfig &cfg);
+
+/** The service: owns the rings, the partitions and the pool. */
+class ServiceLoop
+{
+  public:
+    explicit ServiceLoop(const ServeOptions &options);
+
+    /** Ring for producer @p i to push into (one thread per ring). */
+    SpscRing &ring(unsigned i);
+
+    /** Marks producer @p i finished; run() returns once every
+     * producer is done and every ring drained. */
+    void producerDone(unsigned i);
+
+    /**
+     * Drains all rings to completion. Call after the producer
+     * threads are started (it blocks until they all signalled done).
+     */
+    void run();
+
+    unsigned numPartitions() const;
+    /** Pool worker threads actually running. */
+    unsigned numWorkers() const { return pool_.numThreads(); }
+    const TenantRegistry &registry(unsigned i) const;
+    ServeCounters counters() const;
+
+    /** All tenant ids across partitions, ascending. */
+    std::vector<std::uint64_t> allTenantIds() const;
+    /** Counters for @p tenant, wherever it lives. */
+    const TenantCounters &tenantCounters(std::uint64_t tenant) const;
+    /** Recorded phase stream for @p tenant (requires
+     * registry.recordPhases). */
+    const std::vector<PhaseId> &
+    phaseStream(std::uint64_t tenant) const;
+
+    /**
+     * Writes each tenant's recorded phase-ID stream as
+     * `<dir>/tenant_<id>.phases` (one decimal phase id per line) —
+     * the byte-level artifact CI diffs against the batch path.
+     */
+    void writePhaseStreams(const std::string &dir) const;
+
+  private:
+    /** One partition: a ring, its registry, and drain scratch. */
+    struct Partition
+    {
+        explicit Partition(std::size_t ring_bytes,
+                           const RegistryConfig &rc)
+            : ring(ring_bytes), registry(rc)
+        {
+        }
+
+        SpscRing ring;
+        TenantRegistry registry;
+        /** Producer-done flag (set by the producer thread). */
+        std::atomic<bool> done{false};
+        /** Frames drained in the current cycle (written only by this
+         * partition's drain task; read after pool.wait()). */
+        std::size_t drained = 0;
+        std::uint64_t malformed = 0;
+        std::uint64_t rejected = 0;
+        /** Decode scratch, reused across frames. */
+        std::vector<std::uint8_t> frame;
+        IntervalPacket pkt;
+    };
+
+    /** Pops up to drainBatch frames from partition @p p. */
+    void drainOne(Partition &p);
+
+    const TenantRegistry *findTenant(std::uint64_t tenant) const;
+
+    ServeOptions opts;
+    std::vector<std::unique_ptr<Partition>> parts_;
+    std::uint64_t drainCycles_ = 0;
+    ThreadPool pool_;
+};
+
+} // namespace tpcp::serve
+
+#endif // TPCP_SERVE_SERVICE_HH

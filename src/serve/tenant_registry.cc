@@ -1,0 +1,229 @@
+#include "serve/tenant_registry.hh"
+
+#include <algorithm>
+
+#include "common/state_io.hh"
+
+namespace tpcp::serve
+{
+
+TenantRegistry::TenantRegistry(const RegistryConfig &config)
+    : cfg(config),
+      shards_(config.maxResident,
+              config.tracker.classifier.tableEntries,
+              config.tracker.classifier.minCounterBits,
+              config.tracker.classifier.parityProtect)
+{
+    tpcp_assert(cfg.maxResident > 0,
+                "registry needs at least one resident slot");
+    freeSlots_.reserve(cfg.maxResident);
+    // Pop order never affects results (slots are interchangeable);
+    // hand them out in ascending order for readable debugging.
+    for (unsigned i = cfg.maxResident; i-- > 0;)
+        freeSlots_.push_back(i);
+}
+
+std::string
+TenantRegistry::checkpointPath(std::uint64_t tenant) const
+{
+    return cfg.checkpointDir + "/tenant_" + std::to_string(tenant) +
+           ".ckpt";
+}
+
+void
+TenantRegistry::evict(Tenant &t)
+{
+    StateWriter w;
+    w.u64(t.id);
+    t.tracker->saveState(w);
+    const std::string path = checkpointPath(t.id);
+    if (!writeStateFile(path, kTenantCheckpointMagic,
+                        kTenantCheckpointVersion, w))
+        tpcp_raise("cannot write tenant checkpoint ", path);
+    // Return the slot pristine: clear() fully resets the table
+    // (entries, LRU ticks, eviction counts), so the next tenant in
+    // this slot classifies exactly as if the slot were newly built.
+    shards_.shard(t.slot).clear();
+    freeSlots_.push_back(t.slot);
+    t.slot = kNoSlot;
+    t.tracker.reset();
+    --residentCount;
+    ++t.c.evictions;
+    ++counters_.evictions;
+}
+
+void
+TenantRegistry::evictOldest()
+{
+    Tenant *oldest = nullptr;
+    for (auto &kv : tenants_) {
+        Tenant &t = kv.second;
+        if (t.slot == kNoSlot)
+            continue;
+        if (!oldest || t.lastActive < oldest->lastActive ||
+            (t.lastActive == oldest->lastActive && t.id < oldest->id))
+            oldest = &t;
+    }
+    tpcp_assert(oldest != nullptr,
+                "no resident tenant to evict from a full registry");
+    if (cfg.checkpointDir.empty())
+        tpcp_raise("registry is full (", cfg.maxResident,
+                   " resident tenants) and has no checkpoint "
+                   "directory to evict into");
+    evict(*oldest);
+}
+
+void
+TenantRegistry::activate(Tenant &t)
+{
+    if (freeSlots_.empty())
+        evictOldest();
+    const unsigned slot = freeSlots_.back();
+    const bool resumed = t.c.evictions > 0;
+    std::vector<std::uint8_t> payload;
+    if (resumed) {
+        // Read and validate the checkpoint *before* claiming the
+        // slot, so a corrupt file leaves the registry unchanged.
+        payload = readStateFile(checkpointPath(t.id),
+                                kTenantCheckpointMagic,
+                                kTenantCheckpointVersion);
+    }
+    freeSlots_.pop_back();
+    t.slot = slot;
+    t.tracker = std::make_unique<pred::PhaseTracker>(
+        cfg.tracker, &shards_.shard(slot));
+    ++residentCount;
+    if (resumed) {
+        try {
+            StateReader r(payload);
+            const std::uint64_t saved_id = r.u64();
+            if (saved_id != t.id)
+                tpcp_raise("tenant checkpoint holds tenant ",
+                           saved_id, ", expected ", t.id);
+            t.tracker->loadState(r);
+            if (!r.atEnd())
+                tpcp_raise("tenant checkpoint has ", r.remaining(),
+                           " trailing bytes");
+        } catch (const Error &) {
+            // Roll the claim back so the failed resume cannot leak
+            // the slot or leave a half-restored tracker resident.
+            shards_.shard(slot).clear();
+            freeSlots_.push_back(slot);
+            t.slot = kNoSlot;
+            t.tracker.reset();
+            --residentCount;
+            throw;
+        }
+        ++t.c.resumes;
+        ++counters_.resumes;
+    } else {
+        ++counters_.tenantsCreated;
+    }
+}
+
+PhaseId
+TenantRegistry::deliver(const IntervalPacket &pkt)
+{
+    Tenant &t = tenants_[pkt.tenant];
+    if (t.tracker == nullptr) {
+        t.id = pkt.tenant;
+        activate(t);
+    }
+
+    // Sequence accounting before the tracker sees anything: a
+    // duplicate or reordered packet must not advance phase state.
+    if (pkt.seq < t.nextSeq) {
+        ++t.c.duplicateSeq;
+        ++counters_.duplicateSeq;
+        tpcp_raise("tenant ", pkt.tenant, ": duplicate/reordered "
+                   "sequence ", pkt.seq, " (expected ", t.nextSeq,
+                   ")");
+    }
+    if (pkt.seq > t.nextSeq) {
+        // A forward gap is a producer that *counted* drops under
+        // backpressure; mirror the count here so both ends agree on
+        // how many packets were lost.
+        const std::uint64_t lost = pkt.seq - t.nextSeq;
+        t.c.lostUpstream += lost;
+        counters_.lostUpstream += lost;
+        ++counters_.seqGaps;
+    }
+    t.nextSeq = pkt.seq + 1;
+
+    pred::PhaseTrackerOutput out = t.tracker->onIntervalRaw(
+        pkt.counters.data(), pkt.counters.size(), pkt.total, pkt.cpi);
+
+    ++counters_.packets;
+    ++t.c.packets;
+    t.lastActive = counters_.packets;
+    if (out.phaseChanged) {
+        ++t.c.phaseSwitches;
+        ++counters_.phaseSwitches;
+    }
+    if (cfg.recordPhases)
+        t.phases.push_back(out.classification.phase);
+    return out.classification.phase;
+}
+
+std::size_t
+TenantRegistry::evictIdle()
+{
+    if (cfg.evictAfter == 0)
+        return 0;
+    std::vector<Tenant *> idle;
+    for (auto &kv : tenants_) {
+        Tenant &t = kv.second;
+        if (t.slot != kNoSlot &&
+            counters_.packets - t.lastActive >= cfg.evictAfter)
+            idle.push_back(&t);
+    }
+    for (Tenant *t : idle)
+        evict(*t);
+    return idle.size();
+}
+
+std::size_t
+TenantRegistry::evictAll()
+{
+    std::size_t n = 0;
+    for (auto &kv : tenants_) {
+        if (kv.second.slot != kNoSlot) {
+            evict(kv.second);
+            ++n;
+        }
+    }
+    return n;
+}
+
+std::vector<std::uint64_t>
+TenantRegistry::tenantIds() const
+{
+    std::vector<std::uint64_t> ids;
+    ids.reserve(tenants_.size());
+    for (const auto &kv : tenants_)
+        ids.push_back(kv.first);
+    std::sort(ids.begin(), ids.end());
+    return ids;
+}
+
+const TenantCounters &
+TenantRegistry::tenantCounters(std::uint64_t tenant) const
+{
+    auto it = tenants_.find(tenant);
+    if (it == tenants_.end())
+        tpcp_raise("unknown tenant ", tenant);
+    return it->second.c;
+}
+
+const std::vector<PhaseId> &
+TenantRegistry::phaseStream(std::uint64_t tenant) const
+{
+    auto it = tenants_.find(tenant);
+    if (it == tenants_.end())
+        tpcp_raise("unknown tenant ", tenant);
+    tpcp_assert(cfg.recordPhases,
+                "phase streams are recorded only with recordPhases");
+    return it->second.phases;
+}
+
+} // namespace tpcp::serve

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Per-tenant phase-tracking state for the streaming service.
+ *
+ * Each tenant owns an independent PhaseTracker (classifier +
+ * next-phase + run-length predictors) whose past-signature table is
+ * a slot of a preallocated SignatureTableShards — table memory for
+ * every resident tenant is partitioned at construction, and a worker
+ * thread driving one registry shares no classifier state with any
+ * other. A registry is deliberately single-threaded: the service
+ * assigns each tenant to exactly one producer ring and each ring to
+ * one registry, so per-tenant packet order — and therefore every
+ * phase-ID stream — is identical to the batch path regardless of
+ * how many producers or workers are running.
+ *
+ * Residency is bounded by the shard count. An idle tenant is evicted
+ * to a checksummed common/state_io checkpoint, freeing its slot; the
+ * next packet for an evicted tenant transparently resumes it (into
+ * any free slot — slots are interchangeable because loadState fully
+ * restores and clear() fully resets a table). Eviction and resume
+ * never change a tenant's phase-ID stream.
+ *
+ * Sequence numbers make loss visible: a duplicate or reordered
+ * packet is rejected with a recoverable tpcp::Error, and a forward
+ * gap (a producer that counted drops under backpressure) is counted
+ * as lost-upstream packets — nothing is ever lost silently.
+ */
+
+#ifndef TPCP_SERVE_TENANT_REGISTRY_HH
+#define TPCP_SERVE_TENANT_REGISTRY_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "phase/table_shards.hh"
+#include "pred/phase_tracker.hh"
+#include "serve/packet.hh"
+
+namespace tpcp::serve
+{
+
+/** Envelope tag of an evicted tenant's checkpoint ("TSRV"). */
+inline constexpr std::uint32_t kTenantCheckpointMagic = 0x56525354;
+inline constexpr std::uint32_t kTenantCheckpointVersion = 1;
+
+/** Registry configuration. */
+struct RegistryConfig
+{
+    /** Per-tenant tracker (classifier + predictor) configuration. */
+    pred::PhaseTrackerConfig tracker;
+    /** Resident-tenant capacity (= shard slots preallocated). */
+    unsigned maxResident = 64;
+    /** Evict a tenant once this many packets were delivered to the
+     * registry without any for it (0 = only forced eviction when a
+     * new tenant needs a slot). */
+    std::uint64_t evictAfter = 0;
+    /** Where evicted tenants checkpoint to. Required for any
+     * eviction; with it empty a full registry raises tpcp::Error. */
+    std::string checkpointDir;
+    /** Record every tenant's full phase-ID stream (identity
+     * verification; keep off for large tenant counts). */
+    bool recordPhases = false;
+};
+
+/** Per-tenant observability counters. */
+struct TenantCounters
+{
+    std::uint64_t packets = 0;
+    std::uint64_t phaseSwitches = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t resumes = 0;
+    std::uint64_t duplicateSeq = 0;
+    std::uint64_t lostUpstream = 0;
+};
+
+/** Registry-wide counters (sums over tenants plus registry events). */
+struct RegistryCounters
+{
+    std::uint64_t packets = 0;
+    std::uint64_t tenantsCreated = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t resumes = 0;
+    std::uint64_t phaseSwitches = 0;
+    std::uint64_t duplicateSeq = 0;
+    std::uint64_t seqGaps = 0;
+    std::uint64_t lostUpstream = 0;
+};
+
+/** The tenants of one service partition. */
+class TenantRegistry
+{
+  public:
+    explicit TenantRegistry(const RegistryConfig &config);
+
+    /**
+     * Applies one decoded packet to its tenant, creating or resuming
+     * the tenant first when needed. Returns the phase ID assigned to
+     * the interval. Raises tpcp::Error for duplicate/reordered
+     * sequence numbers, for a full registry that cannot evict, and
+     * for unreadable resume checkpoints; the caller counts the
+     * rejection and carries on — a bad packet never crashes the
+     * service.
+     */
+    PhaseId deliver(const IntervalPacket &pkt);
+
+    /** Evicts every resident tenant idle for at least
+     * config.evictAfter delivered packets (no-op when evictAfter is
+     * 0). Returns the number evicted. */
+    std::size_t evictIdle();
+
+    /** Evicts every resident tenant unconditionally (shutdown /
+     * final-state flush for tests). */
+    std::size_t evictAll();
+
+    const RegistryCounters &counters() const { return counters_; }
+
+    /** Tenants ever seen (resident + evicted). */
+    std::size_t numTenants() const { return tenants_.size(); }
+
+    /** Currently resident tenants. */
+    std::size_t
+    numResident() const
+    {
+        return static_cast<std::size_t>(residentCount);
+    }
+
+    /** Tenant ids ever seen, in ascending order. */
+    std::vector<std::uint64_t> tenantIds() const;
+
+    /** Whether @p tenant has ever been seen by this registry. */
+    bool
+    hasTenant(std::uint64_t tenant) const
+    {
+        return tenants_.find(tenant) != tenants_.end();
+    }
+
+    /** Per-tenant counters; raises tpcp::Error for unknown ids. */
+    const TenantCounters &tenantCounters(std::uint64_t tenant) const;
+
+    /** Recorded phase-ID stream (requires config.recordPhases). */
+    const std::vector<PhaseId> &
+    phaseStream(std::uint64_t tenant) const;
+
+    /** The checkpoint path used for @p tenant. */
+    std::string checkpointPath(std::uint64_t tenant) const;
+
+  private:
+    struct Tenant
+    {
+        std::uint64_t id = 0;
+        /** Slot in the shard set; npos when evicted. */
+        unsigned slot = kNoSlot;
+        std::unique_ptr<pred::PhaseTracker> tracker;
+        std::uint64_t nextSeq = 0;
+        /** Registry packet clock at the last delivered packet. */
+        std::uint64_t lastActive = 0;
+        TenantCounters c;
+        std::vector<PhaseId> phases;
+    };
+
+    static constexpr unsigned kNoSlot = ~0u;
+
+    /** Materializes a tenant's tracker into a free slot (fresh or
+     * resumed from its checkpoint), forcing an eviction if no slot
+     * is free. */
+    void activate(Tenant &t);
+
+    /** Checkpoints @p t and frees its slot. */
+    void evict(Tenant &t);
+
+    /** Evicts the least-recently-active resident tenant. */
+    void evictOldest();
+
+    RegistryConfig cfg;
+    phase::SignatureTableShards shards_;
+    std::vector<unsigned> freeSlots_;
+    std::unordered_map<std::uint64_t, Tenant> tenants_;
+    RegistryCounters counters_;
+    unsigned residentCount = 0;
+};
+
+} // namespace tpcp::serve
+
+#endif // TPCP_SERVE_TENANT_REGISTRY_HH

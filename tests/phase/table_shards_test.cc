@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Unit tests for SignatureTableShards: deterministic hash
+ * partitioning, bucket stability, shard independence, and the
+ * save/load round-trip the streaming service's checkpointed
+ * eviction depends on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/state_io.hh"
+#include "phase/signature.hh"
+#include "phase/table_shards.hh"
+
+using namespace tpcp;
+using namespace tpcp::phase;
+
+namespace
+{
+
+Signature
+sig(std::vector<std::uint8_t> dims)
+{
+    return Signature(std::move(dims), 6);
+}
+
+} // namespace
+
+TEST(SignatureTableShards, ShardOfIsDeterministicAcrossInstances)
+{
+    SignatureTableShards a(8, 32, 6);
+    SignatureTableShards b(8, 32, 6);
+    for (std::uint64_t t = 0; t < 4096; ++t)
+        EXPECT_EQ(a.shardOf(t), b.shardOf(t))
+            << "tenant " << t
+            << " re-homed between same-geometry instances";
+}
+
+TEST(SignatureTableShards, ShardOfStableForLifetime)
+{
+    SignatureTableShards s(4, 32, 6);
+    const std::uint64_t tenant = 0xfeedface;
+    const unsigned home = s.shardOf(tenant);
+    // Mutating shard contents must never re-home a tenant: bucket
+    // assignment depends only on the key and the shard count.
+    s.tableFor(tenant).insert(sig({10, 20, 30}), 0.25);
+    s.tableFor(1).insert(sig({1, 2, 3}), 0.25);
+    EXPECT_EQ(s.shardOf(tenant), home);
+    EXPECT_EQ(&s.tableFor(tenant), &s.shard(home));
+}
+
+TEST(SignatureTableShards, PartitionCoversAllShardsInRange)
+{
+    SignatureTableShards s(8, 32, 6);
+    std::vector<unsigned> hits(s.numShards(), 0);
+    for (std::uint64_t t = 0; t < 1024; ++t) {
+        const unsigned idx = s.shardOf(t);
+        ASSERT_LT(idx, s.numShards());
+        ++hits[idx];
+    }
+    for (unsigned i = 0; i < s.numShards(); ++i)
+        EXPECT_GT(hits[i], 0u)
+            << "shard " << i << " unreachable by the hash partition";
+}
+
+TEST(SignatureTableShards, ShardsAreIndependent)
+{
+    SignatureTableShards s(4, 32, 6);
+    const Signature probe = sig({10, 20, 30});
+    s.shard(0).insert(probe, 0.25);
+    EXPECT_EQ(s.shard(0).size(), 1u);
+    for (unsigned i = 1; i < s.numShards(); ++i) {
+        EXPECT_EQ(s.shard(i).size(), 0u);
+        EXPECT_FALSE(s.shard(i).match(probe,
+                                      MatchPolicy::BestMatch))
+            << "a signature inserted into shard 0 matched in shard "
+            << i;
+    }
+    EXPECT_EQ(s.size(), 1u);
+}
+
+TEST(SignatureTableShards, SaveLoadRoundTrip)
+{
+    SignatureTableShards a(4, 32, 6);
+    a.shard(0).insert(sig({40, 0, 0}), 0.25);
+    a.shard(1).insert(sig({0, 40, 0}), 0.25);
+    a.shard(1).insert(sig({0, 0, 40}), 0.25);
+    a.shard(3).insert(sig({10, 10, 10}), 0.25);
+
+    StateWriter w;
+    a.saveState(w);
+
+    SignatureTableShards b(4, 32, 6);
+    StateReader r(w.buffer());
+    b.loadState(r);
+    EXPECT_TRUE(r.atEnd());
+
+    EXPECT_EQ(b.size(), a.size());
+    for (unsigned i = 0; i < 4; ++i)
+        EXPECT_EQ(b.shard(i).size(), a.shard(i).size())
+            << "shard " << i << " size changed across round-trip";
+    EXPECT_TRUE(b.shard(0).match(sig({40, 0, 0}),
+                                 MatchPolicy::BestMatch));
+    EXPECT_TRUE(b.shard(1).match(sig({0, 0, 40}),
+                                 MatchPolicy::BestMatch));
+    EXPECT_TRUE(b.shard(3).match(sig({10, 10, 10}),
+                                 MatchPolicy::BestMatch));
+    EXPECT_FALSE(b.shard(2).match(sig({40, 0, 0}),
+                                  MatchPolicy::BestMatch));
+}
+
+TEST(SignatureTableShards, ClearEmptiesEveryShard)
+{
+    SignatureTableShards s(4, 32, 6);
+    for (unsigned i = 0; i < 4; ++i)
+        s.shard(i).insert(sig({static_cast<std::uint8_t>(i + 1),
+                               0, 0}),
+                          0.25);
+    EXPECT_EQ(s.size(), 4u);
+    s.clear();
+    EXPECT_EQ(s.size(), 0u);
+    for (unsigned i = 0; i < 4; ++i)
+        EXPECT_EQ(s.shard(i).size(), 0u);
+}

@@ -1,0 +1,281 @@
+/**
+ * @file
+ * End-to-end tests for the streaming service: per-tenant phase-ID
+ * streams must be byte-identical to the batch PhaseTracker path —
+ * at one producer, at several, and across checkpointed eviction and
+ * transparent resume — and every packet must be visibly accounted
+ * for (delivered, malformed, or rejected; never silently lost).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.hh"
+#include "serve/service.hh"
+
+using namespace tpcp;
+using namespace tpcp::serve;
+
+namespace
+{
+
+constexpr unsigned kTenants = 6;
+constexpr std::size_t kPackets = 120;
+
+std::string
+tempDir(const std::string &name)
+{
+    std::string dir = std::string(::testing::TempDir()) + name;
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    return dir;
+}
+
+std::vector<EncodedStream>
+testStreams(const pred::PhaseTrackerConfig &tcfg)
+{
+    std::vector<EncodedStream> streams;
+    for (unsigned k = 0; k < 3; ++k)
+        streams.push_back(encodeSyntheticStream(
+            k, kPackets, tcfg.classifier.numCounters));
+    return streams;
+}
+
+const EncodedStream &
+streamOf(const std::vector<EncodedStream> &streams, std::uint64_t t)
+{
+    return streams[t % streams.size()];
+}
+
+/** Runs the full service over the test tenants and returns it. */
+std::unique_ptr<ServiceLoop>
+runService(const std::vector<EncodedStream> &streams,
+           const ServeOptions &opts)
+{
+    auto loop = std::make_unique<ServiceLoop>(opts);
+    std::vector<ProducerTask> tasks(opts.producers);
+    for (unsigned p = 0; p < opts.producers; ++p) {
+        tasks[p].ring = &loop->ring(p);
+        tasks[p].policy = BackpressurePolicy::Park;
+    }
+    for (std::uint64_t t = 0; t < kTenants; ++t) {
+        ProducerTask &task = tasks[t % opts.producers];
+        task.tenants.push_back(t);
+        task.streams.push_back(&streamOf(streams, t));
+    }
+    std::vector<std::thread> threads;
+    for (unsigned p = 0; p < opts.producers; ++p)
+        threads.emplace_back([&, p] {
+            runProducer(tasks[p]);
+            loop->producerDone(p);
+        });
+    loop->run();
+    for (std::thread &th : threads)
+        th.join();
+    return loop;
+}
+
+ServeOptions
+baseOptions()
+{
+    ServeOptions opts;
+    opts.registry.maxResident = kTenants;
+    opts.registry.recordPhases = true;
+    return opts;
+}
+
+void
+expectBatchIdentity(const ServiceLoop &loop,
+                    const std::vector<EncodedStream> &streams,
+                    const pred::PhaseTrackerConfig &tcfg)
+{
+    for (std::uint64_t t = 0; t < kTenants; ++t) {
+        const std::vector<PhaseId> expect =
+            batchPhaseStream(streamOf(streams, t), tcfg);
+        EXPECT_EQ(loop.phaseStream(t), expect)
+            << "tenant " << t
+            << " diverged from the batch path";
+    }
+}
+
+} // namespace
+
+TEST(ServiceLoop, MatchesBatchPathSingleProducer)
+{
+    ServeOptions opts = baseOptions();
+    auto streams = testStreams(opts.registry.tracker);
+    auto loop = runService(streams, opts);
+
+    const ServeCounters c = loop->counters();
+    EXPECT_EQ(c.packets, std::uint64_t{kTenants} * kPackets);
+    EXPECT_EQ(c.malformedPackets, 0u);
+    EXPECT_EQ(c.rejectedPackets, 0u);
+    EXPECT_EQ(c.lostUpstream, 0u);
+    EXPECT_EQ(c.tenants, kTenants);
+    expectBatchIdentity(*loop, streams, opts.registry.tracker);
+}
+
+TEST(ServiceLoop, MatchesBatchPathAtAnyProducerCount)
+{
+    for (unsigned producers : {2u, 3u}) {
+        ServeOptions opts = baseOptions();
+        opts.producers = producers;
+        auto streams = testStreams(opts.registry.tracker);
+        auto loop = runService(streams, opts);
+        EXPECT_EQ(loop->counters().packets,
+                  std::uint64_t{kTenants} * kPackets);
+        expectBatchIdentity(*loop, streams, opts.registry.tracker);
+    }
+}
+
+TEST(ServiceLoop, EvictResumePreservesIdentity)
+{
+    ServeOptions opts = baseOptions();
+    opts.producers = 2;
+    // Only 2 resident slots per partition for 3 tenants each: every
+    // drain cycle forces checkpointed evictions and transparent
+    // resumes mid-stream.
+    opts.registry.maxResident = 2;
+    opts.registry.evictAfter = 16;
+    opts.registry.checkpointDir = tempDir("serve_evict_ckpt");
+    auto streams = testStreams(opts.registry.tracker);
+    auto loop = runService(streams, opts);
+
+    const ServeCounters c = loop->counters();
+    EXPECT_GT(c.evictions, 0u) << "test exercised no eviction";
+    EXPECT_GT(c.resumes, 0u) << "test exercised no resume";
+    EXPECT_EQ(c.packets, std::uint64_t{kTenants} * kPackets);
+    EXPECT_EQ(c.rejectedPackets, 0u);
+    expectBatchIdentity(*loop, streams, opts.registry.tracker);
+}
+
+TEST(ServiceLoop, MalformedFramesCountedNotFatal)
+{
+    ServeOptions opts = baseOptions();
+    ServiceLoop loop(opts);
+    auto streams = testStreams(opts.registry.tracker);
+
+    // Interleave garbage frames with a valid stream by hand.
+    SpscRing &ring = loop.ring(0);
+    const EncodedStream &stream = streamOf(streams, 0);
+    const std::uint8_t garbage[32] = {0xBA, 0xD0};
+    ASSERT_TRUE(ring.tryPush(garbage, sizeof(garbage)));
+    std::vector<std::uint8_t> frame;
+    for (std::size_t i = 0; i < stream.size(); ++i) {
+        frame = stream[i];
+        restampPacket(frame.data(), 0, i);
+        ASSERT_TRUE(ring.tryPush(
+            frame.data(), static_cast<std::uint32_t>(frame.size())));
+    }
+    ASSERT_TRUE(ring.tryPush(garbage, sizeof(garbage)));
+    loop.producerDone(0);
+    loop.run();
+
+    const ServeCounters c = loop.counters();
+    EXPECT_EQ(c.malformedPackets, 2u);
+    EXPECT_EQ(c.packets, stream.size());
+    // The tenant's stream is untouched by the surrounding garbage.
+    EXPECT_EQ(loop.phaseStream(0),
+              batchPhaseStream(stream, opts.registry.tracker));
+}
+
+TEST(TenantRegistry, DuplicateSequenceRejectedWithoutStateChange)
+{
+    RegistryConfig rc;
+    rc.maxResident = 2;
+    rc.recordPhases = true;
+    TenantRegistry registry(rc);
+
+    IntervalPacket pkt;
+    pkt.tenant = 9;
+    pkt.counters.assign(rc.tracker.classifier.numCounters, 50);
+    pkt.total = 5000;
+    pkt.cpi = 1.0;
+
+    pkt.seq = 0;
+    registry.deliver(pkt);
+    pkt.seq = 1;
+    registry.deliver(pkt);
+    // Replay of seq 1: rejected, and the phase stream must not grow.
+    EXPECT_THROW(registry.deliver(pkt), Error);
+    EXPECT_EQ(registry.phaseStream(9).size(), 2u);
+    EXPECT_EQ(registry.counters().duplicateSeq, 1u);
+    EXPECT_EQ(registry.tenantCounters(9).duplicateSeq, 1u);
+    // The stream continues normally after the rejected replay.
+    pkt.seq = 2;
+    registry.deliver(pkt);
+    EXPECT_EQ(registry.phaseStream(9).size(), 3u);
+}
+
+TEST(TenantRegistry, ForwardGapCountedAsUpstreamLoss)
+{
+    RegistryConfig rc;
+    rc.maxResident = 2;
+    TenantRegistry registry(rc);
+
+    IntervalPacket pkt;
+    pkt.tenant = 4;
+    pkt.counters.assign(rc.tracker.classifier.numCounters, 50);
+    pkt.total = 5000;
+    pkt.cpi = 1.0;
+
+    pkt.seq = 0;
+    registry.deliver(pkt);
+    // Seqs 1..4 were dropped by a backpressured producer: the
+    // consumer mirrors the loss so both sides agree on the count.
+    pkt.seq = 5;
+    registry.deliver(pkt);
+    EXPECT_EQ(registry.counters().lostUpstream, 4u);
+    EXPECT_EQ(registry.counters().seqGaps, 1u);
+    EXPECT_EQ(registry.tenantCounters(4).lostUpstream, 4u);
+    EXPECT_EQ(registry.counters().packets, 2u);
+}
+
+TEST(TenantRegistry, FullRegistryWithoutCheckpointDirRaises)
+{
+    RegistryConfig rc;
+    rc.maxResident = 1;
+    TenantRegistry registry(rc);
+
+    IntervalPacket pkt;
+    pkt.counters.assign(rc.tracker.classifier.numCounters, 50);
+    pkt.total = 5000;
+    pkt.cpi = 1.0;
+
+    pkt.tenant = 1;
+    pkt.seq = 0;
+    registry.deliver(pkt);
+    // No checkpoint directory: the second tenant cannot evict the
+    // first, and must be rejected recoverably instead of crashing.
+    pkt.tenant = 2;
+    EXPECT_THROW(registry.deliver(pkt), Error);
+    EXPECT_EQ(registry.numResident(), 1u);
+    // The first tenant keeps working.
+    pkt.tenant = 1;
+    pkt.seq = 1;
+    registry.deliver(pkt);
+    EXPECT_EQ(registry.counters().packets, 2u);
+}
+
+TEST(ServeReport, JsonContainsCountersAndTenants)
+{
+    ServeReport rep;
+    rep.tenants = 2;
+    rep.producers = 1;
+    rep.packetsProduced = 100;
+    rep.service.packets = 100;
+    rep.perTenant.push_back({0, {}});
+    rep.perTenant.push_back({1, {}});
+    const std::string json = toJson(rep);
+    EXPECT_NE(json.find("\"packets_produced\": 100"),
+              std::string::npos);
+    EXPECT_NE(json.find("\"packets_delivered\": 100"),
+              std::string::npos);
+    EXPECT_NE(json.find("\"per_tenant\": ["), std::string::npos);
+    EXPECT_NE(json.find("\"tenant\": 1"), std::string::npos);
+}

@@ -82,16 +82,44 @@
  *   --checkpoint PATH  checkpoint file (single workload only)
  *   --checkpoint-at K  save the checkpoint and stop after K intervals
  *   --resume         resume the faulty run from --checkpoint
+ * Serve options (streaming multi-tenant phase service; named
+ * workloads become the replayed interval streams, none = synthetic):
+ *   --tenants N      concurrent tenants           (default 8)
+ *   --producers P    producer rings/threads       (default 1)
+ *   --packets N      packets per tenant stream (cap for profile
+ *                    streams, length for synthetic; default 2000,
+ *                    0 = full profile)
+ *   --streams K      distinct synthetic streams   (default 4)
+ *   --resident N     resident tenants per partition (0 = fit all
+ *                    assigned tenants; default 0)
+ *   --evict-after N  evict a tenant idle for N delivered packets
+ *                    (default 0 = no idle eviction)
+ *   --checkpoint-dir D  eviction checkpoint directory
+ *                    (default serve_ckpt)
+ *   --ring-bytes B   per-producer ring capacity   (default 1 MiB)
+ *   --drop           drop packets on a full ring (counted, visible
+ *                    as sequence gaps) instead of parking
+ *   --phase-out DIR  record per-tenant phase-ID streams and write
+ *                    one tenant_<id>.phases file per tenant
+ *   --batch          with --phase-out: write the batch-reference
+ *                    streams instead of running the service (CI
+ *                    diffs the two directories byte-for-byte)
+ *   --json PATH      write the ServeReport as JSON ('-' disables)
+ *   --min-rate R     exit 1 if delivered packets/s fall below R
+ *                    (CI tripwire)
  */
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <map>
 #include <memory>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "adapt/report.hh"
@@ -104,6 +132,7 @@
 #include "common/status.hh"
 #include "pred/eval.hh"
 #include "sample/report.hh"
+#include "serve/service.hh"
 #include "trace/profile_cache.hh"
 #include "uarch/machine_config.hh"
 #include "uarch/ooo_core.hh"
@@ -183,7 +212,7 @@ usage()
         << "usage: tpcp <command> [args]\n"
            "  workloads | machine | profile <wl> | classify <wl> |\n"
            "  predict <wl> | export <wl> | sample [wl...] |\n"
-           "  adapt [wl...] | faults [wl...]\n"
+           "  adapt [wl...] | faults [wl...] | serve [wl...]\n"
            "see the header of tools/tpcp.cc for all options\n";
     return 2;
 }
@@ -820,6 +849,211 @@ cmdFaults(const Args &args)
     return 0;
 }
 
+int
+cmdServe(const Args &args)
+{
+    const std::vector<std::string> &names = args.positional;
+    for (const std::string &name : names) {
+        if (!workload::isWorkloadName(name)) {
+            std::cerr << "error: unknown workload '" << name
+                      << "'; run 'tpcp workloads'\n";
+            return 2;
+        }
+    }
+    const unsigned tenants =
+        static_cast<unsigned>(args.getU64("tenants", 8));
+    const unsigned producers =
+        static_cast<unsigned>(args.getU64("producers", 1));
+    if (tenants == 0 || producers == 0) {
+        std::cerr << "error: --tenants and --producers must be "
+                     ">= 1\n";
+        return 2;
+    }
+    const std::uint64_t packets = args.getU64("packets", 2000);
+    phase::ClassifierConfig ccfg = classifierConfig(args);
+    pred::PhaseTrackerConfig tcfg;
+    tcfg.classifier = ccfg;
+
+    // Shared streams: tenant t replays stream t % S, so a tenant's
+    // input depends only on its id — never on the producer layout.
+    std::vector<serve::EncodedStream> streams;
+    if (names.empty()) {
+        const unsigned n =
+            static_cast<unsigned>(args.getU64("streams", 4));
+        const std::uint64_t len = packets == 0 ? 2000 : packets;
+        for (unsigned k = 0; k < n; ++k)
+            streams.push_back(serve::encodeSyntheticStream(
+                k, len, ccfg.numCounters));
+    } else {
+        trace::ProfileOptions popts = profileOptions(args);
+        for (const std::string &name : names)
+            streams.push_back(serve::encodeProfileStream(
+                trace::getProfileByName(name, popts),
+                ccfg.numCounters, packets));
+    }
+    auto streamOf =
+        [&](std::uint64_t t) -> const serve::EncodedStream & {
+        return streams[t % streams.size()];
+    };
+
+    const std::string phase_out = args.get("phase-out", "");
+    if (args.has("batch")) {
+        // Reference mode: the offline batch path, one fresh tracker
+        // per tenant. CI diffs these files against the service's.
+        if (phase_out.empty()) {
+            std::cerr << "error: --batch needs --phase-out DIR\n";
+            return 2;
+        }
+        std::filesystem::create_directories(phase_out);
+        for (std::uint64_t t = 0; t < tenants; ++t) {
+            const std::string path = phase_out + "/tenant_" +
+                                     std::to_string(t) + ".phases";
+            std::ofstream out(path);
+            if (!out) {
+                std::cerr << "error: cannot write " << path << "\n";
+                return 1;
+            }
+            for (PhaseId p :
+                 serve::batchPhaseStream(streamOf(t), tcfg))
+                out << p << '\n';
+        }
+        std::cout << "wrote " << tenants
+                  << " batch phase streams to " << phase_out
+                  << "\n";
+        return 0;
+    }
+
+    serve::ServeOptions sopts;
+    sopts.registry.tracker = tcfg;
+    sopts.producers = producers;
+    sopts.jobs = static_cast<unsigned>(args.getU64("jobs", 0));
+    sopts.ringBytes = args.getU64("ring-bytes", 1u << 20);
+    // Tenant t is fed by producer t % producers; a tenant never
+    // spans rings, so its packet order is total.
+    const unsigned per_part = (tenants + producers - 1) / producers;
+    const unsigned resident =
+        static_cast<unsigned>(args.getU64("resident", 0));
+    sopts.registry.maxResident =
+        resident == 0 ? std::max(1u, per_part) : resident;
+    sopts.registry.evictAfter = args.getU64("evict-after", 0);
+    sopts.registry.checkpointDir =
+        args.get("checkpoint-dir", "serve_ckpt");
+    sopts.registry.recordPhases = !phase_out.empty();
+    std::filesystem::create_directories(
+        sopts.registry.checkpointDir);
+
+    serve::ServiceLoop loop(sopts);
+    std::vector<serve::ProducerTask> tasks(producers);
+    for (unsigned p = 0; p < producers; ++p) {
+        tasks[p].ring = &loop.ring(p);
+        tasks[p].policy = args.has("drop")
+                              ? serve::BackpressurePolicy::Drop
+                              : serve::BackpressurePolicy::Park;
+    }
+    for (std::uint64_t t = 0; t < tenants; ++t) {
+        serve::ProducerTask &task = tasks[t % producers];
+        task.tenants.push_back(t);
+        task.streams.push_back(&streamOf(t));
+    }
+
+    std::vector<serve::ProducerCounters> pcs(producers);
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<std::thread> threads;
+    threads.reserve(producers);
+    for (unsigned p = 0; p < producers; ++p)
+        threads.emplace_back([&, p] {
+            pcs[p] = serve::runProducer(tasks[p]);
+            loop.producerDone(p);
+        });
+    loop.run();
+    for (std::thread &th : threads)
+        th.join();
+    const double elapsed =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+
+    serve::ServeReport rep;
+    rep.tenants = tenants;
+    rep.producers = producers;
+    rep.jobs = loop.numWorkers();
+    for (const serve::ProducerCounters &c : pcs) {
+        rep.packetsProduced += c.pushed;
+        rep.packetsDropped += c.dropped;
+        rep.parkEvents += c.parkEvents;
+    }
+    rep.service = loop.counters();
+    rep.elapsedSec = elapsed;
+    rep.packetsPerSec =
+        elapsed > 0.0
+            ? static_cast<double>(rep.service.packets) / elapsed
+            : 0.0;
+    if (!phase_out.empty() || tenants <= 64)
+        for (std::uint64_t id : loop.allTenantIds())
+            rep.perTenant.push_back({id, loop.tenantCounters(id)});
+
+    AsciiTable table({"metric", "value"});
+    auto row = [&](const char *k, std::uint64_t v) {
+        table.row().cell(k).cell(v);
+    };
+    row("tenants", rep.service.tenants);
+    row("producers", producers);
+    row("workers", rep.jobs);
+    row("packets produced", rep.packetsProduced);
+    row("packets delivered", rep.service.packets);
+    row("packets dropped", rep.packetsDropped);
+    row("park events", rep.parkEvents);
+    row("malformed", rep.service.malformedPackets);
+    row("rejected", rep.service.rejectedPackets);
+    row("evictions", rep.service.evictions);
+    row("resumes", rep.service.resumes);
+    row("phase switches", rep.service.phaseSwitches);
+    row("lost upstream", rep.service.lostUpstream);
+    row("drain cycles", rep.service.drainCycles);
+    table.row().cell("packets/s").cell(rep.packetsPerSec, 0);
+    table.print(std::cout);
+
+    // Every packet a producer pushed must be accounted for at the
+    // consumer: delivered, malformed, or visibly rejected. Anything
+    // else is silent loss, which is a bug, not a statistic.
+    const std::uint64_t accounted = rep.service.packets +
+                                    rep.service.malformedPackets +
+                                    rep.service.rejectedPackets;
+    if (accounted != rep.packetsProduced) {
+        std::cerr << "error: silent packet loss: "
+                  << rep.packetsProduced << " pushed but only "
+                  << accounted << " accounted for\n";
+        return 1;
+    }
+
+    if (!phase_out.empty()) {
+        loop.writePhaseStreams(phase_out);
+        std::cout << "wrote " << loop.allTenantIds().size()
+                  << " phase streams to " << phase_out << "\n";
+    }
+    std::string json = args.get("json", "");
+    if (!json.empty() && json != "-") {
+        if (!serve::writeJson(json, rep)) {
+            std::cerr << "error: cannot write " << json << "\n";
+            return 1;
+        }
+        std::cout << "wrote report to " << json << "\n";
+    }
+    if (args.has("min-rate")) {
+        const double limit = args.getDouble("min-rate", 0.0);
+        if (rep.packetsPerSec < limit) {
+            std::cerr << "error: ingest rate " << rep.packetsPerSec
+                      << " packets/s below --min-rate " << limit
+                      << "\n";
+            return 1;
+        }
+        std::cout << "ingest rate " << rep.packetsPerSec
+                  << " packets/s meets --min-rate " << limit
+                  << "\n";
+    }
+    return 0;
+}
+
 } // namespace
 
 int
@@ -854,6 +1088,8 @@ main(int argc, char **argv)
             return cmdAdapt(args);
         if (cmd == "faults")
             return cmdFaults(args);
+        if (cmd == "serve")
+            return cmdServe(args);
     } catch (const Error &e) {
         std::cerr << "error: " << e.what() << "\n";
         return 1;
