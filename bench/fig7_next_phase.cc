@@ -24,6 +24,7 @@
 using namespace tpcp;
 using pred::ChangePredictorConfig;
 using pred::PayloadView;
+using pred::PredictorSpec;
 
 int
 main(int argc, char **argv)
@@ -45,41 +46,46 @@ main(int argc, char **argv)
     struct Bar
     {
         std::string label;
-        std::optional<ChangePredictorConfig> cfg;
+        std::optional<PredictorSpec> spec;
+    };
+    auto tbl = [](const ChangePredictorConfig &cfg) {
+        return PredictorSpec::tableSpec(cfg);
     };
     std::vector<Bar> bars;
     bars.push_back({"Last Value", std::nullopt});
     bars.push_back({"Markov-1",
-                    ChangePredictorConfig::markov(1)});
+                    tbl(ChangePredictorConfig::markov(1))});
     bars.push_back({"Markov-2",
-                    ChangePredictorConfig::markov(2)});
+                    tbl(ChangePredictorConfig::markov(2))});
     bars.push_back({"Last4 Markov-1",
-                    ChangePredictorConfig::markov(
-                        1, PayloadView::Last4)});
+                    tbl(ChangePredictorConfig::markov(
+                        1, PayloadView::Last4))});
     bars.push_back({"Last4 Markov-2",
-                    ChangePredictorConfig::markov(
-                        2, PayloadView::Last4)});
+                    tbl(ChangePredictorConfig::markov(
+                        2, PayloadView::Last4))});
     {
         ChangePredictorConfig no_conf =
             ChangePredictorConfig::markov(2);
         no_conf.useConfidence = false;
         no_conf.name = "Markov-2 NoTableConf";
-        bars.push_back({"Markov-2 NoTableConf", no_conf});
+        bars.push_back({"Markov-2 NoTableConf", tbl(no_conf)});
     }
-    bars.push_back({"RLE-1", ChangePredictorConfig::rle(1)});
-    bars.push_back({"RLE-2", ChangePredictorConfig::rle(2)});
+    bars.push_back({"RLE-1", tbl(ChangePredictorConfig::rle(1))});
+    bars.push_back({"RLE-2", tbl(ChangePredictorConfig::rle(2))});
     bars.push_back({"Last4 RLE-1",
-                    ChangePredictorConfig::rle(1,
-                                               PayloadView::Last4)});
+                    tbl(ChangePredictorConfig::rle(
+                        1, PayloadView::Last4))});
     bars.push_back({"Last4 RLE-2",
-                    ChangePredictorConfig::rle(2,
-                                               PayloadView::Last4)});
+                    tbl(ChangePredictorConfig::rle(
+                        2, PayloadView::Last4))});
     {
         ChangePredictorConfig no_conf = ChangePredictorConfig::rle(2);
         no_conf.useConfidence = false;
         no_conf.name = "RLE-2 NoConf";
-        bars.push_back({"RLE-2 NoConf", no_conf});
+        bars.push_back({"RLE-2 NoConf", tbl(no_conf)});
     }
+    bars.push_back({"TAGE", PredictorSpec::tageSpec()});
+    bars.push_back({"Perceptron", PredictorSpec::perceptronSpec()});
 
     AsciiTable table({"predictor", "corr table", "corr lv conf",
                       "corr lv unconf", "inc lv unconf",
@@ -89,7 +95,11 @@ main(int argc, char **argv)
         bars.size(), args.jobs, [&](std::size_t b) {
             pred::NextPhaseStats agg;
             for (const auto &trace : traces)
-                agg.merge(pred::evalNextPhase(trace, bars[b].cfg));
+                agg.merge(bars[b].spec
+                              ? pred::evalNextPhase(trace,
+                                                    *bars[b].spec)
+                              : pred::evalNextPhase(trace,
+                                                    std::nullopt));
             return agg;
         });
     for (std::size_t b = 0; b < bars.size(); ++b) {
@@ -117,11 +127,15 @@ main(int argc, char **argv)
     pred::NextPhaseStats lv;
     for (const auto &trace : traces)
         lv.merge(pred::evalNextPhase(trace, std::nullopt));
+    // Guarded: a constant-phase (or empty) trace set has no
+    // transitions to take a percentage of.
+    const double change_pct =
+        lv.total ? 100.0 * static_cast<double>(lv.phaseChanges) /
+                       static_cast<double>(lv.total)
+                 : 0.0;
     std::cout << "\nFraction of interval transitions that change "
                  "phase: "
-              << 100.0 * static_cast<double>(lv.phaseChanges) /
-                     static_cast<double>(lv.total)
-              << "%\n";
+              << change_pct << "%\n";
     std::cout << "Paper shape check: last value ~75% accurate; "
                  "Markov/RLE add a few\npercent; confidence raises "
                  "accuracy on covered intervals at the cost of\n"

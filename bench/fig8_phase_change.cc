@@ -21,6 +21,7 @@
 using namespace tpcp;
 using pred::ChangePredictorConfig;
 using pred::PayloadView;
+using pred::PredictorSpec;
 
 int
 main(int argc, char **argv)
@@ -37,23 +38,26 @@ main(int argc, char **argv)
     for (analysis::ClassificationResult &res : classified)
         traces.push_back(std::move(res.trace.phases));
 
-    std::vector<ChangePredictorConfig> bars = {
-        ChangePredictorConfig::markov(2, PayloadView::Last, 128),
-        ChangePredictorConfig::markov(2),
-        ChangePredictorConfig::markov(1),
-        ChangePredictorConfig::markov(2, PayloadView::Last4),
-        ChangePredictorConfig::markov(1, PayloadView::Last4),
-        ChangePredictorConfig::markov(2, PayloadView::Top1),
-        ChangePredictorConfig::markov(1, PayloadView::Top4),
-        ChangePredictorConfig::markov(2, PayloadView::Top4),
-        ChangePredictorConfig::rle(2, PayloadView::Last, 128),
-        ChangePredictorConfig::rle(2),
-        ChangePredictorConfig::rle(2, PayloadView::Last4),
-        ChangePredictorConfig::rle(1, PayloadView::Last4),
-        ChangePredictorConfig::rle(2, PayloadView::Top1),
-        ChangePredictorConfig::rle(1, PayloadView::Top4),
-        ChangePredictorConfig::rle(2, PayloadView::Top4),
-    };
+    std::vector<PredictorSpec> bars;
+    for (const ChangePredictorConfig &cfg :
+         {ChangePredictorConfig::markov(2, PayloadView::Last, 128),
+          ChangePredictorConfig::markov(2),
+          ChangePredictorConfig::markov(1),
+          ChangePredictorConfig::markov(2, PayloadView::Last4),
+          ChangePredictorConfig::markov(1, PayloadView::Last4),
+          ChangePredictorConfig::markov(2, PayloadView::Top1),
+          ChangePredictorConfig::markov(1, PayloadView::Top4),
+          ChangePredictorConfig::markov(2, PayloadView::Top4),
+          ChangePredictorConfig::rle(2, PayloadView::Last, 128),
+          ChangePredictorConfig::rle(2),
+          ChangePredictorConfig::rle(2, PayloadView::Last4),
+          ChangePredictorConfig::rle(1, PayloadView::Last4),
+          ChangePredictorConfig::rle(2, PayloadView::Top1),
+          ChangePredictorConfig::rle(1, PayloadView::Top4),
+          ChangePredictorConfig::rle(2, PayloadView::Top4)})
+        bars.push_back(PredictorSpec::tableSpec(cfg));
+    bars.push_back(PredictorSpec::tageSpec());
+    bars.push_back(PredictorSpec::perceptronSpec());
 
     AsciiTable table({"predictor", "conf corr", "unconf corr",
                       "tag miss", "unconf inc", "conf inc",
@@ -66,14 +70,13 @@ main(int argc, char **argv)
             return agg;
         });
     for (std::size_t b = 0; b < bars.size(); ++b) {
-        const ChangePredictorConfig &cfg = bars[b];
         const pred::ChangeOutcomeStats &agg = aggs[b];
         double t = static_cast<double>(agg.changes);
         auto pct = [&](std::uint64_t v) {
             return t ? static_cast<double>(v) / t : 0.0;
         };
         table.row()
-            .cell(cfg.name)
+            .cell(bars[b].displayName())
             .percentCell(pct(agg.confCorrect))
             .percentCell(pct(agg.unconfCorrect))
             .percentCell(pct(agg.tagMiss))

@@ -37,10 +37,7 @@ AdaptController::run(
     ReconfigPenalty penalty(opts.penalty);
     GreedyHillClimbPolicy policy(lattice, opts.policy);
     pred::NextPhasePredictor predictor(
-        opts.anticipate
-            ? std::make_unique<pred::ChangePredictor>(
-                  pred::ChangePredictorConfig::rle(2))
-            : nullptr);
+        opts.anticipate ? opts.changePredictor.make() : nullptr);
     pred::RunLengthPredictor lengthPred;
 
     ControllerResult res;

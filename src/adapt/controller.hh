@@ -33,6 +33,7 @@
 #include "adapt/lattice.hh"
 #include "adapt/penalty.hh"
 #include "adapt/policy.hh"
+#include "pred/predictor_spec.hh"
 #include "trace/interval_profile.hh"
 
 namespace tpcp::adapt
@@ -41,10 +42,14 @@ namespace tpcp::adapt
 /** Controller configuration (one named policy preset). */
 struct ControllerOptions
 {
-    /** Consult the RLE-2 phase-change table for anticipatory
+    /** Consult the phase-change predictor for anticipatory
      * switches; false degrades to last-value prediction, turning
      * every phase-change switch reactive. */
     bool anticipate = true;
+    /** Which phase-change predictor feeds the anticipatory
+     * switches (the paper's RLE-2 by default; the greedy-tage and
+     * greedy-perceptron presets swap in the new families). */
+    pred::PredictorSpec changePredictor;
     /** Skip reactive switches while the run-length predictor calls
      * the new run short (class 0: < 16 intervals): a brief run does
      * not amortize a full flush + warmup. */

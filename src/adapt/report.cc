@@ -26,15 +26,34 @@ policyPresetByName(const std::string &name)
         preset.options.lengthGate = false;
         return preset;
     }
+    if (name == "greedy-tage") {
+        // The cascade keeps the paper RLE-2 alarm's precision and
+        // lets TAGE generalize where it is silent — a pure swap
+        // trades away precisely-timed alarms the greedy baseline
+        // relies on.
+        pred::TagePredictorConfig tcfg;
+        tcfg.rleAssist = true;
+        tcfg.confThreshold = 3;
+        preset.options.changePredictor =
+            pred::PredictorSpec::tageSpec(tcfg);
+        return preset;
+    }
+    if (name == "greedy-perceptron") {
+        preset.options.changePredictor =
+            pred::PredictorSpec::perceptronSpec();
+        return preset;
+    }
     tpcp_raise("unknown adapt policy '", name,
-               "' (expected greedy | greedy-nopred)");
+               "' (expected greedy | greedy-nopred | greedy-tage | "
+               "greedy-perceptron)");
 }
 
 const std::vector<std::string> &
 policyPresetNames()
 {
     static const std::vector<std::string> names = {
-        "greedy", "greedy-nopred"};
+        "greedy", "greedy-nopred", "greedy-tage",
+        "greedy-perceptron"};
     return names;
 }
 

@@ -134,7 +134,7 @@ Injector::beforeInterval(pred::PhaseTracker &tracker,
     }
 
     if (targets(Target::ChangeTable) && rng.nextBool(p)) {
-        pred::ChangePredictor *change =
+        pred::PhaseChangePredictor *change =
             tracker.mutablePredictor().mutableChangePredictor();
         if (change && change->injectFault(rng, cfg.mitigated))
             ++counts_.changeTableFaults;

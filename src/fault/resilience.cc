@@ -101,6 +101,7 @@ pred::PhaseTrackerConfig
 trackerConfig(const ResilienceOptions &opts)
 {
     pred::PhaseTrackerConfig cfg;
+    cfg.changeTable = opts.changePredictor;
     if (opts.injector.mitigated) {
         cfg.classifier.parityProtect = true;
         cfg.classifier.scrubEvery = opts.scrubEvery;

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "fault/injector.hh"
+#include "pred/predictor_spec.hh"
 #include "trace/interval_profile.hh"
 
 namespace tpcp::fault
@@ -35,6 +36,9 @@ namespace tpcp::fault
 struct ResilienceOptions
 {
     InjectorConfig injector;
+    /** Phase-change predictor under fault (the paper's RLE-2 by
+     * default; "tage"/"perceptron" exercise the new families). */
+    pred::PredictorSpec changePredictor;
     /** Accumulator dimension config replayed from the profile. */
     unsigned dims = 16;
     /** Scrub period of the mitigated classifier, in intervals. */

@@ -31,6 +31,20 @@ payloadName(PayloadView v)
 
 } // namespace
 
+unsigned
+predictorNumSets(unsigned entries, unsigned ways, const char *what)
+{
+    if (ways == 0 || entries == 0)
+        tpcp_raise(what, ": table geometry ", entries, " entries x ",
+                   ways, " ways is degenerate");
+    if (entries % ways != 0)
+        tpcp_raise(what, ": ", entries, " entries is not a multiple "
+                   "of ", ways, " ways — ", entries / ways * ways,
+                   " entries would silently be usable; pick a "
+                   "multiple of the associativity");
+    return entries / ways;
+}
+
 ChangePredictorConfig
 ChangePredictorConfig::markov(unsigned order, PayloadView payload,
                               unsigned entries)
@@ -68,14 +82,12 @@ ChangePredictorConfig::rle(unsigned order, PayloadView payload,
 
 ChangePredictor::ChangePredictor(const ChangePredictorConfig &config)
     : cfg(config),
-      table(std::max(1u, config.tableEntries /
-                             std::max(1u, config.tableWays)),
-            std::max(1u, config.tableWays)),
-      numSets(std::max(1u, config.tableEntries /
-                               std::max(1u, config.tableWays)))
+      table(predictorNumSets(config.tableEntries, config.tableWays,
+                             "change predictor"),
+            config.tableWays),
+      numSets(table.numSets())
 {
     tpcp_assert(cfg.order >= 1 && cfg.order <= 8);
-    tpcp_assert(cfg.tableEntries >= cfg.tableWays);
 }
 
 std::uint64_t

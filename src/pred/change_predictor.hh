@@ -31,6 +31,7 @@
 #include "common/assoc_table.hh"
 #include "common/sat_counter.hh"
 #include "common/types.hh"
+#include "pred/predictor_base.hh"
 
 namespace tpcp
 {
@@ -99,6 +100,10 @@ struct ChangePrediction
     PhaseId primary = invalidPhaseId;
     /** All acceptable outcomes (Last4/Top4 views list up to 4). */
     std::vector<PhaseId> candidates;
+    /** Analog confidence of the primary outcome for predictors that
+     * produce one (the perceptron's score margin); 0 otherwise. The
+     * boolean `confident` is this thresholded. */
+    double analog = 0.0;
 
     /** True when @p actual matches any acceptable outcome. */
     bool
@@ -124,7 +129,7 @@ struct ChangeOutcome
 /**
  * A Markov-N or RLE-N phase-change predictor.
  */
-class ChangePredictor
+class ChangePredictor : public PhaseChangePredictor
 {
   public:
     explicit ChangePredictor(const ChangePredictorConfig &config);
@@ -136,7 +141,7 @@ class ChangePredictor
      * exact state before", so a confident hit doubles as a
      * change-is-imminent signal for next-interval prediction.
      */
-    ChangePrediction predict() const;
+    ChangePrediction predict() const override;
 
     /**
      * Observes the phase of the next interval, updating history and
@@ -144,10 +149,18 @@ class ChangePredictor
      * observation was a phase change (for change-prediction
      * statistics), std::nullopt otherwise.
      */
-    std::optional<ChangeOutcome> observe(PhaseId actual);
+    std::optional<ChangeOutcome> observe(PhaseId actual) override;
 
     /** The predictor's configured display name. */
-    const std::string &name() const { return cfg.name; }
+    const std::string &name() const override { return cfg.name; }
+
+    /** Last-4/Top-4 payloads accept any candidate as correct. */
+    bool
+    acceptAny() const override
+    {
+        return cfg.payload == PayloadView::Last4 ||
+               cfg.payload == PayloadView::Top4;
+    }
 
     const ChangePredictorConfig &config() const { return cfg; }
 
@@ -165,14 +178,14 @@ class ChangePredictor
      * model) and the entry invalidated, degrading to a miss that
      * retrains. Returns false when the table holds no valid entry.
      */
-    bool injectFault(Rng &rng, bool invalidate);
+    bool injectFault(Rng &rng, bool invalidate) override;
 
     /** Appends predictor state to a checkpoint snapshot. */
-    void saveState(StateWriter &w) const;
+    void saveState(StateWriter &w) const override;
 
     /** Restores predictor state from a checkpoint snapshot; counters
      * and ring/frequency cursors are clamped to their ranges. */
-    void loadState(StateReader &r);
+    void loadState(StateReader &r) override;
 
   private:
     /** Stored per-entry learning state. */

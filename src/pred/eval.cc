@@ -22,19 +22,17 @@ NextPhaseStats::merge(const NextPhaseStats &other)
     phaseChanges += other.phaseChanges;
 }
 
+namespace
+{
+
+/** Shared next-phase replay over any change-predictor instance. */
 NextPhaseStats
-evalNextPhase(const std::vector<PhaseId> &trace,
-              const std::optional<ChangePredictorConfig> &change_cfg,
-              const LastValueConfig &lv_cfg)
+runNextPhase(const std::vector<PhaseId> &trace,
+             std::unique_ptr<PhaseChangePredictor> change,
+             const LastValueConfig &lv_cfg)
 {
     NextPhaseStats stats;
-    std::unique_ptr<ChangePredictor> change;
-    bool accept_any = false;
-    if (change_cfg) {
-        change = std::make_unique<ChangePredictor>(*change_cfg);
-        accept_any = change_cfg->payload == PayloadView::Last4 ||
-                     change_cfg->payload == PayloadView::Top4;
-    }
+    const bool accept_any = change && change->acceptAny();
     NextPhasePredictor predictor(std::move(change), lv_cfg);
 
     PhaseId prev = invalidPhaseId;
@@ -68,25 +66,14 @@ evalNextPhase(const std::vector<PhaseId> &trace,
     return stats;
 }
 
-void
-ChangeOutcomeStats::merge(const ChangeOutcomeStats &other)
-{
-    changes += other.changes;
-    confCorrect += other.confCorrect;
-    unconfCorrect += other.unconfCorrect;
-    tagMiss += other.tagMiss;
-    unconfIncorrect += other.unconfIncorrect;
-    confIncorrect += other.confIncorrect;
-}
-
+/** Shared change-outcome replay over any change-predictor
+ * instance. */
 ChangeOutcomeStats
-evalChangeOutcome(const std::vector<PhaseId> &trace,
-                  const ChangePredictorConfig &cfg)
+runChangeOutcome(const std::vector<PhaseId> &trace,
+                 PhaseChangePredictor &predictor)
 {
     ChangeOutcomeStats stats;
-    ChangePredictor predictor(cfg);
-    bool accept_any = cfg.payload == PayloadView::Last4 ||
-                      cfg.payload == PayloadView::Top4;
+    const bool accept_any = predictor.acceptAny();
     for (PhaseId actual : trace) {
         std::optional<ChangeOutcome> out = predictor.observe(actual);
         if (!out)
@@ -111,6 +98,54 @@ evalChangeOutcome(const std::vector<PhaseId> &trace,
         }
     }
     return stats;
+}
+
+} // namespace
+
+NextPhaseStats
+evalNextPhase(const std::vector<PhaseId> &trace,
+              const std::optional<ChangePredictorConfig> &change_cfg,
+              const LastValueConfig &lv_cfg)
+{
+    std::unique_ptr<PhaseChangePredictor> change;
+    if (change_cfg)
+        change = std::make_unique<ChangePredictor>(*change_cfg);
+    return runNextPhase(trace, std::move(change), lv_cfg);
+}
+
+NextPhaseStats
+evalNextPhase(const std::vector<PhaseId> &trace,
+              const PredictorSpec &spec,
+              const LastValueConfig &lv_cfg)
+{
+    return runNextPhase(trace, spec.make(), lv_cfg);
+}
+
+void
+ChangeOutcomeStats::merge(const ChangeOutcomeStats &other)
+{
+    changes += other.changes;
+    confCorrect += other.confCorrect;
+    unconfCorrect += other.unconfCorrect;
+    tagMiss += other.tagMiss;
+    unconfIncorrect += other.unconfIncorrect;
+    confIncorrect += other.confIncorrect;
+}
+
+ChangeOutcomeStats
+evalChangeOutcome(const std::vector<PhaseId> &trace,
+                  const ChangePredictorConfig &cfg)
+{
+    ChangePredictor predictor(cfg);
+    return runChangeOutcome(trace, predictor);
+}
+
+ChangeOutcomeStats
+evalChangeOutcome(const std::vector<PhaseId> &trace,
+                  const PredictorSpec &spec)
+{
+    std::unique_ptr<PhaseChangePredictor> predictor = spec.make();
+    return runChangeOutcome(trace, *predictor);
 }
 
 void

@@ -17,6 +17,7 @@
 #include "pred/change_predictor.hh"
 #include "pred/last_value.hh"
 #include "pred/length_predictor.hh"
+#include "pred/predictor_spec.hh"
 
 namespace tpcp::pred
 {
@@ -91,6 +92,12 @@ NextPhaseStats evalNextPhase(
     const std::optional<ChangePredictorConfig> &change_cfg,
     const LastValueConfig &lv_cfg = {});
 
+/** Spec-driven variant covering every predictor family (Markov/RLE
+ * tables, TAGE, perceptron). */
+NextPhaseStats evalNextPhase(const std::vector<PhaseId> &trace,
+                             const PredictorSpec &spec,
+                             const LastValueConfig &lv_cfg = {});
+
 /** Figure-8 category counts over phase-change outcomes. */
 struct ChangeOutcomeStats
 {
@@ -132,6 +139,10 @@ struct ChangeOutcomeStats
 ChangeOutcomeStats evalChangeOutcome(
     const std::vector<PhaseId> &trace,
     const ChangePredictorConfig &cfg);
+
+/** Spec-driven variant covering every predictor family. */
+ChangeOutcomeStats evalChangeOutcome(
+    const std::vector<PhaseId> &trace, const PredictorSpec &spec);
 
 /** Perfect-Markov upper bound results (Figure 8, last columns). */
 struct PerfectMarkovStats

@@ -5,6 +5,7 @@
 #include "common/rng.hh"
 #include "common/state_io.hh"
 #include "phase/phase_trace.hh"
+#include "pred/predictor_base.hh"
 
 namespace tpcp::pred
 {
@@ -12,11 +13,10 @@ namespace tpcp::pred
 RunLengthPredictor::RunLengthPredictor(
     const LengthPredictorConfig &config)
     : cfg(config),
-      table(std::max(1u, config.tableEntries /
-                             std::max(1u, config.tableWays)),
-            std::max(1u, config.tableWays)),
-      numSets(std::max(1u, config.tableEntries /
-                               std::max(1u, config.tableWays)))
+      table(predictorNumSets(config.tableEntries, config.tableWays,
+                             "run-length predictor"),
+            config.tableWays),
+      numSets(table.numSets())
 {
     tpcp_assert(cfg.order >= 1 && cfg.order <= 8);
 }
@@ -109,9 +109,13 @@ RunLengthPredictor::finish()
 {
     if (!primed || !havePending || runLen == 0)
         return std::nullopt;
+    // The final run is cut off by the trace boundary, so its observed
+    // class is only a lower bound on the true run length. Report the
+    // standing prediction for the accounting but do NOT train on it:
+    // learning the truncated class would mislearn the entry a
+    // resumed/replayed trace hits next.
     unsigned actual_class = phase::runLengthClass(runLen);
     LengthPredRecord rec{pendingClass, actual_class, pendingHit};
-    train(pendingKey, actual_class);
     havePending = false;
     return rec;
 }

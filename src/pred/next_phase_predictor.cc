@@ -6,7 +6,7 @@ namespace tpcp::pred
 {
 
 NextPhasePredictor::NextPhasePredictor(
-    std::unique_ptr<ChangePredictor> change_in,
+    std::unique_ptr<PhaseChangePredictor> change_in,
     const LastValueConfig &lv_cfg)
     : change(std::move(change_in)), lastValue(lv_cfg)
 {

@@ -62,7 +62,8 @@ struct NextPhasePrediction
 
 /**
  * Next-interval phase predictor: optional change table over a
- * last-value base.
+ * last-value base. Works with any PhaseChangePredictor — the
+ * Markov/RLE tables, TAGE or the perceptron.
  */
 class NextPhasePredictor
 {
@@ -73,7 +74,7 @@ class NextPhasePredictor
      * @param lv_cfg last-value confidence configuration
      */
     explicit NextPhasePredictor(
-        std::unique_ptr<ChangePredictor> change = nullptr,
+        std::unique_ptr<PhaseChangePredictor> change = nullptr,
         const LastValueConfig &lv_cfg = {});
 
     /** True once at least one interval has been observed. */
@@ -90,13 +91,13 @@ class NextPhasePredictor
     std::optional<ChangeOutcome> observe(PhaseId actual);
 
     /** The change predictor, if any. */
-    const ChangePredictor *changePredictor() const
+    const PhaseChangePredictor *changePredictor() const
     {
         return change.get();
     }
 
     /** Mutable change-predictor access (fault injection). */
-    ChangePredictor *mutableChangePredictor()
+    PhaseChangePredictor *mutableChangePredictor()
     {
         return change.get();
     }
@@ -114,7 +115,7 @@ class NextPhasePredictor
     void loadState(StateReader &r);
 
   private:
-    std::unique_ptr<ChangePredictor> change;
+    std::unique_ptr<PhaseChangePredictor> change;
     LastValuePredictor lastValue;
 };
 

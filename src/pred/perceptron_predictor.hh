@@ -1,0 +1,146 @@
+/**
+ * @file
+ * A hashed-perceptron phase-change predictor with an analog
+ * confidence output.
+ *
+ * Where the table predictors memorize (history -> outcome) pairs,
+ * the perceptron *scores* every plausible next phase against the
+ * run-length-encoded history: each (position, phase, length-class)
+ * feature of the recent history contributes a signed weight to each
+ * candidate, candidates come from a small learned per-phase
+ * successor set, and the winner's score margin is the prediction's
+ * analog confidence. Training is perceptron-style — only on a wrong
+ * winner or a sub-threshold margin — with an O-GEHL-style
+ * adaptively-trained threshold, so weights stop saturating once the
+ * predictor is right with room to spare.
+ */
+
+#ifndef TPCP_PRED_PERCEPTRON_PREDICTOR_HH
+#define TPCP_PRED_PERCEPTRON_PREDICTOR_HH
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "pred/change_predictor.hh"
+#include "pred/predictor_base.hh"
+
+namespace tpcp::pred
+{
+
+/** Configuration of the perceptron predictor. */
+struct PerceptronPredictorConfig
+{
+    std::string name = "Perceptron";
+    /** Feature window: completed runs of history considered. */
+    unsigned historyRuns = 8;
+    /** Hashed weight rows shared by all features (power of two). */
+    unsigned weightRows = 1024;
+    /** Weight clamp range (6-bit signed hardware weights). */
+    int weightMin = -32;
+    int weightMax = 31;
+    /** Initial training threshold; adapted at runtime within
+     * [1, thetaMax]. */
+    int thetaInit = 12;
+    int thetaMax = 63;
+    /** Score margin (winner minus runner-up) at or above which a
+     * prediction reports confident (sweepable). */
+    int confMargin = 8;
+    /** Learned successor-set rows (direct-mapped by phase). */
+    unsigned successorRows = 64;
+    /** Candidates tracked per phase. */
+    unsigned maxSuccessors = 8;
+    /** Score any of the top-4 ranked candidates as correct; false
+     * scores the winner only. */
+    bool acceptAnyRule = true;
+};
+
+/**
+ * The hashed-perceptron phase-change predictor.
+ */
+class PerceptronPredictor : public PhaseChangePredictor
+{
+  public:
+    explicit PerceptronPredictor(
+        const PerceptronPredictorConfig &config = {});
+
+    ChangePrediction predict() const override;
+    std::optional<ChangeOutcome> observe(PhaseId actual) override;
+
+    const std::string &name() const override { return cfg.name; }
+    bool acceptAny() const override { return cfg.acceptAnyRule; }
+
+    const PerceptronPredictorConfig &config() const { return cfg; }
+
+    /** Current phase (last observed); invalid before priming. */
+    PhaseId currentPhase() const { return lastPhase; }
+
+    /** Length of the current run so far, in intervals. */
+    std::uint64_t currentRunLength() const { return runLen; }
+
+    /** Current adaptive training threshold (test introspection). */
+    int theta() const { return theta_; }
+
+    bool injectFault(Rng &rng, bool invalidate) override;
+
+    void saveState(StateWriter &w) const override;
+    void loadState(StateReader &r) override;
+
+  private:
+    /** Learned successor set of one phase. */
+    struct SuccessorRow
+    {
+        bool valid = false;
+        PhaseId phase = invalidPhaseId; ///< full tag
+        std::array<PhaseId, 8> succ{};
+        std::array<std::uint8_t, 8> count{};
+        std::uint8_t n = 0;
+    };
+
+    /** One scored candidate. */
+    struct Scored
+    {
+        PhaseId phase = invalidPhaseId;
+        int score = 0;
+    };
+
+    std::uint32_t rowIndex(PhaseId phase) const;
+    /** Feature hashes of the current history state (position-salted
+     * (phase, class) pairs plus the current phase). */
+    void featureHashes(std::vector<std::uint64_t> &out) const;
+    std::uint32_t weightIndex(std::uint64_t feature,
+                              PhaseId candidate) const;
+    int score(const std::vector<std::uint64_t> &features,
+              PhaseId candidate) const;
+    /** Candidates of the current phase ranked by score (stable:
+     * ties keep successor-slot order). Empty on a row miss. */
+    std::vector<Scored> rank(
+        const std::vector<std::uint64_t> &features) const;
+    void adjust(const std::vector<std::uint64_t> &features,
+                PhaseId candidate, int delta);
+    void recordSuccessor(PhaseId actual);
+    void trainOnChange(PhaseId actual);
+
+    PerceptronPredictorConfig cfg;
+    std::vector<std::int8_t> weights;
+    std::vector<SuccessorRow> rows;
+    int theta_;
+    /** O-GEHL threshold-training counter in [-tcSaturation,
+     * tcSaturation]. */
+    int tc = 0;
+    static constexpr int tcSaturation = 63;
+
+    bool primed = false;
+    PhaseId lastPhase = invalidPhaseId;
+    std::uint64_t runLen = 0;
+    /** Completed (phase, run-length class) runs, back = most
+     * recent; capped at historyRuns. */
+    std::deque<std::pair<PhaseId, std::uint8_t>> history;
+};
+
+} // namespace tpcp::pred
+
+#endif // TPCP_PRED_PERCEPTRON_PREDICTOR_HH

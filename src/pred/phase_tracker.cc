@@ -7,9 +7,7 @@ namespace tpcp::pred
 
 PhaseTracker::PhaseTracker(const PhaseTrackerConfig &config)
     : classifier_(config.classifier),
-      nextPhase(std::make_unique<ChangePredictor>(
-                    config.changeTable),
-                config.lastValue),
+      nextPhase(config.changeTable.make(), config.lastValue),
       lengthPred(config.length)
 {
 }
@@ -17,9 +15,7 @@ PhaseTracker::PhaseTracker(const PhaseTrackerConfig &config)
 PhaseTracker::PhaseTracker(const PhaseTrackerConfig &config,
                            phase::SignatureTable *external_table)
     : classifier_(config.classifier, external_table),
-      nextPhase(std::make_unique<ChangePredictor>(
-                    config.changeTable),
-                config.lastValue),
+      nextPhase(config.changeTable.make(), config.lastValue),
       lengthPred(config.length)
 {
 }

@@ -22,6 +22,7 @@
 #include "pred/change_predictor.hh"
 #include "pred/length_predictor.hh"
 #include "pred/next_phase_predictor.hh"
+#include "pred/predictor_spec.hh"
 
 namespace tpcp::pred
 {
@@ -31,10 +32,11 @@ struct PhaseTrackerConfig
 {
     phase::ClassifierConfig classifier =
         phase::ClassifierConfig::paperDefault();
-    /** Phase-change table (paper section 5: RLE-2, 32 entry 4-way,
-     * 1-bit confidence). */
-    ChangePredictorConfig changeTable =
-        ChangePredictorConfig::rle(2);
+    /** Phase-change predictor (default: the paper's RLE-2 table,
+     * 32 entry 4-way, 1-bit confidence; any PredictorSpec — TAGE,
+     * perceptron — plugs in here). */
+    PredictorSpec changeTable =
+        PredictorSpec::tableSpec(ChangePredictorConfig::rle(2));
     LastValueConfig lastValue;
     LengthPredictorConfig length;
 };

@@ -1,0 +1,792 @@
+#include "pred/tage_predictor.hh"
+
+#include <algorithm>
+
+#include "common/bitops.hh"
+#include "common/rng.hh"
+#include "common/state_io.hh"
+#include "phase/phase_trace.hh"
+
+namespace tpcp::pred
+{
+
+TagePredictor::TagePredictor(const TagePredictorConfig &config)
+    : cfg(config),
+      base(predictorNumSets(config.baseEntries, config.baseWays,
+                            "TAGE base table"),
+           config.baseWays),
+      baseSets(base.numSets())
+{
+    if (cfg.tableEntries == 0)
+        tpcp_raise("TAGE predictor: zero-entry tagged table");
+    if (cfg.historyLengths.empty())
+        tpcp_raise("TAGE predictor: no tagged-table history lengths");
+    for (std::size_t i = 1; i < cfg.historyLengths.size(); ++i) {
+        if (cfg.historyLengths[i] <= cfg.historyLengths[i - 1])
+            tpcp_raise("TAGE predictor: history lengths must be "
+                       "strictly increasing, got ",
+                       cfg.historyLengths[i - 1], " then ",
+                       cfg.historyLengths[i]);
+    }
+    if (cfg.tagBits < 1 || cfg.tagBits > 16)
+        tpcp_raise("TAGE predictor: tag width ", cfg.tagBits,
+                   " outside 1..16");
+    if (cfg.confBits < 1 || cfg.confBits > 8 ||
+        cfg.usefulBits < 1 || cfg.usefulBits > 8)
+        tpcp_raise("TAGE predictor: counter width outside 1..8");
+    if (cfg.usefulHalvePeriod == 0)
+        tpcp_raise("TAGE predictor: useful-halving period is zero");
+
+    tables.resize(cfg.historyLengths.size());
+    for (auto &t : tables) {
+        t.resize(cfg.tableEntries);
+        for (auto &e : t) {
+            e.conf = SatCounter(cfg.confBits, 0);
+            e.useful = SatCounter(cfg.usefulBits, 0);
+        }
+    }
+    if (cfg.rleAssist)
+        rle = std::make_unique<ChangePredictor>(
+            ChangePredictorConfig::rle(2));
+}
+
+std::uint64_t
+TagePredictor::foldHistory(unsigned hist_len) const
+{
+    // Fold the last hist_len completed (phase, class) runs and the
+    // current phase into one hash; salting with the length keeps the
+    // tables' index spaces decorrelated even when the histories they
+    // see are identical (short traces).
+    std::uint64_t h = 0x9e3779b97f4a7c15ULL ^
+                      (static_cast<std::uint64_t>(hist_len) *
+                       0x100000001b3ULL);
+    std::size_t n = history.size();
+    std::size_t start = n > hist_len ? n - hist_len : 0;
+    for (std::size_t i = start; i < n; ++i) {
+        h = mix64(h ^ (static_cast<std::uint64_t>(
+                           history[i].first) + 1));
+        h = mix64(h ^ (history[i].second + 0x51ULL));
+    }
+    h = mix64(h ^ (static_cast<std::uint64_t>(lastPhase) + 1));
+    return h;
+}
+
+TagePredictor::Lookup
+TagePredictor::lookup() const
+{
+    Lookup l;
+    l.index.resize(tables.size());
+    l.tagOf.resize(tables.size());
+    const std::uint16_t tagMask = static_cast<std::uint16_t>(
+        (1u << cfg.tagBits) - 1);
+    for (std::size_t i = 0; i < tables.size(); ++i) {
+        std::uint64_t h = foldHistory(cfg.historyLengths[i]);
+        l.index[i] =
+            static_cast<std::uint32_t>(h % cfg.tableEntries);
+        l.tagOf[i] = static_cast<std::uint16_t>(
+            mix64(h ^ 0xa24baed4963ee407ULL) & tagMask);
+        const TaggedEntry &e = tables[i][l.index[i]];
+        if (e.valid && e.tag == l.tagOf[i]) {
+            if (l.provider < 0 ||
+                static_cast<std::size_t>(l.provider) < i) {
+                l.alt = l.provider;
+                l.provider = static_cast<int>(i);
+            }
+        }
+    }
+    // The scan above walks short-to-long, so the provider ends up as
+    // the longest match and alt as the second longest.
+    l.baseSet = static_cast<std::uint32_t>(
+        mix64(static_cast<std::uint64_t>(lastPhase) + 1) %
+        baseSets);
+    const auto *slot =
+        base.find(l.baseSet, static_cast<std::uint64_t>(lastPhase));
+    l.baseHit = slot != nullptr;
+    l.baseEntry = slot ? &slot->value : nullptr;
+    return l;
+}
+
+const TagePredictor::TaggedEntry *
+TagePredictor::chosenTagged(const Lookup &l, bool &use_alt_out) const
+{
+    use_alt_out = false;
+    if (l.provider < 0)
+        return nullptr;
+    const TaggedEntry &prov = tables[l.provider][l.index[l.provider]];
+    // Alt-on-weak: a freshly allocated, never-confirmed provider
+    // (weak confidence, no usefulness yet) defers to the longest
+    // older match — or the base when there is none — while the
+    // adaptive vote says weak providers are not to be trusted. The
+    // vote is trained on provider/alternate disagreements, so each
+    // workload settles its own policy.
+    if (prov.conf.value() <= 1 && prov.useful.value() == 0 &&
+        useAltOnNa.value() >= 8) {
+        use_alt_out = true;
+        if (l.alt < 0)
+            return nullptr;
+        return &tables[l.alt][l.index[l.alt]];
+    }
+    return &prov;
+}
+
+void
+TagePredictor::pushCandidate(PhaseId c, std::vector<PhaseId> &out)
+{
+    if (out.size() >= 4)
+        return;
+    for (PhaseId seen : out) {
+        if (seen == c)
+            return;
+    }
+    out.push_back(c);
+}
+
+void
+TagePredictor::appendBaseCandidates(const BaseValue &b,
+                                    std::vector<PhaseId> &out) const
+{
+    // Most recent outcome first; then ring recency and the sorted
+    // frequency summary, in the order the adaptive view vote
+    // prefers. The two orderings reproduce the paper's Last-4 and
+    // Top-4 payload views, and the vote learns per workload which
+    // one pays.
+    pushCandidate(b.outcome, out);
+    std::array<std::pair<PhaseId, std::uint32_t>, 8> items{};
+    for (unsigned k = 0; k < b.freqCount; ++k)
+        items[k] = b.freq[k];
+    std::stable_sort(items.begin(), items.begin() + b.freqCount,
+                     [](const auto &x, const auto &y) {
+                         return x.second > y.second;
+                     });
+    const std::uint64_t v = b.view.value();
+    const bool freqFirst =
+        v >= 7 ? true : v == 0 ? false : viewVote.value() >= 32;
+    // Blend recency into the frequency rank: each ring position is
+    // worth a recency bonus on top of the observed count, weighted
+    // toward whichever view the votes prefer.
+    std::array<std::pair<PhaseId, double>, 12> scored{};
+    unsigned n = 0;
+    const double recencyWeight = freqFirst ? 2.0 : 16.0;
+    for (unsigned k = 0; k < b.freqCount; ++k)
+        scored[n++] = {items[k].first,
+                       static_cast<double>(items[k].second)};
+    for (unsigned k = 0; k < b.ringCount; ++k) {
+        PhaseId c = b.ring[(b.ringHead + 4 - 1 - k) % 4];
+        double bonus = recencyWeight * (4.0 - k);
+        bool found = false;
+        for (unsigned j = 0; j < n; ++j) {
+            if (scored[j].first == c) {
+                scored[j].second += bonus;
+                found = true;
+                break;
+            }
+        }
+        if (!found)
+            scored[n++] = {c, bonus};
+    }
+    std::stable_sort(scored.begin(), scored.begin() + n,
+                     [](const auto &x, const auto &y) {
+                         return x.second > y.second;
+                     });
+    for (unsigned k = 0; k < n; ++k)
+        pushCandidate(scored[k].first, out);
+}
+
+std::vector<PhaseId>
+TagePredictor::assembleCandidates(const Lookup &l,
+                                  const TaggedEntry &chosen,
+                                  bool ring_early) const
+{
+    std::vector<PhaseId> out;
+    out.push_back(chosen.outcome);
+    // Every other matching tagged entry is still context-backed
+    // evidence; rank their outcomes (longest history first) ahead
+    // of the filler.
+    // The context-first order leans harder on tagged evidence and
+    // takes a second extra entry; the base-first order keeps room
+    // for the Markov-1 filler.
+    const unsigned maxOthers = ring_early ? 2 : 1;
+    unsigned others = 0;
+    for (int j = static_cast<int>(tables.size()) - 1;
+         j >= 0 && others < maxOthers; --j) {
+        const TaggedEntry &t = tables[j][l.index[j]];
+        if (&t != &chosen && t.valid && t.tag == l.tagOf[j]) {
+            pushCandidate(t.outcome, out);
+            ++others;
+        }
+    }
+    for (int pass = 0; pass < 2; ++pass) {
+        if ((pass == 0) == ring_early) {
+            for (unsigned k = 0; k < chosen.ringCount; ++k)
+                pushCandidate(
+                    chosen.ring[(chosen.ringHead + 4 - 1 - k) % 4],
+                    out);
+        } else if (l.baseHit) {
+            appendBaseCandidates(*l.baseEntry, out);
+        }
+    }
+    return out;
+}
+
+ChangePrediction
+TagePredictor::predict() const
+{
+    if (!primed)
+        return {};
+    if (rle) {
+        ChangePrediction rp = rle->predict();
+        if (rp.tableHit && rp.confident)
+            return rp;
+    }
+    return ownPrediction(nullptr);
+}
+
+ChangePrediction
+TagePredictor::ownPrediction(bool *alarm_out) const
+{
+    ChangePrediction out;
+    Lookup l = lookup();
+    bool use_alt = false;
+    const TaggedEntry *e = chosenTagged(l, use_alt);
+    if (!e && !l.baseHit)
+        return out;
+    out.tableHit = true;
+    // The chosen tagged entry supplies the primary; the base entry,
+    // which sees every change out of this phase and so has the
+    // best-trained last-4 ring, backfills the candidate list. A
+    // tagged-table candidate set alone is too thin — each entry only
+    // trains when its exact history recurs.
+    std::uint64_t conf;
+    std::uint32_t expect_len;
+    bool len_stable;
+    if (e) {
+        out.primary = e->outcome;
+        conf = e->conf.value();
+        expect_len = e->lastLen;
+        len_stable = e->lenStable;
+        if (cfg.acceptAnyRule)
+            out.candidates = assembleCandidates(
+                l, *e, ringFirstVote.value() >= 128);
+        else
+            out.candidates.push_back(e->outcome);
+    } else {
+        const BaseValue &b = *l.baseEntry;
+        out.primary = b.outcome;
+        conf = b.conf.value();
+        expect_len = b.lastLen;
+        len_stable = b.lenStable;
+        appendBaseCandidates(b, out.candidates);
+    }
+    if (!cfg.acceptAnyRule)
+        out.candidates.resize(1);
+    // The history index carries no current-run position, so the raw
+    // table hit would confidently alarm "change next interval" from
+    // the first interval of every run. The imminence gate defers
+    // confidence until the run has reached the length last seen out
+    // of this context — this is what makes the predictor usable as
+    // the AdaptController's anticipation source, where a mid-run
+    // false alarm pre-configures the machine for the wrong phase.
+    // Under rleAssist the assists are held to a higher bar. A base
+    // alarm only adds signal when this phase has exactly one
+    // successor on record (a deterministic Markov edge) — its
+    // phase-keyed lastLen mixes every context reaching this phase.
+    // And assists stick to length-1 runs: a single remembered
+    // terminal length gets fragile as runs lengthen (the reason the
+    // paper's RLE tables stop at short lengths), while a length-1
+    // alarm is decided entirely by the history context — and covers
+    // exactly the runs where a reactive controller has zero lead
+    // time.
+    const bool pure_base =
+        !e && l.baseEntry && l.baseEntry->freqCount == 1;
+    const bool imminent = expect_len != 0 &&
+                          runLen == expect_len && len_stable &&
+                          (!rle || ((e || pure_base) &&
+                                    expect_len == 1));
+    const bool alarm = conf >= cfg.confThreshold && imminent;
+    if (alarm_out)
+        *alarm_out = alarm;
+    out.confident =
+        cfg.confThreshold == 0 ||
+        (alarm && (!rle || assistVote.value() >= 8));
+    out.analog = static_cast<double>(conf);
+    return out;
+}
+
+void
+TagePredictor::pushRing(std::array<PhaseId, 4> &ring,
+                        std::uint8_t &count, std::uint8_t &head,
+                        PhaseId outcome)
+{
+    for (unsigned k = 0; k < count; ++k) {
+        if (ring[k] == outcome)
+            return; // ring keeps unique outcomes only
+    }
+    ring[head] = outcome;
+    head = static_cast<std::uint8_t>((head + 1) % 4);
+    if (count < 4)
+        ++count;
+}
+
+bool
+TagePredictor::ringHas(const std::array<PhaseId, 4> &ring,
+                       std::uint8_t count, PhaseId outcome)
+{
+    for (unsigned k = 0; k < count; ++k) {
+        if (ring[k] == outcome)
+            return true;
+    }
+    return false;
+}
+
+void
+TagePredictor::bumpFreq(BaseValue &b, PhaseId actual)
+{
+    for (unsigned k = 0; k < b.freqCount; ++k) {
+        if (b.freq[k].first == actual) {
+            ++b.freq[k].second;
+            return;
+        }
+    }
+    if (b.freqCount < b.freq.size()) {
+        b.freq[b.freqCount++] = {actual, 1};
+        return;
+    }
+    // Evict the least frequent summary slot (first minimum).
+    unsigned victim = 0;
+    for (unsigned k = 1; k < b.freqCount; ++k) {
+        if (b.freq[k].second < b.freq[victim].second)
+            victim = k;
+    }
+    b.freq[victim] = {actual, 1};
+}
+
+void
+TagePredictor::trainOnChange(PhaseId actual)
+{
+    Lookup l = lookup();
+    bool use_alt = false;
+    const TaggedEntry *chosen = chosenTagged(l, use_alt);
+
+    PhaseId finalPrimary = invalidPhaseId;
+    if (chosen)
+        finalPrimary = chosen->outcome;
+    else if (l.baseHit)
+        finalPrimary = l.baseEntry->outcome;
+    const bool finalCorrect = finalPrimary == actual;
+
+    // Candidate-order vote: compose the full accept-any list both
+    // ways (all state still pre-update here) and train toward the
+    // order that would have held this outcome.
+    if (chosen && l.baseEntry && cfg.acceptAnyRule) {
+        bool hit[2] = {false, false};
+        for (int order = 0; order < 2; ++order) {
+            for (PhaseId c : assembleCandidates(
+                     l, *chosen, order == 1))
+                hit[order] = hit[order] || c == actual;
+        }
+        if (hit[0] != hit[1]) {
+            if (hit[1])
+                ringFirstVote.increment();
+            else
+                ringFirstVote.decrement();
+        }
+    }
+
+    // Provider update (confidence hysteresis + last-4 ring) and the
+    // useful bookkeeping against the alternate prediction.
+    if (l.provider >= 0) {
+        TaggedEntry &prov = tables[l.provider][l.index[l.provider]];
+        PhaseId altPrimary = invalidPhaseId;
+        if (l.alt >= 0)
+            altPrimary = tables[l.alt][l.index[l.alt]].outcome;
+        else if (l.baseHit)
+            altPrimary = l.baseEntry->outcome;
+        const bool provCorrect = prov.outcome == actual;
+        const bool altCorrect = altPrimary == actual;
+        if (provCorrect != altCorrect) {
+            if (provCorrect)
+                prov.useful.increment();
+            else
+                prov.useful.decrement();
+            if (prov.conf.value() <= 1 &&
+                prov.useful.value() == 0) {
+                if (altCorrect)
+                    useAltOnNa.increment();
+                else
+                    useAltOnNa.decrement();
+            }
+        }
+        if (provCorrect) {
+            prov.conf.increment();
+        } else {
+            prov.conf.decrement();
+            if (prov.conf.saturatedLow())
+                prov.outcome = actual;
+        }
+        pushRing(prov.ring, prov.ringCount, prov.ringHead, actual);
+        prov.lenStable = prov.lastLen == runLen;
+        prov.lastLen = static_cast<std::uint32_t>(runLen);
+    }
+
+    // Base (Markov-1) component always trains.
+    auto *slot =
+        base.find(l.baseSet, static_cast<std::uint64_t>(lastPhase));
+    if (slot) {
+        BaseValue &b = slot->value;
+        // View vote: score the pre-update Last-4 and Top-4 views
+        // against this change; train the vote when exactly one of
+        // them would have accepted the outcome.
+        const bool last4Hit =
+            b.outcome == actual ||
+            ringHas(b.ring, b.ringCount, actual);
+        bool top4Hit = false;
+        {
+            std::array<std::pair<PhaseId, std::uint32_t>, 8> items{};
+            for (unsigned k = 0; k < b.freqCount; ++k)
+                items[k] = b.freq[k];
+            std::stable_sort(items.begin(),
+                             items.begin() + b.freqCount,
+                             [](const auto &x, const auto &y) {
+                                 return x.second > y.second;
+                             });
+            for (unsigned k = 0; k < b.freqCount && k < 4; ++k)
+                top4Hit = top4Hit || items[k].first == actual;
+        }
+        if (last4Hit != top4Hit) {
+            if (top4Hit) {
+                b.view.increment();
+                viewVote.increment();
+            } else {
+                b.view.decrement();
+                viewVote.decrement();
+            }
+        }
+        if (b.outcome == actual)
+            b.conf.increment();
+        else
+            b.conf.decrement();
+        b.outcome = actual;
+        pushRing(b.ring, b.ringCount, b.ringHead, actual);
+        bumpFreq(b, actual);
+        b.lenStable = b.lastLen == runLen;
+        b.lastLen = static_cast<std::uint32_t>(runLen);
+        base.touch(*slot);
+    } else {
+        BaseValue fresh;
+        fresh.outcome = actual;
+        pushRing(fresh.ring, fresh.ringCount, fresh.ringHead,
+                 actual);
+        bumpFreq(fresh, actual);
+        fresh.conf = SatCounter(cfg.confBits, 1);
+        fresh.lastLen = static_cast<std::uint32_t>(runLen);
+        base.insert(l.baseSet,
+                    static_cast<std::uint64_t>(lastPhase), fresh);
+    }
+
+    // Mispredict: allocate one entry in a longer-history table whose
+    // slot is not useful; age every longer slot when all refuse.
+    if (!finalCorrect &&
+        l.provider + 1 < static_cast<int>(tables.size())) {
+        unsigned allocated = 0;
+        for (std::size_t j = l.provider + 1;
+             j < tables.size() && allocated < 1; ++j) {
+            TaggedEntry &e = tables[j][l.index[j]];
+            if (!e.valid || e.useful.value() == 0) {
+                e.valid = true;
+                e.tag = l.tagOf[j];
+                e.outcome = actual;
+                e.ring = {};
+                e.ringCount = 0;
+                e.ringHead = 0;
+                pushRing(e.ring, e.ringCount, e.ringHead, actual);
+                e.conf = SatCounter(cfg.confBits, 1);
+                e.useful = SatCounter(cfg.usefulBits, 0);
+                e.lastLen = static_cast<std::uint32_t>(runLen);
+                ++allocated;
+            }
+        }
+        if (allocated == 0) {
+            for (std::size_t j = l.provider + 1; j < tables.size();
+                 ++j)
+                tables[j][l.index[j]].useful.decrement();
+        }
+    }
+
+    ++changesSeen;
+    if (changesSeen % cfg.usefulHalvePeriod == 0) {
+        // Periodic graceful aging so stale useful bits cannot pin
+        // dead entries forever.
+        for (auto &t : tables) {
+            for (auto &e : t)
+                e.useful.set(e.useful.value() >> 1);
+        }
+    }
+}
+
+std::optional<ChangeOutcome>
+TagePredictor::observe(PhaseId actual)
+{
+    if (!primed) {
+        primed = true;
+        lastPhase = actual;
+        runLen = 1;
+        if (rle)
+            rle->observe(actual);
+        return std::nullopt;
+    }
+    if (actual == lastPhase) {
+        // The run outlived TAGE's expected length: if the imminence
+        // alarm was up this interval it was a false alarm, so
+        // shadow-train the assist vote down. (The RLE component
+        // cannot false-alarm this way — its key holds the exact
+        // current length, so an over-long run leaves its table.)
+        if (rle) {
+            bool alarm = false;
+            ownPrediction(&alarm);
+            if (alarm)
+                assistVote.decrement();
+        }
+        ++runLen;
+        if (rle)
+            rle->observe(actual);
+        return std::nullopt;
+    }
+
+    // A phase change: score the standing prediction, then train on
+    // the revealed outcome. The index state (completed runs + the
+    // changing phase) is untouched by run continuation, so this
+    // lookup sees exactly what predict() saw.
+    ChangeOutcome rec;
+    ChangePrediction pred = predict();
+    rec.tableHit = pred.tableHit;
+    rec.confident = pred.confident;
+    rec.primaryCorrect = pred.tableHit && pred.primary == actual;
+    rec.anyCorrect = pred.tableHit && pred.matches(actual);
+
+    // Shadow-score TAGE's own alarm for this interval (state still
+    // pre-update): a correctly timed alarm naming the right phase
+    // earns the assist vote, a wrong-successor alarm loses it just
+    // like a false one — pre-configuring for the wrong phase costs
+    // the controller the same either way.
+    if (rle) {
+        bool alarm = false;
+        ChangePrediction own = ownPrediction(&alarm);
+        if (alarm) {
+            if (own.primary == actual)
+                assistVote.increment();
+            else
+                assistVote.decrement();
+        }
+    }
+
+    trainOnChange(actual);
+    if (rle)
+        rle->observe(actual);
+
+    history.emplace_back(
+        lastPhase,
+        static_cast<std::uint8_t>(phase::runLengthClass(runLen)));
+    while (history.size() > cfg.historyLengths.back())
+        history.pop_front();
+
+    lastPhase = actual;
+    runLen = 1;
+    return rec;
+}
+
+bool
+TagePredictor::injectFault(Rng &rng, bool invalidate)
+{
+    // Enumerate live entries in a fixed order: base first, then the
+    // tagged tables short-to-long.
+    struct Victim
+    {
+        AssocTable<std::uint64_t, BaseValue>::Entry *b = nullptr;
+        TaggedEntry *t = nullptr;
+    };
+    std::vector<Victim> live;
+    base.forEachSlot([&](auto &e) {
+        if (e.valid)
+            live.push_back({&e, nullptr});
+    });
+    for (auto &t : tables) {
+        for (auto &e : t) {
+            if (e.valid)
+                live.push_back({nullptr, &e});
+        }
+    }
+    if (live.empty())
+        return false;
+    Victim v = live[rng.nextBounded(
+        static_cast<std::uint32_t>(live.size()))];
+    if (invalidate) {
+        // ECC model: the error is detected and the entry dropped,
+        // degrading to a miss that retrains.
+        if (v.b)
+            base.erase(*v.b);
+        else
+            v.t->valid = false;
+        return true;
+    }
+    // Raw bit flip in the outcome, tag or confidence field.
+    switch (rng.nextBounded(3)) {
+      case 0:
+        if (v.b)
+            v.b->value.outcome ^= PhaseId(1) << rng.nextBounded(32);
+        else
+            v.t->outcome ^= PhaseId(1) << rng.nextBounded(32);
+        break;
+      case 1:
+        if (v.b)
+            v.b->tag ^= std::uint64_t(1) << rng.nextBounded(32);
+        else
+            v.t->tag = static_cast<std::uint16_t>(
+                v.t->tag ^ (1u << rng.nextBounded(cfg.tagBits)));
+        break;
+      default: {
+        SatCounter &c = v.b ? v.b->value.conf : v.t->conf;
+        c.set(c.value() ^
+              (std::uint64_t(1) << rng.nextBounded(cfg.confBits)));
+        break;
+      }
+    }
+    return true;
+}
+
+void
+TagePredictor::saveState(StateWriter &w) const
+{
+    w.u64(base.capacity());
+    w.u32(static_cast<std::uint32_t>(tables.size()));
+    w.u32(cfg.tableEntries);
+    base.forEachSlot([&](const auto &e) {
+        w.b(e.valid);
+        w.u64(e.tag);
+        w.u64(e.lastUse);
+        w.u32(e.value.outcome);
+        for (PhaseId p : e.value.ring)
+            w.u32(p);
+        w.u8(e.value.ringCount);
+        w.u8(e.value.ringHead);
+        for (const auto &[ph, cnt] : e.value.freq) {
+            w.u32(ph);
+            w.u32(cnt);
+        }
+        w.u8(e.value.freqCount);
+        w.u8(static_cast<std::uint8_t>(e.value.conf.value()));
+        w.u8(static_cast<std::uint8_t>(e.value.view.value()));
+        w.u32(e.value.lastLen);
+        w.b(e.value.lenStable);
+    });
+    w.u64(base.useTick());
+    for (const auto &t : tables) {
+        for (const TaggedEntry &e : t) {
+            w.b(e.valid);
+            w.u32(e.tag);
+            w.u32(e.outcome);
+            for (PhaseId p : e.ring)
+                w.u32(p);
+            w.u8(e.ringCount);
+            w.u8(e.ringHead);
+            w.u8(static_cast<std::uint8_t>(e.conf.value()));
+            w.u8(static_cast<std::uint8_t>(e.useful.value()));
+            w.u32(e.lastLen);
+            w.b(e.lenStable);
+        }
+    }
+    w.u8(static_cast<std::uint8_t>(useAltOnNa.value()));
+    w.u8(static_cast<std::uint8_t>(viewVote.value()));
+    w.u8(static_cast<std::uint8_t>(ringFirstVote.value()));
+    w.b(primed);
+    w.u32(lastPhase);
+    w.u64(runLen);
+    w.u64(changesSeen);
+    w.u64(history.size());
+    for (const auto &[id, cls] : history) {
+        w.u32(id);
+        w.u8(cls);
+    }
+    if (rle) {
+        w.u8(static_cast<std::uint8_t>(assistVote.value()));
+        rle->saveState(w);
+    }
+}
+
+void
+TagePredictor::loadState(StateReader &r)
+{
+    const std::uint64_t savedBase = r.u64();
+    const std::uint32_t savedTables = r.u32();
+    const std::uint32_t savedEntries = r.u32();
+    if (savedBase != base.capacity() ||
+        savedTables != tables.size() ||
+        savedEntries != cfg.tableEntries)
+        tpcp_raise("TAGE snapshot geometry ", savedBase, "/",
+                   savedTables, "/", savedEntries,
+                   " does not match the configured ",
+                   base.capacity(), "/", tables.size(), "/",
+                   cfg.tableEntries);
+    const std::uint16_t tagMask = static_cast<std::uint16_t>(
+        (1u << cfg.tagBits) - 1);
+    base.forEachSlot([&](auto &e) {
+        e.valid = r.b();
+        e.tag = r.u64();
+        e.lastUse = r.u64();
+        e.value.outcome = r.u32();
+        for (PhaseId &p : e.value.ring)
+            p = r.u32();
+        e.value.ringCount = std::min<std::uint8_t>(r.u8(), 4);
+        e.value.ringHead = static_cast<std::uint8_t>(r.u8() % 4);
+        for (auto &[ph, cnt] : e.value.freq) {
+            ph = r.u32();
+            cnt = r.u32();
+        }
+        e.value.freqCount = std::min<std::uint8_t>(r.u8(), 8);
+        e.value.conf = SatCounter(cfg.confBits, r.u8());
+        e.value.view = SatCounter(3, r.u8());
+        e.value.lastLen = r.u32();
+        e.value.lenStable = r.b();
+    });
+    base.setUseTick(r.u64());
+    for (auto &t : tables) {
+        for (TaggedEntry &e : t) {
+            e.valid = r.b();
+            e.tag = static_cast<std::uint16_t>(r.u32() & tagMask);
+            e.outcome = r.u32();
+            for (PhaseId &p : e.ring)
+                p = r.u32();
+            e.ringCount = std::min<std::uint8_t>(r.u8(), 4);
+            e.ringHead = static_cast<std::uint8_t>(r.u8() % 4);
+            e.conf = SatCounter(cfg.confBits, r.u8());
+            e.useful = SatCounter(cfg.usefulBits, r.u8());
+            e.lastLen = r.u32();
+            e.lenStable = r.b();
+        }
+    }
+    useAltOnNa = SatCounter(4, r.u8());
+    viewVote = SatCounter(6, r.u8());
+    ringFirstVote = SatCounter(8, r.u8());
+    primed = r.b();
+    lastPhase = r.u32();
+    runLen = r.u64();
+    changesSeen = r.u64();
+    std::uint64_t n = r.u64();
+    if (n > cfg.historyLengths.back())
+        tpcp_raise("TAGE snapshot: history of ", n,
+                   " runs exceeds the longest table's ",
+                   cfg.historyLengths.back());
+    history.clear();
+    for (std::uint64_t i = 0; i < n; ++i) {
+        PhaseId id = r.u32();
+        std::uint8_t cls = r.u8();
+        history.emplace_back(
+            id, std::min<std::uint8_t>(
+                    cls, phase::numRunLengthClasses - 1));
+    }
+    if (rle) {
+        assistVote = SatCounter(4, r.u8());
+        rle->loadState(r);
+    }
+}
+
+} // namespace tpcp::pred

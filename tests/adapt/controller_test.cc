@@ -192,6 +192,13 @@ TEST(AdaptReport, PresetsAreNamedAndValidated)
     PolicyPreset nopred = policyPresetByName("greedy-nopred");
     EXPECT_FALSE(nopred.options.anticipate);
     EXPECT_FALSE(nopred.options.lengthGate);
+    PolicyPreset tage = policyPresetByName("greedy-tage");
+    EXPECT_NE(tage.options.changePredictor.make(), nullptr);
+    EXPECT_EQ(tage.options.changePredictor.make()->name(), "TAGE");
+    PolicyPreset perc = policyPresetByName("greedy-perceptron");
+    EXPECT_NE(perc.options.changePredictor.make(), nullptr);
+    EXPECT_EQ(perc.options.changePredictor.make()->name(),
+              "Perceptron");
     EXPECT_THROW((void)policyPresetByName("nosuch"), tpcp::Error);
-    EXPECT_EQ(policyPresetNames().size(), 2u);
+    EXPECT_EQ(policyPresetNames().size(), 4u);
 }

@@ -136,9 +136,10 @@ TEST(PhaseTracker, DefaultConfigIsPaperConfig)
     EXPECT_DOUBLE_EQ(cfg.classifier.similarityThreshold, 0.25);
     EXPECT_EQ(cfg.classifier.minCountThreshold, 8u);
     EXPECT_TRUE(cfg.classifier.adaptiveThreshold);
-    EXPECT_EQ(cfg.changeTable.history, HistoryKind::Rle);
-    EXPECT_EQ(cfg.changeTable.order, 2u);
-    EXPECT_EQ(cfg.changeTable.tableEntries, 32u);
+    EXPECT_EQ(cfg.changeTable.kind, PredictorKind::Table);
+    EXPECT_EQ(cfg.changeTable.table.history, HistoryKind::Rle);
+    EXPECT_EQ(cfg.changeTable.table.order, 2u);
+    EXPECT_EQ(cfg.changeTable.table.tableEntries, 32u);
     EXPECT_EQ(cfg.lastValue.confBits, 3u);
     EXPECT_EQ(cfg.lastValue.confThreshold, 6u);
 }

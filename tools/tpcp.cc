@@ -39,7 +39,8 @@
  *   --timeline       print the phase timeline
  * Predict options:
  *   --predictor P    lastvalue | markov1 | markov2 | rle1 | rle2 |
- *                    top4markov1 | last4markov1   (default rle2)
+ *                    top4markov1 | last4markov1 | tage |
+ *                    perceptron                  (default rle2)
  * Export options:
  *   --out PATH       output CSV file             (default stdout)
  * Simstats options:
@@ -55,7 +56,8 @@
  *                    than fraction X (CI tripwire)
  * Adapt options (no workloads named = all 11, in parallel; the core
  * defaults to 'simple' since each lattice point is a full sim):
- *   --policy P       greedy | greedy-nopred      (default greedy)
+ *   --policy P       greedy | greedy-nopred | greedy-tage |
+ *                    greedy-perceptron           (default greedy)
  *   --lattice L      standard | small            (default standard)
  *   --json PATH      write AdaptReport records as JSON
  *                    ('-' disables)
@@ -65,6 +67,9 @@
  * Faults options (no workloads named = all 11, in parallel):
  *   --target T       accum | signature | metadata | change-table |
  *                    length-table | input | all   (default all)
+ *   --predictor P    change predictor under fault: markov1 | rle2 |
+ *                    last4markov1 | tage | perceptron | ...
+ *                    (default rle2)
  *   --rate X         per-interval fault probability (default 0.01)
  *   --mitigated      enable the hardening model (parity-protected
  *                    signature table with scrubbing and repair, ECC
@@ -435,28 +440,6 @@ cmdClassify(const Args &args)
     return 0;
 }
 
-std::optional<pred::ChangePredictorConfig>
-predictorByName(const std::string &name)
-{
-    using pred::ChangePredictorConfig;
-    using pred::PayloadView;
-    if (name == "lastvalue")
-        return std::nullopt;
-    if (name == "markov1")
-        return ChangePredictorConfig::markov(1);
-    if (name == "markov2")
-        return ChangePredictorConfig::markov(2);
-    if (name == "rle1")
-        return ChangePredictorConfig::rle(1);
-    if (name == "rle2")
-        return ChangePredictorConfig::rle(2);
-    if (name == "top4markov1")
-        return ChangePredictorConfig::markov(1, PayloadView::Top4);
-    if (name == "last4markov1")
-        return ChangePredictorConfig::markov(1, PayloadView::Last4);
-    tpcp_raise("unknown predictor '", name, "'");
-}
-
 int
 cmdPredict(const Args &args)
 {
@@ -469,14 +452,15 @@ cmdPredict(const Args &args)
         analysis::classifyProfile(profile, classifierConfig(args));
 
     std::string pname = args.get("predictor", "rle2");
-    std::optional<pred::ChangePredictorConfig> cfg =
-        predictorByName(pname);
+    std::optional<pred::PredictorSpec> spec =
+        pred::predictorSpecByName(pname);
     pred::NextPhaseStats next =
-        pred::evalNextPhase(res.trace.phases, cfg);
+        spec ? pred::evalNextPhase(res.trace.phases, *spec)
+             : pred::evalNextPhase(res.trace.phases, std::nullopt);
 
     AsciiTable table({"metric", "value"});
     table.row().cell("predictor").cell(
-        cfg ? cfg->name : "Last Value");
+        spec ? spec->displayName() : "Last Value");
     table.row().cell("next-phase accuracy").percentCell(
         next.accuracy());
     table.row()
@@ -489,9 +473,9 @@ cmdPredict(const Args &args)
         next.total ? static_cast<double>(next.phaseChanges) /
                          static_cast<double>(next.total)
                    : 0.0);
-    if (cfg) {
+    if (spec) {
         pred::ChangeOutcomeStats ch =
-            pred::evalChangeOutcome(res.trace.phases, *cfg);
+            pred::evalChangeOutcome(res.trace.phases, *spec);
         table.row()
             .cell("phase changes predicted")
             .percentCell(ch.correctRate());
@@ -763,6 +747,18 @@ cmdFaults(const Args &args)
     fault::ResilienceOptions ropts;
     ropts.injector.target =
         fault::targetByName(args.get("target", "all"));
+    {
+        // Which change predictor rides under fault; "lastvalue"
+        // (no table at all) is not meaningful here.
+        std::string pname = args.get("predictor", "rle2");
+        auto spec = pred::predictorSpecByName(pname);
+        if (!spec) {
+            std::cerr << "error: faults needs a table-backed "
+                         "predictor, not '" << pname << "'\n";
+            return 2;
+        }
+        ropts.changePredictor = *spec;
+    }
     ropts.injector.ratePerInterval = args.getDouble("rate", 0.01);
     ropts.injector.mitigated = args.has("mitigated");
     ropts.injector.seed = args.getU64("seed", 0x5eedfa17);
