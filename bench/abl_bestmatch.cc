@@ -18,9 +18,10 @@ using namespace tpcp;
 int
 main(int argc, char **argv)
 {
-    bench::BenchArgs args = bench::parseArgs(argc, argv);
+    bench::BenchArgs args = bench::parseArgs(
+        argc, argv, {bench::traceFlag()});
     bench::banner("Ablation", "First-match vs best-match selection");
-    auto profiles = bench::loadAllProfiles({}, args.jobs);
+    auto profiles = bench::loadAllProfiles(args);
 
     phase::ClassifierConfig cfg;
     cfg.numCounters = 16;

@@ -40,7 +40,8 @@ main(int argc, char **argv)
           "workloads stays below this (CI tripwire; default off)"},
          {"json", true,
           "write AdaptReport JSON (default adapt_policy.json; "
-          "'-' disables)"}});
+          "'-' disables)"},
+         bench::traceFlag()});
     adapt::ConfigLattice lattice =
         adapt::ConfigLattice::byName(args.get("lattice", "small"));
     std::string json_path = args.get("json", "adapt_policy.json");
@@ -53,8 +54,20 @@ main(int argc, char **argv)
                   "baselines");
     const std::vector<std::string> &policies =
         adapt::policyPresetNames();
-    const std::vector<std::string> names =
-        workload::workloadNames();
+
+    // Ingested traces replay in recorded-CPI mode (energy-only
+    // lattice; see adapt/report.hh) — the trace cannot be
+    // re-simulated at other machine configurations.
+    std::vector<std::pair<std::string, trace::IntervalProfile>>
+        traced;
+    std::vector<std::string> names;
+    if (args.has("trace")) {
+        traced = trace::loadTraceProfiles(args.get("trace", ""));
+        for (const auto &[name, profile] : traced)
+            names.push_back(name);
+    } else {
+        names = workload::workloadNames();
+    }
 
     // One parallel cell per workload: simulate/load the lattice
     // profiles once, then run every policy serially inside the
@@ -63,10 +76,17 @@ main(int argc, char **argv)
     auto per_workload = analysis::runIndexed(
         names.size(), args.jobs, [&](std::size_t w) {
             std::vector<adapt::AdaptReport> reports;
-            for (const std::string &policy : policies)
-                reports.push_back(adapt::runAdaptation(
-                    names[w], adapt::policyPresetByName(policy),
-                    lattice, opts));
+            for (const std::string &policy : policies) {
+                if (args.has("trace"))
+                    reports.push_back(adapt::runTraceAdaptation(
+                        traced[w].second,
+                        adapt::policyPresetByName(policy),
+                        lattice));
+                else
+                    reports.push_back(adapt::runAdaptation(
+                        names[w], adapt::policyPresetByName(policy),
+                        lattice, opts));
+            }
             return reports;
         });
 

@@ -25,6 +25,7 @@
 
 #include "analysis/parallel_runner.hh"
 #include "trace/profile_cache.hh"
+#include "trace/trace_workload.hh"
 #include "workload/workload.hh"
 
 namespace tpcp::bench
@@ -191,6 +192,37 @@ parseArgs(int argc, char **argv,
     return *args;
 }
 
+/** The shared `--trace=` flag: every profile-replaying harness
+ * accepts ingested `.tpcptrace` files in place of the synthetic
+ * workload set. */
+inline FlagSpec
+traceFlag()
+{
+    return {"trace", true,
+            "comma-separated .tpcptrace files to analyze instead "
+            "of the 11 synthetic workloads"};
+}
+
+/** Splits @p csv on commas, skipping empty fields. */
+inline std::vector<std::string>
+splitCsv(const std::string &csv)
+{
+    std::vector<std::string> out;
+    std::string field;
+    for (char ch : csv) {
+        if (ch == ',') {
+            if (!field.empty())
+                out.push_back(std::move(field));
+            field.clear();
+        } else {
+            field += ch;
+        }
+    }
+    if (!field.empty())
+        out.push_back(std::move(field));
+    return out;
+}
+
 /**
  * (workload name, profile) for every benchmark, in paper order.
  * Profiles are loaded (or simulated and cached) on @p jobs threads;
@@ -218,6 +250,40 @@ loadAllProfiles(const trace::ProfileOptions &opts = {},
         out.emplace_back(names[i], std::move(loaded[i]));
     }
     return out;
+}
+
+/**
+ * Workload set for a parsed harness invocation: the trace files
+ * named by `--trace=` when given (ingested via the content-hashed
+ * trace cache, named by their embedded workload names), the full
+ * synthetic benchmark set otherwise.
+ */
+inline std::vector<std::pair<std::string, trace::IntervalProfile>>
+loadAllProfiles(const BenchArgs &args,
+                const trace::ProfileOptions &opts = {})
+{
+    if (args.has("trace")) {
+        std::vector<std::string> paths =
+            splitCsv(args.get("trace", ""));
+        if (paths.empty()) {
+            std::cerr << "error: --trace expects at least one "
+                         ".tpcptrace path\n";
+            std::exit(2);
+        }
+        std::vector<std::pair<std::string, trace::IntervalProfile>>
+            out;
+        out.reserve(paths.size());
+        for (const std::string &path : paths) {
+            trace::IntervalProfile p = trace::getTraceProfile(path);
+            std::cerr << "[trace] " << path << " -> "
+                      << p.workload() << " ... "
+                      << p.numIntervals() << " intervals\n";
+            std::string name = p.workload();
+            out.emplace_back(std::move(name), std::move(p));
+        }
+        return out;
+    }
+    return loadAllProfiles(opts, args.jobs);
 }
 
 /** Arithmetic mean of a vector (0 when empty). */

@@ -57,7 +57,8 @@ main(int argc, char **argv)
          {"targets", true, "fault targets (CSV)"},
          {"seed", true, "campaign seed"},
          {"scrub-every", true, "mitigated scrub period (intervals)"},
-         {"json", true, "write ResilienceReports as JSON"}});
+         {"json", true, "write ResilienceReports as JSON"},
+         bench::traceFlag()});
 
     std::vector<double> rates;
     for (const std::string &s :
@@ -76,7 +77,7 @@ main(int argc, char **argv)
         for (const std::string &t : target_names)
             targets.push_back(fault::targetByName(t));
 
-        auto profiles = bench::loadAllProfiles({}, args.jobs);
+        auto profiles = bench::loadAllProfiles(args);
 
         // Flattened deterministic grid: target-major, then rate,
         // then mitigation, then workload. Each cell is a pure

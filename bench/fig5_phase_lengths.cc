@@ -20,10 +20,11 @@ using namespace tpcp;
 int
 main(int argc, char **argv)
 {
-    bench::BenchArgs args = bench::parseArgs(argc, argv);
+    bench::BenchArgs args = bench::parseArgs(
+        argc, argv, {bench::traceFlag()});
     bench::banner("Figure 5",
                   "Average stable and transition phase lengths");
-    auto profiles = bench::loadAllProfiles({}, args.jobs);
+    auto profiles = bench::loadAllProfiles(args);
 
     phase::ClassifierConfig cfg;
     cfg.numCounters = 16;

@@ -29,9 +29,10 @@ using pred::PredictorSpec;
 int
 main(int argc, char **argv)
 {
-    bench::BenchArgs args = bench::parseArgs(argc, argv);
+    bench::BenchArgs args = bench::parseArgs(
+        argc, argv, {bench::traceFlag()});
     bench::banner("Figure 7", "Next Phase Prediction");
-    auto profiles = bench::loadAllProfiles({}, args.jobs);
+    auto profiles = bench::loadAllProfiles(args);
 
     phase::ClassifierConfig ccfg =
         phase::ClassifierConfig::paperDefault();

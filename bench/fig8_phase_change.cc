@@ -26,9 +26,10 @@ using pred::PredictorSpec;
 int
 main(int argc, char **argv)
 {
-    bench::BenchArgs args = bench::parseArgs(argc, argv);
+    bench::BenchArgs args = bench::parseArgs(
+        argc, argv, {bench::traceFlag()});
     bench::banner("Figure 8", "Phase Change Prediction");
-    auto profiles = bench::loadAllProfiles({}, args.jobs);
+    auto profiles = bench::loadAllProfiles(args);
 
     phase::ClassifierConfig ccfg =
         phase::ClassifierConfig::paperDefault();

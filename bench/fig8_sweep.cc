@@ -105,12 +105,13 @@ main(int argc, char **argv)
           "'-' disables)"},
          {"check-improve", false,
           "exit 1 unless the best new predictor's aggregate "
-          "correct rate beats the RLE-2 baseline (CI tripwire)"}});
+          "correct rate beats the RLE-2 baseline (CI tripwire)"},
+         bench::traceFlag()});
     std::string json_path = args.get("json", "fig8_sweep.json");
 
     bench::banner("Figure 8 sweep",
                   "TAGE / perceptron vs the paper's tables");
-    auto profiles = bench::loadAllProfiles({}, args.jobs);
+    auto profiles = bench::loadAllProfiles(args);
 
     phase::ClassifierConfig ccfg =
         phase::ClassifierConfig::paperDefault();

@@ -66,7 +66,8 @@ main(int argc, char **argv)
           "phase stream: online | offline (default online)"},
          {"json", true,
           "write SampleReport JSON (default samp_error.json; "
-          "'-' disables)"}});
+          "'-' disables)"},
+         bench::traceFlag()});
     std::vector<std::size_t> budgets =
         parseBudgets(args.get("budgets", "8,16,32,64"));
     sample::PhaseSource source = sample::phaseSourceByName(
@@ -76,7 +77,7 @@ main(int argc, char **argv)
     bench::banner("Sampled simulation error",
                   "whole-program CPI from a handful of detailed "
                   "intervals");
-    auto profiles = bench::loadAllProfiles({}, args.jobs);
+    auto profiles = bench::loadAllProfiles(args);
     const std::vector<std::string> &selectors =
         sample::selectorNames();
 

@@ -20,8 +20,11 @@
  *   --min-rate=R   fail if the largest point delivers fewer than R
  *                  packets/s
  *   --json=PATH    write the sweep as JSON
+ *   --trace=F,...  encode tenant streams from .tpcptrace files
+ *                  instead of the synthetic stream generator
  */
 
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <fstream>
@@ -142,11 +145,12 @@ main(int argc, char **argv)
           "distinct synthetic streams (default 4)"},
          {"min-rate", true,
           "fail if the largest point delivers fewer packets/s"},
-         {"json", true, "write the sweep as JSON"}});
+         {"json", true, "write the sweep as JSON"},
+         bench::traceFlag()});
 
     const unsigned max_tenants =
         static_cast<unsigned>(args.getU64("tenants", 1024));
-    const std::uint64_t packets = args.getU64("packets", 200);
+    std::uint64_t packets = args.getU64("packets", 200);
     const unsigned producers =
         static_cast<unsigned>(args.getU64("producers", 2));
     const unsigned num_streams =
@@ -154,10 +158,27 @@ main(int argc, char **argv)
 
     pred::PhaseTrackerConfig tcfg;
     std::vector<serve::EncodedStream> streams;
-    streams.reserve(num_streams);
-    for (unsigned k = 0; k < num_streams; ++k)
-        streams.push_back(serve::encodeSyntheticStream(
-            k, packets, tcfg.classifier.numCounters));
+    if (args.has("trace")) {
+        // Tenant streams encoded from ingested traces. Every stream
+        // is cut to a common length so the conservation invariant
+        // (expected == tenants x packets) stays exact.
+        auto traced =
+            trace::loadTraceProfiles(args.get("trace", ""));
+        for (const auto &[name, profile] : traced)
+            packets = std::min<std::uint64_t>(
+                packets, profile.numIntervals());
+        for (const auto &[name, profile] : traced) {
+            streams.push_back(serve::encodeProfileStream(
+                profile, tcfg.classifier.numCounters, packets));
+            std::cerr << "[trace] " << name << ": "
+                      << streams.back().size() << " packets\n";
+        }
+    } else {
+        streams.reserve(num_streams);
+        for (unsigned k = 0; k < num_streams; ++k)
+            streams.push_back(serve::encodeSyntheticStream(
+                k, packets, tcfg.classifier.numCounters));
+    }
 
     std::vector<unsigned> sweep;
     for (unsigned t = 1; t < max_tenants; t *= 4)

@@ -308,6 +308,22 @@ runAdaptation(const std::string &workload_name,
 }
 
 AdaptReport
+runTraceAdaptation(const trace::IntervalProfile &profile,
+                   const PolicyPreset &preset,
+                   const ConfigLattice &lattice)
+{
+    // Recorded-CPI mode: one copy of the trace per lattice point —
+    // identical timing everywhere, so config choices trade energy
+    // only (see report.hh).
+    std::vector<trace::IntervalProfile> profiles(lattice.size(),
+                                                 profile);
+    analysis::ClassificationResult cls = analysis::classifyProfile(
+        profile, phase::ClassifierConfig::paperDefault());
+    return runAdaptation(profile.workload(), preset, lattice,
+                         profiles, cls.trace.phases);
+}
+
+AdaptReport
 runAdaptation(const std::string &workload_name,
               const PolicyPreset &preset,
               const ConfigLattice &lattice,

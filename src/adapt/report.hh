@@ -127,6 +127,18 @@ AdaptReport runAdaptation(
     const std::vector<trace::IntervalProfile> &profiles,
     const std::vector<PhaseId> &phases);
 
+/**
+ * Recorded-CPI adaptation for an ingested trace: the trace cannot
+ * be re-simulated at other lattice points, so every configuration
+ * replays the recorded timing and the lattice differs in energy
+ * only. Savings therefore bound what phase-guided *energy* scaling
+ * buys on the recorded schedule; timing feedback (CPI changing with
+ * the chosen config) needs a simulated workload.
+ */
+AdaptReport runTraceAdaptation(const trace::IntervalProfile &profile,
+                               const PolicyPreset &preset,
+                               const ConfigLattice &lattice);
+
 } // namespace tpcp::adapt
 
 #endif // TPCP_ADAPT_REPORT_HH

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Trace-backed workloads: makes an ingested `.tpcptrace` file a
+ * first-class workload everywhere a synthetic model is accepted.
+ *
+ * getTraceProfile() is the trace analogue of getProfileByName(): it
+ * returns the IntervalProfile recorded in a trace file, memoized in
+ * process by *content hash* — the same file is parsed once no matter
+ * how many experiment grid cells replay it, and any change to the
+ * trace bytes busts the cache (the next call re-parses and the stale
+ * profile is never reused). Thread-safe: bench harnesses call it
+ * from parallel_runner workers.
+ */
+
+#ifndef TPCP_TRACE_TRACE_WORKLOAD_HH
+#define TPCP_TRACE_TRACE_WORKLOAD_HH
+
+#include <string>
+#include <vector>
+
+#include "trace/trace_file.hh"
+
+namespace tpcp::trace
+{
+
+/**
+ * Loads the profile recorded in the trace file at @p path,
+ * re-reading the bytes each call but re-parsing only when the
+ * content hash changed. Raises tpcp::Error when the file is
+ * missing or fails validation (see trace_file.hh); a failed load
+ * never replaces a previously cached profile.
+ */
+IntervalProfile getTraceProfile(const std::string &path);
+
+/** Process-wide trace-cache counters (all monotonic). */
+struct TraceCacheStats
+{
+    /** Calls served from the in-process memo (hash unchanged). */
+    std::uint64_t hits = 0;
+    /** Full parses (cold path or busted cache entry). */
+    std::uint64_t parses = 0;
+    /** Cache entries invalidated because the bytes changed. */
+    std::uint64_t invalidations = 0;
+};
+
+/** Snapshot of the trace-cache counters (thread-safe). */
+TraceCacheStats traceCacheStats();
+
+/** Resets the trace-cache counters and the memo (for tests). */
+void resetTraceCache();
+
+/**
+ * Splits a comma-separated `--trace=` list and loads every entry,
+ * returning (display name, profile) pairs in argument order. The
+ * display name is the workload name embedded in the trace header.
+ */
+std::vector<std::pair<std::string, IntervalProfile>>
+loadTraceProfiles(const std::string &csv);
+
+} // namespace tpcp::trace
+
+#endif // TPCP_TRACE_TRACE_WORKLOAD_HH

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Trace-backed workloads: the content-hash memo cache (hit on
+ * unchanged bytes, re-parse on changed bytes, stale entry preserved
+ * across a corrupt rewrite) and the first-class-workload guarantee —
+ * classifying an exported trace yields the exact phase stream of the
+ * profile it was exported from.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "analysis/experiment.hh"
+#include "common/status.hh"
+#include "trace/trace_workload.hh"
+#include "workload/adversarial.hh"
+
+using namespace tpcp;
+using namespace tpcp::trace;
+
+namespace
+{
+
+std::string
+tmpPath(const char *name)
+{
+    return std::string(::testing::TempDir()) + name;
+}
+
+IntervalProfile
+sampleProfile(double cpi0 = 1.0)
+{
+    IntervalProfile p("cachewl", "ooo", 1000, {4, 8});
+    for (int i = 0; i < 4; ++i) {
+        IntervalRecord rec;
+        rec.cpi = cpi0 + 0.5 * i;
+        rec.insts = 1000;
+        rec.accumTotal = 400;
+        rec.accums = {std::vector<std::uint32_t>(4, 100u),
+                      std::vector<std::uint32_t>(8, 50u + i)};
+        p.push(std::move(rec));
+    }
+    return p;
+}
+
+TEST(TraceCache, SecondLoadIsAMemoHit)
+{
+    resetTraceCache();
+    const std::string path = tmpPath("memo.tpcptrace");
+    writeTrace(path, sampleProfile(), "");
+
+    IntervalProfile a = getTraceProfile(path);
+    IntervalProfile b = getTraceProfile(path);
+    EXPECT_EQ(a.numIntervals(), b.numIntervals());
+
+    TraceCacheStats stats = traceCacheStats();
+    EXPECT_EQ(stats.parses, 1u);
+    EXPECT_EQ(stats.hits, 1u);
+    EXPECT_EQ(stats.invalidations, 0u);
+    std::remove(path.c_str());
+}
+
+TEST(TraceCache, ChangedBytesBustTheCache)
+{
+    resetTraceCache();
+    const std::string path = tmpPath("bust.tpcptrace");
+    writeTrace(path, sampleProfile(1.0), "v1");
+    IntervalProfile first = getTraceProfile(path);
+
+    // Same path, different bytes: the content hash, not the path,
+    // keys the cache.
+    writeTrace(path, sampleProfile(9.0), "v2");
+    IntervalProfile second = getTraceProfile(path);
+    EXPECT_NE(first.interval(0).cpi, second.interval(0).cpi);
+    EXPECT_DOUBLE_EQ(second.interval(0).cpi, 9.0);
+
+    TraceCacheStats stats = traceCacheStats();
+    EXPECT_EQ(stats.parses, 2u);
+    EXPECT_EQ(stats.invalidations, 1u);
+    std::remove(path.c_str());
+}
+
+TEST(TraceCache, CorruptRewriteRaisesAndKeepsOldEntry)
+{
+    resetTraceCache();
+    const std::string path = tmpPath("corrupt.tpcptrace");
+    writeTrace(path, sampleProfile(2.0), "good");
+    getTraceProfile(path);
+
+    {
+        std::ofstream out(path, std::ios::binary);
+        out << "not a trace";
+    }
+    EXPECT_THROW(getTraceProfile(path), Error);
+
+    // The failed reload never replaced the memoized profile: after
+    // restoring the good bytes the old entry serves again.
+    writeTrace(path, sampleProfile(2.0), "good");
+    IntervalProfile again = getTraceProfile(path);
+    EXPECT_DOUBLE_EQ(again.interval(0).cpi, 2.0);
+    TraceCacheStats stats = traceCacheStats();
+    EXPECT_EQ(stats.parses, 1u);
+    EXPECT_EQ(stats.hits, 1u);
+    std::remove(path.c_str());
+}
+
+TEST(TraceWorkload, ClassifyTraceEqualsClassifyProfile)
+{
+    // An exported trace is the same workload: identical phase
+    // stream, interval for interval.
+    workload::AdversarialSpec spec;
+    spec.family = "oscillation";
+    spec.intervals = 120;
+    workload::AdversarialTrace adv =
+        workload::makeAdversarial(spec);
+
+    const std::string path = tmpPath("classify.tpcptrace");
+    writeTrace(path, adv.profile, "");
+    IntervalProfile loaded = getTraceProfile(path);
+
+    phase::ClassifierConfig cfg =
+        phase::ClassifierConfig::paperDefault();
+    analysis::ClassificationResult direct =
+        analysis::classifyProfile(adv.profile, cfg);
+    analysis::ClassificationResult via =
+        analysis::classifyProfile(loaded, cfg);
+    EXPECT_EQ(direct.trace.phases, via.trace.phases);
+    EXPECT_EQ(direct.numPhases, via.numPhases);
+    std::remove(path.c_str());
+}
+
+TEST(TraceWorkload, LoadTraceProfilesSplitsAndNames)
+{
+    resetTraceCache();
+    const std::string p1 = tmpPath("list1.tpcptrace");
+    const std::string p2 = tmpPath("list2.tpcptrace");
+    writeTrace(p1, sampleProfile(), "");
+    workload::AdversarialSpec spec;
+    spec.intervals = 10;
+    writeTrace(p2, workload::makeAdversarial(spec).profile, "");
+
+    auto loaded = loadTraceProfiles(p1 + "," + p2);
+    ASSERT_EQ(loaded.size(), 2u);
+    EXPECT_EQ(loaded[0].first, "cachewl");
+    EXPECT_EQ(loaded[1].first, "adv:phase-alias/s1");
+    std::remove(p1.c_str());
+    std::remove(p2.c_str());
+}
+
+} // namespace

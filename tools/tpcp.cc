@@ -13,12 +13,32 @@
  *   sample   [workloads...] [opts] phase-guided sampled simulation
  *   adapt    [workloads...] [opts] phase-guided dynamic reconfiguration
  *   faults   [workloads...] [opts] soft-error resilience measurement
+ *   trace    <verb> [opts]         .tpcptrace ingest/export tooling
  *
  * Common options:
  *   --interval N     instructions per interval   (default 100000)
  *   --core NAME      'ooo' or 'simple'           (default ooo)
  *   --jobs N         worker threads for 'profile all'
  *                    (0 = one per hardware thread; default 0)
+ *   --trace F[,F...] analyze ingested .tpcptrace files instead of
+ *                    named workloads (profile/classify/predict/
+ *                    export take one file; sample/adapt/faults/serve
+ *                    take a comma-separated list; adapt replays
+ *                    recorded CPI, so its lattice differs in energy
+ *                    only)
+ *
+ * Trace verbs (tpcp trace <verb>):
+ *   export <workload> --out=P     export a profile as a .tpcptrace
+ *          [--source=S]           (with --trace=IN: re-export the
+ *                                 ingested trace byte-identically)
+ *   info <file>                   print the validated trace header
+ *                                 and content hash
+ *   gen --out=P [--family=F]      generate an adversarial stressor
+ *       [--seed=N] [--intervals=N] stream (see 'tpcp trace gen
+ *       [--interval=N]            --family=help' for families)
+ *   corpus <dir>                  write the deterministic corruption
+ *                                 corpus + MANIFEST used by the
+ *                                 trace-hardening CI job
  *
  * 'profile all' builds/loads every workload profile (in parallel
  * with --jobs) and prints a one-line summary per workload; use it to
@@ -117,6 +137,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -137,8 +158,12 @@
 #include "common/status.hh"
 #include "pred/eval.hh"
 #include "sample/report.hh"
+#include "common/state_io.hh"
 #include "serve/service.hh"
 #include "trace/profile_cache.hh"
+#include "trace/trace_file.hh"
+#include "trace/trace_workload.hh"
+#include "workload/adversarial.hh"
 #include "uarch/machine_config.hh"
 #include "uarch/ooo_core.hh"
 #include "uarch/simple_core.hh"
@@ -217,7 +242,10 @@ usage()
         << "usage: tpcp <command> [args]\n"
            "  workloads | machine | profile <wl> | classify <wl> |\n"
            "  predict <wl> | export <wl> | sample [wl...] |\n"
-           "  adapt [wl...] | faults [wl...] | serve [wl...]\n"
+           "  adapt [wl...] | faults [wl...] | serve [wl...] |\n"
+           "  trace <export|info|gen|corpus>\n"
+           "most commands also take --trace=FILE[,FILE...] to run\n"
+           "on ingested .tpcptrace files instead of workloads\n"
            "see the header of tools/tpcp.cc for all options\n";
     return 2;
 }
@@ -246,6 +274,60 @@ profileOptions(const Args &args)
     opts.coreName = args.get("core", "ooo");
     opts.requireCache = args.has("require-cache");
     return opts;
+}
+
+/**
+ * The profile a single-workload command operates on: the ingested
+ * trace named by --trace when given (a trace is a first-class
+ * workload), the cached/simulated profile of the named workload
+ * otherwise. nullopt (after printing the error) on bad usage.
+ */
+std::optional<trace::IntervalProfile>
+inputProfile(const Args &args)
+{
+    if (args.has("trace")) {
+        if (!args.positional.empty()) {
+            std::cerr << "error: --trace and a workload name are "
+                         "mutually exclusive\n";
+            return std::nullopt;
+        }
+        return trace::getTraceProfile(args.get("trace", ""));
+    }
+    auto name = requireWorkload(args);
+    if (!name)
+        return std::nullopt;
+    return trace::getProfileByName(*name, profileOptions(args));
+}
+
+/**
+ * Expands --trace for the multi-workload commands: loads every
+ * listed trace, appending (name, profile) in argument order. The
+ * commands keep their workload-name path when --trace is absent.
+ * False (after printing the error) when --trace is combined with
+ * positional workload names.
+ */
+bool
+loadTraceInputs(const Args &args, std::vector<std::string> &names,
+                std::vector<trace::IntervalProfile> &profiles)
+{
+    if (!args.has("trace"))
+        return true;
+    if (!names.empty()) {
+        std::cerr << "error: --trace and workload names are "
+                     "mutually exclusive\n";
+        return false;
+    }
+    for (auto &[name, profile] :
+         trace::loadTraceProfiles(args.get("trace", ""))) {
+        names.push_back(name);
+        profiles.push_back(std::move(profile));
+    }
+    if (names.empty()) {
+        std::cerr << "error: --trace expects at least one "
+                     ".tpcptrace path\n";
+        return false;
+    }
+    return true;
 }
 
 phase::ClassifierConfig
@@ -361,11 +443,10 @@ cmdProfile(const Args &args)
     if (!args.positional.empty() &&
         args.positional.front() == "all")
         return cmdProfileAll(args);
-    auto name = requireWorkload(args);
-    if (!name)
+    auto loaded = inputProfile(args);
+    if (!loaded)
         return 2;
-    trace::IntervalProfile profile =
-        trace::getProfileByName(*name, profileOptions(args));
+    trace::IntervalProfile profile = std::move(*loaded);
     RunningStats cpi;
     for (const auto &rec : profile.intervals())
         cpi.push(rec.cpi);
@@ -400,13 +481,11 @@ phaseChar(PhaseId id)
 int
 cmdClassify(const Args &args)
 {
-    auto name = requireWorkload(args);
-    if (!name)
+    auto profile = inputProfile(args);
+    if (!profile)
         return 2;
-    trace::IntervalProfile profile =
-        trace::getProfileByName(*name, profileOptions(args));
     analysis::ClassificationResult res =
-        analysis::classifyProfile(profile, classifierConfig(args));
+        analysis::classifyProfile(*profile, classifierConfig(args));
 
     if (args.has("timeline")) {
         for (std::size_t i = 0; i < res.trace.size(); ++i) {
@@ -443,13 +522,11 @@ cmdClassify(const Args &args)
 int
 cmdPredict(const Args &args)
 {
-    auto name = requireWorkload(args);
-    if (!name)
+    auto profile = inputProfile(args);
+    if (!profile)
         return 2;
-    trace::IntervalProfile profile =
-        trace::getProfileByName(*name, profileOptions(args));
     analysis::ClassificationResult res =
-        analysis::classifyProfile(profile, classifierConfig(args));
+        analysis::classifyProfile(*profile, classifierConfig(args));
 
     std::string pname = args.get("predictor", "rle2");
     std::optional<pred::PredictorSpec> spec =
@@ -497,13 +574,11 @@ cmdPredict(const Args &args)
 int
 cmdExport(const Args &args)
 {
-    auto name = requireWorkload(args);
-    if (!name)
+    auto profile = inputProfile(args);
+    if (!profile)
         return 2;
-    trace::IntervalProfile profile =
-        trace::getProfileByName(*name, profileOptions(args));
     analysis::ClassificationResult res =
-        analysis::classifyProfile(profile, classifierConfig(args));
+        analysis::classifyProfile(*profile, classifierConfig(args));
 
     std::ofstream file;
     std::ostream *out = &std::cout;
@@ -564,9 +639,12 @@ int
 cmdSample(const Args &args)
 {
     std::vector<std::string> names = args.positional;
+    std::vector<trace::IntervalProfile> traced;
+    if (!loadTraceInputs(args, names, traced))
+        return 2;
     if (names.empty()) {
         names = workload::workloadNames();
-    } else {
+    } else if (traced.empty()) {
         for (const std::string &name : names) {
             if (!workload::isWorkloadName(name)) {
                 std::cerr << "error: unknown workload '" << name
@@ -595,7 +673,9 @@ cmdSample(const Args &args)
         analysis::runIndexed(
             names.size(), jobs, [&](std::size_t i) {
                 trace::IntervalProfile profile =
-                    trace::getProfileByName(names[i], opts);
+                    traced.empty()
+                        ? trace::getProfileByName(names[i], opts)
+                        : traced[i];
                 return sample::runSampledSimulation(
                     profile, selector, source, budget);
             });
@@ -648,9 +728,12 @@ int
 cmdAdapt(const Args &args)
 {
     std::vector<std::string> names = args.positional;
+    std::vector<trace::IntervalProfile> traced;
+    if (!loadTraceInputs(args, names, traced))
+        return 2;
     if (names.empty()) {
         names = workload::workloadNames();
-    } else {
+    } else if (traced.empty()) {
         for (const std::string &name : names) {
             if (!workload::isWorkloadName(name)) {
                 std::cerr << "error: unknown workload '" << name
@@ -675,6 +758,11 @@ cmdAdapt(const Args &args)
               << " jobs)\n";
     std::vector<adapt::AdaptReport> reports = analysis::runIndexed(
         names.size(), jobs, [&](std::size_t i) {
+            // Traces replay in recorded-CPI mode (energy-only
+            // lattice; see adapt/report.hh).
+            if (!traced.empty())
+                return adapt::runTraceAdaptation(traced[i], preset,
+                                                 lattice);
             return adapt::runAdaptation(names[i], preset, lattice,
                                         opts);
         });
@@ -732,9 +820,12 @@ int
 cmdFaults(const Args &args)
 {
     std::vector<std::string> names = args.positional;
+    std::vector<trace::IntervalProfile> traced;
+    if (!loadTraceInputs(args, names, traced))
+        return 2;
     if (names.empty()) {
         names = workload::workloadNames();
-    } else {
+    } else if (traced.empty()) {
         for (const std::string &name : names) {
             if (!workload::isWorkloadName(name)) {
                 std::cerr << "error: unknown workload '" << name
@@ -791,7 +882,9 @@ cmdFaults(const Args &args)
         analysis::runIndexed(
             names.size(), jobs, [&](std::size_t i) {
                 trace::IntervalProfile profile =
-                    trace::getProfileByName(names[i], opts);
+                    traced.empty()
+                        ? trace::getProfileByName(names[i], opts)
+                        : traced[i];
                 return fault::runResilience(profile, ropts);
             });
 
@@ -873,7 +966,22 @@ cmdServe(const Args &args)
     // Shared streams: tenant t replays stream t % S, so a tenant's
     // input depends only on its id — never on the producer layout.
     std::vector<serve::EncodedStream> streams;
-    if (names.empty()) {
+    if (args.has("trace")) {
+        if (!names.empty()) {
+            std::cerr << "error: --trace and workload names are "
+                         "mutually exclusive\n";
+            return 2;
+        }
+        for (auto &[name, profile] :
+             trace::loadTraceProfiles(args.get("trace", "")))
+            streams.push_back(serve::encodeProfileStream(
+                profile, ccfg.numCounters, packets));
+        if (streams.empty()) {
+            std::cerr << "error: --trace expects at least one "
+                         ".tpcptrace path\n";
+            return 2;
+        }
+    } else if (names.empty()) {
         const unsigned n =
             static_cast<unsigned>(args.getU64("streams", 4));
         const std::uint64_t len = packets == 0 ? 2000 : packets;
@@ -1050,6 +1158,249 @@ cmdServe(const Args &args)
     return 0;
 }
 
+/** Writes raw bytes to @p path (corpus files are plain writes; the
+ * atomic writer is for files readers may race on). */
+bool
+writeBytes(const std::string &path,
+           const std::vector<std::uint8_t> &bytes)
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        return false;
+    out.write(reinterpret_cast<const char *>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    return static_cast<bool>(out.flush());
+}
+
+int
+cmdTraceExport(const Args &args)
+{
+    std::string out = args.get("out", "");
+    if (out.empty()) {
+        std::cerr << "error: trace export needs --out=PATH\n";
+        return 2;
+    }
+    if (args.has("trace")) {
+        // Re-export an ingested trace: a parse -> encode round trip
+        // is byte-identical (the CI ingest job cmp's the two files).
+        trace::TraceData data =
+            trace::readTrace(args.get("trace", ""));
+        trace::writeTrace(out, data.profile, data.source);
+        std::cout << "re-exported " << data.profile.numIntervals()
+                  << " intervals to " << out << "\n";
+        return 0;
+    }
+    // Positional workload: drop the leading "export" verb.
+    Args rest = args;
+    rest.positional.erase(rest.positional.begin());
+    auto name = requireWorkload(rest);
+    if (!name)
+        return 2;
+    trace::IntervalProfile profile =
+        trace::getProfileByName(*name, profileOptions(args));
+    std::string source =
+        args.get("source", "tpcp trace export " + *name);
+    trace::writeTrace(out, profile, source);
+    std::cout << "exported " << profile.numIntervals()
+              << " intervals of " << *name << " to " << out << "\n";
+    return 0;
+}
+
+int
+cmdTraceInfo(const Args &args)
+{
+    if (args.positional.size() < 2) {
+        std::cerr << "error: trace info needs a file path\n";
+        return 2;
+    }
+    const std::string &path = args.positional[1];
+    trace::TraceData data = trace::readTrace(path);
+    std::string dims;
+    for (unsigned d : data.profile.dims())
+        dims += (dims.empty() ? "" : ",") + std::to_string(d);
+    char hash[32];
+    std::snprintf(hash, sizeof(hash), "%016llx",
+                  static_cast<unsigned long long>(
+                      data.contentHash));
+    AsciiTable table({"field", "value"});
+    table.row().cell("workload").cell(data.profile.workload());
+    table.row().cell("core").cell(data.profile.coreName());
+    table.row().cell("interval length")
+        .cell(static_cast<std::uint64_t>(
+            data.profile.intervalLength()));
+    table.row().cell("intervals").cell(
+        static_cast<std::uint64_t>(data.profile.numIntervals()));
+    table.row().cell("dims").cell(dims);
+    table.row().cell("machine hash").cell(
+        data.profile.machineHash());
+    table.row().cell("source").cell(
+        data.source.empty() ? "-" : data.source);
+    table.row().cell("content hash").cell(std::string(hash));
+    table.print(std::cout);
+    return 0;
+}
+
+int
+cmdTraceGen(const Args &args)
+{
+    workload::AdversarialSpec spec;
+    spec.family = args.get("family", "phase-alias");
+    if (spec.family == "help") {
+        for (const std::string &f :
+             workload::adversarialFamilies())
+            std::cout << f << "\n";
+        return 0;
+    }
+    spec.seed = args.getU64("seed", 1);
+    spec.intervals =
+        static_cast<std::size_t>(args.getU64("intervals", 600));
+    spec.intervalLen = args.getU64("interval", 100'000);
+    std::string out = args.get("out", "");
+    if (out.empty()) {
+        std::cerr << "error: trace gen needs --out=PATH\n";
+        return 2;
+    }
+    workload::AdversarialTrace adv =
+        workload::makeAdversarial(spec);
+    std::string source = "adversarial family=" + spec.family +
+                         " seed=" + std::to_string(spec.seed);
+    trace::writeTrace(out, adv.profile, source);
+    std::cout << "generated " << adv.profile.numIntervals()
+              << " intervals (" << adv.numBehaviors
+              << " behaviors) of " << spec.family << " to " << out
+              << "\n";
+    return 0;
+}
+
+/**
+ * Writes the deterministic corruption corpus: a small valid seed
+ * trace plus one file per corruption class, with a MANIFEST mapping
+ * each file to the loader outcome it must produce. The CI
+ * trace-hardening job and tests/trace replay it; both also regenerate
+ * it and diff, so the checked-in corpus can never drift from the
+ * writer.
+ */
+int
+cmdTraceCorpus(const Args &args)
+{
+    if (args.positional.size() < 2) {
+        std::cerr << "error: trace corpus needs an output dir\n";
+        return 2;
+    }
+    const std::string dir = args.positional[1];
+    std::filesystem::create_directories(dir);
+
+    workload::AdversarialSpec spec;
+    spec.family = "phase-alias";
+    spec.seed = 7;
+    spec.intervals = 40;
+    const std::vector<std::uint8_t> good = trace::encodeTrace(
+        workload::makeAdversarial(spec).profile,
+        "corruption-corpus seed");
+
+    // Offsets of the pieces we corrupt (format: trace_file.hh).
+    std::uint32_t header_len;
+    std::memcpy(&header_len, good.data() + 8, 4);
+    const std::size_t header_start = 12;
+    const std::size_t crc_at = header_start + header_len;
+    const std::size_t records_at = crc_at + 4;
+
+    std::vector<
+        std::pair<std::string, std::vector<std::uint8_t>>>
+        files;
+    files.emplace_back("seed.tpcptrace", good);
+    files.emplace_back("empty.tpcptrace",
+                       std::vector<std::uint8_t>{});
+
+    auto variant = [&](const std::string &name, auto &&mutate) {
+        std::vector<std::uint8_t> bytes = good;
+        mutate(bytes);
+        files.emplace_back(name, std::move(bytes));
+    };
+    variant("bad-magic.tpcptrace",
+            [](auto &b) { b[0] ^= 0xff; });
+    variant("bad-version.tpcptrace",
+            [](auto &b) { b[4] = 0x7f; });
+    variant("truncated-header.tpcptrace", [&](auto &b) {
+        b.resize(header_start + header_len / 2);
+    });
+    variant("truncated-record.tpcptrace",
+            [](auto &b) { b.resize(b.size() - 7); });
+    variant("trailing-garbage.tpcptrace", [](auto &b) {
+        b.insert(b.end(), {0xde, 0xad, 0xbe, 0xef, 0x00});
+    });
+    variant("flipped-header.tpcptrace", [&](auto &b) {
+        b[header_start + 2] ^= 0x10; // CRC must catch it
+    });
+    variant("forged-count.tpcptrace", [&](auto &b) {
+        // Claim 1000 extra records *with a valid header CRC*: only
+        // the count-vs-remaining-bytes bound can reject this one.
+        std::uint64_t count;
+        std::memcpy(&count, b.data() + crc_at - 8, 8);
+        count += 1000;
+        std::memcpy(b.data() + crc_at - 8, &count, 8);
+        std::uint32_t crc =
+            crc32(b.data() + header_start, header_len);
+        std::memcpy(b.data() + crc_at, &crc, 4);
+    });
+    variant("bad-record-len.tpcptrace", [&](auto &b) {
+        std::uint32_t len;
+        std::memcpy(&len, b.data() + records_at, 4);
+        len += 4;
+        std::memcpy(b.data() + records_at, &len, 4);
+    });
+    variant("flipped-payload.tpcptrace", [&](auto &b) {
+        b[records_at + 4 + 10] ^= 0x01; // record CRC must catch it
+    });
+    variant("flipped-crc.tpcptrace", [&](auto &b) {
+        b[b.size() - 1] ^= 0x80; // last record's CRC field
+    });
+
+    std::string manifest =
+        "# file -> required loader outcome (ok | fail)\n";
+    for (const auto &[name, bytes] : files) {
+        if (!writeBytes(dir + "/" + name, bytes)) {
+            std::cerr << "error: cannot write " << dir << "/"
+                      << name << "\n";
+            return 1;
+        }
+        manifest += name;
+        manifest += name == "seed.tpcptrace" ? " ok\n" : " fail\n";
+    }
+    std::ofstream mf(dir + "/MANIFEST");
+    mf << manifest;
+    if (!mf.flush()) {
+        std::cerr << "error: cannot write " << dir
+                  << "/MANIFEST\n";
+        return 1;
+    }
+    std::cout << "wrote " << files.size()
+              << " corpus files + MANIFEST to " << dir << "\n";
+    return 0;
+}
+
+int
+cmdTrace(const Args &args)
+{
+    if (args.positional.empty()) {
+        std::cerr << "usage: tpcp trace <export|info|gen|corpus> "
+                     "[options]\n";
+        return 2;
+    }
+    const std::string &verb = args.positional.front();
+    if (verb == "export")
+        return cmdTraceExport(args);
+    if (verb == "info")
+        return cmdTraceInfo(args);
+    if (verb == "gen")
+        return cmdTraceGen(args);
+    if (verb == "corpus")
+        return cmdTraceCorpus(args);
+    std::cerr << "error: unknown trace verb '" << verb
+              << "' (export | info | gen | corpus)\n";
+    return 2;
+}
+
 } // namespace
 
 int
@@ -1086,6 +1437,8 @@ main(int argc, char **argv)
             return cmdFaults(args);
         if (cmd == "serve")
             return cmdServe(args);
+        if (cmd == "trace")
+            return cmdTrace(args);
     } catch (const Error &e) {
         std::cerr << "error: " << e.what() << "\n";
         return 1;
