@@ -31,6 +31,7 @@
 #include "phase/signature.hh"
 #include "phase/signature_table.hh"
 #include "pred/change_predictor.hh"
+#include "serve/flow_sched.hh"
 #include "serve/producer.hh"
 #include "serve/ring_buffer.hh"
 #include "serve/tenant_registry.hh"
@@ -352,6 +353,65 @@ benchServeIngest(unsigned tenants, double min_time, int repeats)
             "packets", rate};
 }
 
+/**
+ * Streaming-service ingest through the resilience drain: the same
+ * per-packet consumer path as serve_ingest, but staged through the
+ * FlowScheduler (token refill, DRR service order) the way a
+ * fairness-enabled partition drains. The knobs are set so nothing is
+ * ever shed or throttled — the row measures pure scheduler overhead
+ * against the serve_ingest FIFO rows, batched per drain cycle like
+ * the real service.
+ */
+BenchResult
+benchServeFairIngest(unsigned tenants, double min_time, int repeats)
+{
+    constexpr std::size_t kCycle = 64; // frames per drain cycle
+    serve::RegistryConfig rc;
+    rc.maxResident = tenants;
+    serve::TenantRegistry registry(rc);
+    serve::SpscRing ring(1u << 20);
+    serve::FairnessConfig fc;
+    fc.ratePerCycle = kCycle; // never throttles at this load
+    fc.drrQuantum = 1;
+    fc.maxBacklog = 2 * kCycle; // never sheds
+    serve::FlowScheduler sched(fc);
+    const serve::EncodedStream stream = serve::encodeSyntheticStream(
+        7, 512, rc.tracker.classifier.numCounters);
+    std::vector<std::uint64_t> seq(tenants, 0);
+    std::vector<std::uint8_t> frame, popped;
+    serve::IntervalPacket pkt;
+    std::size_t i = 0;
+    unsigned t = 0;
+    double rate = measure(
+        [&] {
+            for (std::size_t k = 0; k < kCycle; ++k) {
+                frame = stream[i++ & 511];
+                serve::restampPacket(frame.data(), t, seq[t]++);
+                ring.tryPush(
+                    frame.data(),
+                    static_cast<std::uint32_t>(frame.size()));
+                ring.tryPop(popped);
+                std::uint64_t tenant = 0;
+                serve::peekPacketTenant(popped.data(),
+                                        popped.size(), tenant);
+                sched.stage(tenant, popped.data(), popped.size());
+                if (++t == tenants)
+                    t = 0;
+            }
+            sched.beginCycle();
+            sched.drain(kCycle, [&](std::uint64_t tenant,
+                                    const std::vector<std::uint8_t>
+                                        &buf) {
+                (void)tenant;
+                serve::decodePacket(buf.data(), buf.size(), pkt);
+                g_sink += registry.deliver(pkt);
+            });
+        },
+        kCycle, min_time, repeats);
+    return {"serve_fair", "tenants=" + std::to_string(tenants),
+            "packets", rate};
+}
+
 /** Markov change-predictor update rate. */
 BenchResult
 benchChangePredictor(double min_time, int repeats)
@@ -437,6 +497,9 @@ main(int argc, char **argv)
     results.push_back(benchChangePredictor(min_time, repeats));
     for (unsigned t : {1u, 4u, 16u})
         results.push_back(benchServeIngest(t, min_time, repeats));
+    for (unsigned t : {1u, 4u, 16u})
+        results.push_back(
+            benchServeFairIngest(t, min_time, repeats));
 
     std::printf("%-14s %-14s %15s  %s\n", "benchmark", "config",
                 "items/sec", "unit");

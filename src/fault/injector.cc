@@ -1,6 +1,8 @@
 #include "fault/injector.hh"
 
 #include <cmath>
+#include <cstdio>
+#include <fstream>
 #include <iterator>
 #include <limits>
 
@@ -18,7 +20,8 @@ namespace
 
 constexpr const char *kTargetNames[] = {
     "accum", "signature", "metadata", "change-table",
-    "length-table", "input", "all",
+    "length-table", "input", "serve-checkpoint", "serve-frame",
+    "all",
 };
 
 /** Accumulator counter width mirrored from the paper default; flips
@@ -170,6 +173,67 @@ Injector::beforeInterval(pred::PhaseTracker &tracker,
     }
 }
 
+bool
+Injector::corruptCheckpointFile(const std::string &path)
+{
+    if (!targets(Target::ServeCheckpoint) ||
+        cfg.ratePerInterval <= 0.0 ||
+        !rng.nextBool(cfg.ratePerInterval))
+        return false;
+
+    // Read the freshly written file so the damage is relative to
+    // real bytes (a flip inside the CRC-covered payload, a torn tail
+    // at a real offset).
+    std::vector<std::uint8_t> bytes;
+    {
+        std::ifstream in(path, std::ios::binary);
+        if (!in)
+            return false;
+        bytes.assign((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    }
+
+    const unsigned mode = rng.nextBounded(4);
+    if (mode == 3) {
+        // The write never happened (crash before the rename).
+        std::remove(path.c_str());
+        ++counts_.serveCheckpointFaults;
+        return true;
+    }
+    if (mode == 0 && !bytes.empty()) {
+        // Torn write: the tail is gone.
+        bytes.resize(rng.nextBounded(
+            static_cast<std::uint32_t>(bytes.size())));
+    } else if (mode == 1 && !bytes.empty()) {
+        // Media corruption: one flipped bit anywhere.
+        const std::uint32_t bit = rng.nextBounded(
+            static_cast<std::uint32_t>(bytes.size() * 8));
+        bytes[bit / 8] ^= std::uint8_t(1) << (bit % 8);
+    } else {
+        // Crash right at creation: the file exists but is empty.
+        bytes.clear();
+    }
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char *>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    ++counts_.serveCheckpointFaults;
+    return true;
+}
+
+bool
+Injector::maybeCorruptFrame(std::uint8_t *frame, std::size_t size)
+{
+    if (!targets(Target::ServeFrame) || size == 0 ||
+        cfg.ratePerInterval <= 0.0 ||
+        !rng.nextBool(cfg.ratePerInterval))
+        return false;
+    const std::uint32_t bit =
+        rng.nextBounded(static_cast<std::uint32_t>(size * 8));
+    frame[bit / 8] ^= std::uint8_t(1) << (bit % 8);
+    ++counts_.serveFrameFlips;
+    return true;
+}
+
 void
 Injector::saveState(StateWriter &w) const
 {
@@ -180,6 +244,8 @@ Injector::saveState(StateWriter &w) const
     w.u64(counts_.changeTableFaults);
     w.u64(counts_.lengthTableFaults);
     w.u64(counts_.inputFaults);
+    w.u64(counts_.serveCheckpointFaults);
+    w.u64(counts_.serveFrameFlips);
 }
 
 void
@@ -192,6 +258,8 @@ Injector::loadState(StateReader &r)
     counts_.changeTableFaults = r.u64();
     counts_.lengthTableFaults = r.u64();
     counts_.inputFaults = r.u64();
+    counts_.serveCheckpointFaults = r.u64();
+    counts_.serveFrameFlips = r.u64();
 }
 
 } // namespace tpcp::fault

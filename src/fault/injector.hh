@@ -56,10 +56,12 @@ enum class Target
     AccumCounters, ///< the interval's accumulator counter snapshot
     SignatureRows, ///< stored signature bytes in the signature table
     Metadata,      ///< per-entry min counters / similarity thresholds
-    ChangeTable,   ///< Markov/RLE phase-change predictor entries
-    LengthTable,   ///< run-length predictor entries
-    InputStats,    ///< the interval's measured CPI from the profile
-    All,           ///< every structure above
+    ChangeTable,    ///< Markov/RLE phase-change predictor entries
+    LengthTable,    ///< run-length predictor entries
+    InputStats,     ///< the interval's measured CPI from the profile
+    ServeCheckpoint,///< tenant checkpoint files (torn/corrupt/missing)
+    ServeFrame,     ///< wire frames in the service's ingest rings
+    All,            ///< every structure above
 };
 
 /** Display/CLI name of a target. */
@@ -93,12 +95,15 @@ struct FaultCounts
     std::uint64_t changeTableFaults = 0;
     std::uint64_t lengthTableFaults = 0;
     std::uint64_t inputFaults = 0;
+    std::uint64_t serveCheckpointFaults = 0;
+    std::uint64_t serveFrameFlips = 0;
 
     std::uint64_t
     total() const
     {
         return accumFlips + signatureFlips + metadataFaults +
-               changeTableFaults + lengthTableFaults + inputFaults;
+               changeTableFaults + lengthTableFaults + inputFaults +
+               serveCheckpointFaults + serveFrameFlips;
     }
 };
 
@@ -120,6 +125,25 @@ class Injector
      */
     void beforeInterval(pred::PhaseTracker &tracker,
                         std::vector<std::uint32_t> &raw, double &cpi);
+
+    /**
+     * Serve-layer crash model: called right after a tenant
+     * checkpoint lands on disk. With ServeCheckpoint targeted, one
+     * Bernoulli draw decides whether the "crash window" hit this
+     * write; when it does, the file is torn (truncated mid-payload),
+     * bit-flipped, emptied, or deleted — the four shapes a real
+     * interrupted write leaves behind. Returns true when the file
+     * was damaged.
+     */
+    bool corruptCheckpointFile(const std::string &path);
+
+    /**
+     * Serve-layer transport model: called on a frame popped from an
+     * ingest ring, before decoding. With ServeFrame targeted, one
+     * Bernoulli draw may flip a single bit anywhere in the frame.
+     * Returns true when the frame was mutated.
+     */
+    bool maybeCorruptFrame(std::uint8_t *frame, std::size_t size);
 
     const FaultCounts &counts() const { return counts_; }
     const InjectorConfig &config() const { return cfg; }

@@ -17,7 +17,8 @@ namespace
 
 /** Envelope tag of a harness checkpoint ("TPCF"). */
 constexpr std::uint32_t harnessMagic = 0x46435054;
-constexpr std::uint32_t harnessVersion = 1;
+// v2: injector state grew the serve-layer fault counters.
+constexpr std::uint32_t harnessVersion = 2;
 
 /** Per-stream prediction bookkeeping. */
 struct StreamStats

@@ -1,0 +1,226 @@
+/**
+ * @file
+ * Per-tenant flow scheduling for the streaming service's drain path:
+ * token-bucket rate limiting, deficit-round-robin (DRR) service
+ * order, and bounded per-tenant backlog with counted shedding.
+ *
+ * Why a scheduler at all: the PR 7 drain loop popped frames straight
+ * off the ring FIFO, so one hot or adversarial tenant filled the ring
+ * and took the whole drain budget — co-tenants on the same partition
+ * were starved in exact proportion to the aggressor's arrival rate.
+ * The scheduler decouples arrival order from service order: frames
+ * are staged into per-tenant FIFO queues and served deficit-round-
+ * robin, so every backlogged tenant gets the same share of the drain
+ * budget regardless of who shouted loudest into the ring.
+ *
+ * Invariants the service's conservation identity leans on:
+ *  - a staged frame is eventually either drained (handed to the
+ *    sink exactly once) or shed (counted, per tenant) — never both,
+ *    never neither;
+ *  - per-tenant frame order is FIFO end to end, so a tenant whose
+ *    frames are all drained produces a phase-ID stream byte-identical
+ *    to the batch path (fairness reorders *between* tenants only);
+ *  - everything is deterministic: the DRR active list is ordered by
+ *    activation (arrival of the first backlogged frame), tokens
+ *    refill per drain cycle, and no clock or RNG is consulted, so a
+ *    lockstep replay reproduces every shed and every service order
+ *    bit for bit.
+ */
+
+#ifndef TPCP_SERVE_FLOW_SCHED_HH
+#define TPCP_SERVE_FLOW_SCHED_HH
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.hh"
+
+namespace tpcp::serve
+{
+
+/** Per-tenant rate limiting / drain fairness knobs (all off by
+ * default: zero values reproduce the PR 7 FIFO drain exactly). */
+struct FairnessConfig
+{
+    /** Token-bucket refill per tenant per drain cycle, in packets
+     * (0 = unlimited: no rate limiting). */
+    std::uint64_t ratePerCycle = 0;
+    /** Token-bucket capacity (0 = ratePerCycle: no burst credit). */
+    std::uint64_t burst = 0;
+    /** DRR deficit added per tenant per service round, in packets. */
+    std::uint64_t drrQuantum = 16;
+    /** Max staged frames per tenant; arrivals beyond it are shed,
+     * counted per tenant (0 = unbounded backlog, never shed). */
+    std::uint64_t maxBacklog = 0;
+    /** Total frames delivered per partition per drain cycle
+     * (0 = the service's drainBatch). */
+    std::uint64_t cycleBudget = 0;
+
+    /** True when any resilience knob is set: the service stages
+     * frames through a FlowScheduler instead of FIFO delivery. */
+    bool
+    enabled() const
+    {
+        return ratePerCycle != 0 || maxBacklog != 0 ||
+               cycleBudget != 0;
+    }
+};
+
+/** What one flow (tenant) did inside the scheduler. */
+struct FlowCounters
+{
+    std::uint64_t staged = 0;
+    std::uint64_t drained = 0;
+    /** Frames shed because the tenant's backlog was full. */
+    std::uint64_t shed = 0;
+};
+
+/**
+ * The per-partition flow scheduler. Single-threaded by design (each
+ * partition's drain task owns one), like the registry it feeds.
+ */
+class FlowScheduler
+{
+  public:
+    explicit FlowScheduler(const FairnessConfig &config) : cfg(config)
+    {
+        if (cfg.ratePerCycle != 0 && cfg.burst == 0)
+            cfg.burst = cfg.ratePerCycle;
+        tpcp_assert(cfg.drrQuantum >= 1,
+                    "DRR quantum must be at least one frame");
+    }
+
+    /**
+     * Stages one arriving frame for @p tenant. Returns true when the
+     * frame was queued; false when the tenant's backlog was full and
+     * the frame was shed (counted — the caller mirrors the shed into
+     * the tenant's service counters).
+     */
+    bool
+    stage(std::uint64_t tenant, const std::uint8_t *frame,
+          std::size_t len)
+    {
+        Flow &f = flows_[tenant];
+        ++f.c.staged;
+        if (cfg.maxBacklog != 0 &&
+            f.queue.size() >= cfg.maxBacklog) {
+            ++f.c.shed;
+            ++totalShed_;
+            return false;
+        }
+        f.queue.emplace_back(frame, frame + len);
+        ++backlog_;
+        if (!f.active) {
+            f.active = true;
+            active_.push_back(tenant);
+        }
+        return true;
+    }
+
+    /** Starts a drain cycle: refills every flow's token bucket. */
+    void
+    beginCycle()
+    {
+        if (cfg.ratePerCycle == 0)
+            return;
+        for (auto &kv : flows_) {
+            Flow &f = kv.second;
+            f.tokens = std::min<std::uint64_t>(
+                cfg.burst, f.tokens + cfg.ratePerCycle);
+        }
+    }
+
+    /**
+     * Serves up to @p budget staged frames deficit-round-robin
+     * across the active flows, bounded per flow by its token bucket.
+     * @p sink is called as sink(tenant, frame) for each served
+     * frame, in per-tenant FIFO order. Returns frames served.
+     */
+    template <typename Sink>
+    std::size_t
+    drain(std::size_t budget, Sink &&sink)
+    {
+        std::size_t served = 0;
+        bool progress = true;
+        while (served < budget && !active_.empty() && progress) {
+            progress = false;
+            // One DRR round: every active flow gets one quantum and
+            // serves as much of its backlog as deficit, tokens and
+            // the cycle budget allow.
+            const std::size_t round = active_.size();
+            for (std::size_t i = 0; i < round && served < budget;
+                 ++i) {
+                const std::uint64_t tenant = active_.front();
+                active_.pop_front();
+                Flow &f = flows_[tenant];
+                f.deficit += cfg.drrQuantum;
+                while (!f.queue.empty() && f.deficit >= 1 &&
+                       served < budget &&
+                       (cfg.ratePerCycle == 0 || f.tokens >= 1)) {
+                    sink(tenant, f.queue.front());
+                    f.queue.pop_front();
+                    --backlog_;
+                    --f.deficit;
+                    if (cfg.ratePerCycle != 0)
+                        --f.tokens;
+                    ++f.c.drained;
+                    ++served;
+                    progress = true;
+                }
+                if (f.queue.empty()) {
+                    // Empty flows leave the rotation (and forfeit
+                    // their deficit: DRR's anti-hoarding rule).
+                    f.active = false;
+                    f.deficit = 0;
+                } else {
+                    active_.push_back(tenant);
+                }
+            }
+            // No flow could serve (all throttled): the cycle is
+            // over; leftover backlog waits for the next refill.
+        }
+        return served;
+    }
+
+    /** True when no staged frame is pending. */
+    bool idle() const { return backlog_ == 0; }
+
+    /** Staged frames currently pending across all flows. */
+    std::size_t backlog() const { return backlog_; }
+
+    /** Frames shed across all flows so far. */
+    std::uint64_t totalShed() const { return totalShed_; }
+
+    /** Per-flow counters for @p tenant (zeros when never seen). */
+    FlowCounters
+    flowCounters(std::uint64_t tenant) const
+    {
+        auto it = flows_.find(tenant);
+        return it == flows_.end() ? FlowCounters{} : it->second.c;
+    }
+
+    const FairnessConfig &config() const { return cfg; }
+
+  private:
+    struct Flow
+    {
+        std::deque<std::vector<std::uint8_t>> queue;
+        std::uint64_t tokens = 0;
+        std::uint64_t deficit = 0;
+        bool active = false;
+        FlowCounters c;
+    };
+
+    FairnessConfig cfg;
+    std::unordered_map<std::uint64_t, Flow> flows_;
+    /** Active (backlogged) flows in activation order. */
+    std::deque<std::uint64_t> active_;
+    std::size_t backlog_ = 0;
+    std::uint64_t totalShed_ = 0;
+};
+
+} // namespace tpcp::serve
+
+#endif // TPCP_SERVE_FLOW_SCHED_HH

@@ -1,0 +1,214 @@
+#include "serve/migration.hh"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "common/state_io.hh"
+
+namespace tpcp::serve
+{
+
+namespace
+{
+
+std::string
+joinPath(const std::string &dir, const std::string &name)
+{
+    return dir + "/" + name;
+}
+
+std::vector<std::uint8_t>
+readFileBytes(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        tpcp_raise("cannot open ", path);
+    std::vector<std::uint8_t> bytes(
+        (std::istreambuf_iterator<char>(in)),
+        std::istreambuf_iterator<char>());
+    if (in.bad())
+        tpcp_raise("read error on ", path);
+    return bytes;
+}
+
+void
+writeFileAtomic(const std::string &path,
+                const std::vector<std::uint8_t> &bytes)
+{
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out)
+            tpcp_raise("cannot create ", tmp);
+        out.write(reinterpret_cast<const char *>(bytes.data()),
+                  static_cast<std::streamsize>(bytes.size()));
+        out.flush();
+        if (!out)
+            tpcp_raise("write error on ", tmp);
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        tpcp_raise("cannot commit ", path);
+    }
+}
+
+void
+writeCounters(StateWriter &w, const TenantCounters &c)
+{
+    w.u64(c.packets);
+    w.u64(c.phaseSwitches);
+    w.u64(c.evictions);
+    w.u64(c.resumes);
+    w.u64(c.duplicateSeq);
+    w.u64(c.lostUpstream);
+    w.u64(c.malformedPackets);
+    w.u64(c.shedPackets);
+    w.u64(c.parkEvents);
+    w.u64(c.packetsDropped);
+    w.u64(c.quarantines);
+    w.u64(c.quarantineDrops);
+    w.u64(c.readmissions);
+    w.u64(c.resumeFailures);
+}
+
+TenantCounters
+readCounters(StateReader &r)
+{
+    TenantCounters c;
+    c.packets = r.u64();
+    c.phaseSwitches = r.u64();
+    c.evictions = r.u64();
+    c.resumes = r.u64();
+    c.duplicateSeq = r.u64();
+    c.lostUpstream = r.u64();
+    c.malformedPackets = r.u64();
+    c.shedPackets = r.u64();
+    c.parkEvents = r.u64();
+    c.packetsDropped = r.u64();
+    c.quarantines = r.u64();
+    c.quarantineDrops = r.u64();
+    c.readmissions = r.u64();
+    c.resumeFailures = r.u64();
+    return c;
+}
+
+} // namespace
+
+std::string
+tenantCheckpointFile(std::uint64_t tenant)
+{
+    return "tenant_" + std::to_string(tenant) + ".ckpt";
+}
+
+void
+writeMigrationBundle(const std::string &bundle_dir,
+                     const std::string &checkpoint_dir,
+                     const std::vector<MigratedTenant> &tenants)
+{
+    std::error_code ec;
+    std::filesystem::create_directories(bundle_dir, ec);
+    if (ec)
+        tpcp_raise("cannot create bundle directory ", bundle_dir,
+                   ": ", ec.message());
+
+    StateWriter manifest;
+    manifest.u64(tenants.size());
+    for (const MigratedTenant &t : tenants) {
+        manifest.u64(t.id);
+        manifest.u64(t.nextSeq);
+        writeCounters(manifest, t.c);
+        manifest.u64(t.quarantineRemaining);
+        manifest.b(t.hasCheckpoint);
+        if (!t.hasCheckpoint)
+            continue;
+        const std::string name = tenantCheckpointFile(t.id);
+        // Copy the checkpoint into the bundle first; the copy may
+        // tear on a crash, but without a manifest the bundle is
+        // unimportable, so a torn copy can never be consumed.
+        const std::vector<std::uint8_t> bytes =
+            readFileBytes(joinPath(checkpoint_dir, name));
+        writeFileAtomic(joinPath(bundle_dir, name), bytes);
+        manifest.u64(bytes.size());
+        manifest.u32(crc32(bytes.data(), bytes.size()));
+    }
+    // The manifest rename is the bundle's commit point.
+    if (!writeStateFile(joinPath(bundle_dir, kMigrationManifest),
+                        kMigrationMagic, kMigrationVersion, manifest))
+        tpcp_raise("cannot write migration manifest in ", bundle_dir);
+}
+
+std::vector<MigratedTenant>
+loadMigrationBundle(const std::string &bundle_dir,
+                    const std::string &checkpoint_dir)
+{
+    const std::vector<std::uint8_t> payload =
+        readStateFile(joinPath(bundle_dir, kMigrationManifest),
+                      kMigrationMagic, kMigrationVersion);
+    StateReader r(payload);
+    const std::uint64_t count = r.u64();
+    if (count > (1ull << 32))
+        tpcp_raise("migration manifest declares implausible tenant "
+                   "count ", count);
+
+    std::vector<MigratedTenant> tenants;
+    tenants.reserve(count);
+    // Pass 1: parse and validate everything before installing
+    // anything, so a damaged bundle leaves the importing service's
+    // checkpoint directory untouched.
+    std::vector<std::vector<std::uint8_t>> files;
+    for (std::uint64_t i = 0; i < count; ++i) {
+        MigratedTenant t;
+        t.id = r.u64();
+        t.nextSeq = r.u64();
+        t.c = readCounters(r);
+        t.quarantineRemaining = r.u64();
+        t.hasCheckpoint = r.b();
+        if (t.hasCheckpoint) {
+            const std::uint64_t want_size = r.u64();
+            const std::uint32_t want_crc = r.u32();
+            const std::string path = joinPath(
+                bundle_dir, tenantCheckpointFile(t.id));
+            std::vector<std::uint8_t> bytes = readFileBytes(path);
+            if (bytes.size() != want_size)
+                tpcp_raise("migration bundle: ", path, " is ",
+                           bytes.size(), " bytes, manifest says ",
+                           want_size);
+            if (crc32(bytes.data(), bytes.size()) != want_crc)
+                tpcp_raise("migration bundle: ", path,
+                           " fails its manifest CRC");
+            // The checkpoint's own envelope must also hold: a file
+            // corrupted before bundling carries a valid manifest CRC
+            // but an invalid TSRV envelope.
+            readStateFile(path, kTenantCheckpointMagic,
+                          kTenantCheckpointVersion);
+            files.push_back(std::move(bytes));
+        } else {
+            files.emplace_back();
+        }
+        tenants.push_back(std::move(t));
+    }
+    if (!r.atEnd())
+        tpcp_raise("migration manifest has ", r.remaining(),
+                   " trailing bytes");
+
+    // Pass 2: install. Everything is validated; each install is
+    // atomic, and re-running a partially installed import is safe
+    // (same bytes, same names).
+    std::error_code ec;
+    std::filesystem::create_directories(checkpoint_dir, ec);
+    if (ec)
+        tpcp_raise("cannot create checkpoint directory ",
+                   checkpoint_dir, ": ", ec.message());
+    for (std::size_t i = 0; i < tenants.size(); ++i) {
+        if (!tenants[i].hasCheckpoint)
+            continue;
+        writeFileAtomic(
+            joinPath(checkpoint_dir,
+                     tenantCheckpointFile(tenants[i].id)),
+            files[i]);
+    }
+    return tenants;
+}
+
+} // namespace tpcp::serve

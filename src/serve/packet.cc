@@ -78,6 +78,17 @@ restampPacket(std::uint8_t *frame, std::uint64_t tenant,
     std::memcpy(frame + 16, &seq, 8);
 }
 
+bool
+peekPacketTenant(const std::uint8_t *data, std::size_t size,
+                 std::uint64_t &tenant)
+{
+    if (size < kPacketHeaderBytes || get32(data) != kPacketMagic ||
+        get32(data + 4) != kPacketVersion)
+        return false;
+    tenant = get64(data + 8);
+    return true;
+}
+
 void
 decodePacket(const std::uint8_t *data, std::size_t size,
              IntervalPacket &out)

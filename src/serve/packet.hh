@@ -92,6 +92,17 @@ void restampPacket(std::uint8_t *frame, std::uint64_t tenant,
 void decodePacket(const std::uint8_t *data, std::size_t size,
                   IntervalPacket &out);
 
+/**
+ * Cheap header peek for the flow scheduler: validates only the
+ * magic, version and minimum length, and extracts the tenant id
+ * without touching the payload. Returns false (leaving @p tenant
+ * untouched) for frames that cannot be attributed to a tenant; the
+ * frame still goes through full decodePacket() validation before
+ * any tracker sees it.
+ */
+bool peekPacketTenant(const std::uint8_t *data, std::size_t size,
+                      std::uint64_t &tenant);
+
 } // namespace tpcp::serve
 
 #endif // TPCP_SERVE_PACKET_HH

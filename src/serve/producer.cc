@@ -1,6 +1,7 @@
 #include "serve/producer.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
 #include <thread>
 
@@ -71,6 +72,44 @@ encodeSyntheticStream(std::uint64_t stream_seed, std::size_t packets,
     return stream;
 }
 
+namespace
+{
+
+/**
+ * Parks until the ring accepts the frame or the retry budget runs
+ * out. Returns true on push. Retries start as plain yields (the
+ * cheap case: the consumer just needs the core) and escalate to
+ * exponentially growing sleeps, bounding the CPU a blocked producer
+ * burns against a slow or wedged consumer.
+ */
+bool
+parkPush(const ProducerTask &task, const std::uint8_t *data,
+         std::uint32_t len, std::uint64_t &parks)
+{
+    std::uint64_t retries = 0;
+    std::uint64_t sleep_us = task.parkSleepUs;
+    while (!task.ring->tryPush(data, len)) {
+        ++parks;
+        ++retries;
+        if (task.parkRetryLimit != 0 &&
+            retries >= task.parkRetryLimit)
+            return false;
+        if (retries <= task.parkYields) {
+            // Yield rather than spin: on a saturated (or
+            // single-core) host the consumer needs this CPU to make
+            // the space we are waiting for.
+            std::this_thread::yield();
+        } else {
+            std::this_thread::sleep_for(
+                std::chrono::microseconds(sleep_us));
+            sleep_us = std::min(task.parkMaxSleepUs, sleep_us * 2);
+        }
+    }
+    return true;
+}
+
+} // namespace
+
 ProducerCounters
 runProducer(const ProducerTask &task)
 {
@@ -78,6 +117,9 @@ runProducer(const ProducerTask &task)
     tpcp_assert(task.tenants.size() == task.streams.size(),
                 "producer tenant/stream lists must be parallel");
     ProducerCounters c;
+    c.tenantPushed.assign(task.tenants.size(), 0);
+    c.tenantDropped.assign(task.tenants.size(), 0);
+    c.tenantParks.assign(task.tenants.size(), 0);
     std::size_t longest = 0;
     for (const EncodedStream *s : task.streams)
         longest = std::max(longest, s->size());
@@ -86,7 +128,7 @@ runProducer(const ProducerTask &task)
     // Round-robin: one packet per tenant per pass, so thousands of
     // tenants interleave at packet granularity the way concurrent
     // instruction streams would.
-    for (std::size_t step = 0; step < longest; ++step) {
+    for (std::size_t step = task.startStep; step < longest; ++step) {
         for (std::size_t i = 0; i < task.tenants.size(); ++i) {
             const EncodedStream &s = *task.streams[i];
             if (step >= s.size())
@@ -95,22 +137,24 @@ runProducer(const ProducerTask &task)
             restampPacket(frame.data(), task.tenants[i], step);
             const auto len =
                 static_cast<std::uint32_t>(frame.size());
-            if (task.policy == BackpressurePolicy::Park) {
-                while (!task.ring->tryPush(frame.data(), len)) {
-                    ++c.parkEvents;
-                    // Yield rather than spin: on a saturated (or
-                    // single-core) host the consumer needs this CPU
-                    // to make the space we are waiting for.
-                    std::this_thread::yield();
-                }
-            } else if (!task.ring->tryPush(frame.data(), len)) {
+            bool pushed;
+            std::uint64_t parks = 0;
+            if (task.policy == BackpressurePolicy::Park)
+                pushed = parkPush(task, frame.data(), len, parks);
+            else
+                pushed = task.ring->tryPush(frame.data(), len);
+            c.parkEvents += parks;
+            c.tenantParks[i] += parks;
+            if (!pushed) {
                 // The sequence number still advances (seq == step),
                 // so the consumer sees the gap and mirrors this
                 // count as lostUpstream.
                 ++c.dropped;
+                ++c.tenantDropped[i];
                 continue;
             }
             ++c.pushed;
+            ++c.tenantPushed[i];
             c.bytes += len;
         }
     }

@@ -10,10 +10,15 @@
  * so tenants replaying the same workload share payload memory.
  *
  * Backpressure is explicit and fully counted. Park mode retries a
- * full ring (parkEvents counts the stalls) and loses nothing; Drop
- * mode skips the packet and counts it, and because the sequence
- * number still advances, the consumer observes the gap and mirrors
- * the loss in its own counters — no packet is ever lost silently.
+ * full ring (parkEvents counts the stalls) and, by default, loses
+ * nothing; with a park retry budget set, a push that stays blocked
+ * past the budget escalates to a counted drop — backoff starts with
+ * plain yields and stretches into exponentially growing sleeps, so a
+ * wedged consumer costs the producer bounded CPU and bounded wait,
+ * never a livelock. Drop mode skips the packet and counts it
+ * immediately. Either way the sequence number still advances, so the
+ * consumer observes the gap and mirrors the loss in its own
+ * counters — no packet is ever lost silently.
  *
  * Stream content depends only on (stream index), and a tenant's
  * stream index depends only on its id, so per-tenant packet
@@ -74,6 +79,12 @@ struct ProducerCounters
     /** Full-ring stall events in Park mode (retries, not losses). */
     std::uint64_t parkEvents = 0;
     std::uint64_t bytes = 0;
+    /** Per-tenant breakdown, parallel to the task's tenant list —
+     * the service attributes these into TenantCounters after the
+     * producer joins. */
+    std::vector<std::uint64_t> tenantPushed;
+    std::vector<std::uint64_t> tenantDropped;
+    std::vector<std::uint64_t> tenantParks;
 };
 
 /** One producer's work order. */
@@ -85,6 +96,22 @@ struct ProducerTask
     /** Per-tenant stream, parallel to tenants (borrowed). */
     std::vector<const EncodedStream *> streams;
     BackpressurePolicy policy = BackpressurePolicy::Park;
+    /** Park retry budget per packet (0 = park forever, the lossless
+     * default). When exhausted, the push escalates to a counted
+     * drop. */
+    std::uint64_t parkRetryLimit = 0;
+    /** Park retries served as plain yields before backoff sleeping
+     * starts. */
+    std::uint64_t parkYields = 64;
+    /** First backoff sleep, microseconds; doubles per retry up to
+     * parkMaxSleepUs. */
+    std::uint64_t parkSleepUs = 1;
+    std::uint64_t parkMaxSleepUs = 1024;
+    /** First stream interval to replay (sequence numbers are
+     * absolute stream indices, so a migrated-in service replaying
+     * from here continues the exact sequence the source left off
+     * at). */
+    std::size_t startStep = 0;
 };
 
 /**

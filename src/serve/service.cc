@@ -7,10 +7,21 @@
 #include <thread>
 
 #include "common/status.hh"
+#include "fault/injector.hh"
+#include "serve/migration.hh"
 #include "serve/packet.hh"
 
 namespace tpcp::serve
 {
+
+ServiceLoop::Partition::Partition(std::size_t ring_bytes,
+                                  const RegistryConfig &rc,
+                                  const FairnessConfig &fc)
+    : ring(ring_bytes), registry(rc)
+{
+    if (fc.enabled())
+        sched = std::make_unique<FlowScheduler>(fc);
+}
 
 ServiceLoop::ServiceLoop(const ServeOptions &options)
     : opts(options), pool_(options.jobs)
@@ -21,9 +32,11 @@ ServiceLoop::ServiceLoop(const ServeOptions &options)
                 "drain batch must be at least one frame");
     parts_.reserve(opts.producers);
     for (unsigned i = 0; i < opts.producers; ++i)
-        parts_.push_back(std::make_unique<Partition>(opts.ringBytes,
-                                                     opts.registry));
+        parts_.push_back(std::make_unique<Partition>(
+            opts.ringBytes, opts.registry, opts.fairness));
 }
+
+ServiceLoop::~ServiceLoop() = default;
 
 SpscRing &
 ServiceLoop::ring(unsigned i)
@@ -53,6 +66,47 @@ ServiceLoop::registry(unsigned i) const
 }
 
 void
+ServiceLoop::setFaultInjector(unsigned i, fault::Injector *injector)
+{
+    tpcp_assert(i < parts_.size(), "partition index out of range");
+    parts_[i]->injector = injector;
+    parts_[i]->registry.setFaultInjector(injector);
+}
+
+void
+ServiceLoop::noteProducerStats(unsigned partition,
+                               std::uint64_t tenant,
+                               std::uint64_t park_events,
+                               std::uint64_t dropped)
+{
+    tpcp_assert(partition < parts_.size(),
+                "partition index out of range");
+    parts_[partition]->registry.noteProducerStats(tenant, park_events,
+                                                  dropped);
+}
+
+void
+ServiceLoop::deliverFrame(Partition &p, std::uint64_t tenant,
+                          const std::uint8_t *data, std::size_t size)
+{
+    try {
+        decodePacket(data, size, p.pkt);
+    } catch (const Error &) {
+        // The header peeked fine but the payload is bad: count it at
+        // the partition (the conservation identity's malformed term)
+        // and attribute it to the tenant (observability + offense).
+        ++p.malformed;
+        p.registry.noteMalformed(tenant);
+        return;
+    }
+    try {
+        p.registry.deliverPacket(p.pkt);
+    } catch (const Error &) {
+        ++p.rejected;
+    }
+}
+
+void
 ServiceLoop::drainOne(Partition &p)
 {
     p.drained = 0;
@@ -67,20 +121,53 @@ ServiceLoop::drainOne(Partition &p)
             break;
         }
         ++p.drained;
-        try {
-            decodePacket(p.frame.data(), p.frame.size(), p.pkt);
-        } catch (const Error &) {
+        if (p.injector != nullptr)
+            p.injector->maybeCorruptFrame(p.frame.data(),
+                                          p.frame.size());
+        if (p.sched == nullptr) {
+            // Plain FIFO drain (resilience off): pop-decode-deliver,
+            // byte-identical to the original drain loop.
+            try {
+                decodePacket(p.frame.data(), p.frame.size(), p.pkt);
+            } catch (const Error &) {
+                ++p.malformed;
+                continue;
+            }
+            try {
+                p.registry.deliverPacket(p.pkt);
+            } catch (const Error &) {
+                // Duplicate/reordered sequence, a full registry with
+                // no checkpoint directory, or a failed resume: the
+                // packet is rejected, the service keeps running.
+                ++p.rejected;
+            }
+            continue;
+        }
+        // Fairness path: attribute the frame to its tenant and stage
+        // it; service order is the scheduler's business, not the
+        // ring's.
+        std::uint64_t tenant = 0;
+        if (!peekPacketTenant(p.frame.data(), p.frame.size(),
+                              tenant)) {
+            // Unattributable garbage (bad magic/version/truncated
+            // header) stays a partition-level malformed count.
             ++p.malformed;
             continue;
         }
-        try {
-            p.registry.deliver(p.pkt);
-        } catch (const Error &) {
-            // Duplicate/reordered sequence, a full registry with no
-            // checkpoint directory, or a failed resume: the packet
-            // is rejected, the service keeps running.
-            ++p.rejected;
-        }
+        if (!p.sched->stage(tenant, p.frame.data(), p.frame.size()))
+            p.registry.noteShed(tenant);
+    }
+    if (p.sched != nullptr) {
+        p.sched->beginCycle();
+        const std::size_t budget = opts.fairness.cycleBudget != 0
+                                       ? opts.fairness.cycleBudget
+                                       : opts.drainBatch;
+        p.drained += p.sched->drain(
+            budget,
+            [this, &p](std::uint64_t tenant,
+                       const std::vector<std::uint8_t> &f) {
+                deliverFrame(p, tenant, f.data(), f.size());
+            });
     }
     p.registry.evictIdle();
 }
@@ -102,9 +189,11 @@ ServiceLoop::run()
             drained += part->drained;
             // Order matters: only if the producer was already done
             // *before* we observed its ring empty can no further
-            // frame arrive (done is set after the final push).
+            // frame arrive (done is set after the final push). A
+            // non-idle flow scheduler still owes staged frames.
             if (!part->done.load(std::memory_order_acquire) ||
-                !part->ring.empty())
+                !part->ring.empty() ||
+                (part->sched != nullptr && !part->sched->idle()))
                 finished = false;
         }
         if (finished && drained == 0)
@@ -115,6 +204,50 @@ ServiceLoop::run()
             std::this_thread::yield();
         }
     }
+}
+
+std::size_t
+ServiceLoop::runCycle()
+{
+    std::size_t activity = 0;
+    for (auto &part : parts_) {
+        drainOne(*part);
+        activity += part->drained;
+    }
+    ++drainCycles_;
+    return activity;
+}
+
+void
+ServiceLoop::migrateOut(const std::string &bundle_dir)
+{
+    tpcp_assert(!opts.registry.checkpointDir.empty(),
+                "migration needs a checkpoint directory");
+    std::vector<MigratedTenant> tenants;
+    for (auto &part : parts_) {
+        part->registry.evictAll();
+        for (std::uint64_t id : part->registry.tenantIds())
+            tenants.push_back(part->registry.migratedState(id));
+    }
+    std::sort(tenants.begin(), tenants.end(),
+              [](const MigratedTenant &a, const MigratedTenant &b) {
+                  return a.id < b.id;
+              });
+    writeMigrationBundle(bundle_dir, opts.registry.checkpointDir,
+                         tenants);
+}
+
+std::size_t
+ServiceLoop::migrateIn(const std::string &bundle_dir)
+{
+    tpcp_assert(!opts.registry.checkpointDir.empty(),
+                "migration needs a checkpoint directory");
+    const std::vector<MigratedTenant> tenants =
+        loadMigrationBundle(bundle_dir,
+                            opts.registry.checkpointDir);
+    for (const MigratedTenant &t : tenants)
+        parts_[t.id % parts_.size()]->registry.adoptTenant(t);
+    return tenants.size();
 }
 
 ServeCounters
@@ -131,6 +264,11 @@ ServiceLoop::counters() const
         c.duplicateSeq += rc.duplicateSeq;
         c.seqGaps += rc.seqGaps;
         c.lostUpstream += rc.lostUpstream;
+        c.shedPackets += rc.shedPackets;
+        c.quarantines += rc.quarantines;
+        c.quarantineDrops += rc.quarantineDrops;
+        c.readmissions += rc.readmissions;
+        c.resumeFailures += rc.resumeFailures;
         c.malformedPackets += part->malformed;
         c.rejectedPackets += part->rejected;
     }
@@ -238,6 +376,7 @@ toJson(const ServeReport &r)
     appendField(out, "malformed_packets",
                 r.service.malformedPackets);
     appendField(out, "rejected_packets", r.service.rejectedPackets);
+    appendField(out, "shed_packets", r.service.shedPackets);
     appendField(out, "service_tenants", r.service.tenants);
     appendField(out, "evictions", r.service.evictions);
     appendField(out, "resumes", r.service.resumes);
@@ -245,6 +384,11 @@ toJson(const ServeReport &r)
     appendField(out, "duplicate_seq", r.service.duplicateSeq);
     appendField(out, "seq_gaps", r.service.seqGaps);
     appendField(out, "lost_upstream", r.service.lostUpstream);
+    out += "\n  ";
+    appendField(out, "quarantines", r.service.quarantines);
+    appendField(out, "quarantine_drops", r.service.quarantineDrops);
+    appendField(out, "readmissions", r.service.readmissions);
+    appendField(out, "resume_failures", r.service.resumeFailures);
     appendField(out, "drain_cycles", r.service.drainCycles);
     out += "\n  ";
     appendField(out, "elapsed_sec", r.elapsedSec);
@@ -259,7 +403,16 @@ toJson(const ServeReport &r)
         appendField(out, "evictions", t.c.evictions);
         appendField(out, "resumes", t.c.resumes);
         appendField(out, "duplicate_seq", t.c.duplicateSeq);
-        appendField(out, "lost_upstream", t.c.lostUpstream, true);
+        appendField(out, "lost_upstream", t.c.lostUpstream);
+        appendField(out, "malformed_packets", t.c.malformedPackets);
+        appendField(out, "shed_packets", t.c.shedPackets);
+        appendField(out, "park_events", t.c.parkEvents);
+        appendField(out, "packets_dropped", t.c.packetsDropped);
+        appendField(out, "quarantines", t.c.quarantines);
+        appendField(out, "quarantine_drops", t.c.quarantineDrops);
+        appendField(out, "readmissions", t.c.readmissions);
+        appendField(out, "resume_failures", t.c.resumeFailures,
+                    true);
         out += '}';
         if (i + 1 < r.perTenant.size())
             out += ',';

@@ -7,11 +7,23 @@
  * Concurrency model. Each ring is strictly SPSC: one producer thread
  * pushes, and in any drain cycle at most one pool task pops it. The
  * service submits one drain task per ring, waits for the cycle, and
- * repeats until every producer has signalled done and every ring is
- * empty. Registries are confined to their ring's drain task, so no
- * tenant state is ever touched from two threads — which is also why
- * per-tenant phase-ID streams are byte-identical to the batch
- * PhaseTracker path at any producer count.
+ * repeats until every producer has signalled done, every ring is
+ * empty and every flow backlog is drained. Registries are confined to
+ * their ring's drain task, so no tenant state is ever touched from
+ * two threads — which is also why per-tenant phase-ID streams are
+ * byte-identical to the batch PhaseTracker path at any producer
+ * count.
+ *
+ * Overload resilience (all off by default — zero-valued FairnessConfig
+ * reproduces the plain FIFO drain bit for bit). With any fairness
+ * knob set, each partition stages popped frames into a per-tenant
+ * FlowScheduler and serves them deficit-round-robin under a token-
+ * bucket rate limit, so one hot or adversarial tenant can no longer
+ * starve its co-tenants; frames beyond a tenant's backlog bound are
+ * shed, counted per tenant. Combined with the registry's quarantine
+ * policy, degradation under overload is graceful and fully
+ * accounted: every pushed frame ends up as exactly one of delivered,
+ * malformed, rejected, shed or quarantine-dropped.
  *
  * Error containment. Frame and packet validation failures, sequence
  * violations, and resume failures raise recoverable tpcp::Error
@@ -30,9 +42,15 @@
 #include <vector>
 
 #include "common/thread_pool.hh"
+#include "serve/flow_sched.hh"
 #include "serve/producer.hh"
 #include "serve/ring_buffer.hh"
 #include "serve/tenant_registry.hh"
+
+namespace tpcp::fault
+{
+class Injector;
+} // namespace tpcp::fault
 
 namespace tpcp::serve
 {
@@ -43,6 +61,8 @@ struct ServeOptions
     /** Per-partition registry configuration (each producer ring gets
      * its own registry built from this). */
     RegistryConfig registry;
+    /** Per-tenant rate limiting / drain fairness (off by default). */
+    FairnessConfig fairness;
     /** Producer rings (= partitions). */
     unsigned producers = 1;
     /** Pool worker threads (0 = hardware concurrency). */
@@ -62,6 +82,9 @@ struct ServeCounters
     std::uint64_t packets = 0;
     std::uint64_t malformedPackets = 0;
     std::uint64_t rejectedPackets = 0;
+    /** Frames shed by the flow schedulers (per-tenant backlog
+     * bound). */
+    std::uint64_t shedPackets = 0;
     std::uint64_t tenants = 0;
     std::uint64_t evictions = 0;
     std::uint64_t resumes = 0;
@@ -69,6 +92,10 @@ struct ServeCounters
     std::uint64_t duplicateSeq = 0;
     std::uint64_t seqGaps = 0;
     std::uint64_t lostUpstream = 0;
+    std::uint64_t quarantines = 0;
+    std::uint64_t quarantineDrops = 0;
+    std::uint64_t readmissions = 0;
+    std::uint64_t resumeFailures = 0;
     std::uint64_t drainCycles = 0;
 };
 
@@ -101,8 +128,8 @@ bool writeJson(const std::string &path, const ServeReport &r);
  * The batch reference path: decodes @p stream and replays it through
  * one fresh owned-table PhaseTracker, exactly as an offline `tpcp
  * predict` run would. The service's per-tenant phase-ID streams must
- * be byte-identical to this — including across evict/resume and at
- * any producer count.
+ * be byte-identical to this — including across evict/resume, at any
+ * producer count, and across a migrate-out/migrate-in handoff.
  */
 std::vector<PhaseId>
 batchPhaseStream(const EncodedStream &stream,
@@ -113,6 +140,7 @@ class ServiceLoop
 {
   public:
     explicit ServiceLoop(const ServeOptions &options);
+    ~ServiceLoop();
 
     /** Ring for producer @p i to push into (one thread per ring). */
     SpscRing &ring(unsigned i);
@@ -127,11 +155,63 @@ class ServiceLoop
      */
     void run();
 
+    /**
+     * Runs exactly one drain cycle inline on the calling thread (no
+     * pool involvement): each partition pops up to drainBatch frames
+     * and serves its backlog once. Returns the cycle's total
+     * activity (frames popped + frames served). This is the lockstep
+     * entry point the chaos harness drives — interleaved push /
+     * runCycle sequences on one thread are deterministic bit for
+     * bit, independent of --jobs.
+     */
+    std::size_t runCycle();
+
     unsigned numPartitions() const;
     /** Pool worker threads actually running. */
     unsigned numWorkers() const { return pool_.numThreads(); }
     const TenantRegistry &registry(unsigned i) const;
     ServeCounters counters() const;
+
+    /**
+     * Merges producer-side backpressure counters for @p tenant into
+     * its partition's registry (park stalls, drops). Call after the
+     * producer threads joined — counter records, like drains, are
+     * partition-confined. @p partition must be the ring the tenant's
+     * producer pushed into.
+     */
+    void noteProducerStats(unsigned partition, std::uint64_t tenant,
+                           std::uint64_t park_events,
+                           std::uint64_t dropped);
+
+    /**
+     * Arms serve-layer fault injection for partition @p i: frames
+     * popped from the ring may take bit flips, and tenant checkpoint
+     * writes may be torn, corrupted or deleted. One injector per
+     * partition (it is used from that partition's drain task only);
+     * must outlive the service loop.
+     */
+    void setFaultInjector(unsigned i, fault::Injector *injector);
+
+    /**
+     * Migrates every tenant out into a crash-consistent bundle at
+     * @p bundle_dir: evicts all resident tenants (checkpointing
+     * them), snapshots every tenant's sequence/counter/quarantine
+     * state, and commits the bundle manifest last, atomically. The
+     * service must be quiescent (run() returned). Requires a
+     * checkpointDir.
+     */
+    void migrateOut(const std::string &bundle_dir);
+
+    /**
+     * Validates the bundle at @p bundle_dir end to end, installs its
+     * checkpoints into this service's checkpointDir, and adopts each
+     * tenant into partition (id % numPartitions()) — the same
+     * mapping the CLI uses to assign tenants to producers. Returns
+     * the number of tenants adopted. A damaged bundle raises a
+     * recoverable tpcp::Error before any tenant is adopted. Call
+     * before run().
+     */
+    std::size_t migrateIn(const std::string &bundle_dir);
 
     /** All tenant ids across partitions, ascending. */
     std::vector<std::uint64_t> allTenantIds() const;
@@ -153,18 +233,20 @@ class ServiceLoop
     /** One partition: a ring, its registry, and drain scratch. */
     struct Partition
     {
-        explicit Partition(std::size_t ring_bytes,
-                           const RegistryConfig &rc)
-            : ring(ring_bytes), registry(rc)
-        {
-        }
+        Partition(std::size_t ring_bytes, const RegistryConfig &rc,
+                  const FairnessConfig &fc);
 
         SpscRing ring;
         TenantRegistry registry;
+        /** Flow scheduler (null when fairness is disabled: the
+         * drain path is then the plain FIFO pop-decode-deliver). */
+        std::unique_ptr<FlowScheduler> sched;
+        fault::Injector *injector = nullptr;
         /** Producer-done flag (set by the producer thread). */
         std::atomic<bool> done{false};
-        /** Frames drained in the current cycle (written only by this
-         * partition's drain task; read after pool.wait()). */
+        /** Activity (frames popped + served) in the current cycle
+         * (written only by this partition's drain task; read after
+         * pool.wait()). */
         std::size_t drained = 0;
         std::uint64_t malformed = 0;
         std::uint64_t rejected = 0;
@@ -173,8 +255,13 @@ class ServiceLoop
         IntervalPacket pkt;
     };
 
-    /** Pops up to drainBatch frames from partition @p p. */
+    /** Pops up to drainBatch frames from partition @p p and, with
+     * fairness on, serves its flow backlog once. */
     void drainOne(Partition &p);
+
+    /** The scheduler sink: decode + deliver one served frame. */
+    void deliverFrame(Partition &p, std::uint64_t tenant,
+                      const std::uint8_t *data, std::size_t size);
 
     const TenantRegistry *findTenant(std::uint64_t tenant) const;
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/state_io.hh"
+#include "fault/injector.hh"
 
 namespace tpcp::serve
 {
@@ -16,6 +17,13 @@ TenantRegistry::TenantRegistry(const RegistryConfig &config)
 {
     tpcp_assert(cfg.maxResident > 0,
                 "registry needs at least one resident slot");
+    tpcp_assert(!cfg.quarantine.enabled() ||
+                    !cfg.checkpointDir.empty(),
+                "quarantine needs a checkpoint directory to park "
+                "tenant state in");
+    tpcp_assert(!cfg.quarantine.enabled() ||
+                    cfg.quarantine.backoffBase > 0,
+                "quarantine backoff must be at least one tick");
     freeSlots_.reserve(cfg.maxResident);
     // Pop order never affects results (slots are interchangeable);
     // hand them out in ascending order for readable debugging.
@@ -30,6 +38,14 @@ TenantRegistry::checkpointPath(std::uint64_t tenant) const
            ".ckpt";
 }
 
+TenantRegistry::Tenant &
+TenantRegistry::touch(std::uint64_t tenant)
+{
+    Tenant &t = tenants_[tenant];
+    t.id = tenant;
+    return t;
+}
+
 void
 TenantRegistry::evict(Tenant &t)
 {
@@ -40,6 +56,11 @@ TenantRegistry::evict(Tenant &t)
     if (!writeStateFile(path, kTenantCheckpointMagic,
                         kTenantCheckpointVersion, w))
         tpcp_raise("cannot write tenant checkpoint ", path);
+    // Serve-layer fault injection: a "crash" between the checkpoint
+    // write and the next resume shows up as a torn, corrupted or
+    // missing file — exactly what the injector plants here.
+    if (injector_ != nullptr)
+        injector_->corruptCheckpointFile(path);
     // Return the slot pristine: clear() fully resets the table
     // (entries, LRU ticks, eviction counts), so the next tenant in
     // this slot classifies exactly as if the slot were newly built.
@@ -76,18 +97,27 @@ TenantRegistry::evictOldest()
 void
 TenantRegistry::activate(Tenant &t)
 {
-    if (freeSlots_.empty())
-        evictOldest();
-    const unsigned slot = freeSlots_.back();
     const bool resumed = t.c.evictions > 0;
     std::vector<std::uint8_t> payload;
     if (resumed) {
-        // Read and validate the checkpoint *before* claiming the
-        // slot, so a corrupt file leaves the registry unchanged.
-        payload = readStateFile(checkpointPath(t.id),
-                                kTenantCheckpointMagic,
-                                kTenantCheckpointVersion);
+        // Read and validate the checkpoint *before* evicting anyone
+        // or claiming a slot, so a corrupt file leaves the registry
+        // unchanged — a tenant stuck on a damaged checkpoint must
+        // not churn healthy residents out on every retry.
+        try {
+            payload = readStateFile(checkpointPath(t.id),
+                                    kTenantCheckpointMagic,
+                                    kTenantCheckpointVersion);
+        } catch (const Error &) {
+            ++t.c.resumeFailures;
+            ++counters_.resumeFailures;
+            offense(t);
+            throw;
+        }
     }
+    if (freeSlots_.empty())
+        evictOldest();
+    const unsigned slot = freeSlots_.back();
     freeSlots_.pop_back();
     t.slot = slot;
     t.tracker = std::make_unique<pred::PhaseTracker>(
@@ -112,6 +142,9 @@ TenantRegistry::activate(Tenant &t)
             t.slot = kNoSlot;
             t.tracker.reset();
             --residentCount;
+            ++t.c.resumeFailures;
+            ++counters_.resumeFailures;
+            offense(t);
             throw;
         }
         ++t.c.resumes;
@@ -121,28 +154,101 @@ TenantRegistry::activate(Tenant &t)
     }
 }
 
-PhaseId
-TenantRegistry::deliver(const IntervalPacket &pkt)
+void
+TenantRegistry::offense(Tenant &t)
 {
-    Tenant &t = tenants_[pkt.tenant];
-    if (t.tracker == nullptr) {
-        t.id = pkt.tenant;
-        activate(t);
+    if (!cfg.quarantine.enabled())
+        return;
+    // Offenses during an active quarantine don't stack: the tenant
+    // is already parked, and its residual staged frames (sheds,
+    // quarantine drops) must not extend the backoff it is serving.
+    if (t.quarantinedUntil != 0 && clock_ < t.quarantinedUntil)
+        return;
+    if (clock_ - t.offenseWindowStart > cfg.quarantine.offenseWindow) {
+        t.offenses = 0;
+        t.offenseWindowStart = clock_;
     }
+    if (++t.offenses >= cfg.quarantine.offenseThreshold)
+        quarantine(t);
+}
+
+void
+TenantRegistry::quarantine(Tenant &t)
+{
+    // Park the tenant's tracker state through the normal eviction
+    // path (checkpoint + slot release); a tenant that was never
+    // activated, or is already evicted, has nothing to park.
+    if (t.slot != kNoSlot)
+        evict(t);
+    ++t.quarantineCount;
+    ++t.c.quarantines;
+    ++counters_.quarantines;
+    // Exponential backoff: base << (count - 1), saturating at the
+    // cap (the shift is clamped so it cannot overflow).
+    std::uint64_t backoff = cfg.quarantine.backoffCap;
+    const std::uint64_t doublings = t.quarantineCount - 1;
+    if (doublings < 63) {
+        const std::uint64_t scaled =
+            cfg.quarantine.backoffBase << doublings;
+        // Detect shift overflow (result wrapped or lost bits).
+        if ((scaled >> doublings) == cfg.quarantine.backoffBase)
+            backoff = std::min(backoff, scaled);
+    }
+    t.quarantinedUntil = clock_ + backoff;
+    t.offenses = 0;
+    t.offenseWindowStart = clock_;
+}
+
+bool
+TenantRegistry::isQuarantined(std::uint64_t tenant) const
+{
+    auto it = tenants_.find(tenant);
+    return it != tenants_.end() &&
+           it->second.quarantinedUntil != 0 &&
+           clock_ < it->second.quarantinedUntil;
+}
+
+DeliverResult
+TenantRegistry::deliverPacket(const IntervalPacket &pkt)
+{
+    ++clock_;
+    Tenant &t = touch(pkt.tenant);
+
+    if (t.quarantinedUntil != 0) {
+        if (clock_ < t.quarantinedUntil) {
+            ++t.c.quarantineDrops;
+            ++counters_.quarantineDrops;
+            return {DeliverStatus::QuarantineDropped,
+                    invalidPhaseId};
+        }
+        // Backoff expired: this packet readmits the tenant. The
+        // tracker resumes from the quarantine checkpoint below, so
+        // the phase stream continues exactly where it was parked.
+        t.quarantinedUntil = 0;
+        t.offenses = 0;
+        t.offenseWindowStart = clock_;
+        ++t.c.readmissions;
+        ++counters_.readmissions;
+    }
+
+    if (t.tracker == nullptr)
+        activate(t);
 
     // Sequence accounting before the tracker sees anything: a
     // duplicate or reordered packet must not advance phase state.
     if (pkt.seq < t.nextSeq) {
         ++t.c.duplicateSeq;
         ++counters_.duplicateSeq;
+        offense(t);
         tpcp_raise("tenant ", pkt.tenant, ": duplicate/reordered "
                    "sequence ", pkt.seq, " (expected ", t.nextSeq,
                    ")");
     }
     if (pkt.seq > t.nextSeq) {
-        // A forward gap is a producer that *counted* drops under
-        // backpressure; mirror the count here so both ends agree on
-        // how many packets were lost.
+        // A forward gap is a packet that was visibly dropped before
+        // the tracker: a producer that counted drops under
+        // backpressure, a shed frame, or a quarantine drop. Mirror
+        // the count here so the loss is attributable at both ends.
         const std::uint64_t lost = pkt.seq - t.nextSeq;
         t.c.lostUpstream += lost;
         counters_.lostUpstream += lost;
@@ -162,7 +268,37 @@ TenantRegistry::deliver(const IntervalPacket &pkt)
     }
     if (cfg.recordPhases)
         t.phases.push_back(out.classification.phase);
-    return out.classification.phase;
+    return {DeliverStatus::Delivered, out.classification.phase};
+}
+
+void
+TenantRegistry::noteShed(std::uint64_t tenant)
+{
+    ++clock_;
+    Tenant &t = touch(tenant);
+    ++t.c.shedPackets;
+    ++counters_.shedPackets;
+    offense(t);
+}
+
+void
+TenantRegistry::noteMalformed(std::uint64_t tenant)
+{
+    ++clock_;
+    Tenant &t = touch(tenant);
+    ++t.c.malformedPackets;
+    ++counters_.malformedPackets;
+    offense(t);
+}
+
+void
+TenantRegistry::noteProducerStats(std::uint64_t tenant,
+                                  std::uint64_t park_events,
+                                  std::uint64_t dropped)
+{
+    Tenant &t = touch(tenant);
+    t.c.parkEvents += park_events;
+    t.c.packetsDropped += dropped;
 }
 
 std::size_t
@@ -193,6 +329,44 @@ TenantRegistry::evictAll()
         }
     }
     return n;
+}
+
+void
+TenantRegistry::adoptTenant(const MigratedTenant &m)
+{
+    if (hasTenant(m.id))
+        tpcp_raise("cannot adopt tenant ", m.id,
+                   ": it already exists in this registry");
+    Tenant &t = touch(m.id);
+    t.nextSeq = m.nextSeq;
+    t.c = m.c;
+    t.quarantineCount = m.c.quarantines;
+    if (m.quarantineRemaining > 0)
+        t.quarantinedUntil = clock_ + m.quarantineRemaining;
+    t.offenseWindowStart = clock_;
+    // The tracker stays parked: activate() resumes it from the
+    // bundled checkpoint on the tenant's first packet, exactly like
+    // a locally evicted tenant.
+}
+
+MigratedTenant
+TenantRegistry::migratedState(std::uint64_t tenant) const
+{
+    auto it = tenants_.find(tenant);
+    if (it == tenants_.end())
+        tpcp_raise("unknown tenant ", tenant);
+    const Tenant &t = it->second;
+    tpcp_assert(t.slot == kNoSlot,
+                "migratedState needs the tenant evicted first");
+    MigratedTenant m;
+    m.id = t.id;
+    m.nextSeq = t.nextSeq;
+    m.c = t.c;
+    m.quarantineRemaining = t.quarantinedUntil > clock_
+                                ? t.quarantinedUntil - clock_
+                                : 0;
+    m.hasCheckpoint = t.c.evictions > 0;
+    return m;
 }
 
 std::vector<std::uint64_t>

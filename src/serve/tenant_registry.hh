@@ -18,12 +18,25 @@
  * next packet for an evicted tenant transparently resumes it (into
  * any free slot — slots are interchangeable because loadState fully
  * restores and clear() fully resets a table). Eviction and resume
- * never change a tenant's phase-ID stream.
+ * never change a tenant's phase-ID stream. A resume whose checkpoint
+ * is missing, truncated or corrupt raises a recoverable tpcp::Error,
+ * is counted (resumeFailures, per tenant and registry-wide), and
+ * leaves every other tenant serving.
+ *
+ * Quarantine-and-readmit: a tenant accumulating offenses (duplicate
+ * sequences, malformed frames, backlog sheds, resume failures)
+ * faster than the configured threshold is quarantined — its state is
+ * checkpointed through the normal eviction path and its packets are
+ * dropped (counted, per tenant) until an exponential backoff expires;
+ * the first packet after the backoff readmits it, resuming from the
+ * checkpoint. A misbehaving producer therefore costs bounded service
+ * capacity, and every transition is visible in the counters.
  *
  * Sequence numbers make loss visible: a duplicate or reordered
  * packet is rejected with a recoverable tpcp::Error, and a forward
- * gap (a producer that counted drops under backpressure) is counted
- * as lost-upstream packets — nothing is ever lost silently.
+ * gap (a producer that counted drops under backpressure, or frames
+ * the consumer itself shed or quarantine-dropped) is counted as
+ * lost-upstream packets — nothing is ever lost silently.
  */
 
 #ifndef TPCP_SERVE_TENANT_REGISTRY_HH
@@ -39,12 +52,35 @@
 #include "pred/phase_tracker.hh"
 #include "serve/packet.hh"
 
+namespace tpcp::fault
+{
+class Injector;
+} // namespace tpcp::fault
+
 namespace tpcp::serve
 {
 
 /** Envelope tag of an evicted tenant's checkpoint ("TSRV"). */
 inline constexpr std::uint32_t kTenantCheckpointMagic = 0x56525354;
 inline constexpr std::uint32_t kTenantCheckpointVersion = 1;
+
+/** Quarantine-and-readmit policy (off by default). */
+struct QuarantineConfig
+{
+    /** Offenses (duplicate seq, malformed, shed, resume failure)
+     * within one window that trigger quarantine (0 = disabled). */
+    std::uint64_t offenseThreshold = 0;
+    /** Offense-counting window, in registry clock ticks (packets
+     * seen by the registry). */
+    std::uint64_t offenseWindow = 1024;
+    /** First quarantine lasts this many clock ticks; each
+     * re-quarantine doubles it. */
+    std::uint64_t backoffBase = 256;
+    /** Backoff ceiling, in clock ticks. */
+    std::uint64_t backoffCap = 1u << 20;
+
+    bool enabled() const { return offenseThreshold != 0; }
+};
 
 /** Registry configuration. */
 struct RegistryConfig
@@ -58,11 +94,14 @@ struct RegistryConfig
      * new tenant needs a slot). */
     std::uint64_t evictAfter = 0;
     /** Where evicted tenants checkpoint to. Required for any
-     * eviction; with it empty a full registry raises tpcp::Error. */
+     * eviction (including quarantine); with it empty a full registry
+     * raises tpcp::Error. */
     std::string checkpointDir;
     /** Record every tenant's full phase-ID stream (identity
      * verification; keep off for large tenant counts). */
     bool recordPhases = false;
+    /** Quarantine-and-readmit policy. */
+    QuarantineConfig quarantine;
 };
 
 /** Per-tenant observability counters. */
@@ -74,6 +113,23 @@ struct TenantCounters
     std::uint64_t resumes = 0;
     std::uint64_t duplicateSeq = 0;
     std::uint64_t lostUpstream = 0;
+    /** Malformed frames attributed to this tenant (header readable,
+     * payload rejected by decodePacket). */
+    std::uint64_t malformedPackets = 0;
+    /** Frames shed by the flow scheduler (backlog full). */
+    std::uint64_t shedPackets = 0;
+    /** Producer-side full-ring stalls for this tenant's pushes. */
+    std::uint64_t parkEvents = 0;
+    /** Producer-side drops (ring full, park budget exhausted). */
+    std::uint64_t packetsDropped = 0;
+    /** Times this tenant entered quarantine. */
+    std::uint64_t quarantines = 0;
+    /** Packets dropped while the tenant was quarantined. */
+    std::uint64_t quarantineDrops = 0;
+    /** Times the tenant was readmitted after backoff. */
+    std::uint64_t readmissions = 0;
+    /** Resume attempts that failed on a damaged checkpoint. */
+    std::uint64_t resumeFailures = 0;
 };
 
 /** Registry-wide counters (sums over tenants plus registry events). */
@@ -87,6 +143,39 @@ struct RegistryCounters
     std::uint64_t duplicateSeq = 0;
     std::uint64_t seqGaps = 0;
     std::uint64_t lostUpstream = 0;
+    std::uint64_t malformedPackets = 0;
+    std::uint64_t shedPackets = 0;
+    std::uint64_t quarantines = 0;
+    std::uint64_t quarantineDrops = 0;
+    std::uint64_t readmissions = 0;
+    std::uint64_t resumeFailures = 0;
+};
+
+/** What deliverPacket() did with a packet. */
+enum class DeliverStatus
+{
+    Delivered,         ///< classified; phase is valid
+    QuarantineDropped, ///< tenant quarantined; packet counted+dropped
+};
+
+struct DeliverResult
+{
+    DeliverStatus status = DeliverStatus::Delivered;
+    PhaseId phase = invalidPhaseId;
+};
+
+/** One tenant's state carried across a migration bundle. */
+struct MigratedTenant
+{
+    std::uint64_t id = 0;
+    std::uint64_t nextSeq = 0;
+    TenantCounters c;
+    /** Remaining quarantine backoff at migration time (clock
+     * ticks); 0 = not quarantined. */
+    std::uint64_t quarantineRemaining = 0;
+    /** Whether a checkpoint file rides in the bundle (false for
+     * tenants that were only ever counted, never activated). */
+    bool hasCheckpoint = false;
 };
 
 /** The tenants of one service partition. */
@@ -96,15 +185,41 @@ class TenantRegistry
     explicit TenantRegistry(const RegistryConfig &config);
 
     /**
-     * Applies one decoded packet to its tenant, creating or resuming
-     * the tenant first when needed. Returns the phase ID assigned to
-     * the interval. Raises tpcp::Error for duplicate/reordered
-     * sequence numbers, for a full registry that cannot evict, and
-     * for unreadable resume checkpoints; the caller counts the
-     * rejection and carries on — a bad packet never crashes the
-     * service.
+     * Applies one decoded packet to its tenant, creating, resuming
+     * or readmitting the tenant first when needed. Raises
+     * tpcp::Error for duplicate/reordered sequence numbers, for a
+     * full registry that cannot evict, and for unreadable resume
+     * checkpoints; the caller counts the rejection and carries on —
+     * a bad packet never crashes the service. A quarantined tenant's
+     * packet is dropped and counted instead (no throw: quarantine is
+     * policy, not failure).
      */
-    PhaseId deliver(const IntervalPacket &pkt);
+    DeliverResult deliverPacket(const IntervalPacket &pkt);
+
+    /** Compatibility shim for callers that never enable quarantine:
+     * returns the assigned phase ID. */
+    PhaseId
+    deliver(const IntervalPacket &pkt)
+    {
+        return deliverPacket(pkt).phase;
+    }
+
+    /**
+     * Counts a flow-scheduler shed against @p tenant (and as an
+     * offense), creating the tenant's counter record if needed —
+     * a tenant whose every frame was shed is still visible.
+     */
+    void noteShed(std::uint64_t tenant);
+
+    /** Counts a malformed frame attributed to @p tenant (and as an
+     * offense). Unattributable garbage stays partition-level. */
+    void noteMalformed(std::uint64_t tenant);
+
+    /** Merges producer-side backpressure counters for @p tenant
+     * (park stalls and drops) into its counter record. */
+    void noteProducerStats(std::uint64_t tenant,
+                           std::uint64_t park_events,
+                           std::uint64_t dropped);
 
     /** Evicts every resident tenant idle for at least
      * config.evictAfter delivered packets (no-op when evictAfter is
@@ -112,8 +227,32 @@ class TenantRegistry
     std::size_t evictIdle();
 
     /** Evicts every resident tenant unconditionally (shutdown /
-     * final-state flush for tests). */
+     * final-state flush / migration). */
     std::size_t evictAll();
+
+    /**
+     * Seeds a tenant from a migration bundle entry: sequence state,
+     * counters and quarantine backoff are restored now; the tracker
+     * itself resumes lazily from its checkpoint (which must already
+     * sit in this registry's checkpointDir) on the tenant's first
+     * packet. Raises tpcp::Error if the tenant already exists.
+     */
+    void adoptTenant(const MigratedTenant &t);
+
+    /** Snapshot of a tenant's migratable state (for the bundle
+     * manifest). The tenant must be non-resident (evictAll first). */
+    MigratedTenant migratedState(std::uint64_t tenant) const;
+
+    /**
+     * Arms serve-layer fault injection: after every checkpoint
+     * write, @p injector may corrupt the file (torn write, bit
+     * flip, deletion). The injector must outlive the registry and
+     * is used only from the thread driving this registry.
+     */
+    void setFaultInjector(fault::Injector *injector)
+    {
+        injector_ = injector;
+    }
 
     const RegistryCounters &counters() const { return counters_; }
 
@@ -137,6 +276,9 @@ class TenantRegistry
         return tenants_.find(tenant) != tenants_.end();
     }
 
+    /** Whether @p tenant is currently quarantined. */
+    bool isQuarantined(std::uint64_t tenant) const;
+
     /** Per-tenant counters; raises tpcp::Error for unknown ids. */
     const TenantCounters &tenantCounters(std::uint64_t tenant) const;
 
@@ -157,6 +299,14 @@ class TenantRegistry
         std::uint64_t nextSeq = 0;
         /** Registry packet clock at the last delivered packet. */
         std::uint64_t lastActive = 0;
+        /** Offenses inside the current window. */
+        std::uint64_t offenses = 0;
+        std::uint64_t offenseWindowStart = 0;
+        /** Clock tick the quarantine expires at (0 = not
+         * quarantined). */
+        std::uint64_t quarantinedUntil = 0;
+        /** Lifetime quarantine count (drives the backoff). */
+        std::uint64_t quarantineCount = 0;
         TenantCounters c;
         std::vector<PhaseId> phases;
     };
@@ -174,12 +324,27 @@ class TenantRegistry
     /** Evicts the least-recently-active resident tenant. */
     void evictOldest();
 
+    /** Finds-or-creates the counter record for @p tenant. */
+    Tenant &touch(std::uint64_t tenant);
+
+    /** Counts one offense for @p t; quarantines on threshold. */
+    void offense(Tenant &t);
+
+    /** Puts @p t into quarantine: checkpoint, free the slot, start
+     * the (exponential) backoff clock. */
+    void quarantine(Tenant &t);
+
     RegistryConfig cfg;
     phase::SignatureTableShards shards_;
     std::vector<unsigned> freeSlots_;
     std::unordered_map<std::uint64_t, Tenant> tenants_;
     RegistryCounters counters_;
     unsigned residentCount = 0;
+    /** Monotonic clock: every packet the registry *sees* (delivered,
+     * rejected, quarantine-dropped, shed, malformed) advances it, so
+     * backoffs expire even under a pure garbage flood. */
+    std::uint64_t clock_ = 0;
+    fault::Injector *injector_ = nullptr;
 };
 
 } // namespace tpcp::serve

@@ -124,6 +124,34 @@
  *   --ring-bytes B   per-producer ring capacity   (default 1 MiB)
  *   --drop           drop packets on a full ring (counted, visible
  *                    as sequence gaps) instead of parking
+ *   --park-retries N park retry budget per push; when exhausted the
+ *                    push escalates to a counted drop (default 0 =
+ *                    park forever, lossless)
+ *   --rate-limit R   per-tenant token-bucket refill, packets per
+ *                    drain cycle (default 0 = unlimited)
+ *   --burst B        token-bucket capacity (default 0 = rate-limit)
+ *   --drr-quantum Q  deficit-round-robin quantum, packets
+ *                    (default 16)
+ *   --max-backlog N  staged frames per tenant before arrivals are
+ *                    shed, counted (default 0 = unbounded)
+ *   --cycle-budget N frames delivered per partition per drain cycle
+ *                    (default 0 = drain batch)
+ *   --quarantine-threshold N  offenses (duplicate seq, malformed,
+ *                    shed, resume failure) within one window that
+ *                    quarantine a tenant (default 0 = disabled)
+ *   --quarantine-window W     offense window, packets seen
+ *                    (default 1024)
+ *   --quarantine-backoff B    first quarantine length, packets seen;
+ *                    doubles per re-quarantine (default 256)
+ *   --quarantine-backoff-cap C  backoff ceiling (default 1 Mi)
+ *   --migrate-out DIR  after the run, evict every tenant and write a
+ *                    crash-consistent migration bundle
+ *   --migrate-in DIR before the run, validate the bundle and adopt
+ *                    its tenants (damaged bundles are rejected with
+ *                    exit 1, nothing partially applied)
+ *   --packet-base K  start replaying each stream at interval K
+ *                    (sequence numbers stay absolute: the handoff
+ *                    half of a migration identity check)
  *   --phase-out DIR  record per-tenant phase-ID streams and write
  *                    one tenant_<id>.phases file per tenant
  *   --batch          with --phase-out: write the batch-reference
@@ -1032,6 +1060,19 @@ cmdServe(const Args &args)
     sopts.producers = producers;
     sopts.jobs = static_cast<unsigned>(args.getU64("jobs", 0));
     sopts.ringBytes = args.getU64("ring-bytes", 1u << 20);
+    sopts.fairness.ratePerCycle = args.getU64("rate-limit", 0);
+    sopts.fairness.burst = args.getU64("burst", 0);
+    sopts.fairness.drrQuantum = args.getU64("drr-quantum", 16);
+    sopts.fairness.maxBacklog = args.getU64("max-backlog", 0);
+    sopts.fairness.cycleBudget = args.getU64("cycle-budget", 0);
+    sopts.registry.quarantine.offenseThreshold =
+        args.getU64("quarantine-threshold", 0);
+    sopts.registry.quarantine.offenseWindow =
+        args.getU64("quarantine-window", 1024);
+    sopts.registry.quarantine.backoffBase =
+        args.getU64("quarantine-backoff", 256);
+    sopts.registry.quarantine.backoffCap =
+        args.getU64("quarantine-backoff-cap", 1u << 20);
     // Tenant t is fed by producer t % producers; a tenant never
     // spans rings, so its packet order is total.
     const unsigned per_part = (tenants + producers - 1) / producers;
@@ -1047,12 +1088,27 @@ cmdServe(const Args &args)
         sopts.registry.checkpointDir);
 
     serve::ServiceLoop loop(sopts);
+    if (args.has("migrate-in")) {
+        try {
+            const std::size_t adopted =
+                loop.migrateIn(args.get("migrate-in", ""));
+            std::cout << "migrated " << adopted << " tenants in "
+                      << "from " << args.get("migrate-in", "")
+                      << "\n";
+        } catch (const Error &e) {
+            std::cerr << "error: migrate-in rejected bundle: "
+                      << e.what() << "\n";
+            return 1;
+        }
+    }
     std::vector<serve::ProducerTask> tasks(producers);
     for (unsigned p = 0; p < producers; ++p) {
         tasks[p].ring = &loop.ring(p);
         tasks[p].policy = args.has("drop")
                               ? serve::BackpressurePolicy::Drop
                               : serve::BackpressurePolicy::Park;
+        tasks[p].parkRetryLimit = args.getU64("park-retries", 0);
+        tasks[p].startStep = args.getU64("packet-base", 0);
     }
     for (std::uint64_t t = 0; t < tenants; ++t) {
         serve::ProducerTask &task = tasks[t % producers];
@@ -1076,6 +1132,14 @@ cmdServe(const Args &args)
         std::chrono::duration<double>(
             std::chrono::steady_clock::now() - t0)
             .count();
+
+    // Attribute producer-side backpressure (parks, drops) to the
+    // tenants that suffered it, now that the threads joined.
+    for (unsigned p = 0; p < producers; ++p)
+        for (std::size_t i = 0; i < tasks[p].tenants.size(); ++i)
+            loop.noteProducerStats(p, tasks[p].tenants[i],
+                                   pcs[p].tenantParks[i],
+                                   pcs[p].tenantDropped[i]);
 
     serve::ServeReport rep;
     rep.tenants = tenants;
@@ -1109,25 +1173,46 @@ cmdServe(const Args &args)
     row("park events", rep.parkEvents);
     row("malformed", rep.service.malformedPackets);
     row("rejected", rep.service.rejectedPackets);
+    row("shed", rep.service.shedPackets);
     row("evictions", rep.service.evictions);
     row("resumes", rep.service.resumes);
     row("phase switches", rep.service.phaseSwitches);
     row("lost upstream", rep.service.lostUpstream);
+    row("quarantines", rep.service.quarantines);
+    row("quarantine drops", rep.service.quarantineDrops);
+    row("readmissions", rep.service.readmissions);
+    row("resume failures", rep.service.resumeFailures);
     row("drain cycles", rep.service.drainCycles);
     table.row().cell("packets/s").cell(rep.packetsPerSec, 0);
     table.print(std::cout);
 
     // Every packet a producer pushed must be accounted for at the
-    // consumer: delivered, malformed, or visibly rejected. Anything
-    // else is silent loss, which is a bug, not a statistic.
+    // consumer: delivered, malformed, visibly rejected, shed by the
+    // flow scheduler, or dropped in quarantine. Anything else is
+    // silent loss, which is a bug, not a statistic.
     const std::uint64_t accounted = rep.service.packets +
                                     rep.service.malformedPackets +
-                                    rep.service.rejectedPackets;
+                                    rep.service.rejectedPackets +
+                                    rep.service.shedPackets +
+                                    rep.service.quarantineDrops;
     if (accounted != rep.packetsProduced) {
         std::cerr << "error: silent packet loss: "
                   << rep.packetsProduced << " pushed but only "
                   << accounted << " accounted for\n";
         return 1;
+    }
+
+    if (args.has("migrate-out")) {
+        try {
+            loop.migrateOut(args.get("migrate-out", ""));
+            std::cout << "migrated " << rep.service.tenants
+                      << " tenants out to "
+                      << args.get("migrate-out", "") << "\n";
+        } catch (const Error &e) {
+            std::cerr << "error: migrate-out failed: " << e.what()
+                      << "\n";
+            return 1;
+        }
     }
 
     if (!phase_out.empty()) {
